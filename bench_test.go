@@ -1,0 +1,583 @@
+// Package repro's root benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation. Each benchmark regenerates its
+// artifact through the experiments package and reports the headline numbers
+// as custom benchmark metrics (GFLOP/s and bound efficiencies), so
+// `go test -bench=. -benchmem` reproduces the study end to end.
+//
+// Benchmark configs are reduced relative to the paper-scale `cholrepro`
+// defaults (fewer sizes/repetitions) so a full -bench=. pass stays in the
+// minutes range; the shapes are identical.
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/cpsolve"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+// benchCfg is the shared reduced sweep.
+func benchCfg() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Sizes = []int{4, 8, 16}
+	cfg.Runs = 3
+	cfg.CPMaxTiles = 5
+	cfg.CPBudget = 10000
+	return cfg
+}
+
+func BenchmarkTable1(b *testing.B) {
+	cfg := benchCfg()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.TableI(cfg)
+		last = tbl.Series[0].Values[3]
+	}
+	b.ReportMetric(last, "gemm-speedup")
+}
+
+func BenchmarkTableK(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sizes = []int{4, 8, 12, 16, 20, 24, 28, 32}
+	var k4 float64
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.TableK(cfg)
+		k4 = tbl.Series[0].Values[0]
+	}
+	b.ReportMetric(k4, "K(4)")
+}
+
+func BenchmarkFig2(b *testing.B) {
+	cfg := benchCfg()
+	var mixed16 float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range tbl.Series {
+			if s.Name == "mixed bound" {
+				mixed16 = s.Values[len(s.Values)-1]
+			}
+		}
+	}
+	b.ReportMetric(mixed16, "mixed-bound-gflops-n16")
+}
+
+func BenchmarkFig3(b *testing.B) {
+	cfg := benchCfg()
+	var dmdas float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dmdas = tbl.Series[2].Values[len(cfg.Sizes)-1]
+	}
+	b.ReportMetric(dmdas, "dmdas-gflops-n16")
+}
+
+func BenchmarkFig3Real(b *testing.B) {
+	cfg := benchCfg()
+	cfg.RealSizes = []int{2, 4}
+	cfg.RealNB = 32
+	cfg.Runs = 2
+	var prio float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig3Real(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prio = tbl.Series[2].Values[1]
+	}
+	b.ReportMetric(prio, "real-priority-gflops-n4")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	cfg := benchCfg()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series := map[string][]float64{}
+		for _, s := range tbl.Series {
+			series[s.Name] = s.Values
+		}
+		gap = series["dmdas"][0] / series["mixed bound"][0]
+	}
+	b.ReportMetric(gap, "dmdas/bound-n4")
+}
+
+func BenchmarkFig5(b *testing.B) {
+	cfg := benchCfg()
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series := map[string][]float64{}
+		for _, s := range tbl.Series {
+			series[s.Name] = s.Values
+		}
+		eff = series["dmdas"][1] / series["mixed bound"][1]
+	}
+	b.ReportMetric(eff, "related-dmdas/bound-n8")
+}
+
+func BenchmarkFig6(b *testing.B) {
+	cfg := benchCfg()
+	var dmdas float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dmdas = tbl.Series[2].Values[len(cfg.Sizes)-1]
+	}
+	b.ReportMetric(dmdas, "actual-dmdas-gflops-n16")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	cfg := benchCfg()
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series := map[string][]float64{}
+		for _, s := range tbl.Series {
+			series[s.Name] = s.Values
+		}
+		eff = series["dmdas"][1] / series["mixed bound"][1]
+	}
+	b.ReportMetric(eff, "unrelated-dmdas/bound-n8")
+}
+
+func BenchmarkFig8(b *testing.B) {
+	cfg := benchCfg()
+	var scaled float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range tbl.Series {
+			if s.Name == "dmdas" {
+				scaled = s.Values[1]
+			}
+		}
+	}
+	b.ReportMetric(scaled, "scaled-dmdas-gflops-n8")
+}
+
+func BenchmarkFig9(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		out := experiments.Fig9(16, 6)
+		n = len(out)
+	}
+	b.ReportMetric(float64(n), "chars")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sizes = []int{4, 8}
+	var tri float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range tbl.Series {
+			if s.Name == "triangle trsms on cpu" {
+				tri = s.Values[1]
+			}
+		}
+	}
+	b.ReportMetric(tri, "triangle-gflops-n8")
+}
+
+func BenchmarkFig11(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sizes = []int{4, 8}
+	cfg.Runs = 2
+	var tri float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tri = tbl.Series[1].Values[1]
+	}
+	b.ReportMetric(tri, "triangle-actual-gflops-n8")
+}
+
+func BenchmarkFig12(b *testing.B) {
+	cfg := benchCfg()
+	var chars int
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Fig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chars = len(out)
+	}
+	b.ReportMetric(float64(chars), "chars")
+}
+
+func BenchmarkMappingOnly(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sizes = []int{5}
+	cfg.CPMaxTiles = 5
+	var full, maponly float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.MappingOnly(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series := map[string][]float64{}
+		for _, s := range tbl.Series {
+			series[s.Name] = s.Values
+		}
+		full, maponly = series["CP full injection"][0], series["CP mapping only"][0]
+	}
+	b.ReportMetric(full, "cp-full-gflops")
+	b.ReportMetric(maponly, "cp-mapping-gflops")
+}
+
+func BenchmarkGemmSyrkHint(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sizes = []int{8}
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.GemmSyrkHint(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = tbl.Series[1].Values[0] - tbl.Series[0].Values[0]
+	}
+	b.ReportMetric(delta, "hint-delta-gflops")
+}
+
+func BenchmarkTransferAblation(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sizes = []int{8}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TransferAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- component micro-benchmarks ---------------------------------------------
+
+func BenchmarkKernelGemm64(b *testing.B) {
+	nb := 64
+	a := matrix.NewTile(nb)
+	c := matrix.NewTile(nb)
+	d := matrix.NewTile(nb)
+	for i := range a.Data {
+		a.Data[i] = float64(i % 7)
+		c.Data[i] = float64(i % 5)
+	}
+	b.SetBytes(int64(3 * nb * nb * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.Gemm(a, c, d)
+	}
+	b.ReportMetric(kernels.GemmFlops(nb)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+func BenchmarkKernelPotrf64(b *testing.B) {
+	nb := 64
+	src := matrix.RandSPD(nb, 1)
+	t := matrix.NewTile(nb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(t.Data, src.Data)
+		if err := kernels.Potrf(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorDmdas32(b *testing.B) {
+	p := platform.Mirage()
+	d := graph.Cholesky(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulator.Run(d, p, sched.NewDMDAS(), simulator.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(d.Tasks)), "tasks")
+}
+
+func BenchmarkRuntimeFactor(b *testing.B) {
+	a := matrix.RandSPD(256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl, err := matrix.FromDense(a, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := runtime.Factor(tl, runtime.Options{Policy: runtime.Priority}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(kernels.CholeskyFlops(256)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+func BenchmarkBoundsMixedInt(b *testing.B) {
+	p := platform.Mirage()
+	d := graph.Cholesky(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bounds.MixedInt(d, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDAGBuild32(b *testing.B) {
+	var tasks int
+	for i := 0; i < b.N; i++ {
+		tasks = len(graph.Cholesky(32).Tasks)
+	}
+	if tasks != 32+2*(32*31/2)+32*31*30/6 {
+		b.Fatal("wrong task count")
+	}
+}
+
+// Sanity: keep the micro-bench helpers honest.
+func TestBenchHelpers(t *testing.T) {
+	if math.IsNaN(kernels.GemmFlops(64)) {
+		t.Fatal("flops")
+	}
+}
+
+func BenchmarkLUQRExtension(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sizes = []int{4, 8}
+	var luEff float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.OtherFactorizations(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series := map[string][]float64{}
+		for _, s := range tbl.Series {
+			series[s.Name] = s.Values
+		}
+		luEff = series["lu dmdas"][1] / series["lu mixed bound"][1]
+	}
+	b.ReportMetric(luEff, "lu-dmdas/bound-n8")
+}
+
+func BenchmarkCommAwareCP(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sizes = []int{4, 5}
+	cfg.CPMaxTiles = 5
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.CommAwareCP(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series := map[string][]float64{}
+		for _, s := range tbl.Series {
+			series[s.Name] = s.Values
+		}
+		delta = series["CP comm-aware"][1] - series["CP oblivious"][1]
+	}
+	b.ReportMetric(delta, "aware-minus-oblivious-gflops")
+}
+
+func BenchmarkKernelGeqrt64(b *testing.B) {
+	nb := 64
+	src := matrix.RandSymmetric(nb, 1)
+	t := matrix.NewTile(nb)
+	tau := make([]float64, nb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(t.Data, src.Data)
+		kernels.Geqrt(t, tau)
+	}
+}
+
+func BenchmarkKernelGetrf64(b *testing.B) {
+	nb := 64
+	src := matrix.DiagDominant(nb, 1)
+	t := matrix.NewTile(nb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(t.Data, src.Data)
+		if err := kernels.Getrf(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPSolve5(b *testing.B) {
+	p := platform.WithoutCommunication(platform.Mirage())
+	d := graph.Cholesky(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpsolve.Solve(d, p, cpsolve.Options{NodeBudget: 5000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHEFTVariants(b *testing.B) {
+	p := platform.Mirage()
+	d := graph.Cholesky(16)
+	b.Run("append", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.HEFT(d, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insertion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.HEFTInsertion(d, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkDistributed(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sizes = []int{8, 16}
+	var dyn float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Distributed(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range tbl.Series {
+			if s.Name == "dynamic" {
+				dyn = s.Values[1]
+			}
+		}
+	}
+	b.ReportMetric(dyn, "dynamic-gflops-n16")
+}
+
+func BenchmarkBanded(b *testing.B) {
+	cfg := benchCfg()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Banded(cfg, 16, []int{2, 8, 15})
+		if err != nil {
+			b.Fatal(err)
+		}
+		series := map[string][]float64{}
+		for _, s := range tbl.Series {
+			series[s.Name] = s.Values
+		}
+		gap = series["dmdas"][1] / series["mixed bound"][1]
+	}
+	b.ReportMetric(gap, "bw8-dmdas/bound")
+}
+
+func BenchmarkMemorySweep(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MemorySweep(cfg, 12, []int{8, 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkStealing(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sizes = []int{8}
+	cfg.Runs = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WorkStealing(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTileSizeSweep(b *testing.B) {
+	cfg := benchCfg()
+	var best float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.TileSizeSweep(cfg, 7680, []int{480, 960, 1920})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range tbl.Series[0].Values {
+			if v > best {
+				best = v
+			}
+		}
+	}
+	b.ReportMetric(best, "best-gflops")
+}
+
+func BenchmarkRuntimeSolve(b *testing.B) {
+	a := matrix.RandSPD(256, 1)
+	tl, err := matrix.FromDense(a, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := runtime.Factor(tl, runtime.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range rhs {
+			rhs[j] = float64(j)
+		}
+		if _, err := runtime.Solve(tl, rhs, runtime.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEndToEndRegistry runs every registered experiment at a minimal
+// configuration — the integration test proving the whole catalogue is
+// runnable from a clean checkout. Skipped under -short.
+func TestEndToEndRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep skipped in -short mode")
+	}
+	cfg := experiments.Quick()
+	cfg.Sizes = []int{2, 4}
+	cfg.Runs = 2
+	cfg.CPMaxTiles = 4
+	cfg.CPBudget = 2000
+	cfg.RealSizes = []int{2}
+	cfg.RealNB = 16
+	for _, r := range experiments.Registry() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			out, _, err := r.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if out == "" {
+				t.Fatalf("%s: empty output", r.ID)
+			}
+		})
+	}
+}

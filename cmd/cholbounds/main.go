@@ -1,0 +1,105 @@
+// Command cholbounds prints the paper's makespan/performance bounds for any
+// platform across matrix sizes — the quick "what is achievable on this
+// machine" query a practitioner asks before tuning schedulers.
+//
+// Usage:
+//
+//	cholbounds -sizes 4,8,16,32                      # Mirage model
+//	cholbounds -platform-file mynode.json -algo lu
+//	cholbounds -algo qr -csv bounds.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		algo     = flag.String("algo", "cholesky", "cholesky | lu | qr")
+		platFile = flag.String("platform-file", "", "JSON platform description (default: Mirage family)")
+		sizes    = flag.String("sizes", "2,4,8,12,16,20,24,28,32", "comma-separated tile counts")
+		nb       = flag.Int("nb", platform.TileNB, "tile size")
+		csvOut   = flag.String("csv", "", "write the table as CSV to this file")
+	)
+	flag.Parse()
+
+	var p *platform.Platform
+	var err error
+	if *platFile != "" {
+		p, err = platform.LoadFile(*platFile)
+	} else {
+		p, err = core.PlatformForAlgorithm(*algo, false)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var ns []int
+	for _, s := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad size %q", s))
+		}
+		ns = append(ns, n)
+	}
+
+	tbl := &stats.Table{
+		Title:  fmt.Sprintf("Performance upper bounds — %s on %s (GFLOP/s)", *algo, p.Name),
+		XLabel: "tiles",
+		YLabel: "GFLOP/s",
+	}
+	for _, n := range ns {
+		tbl.Xs = append(tbl.Xs, float64(n))
+	}
+	var cp, area, mixed, peak []float64
+	for _, n := range ns {
+		d, err := core.DAGByAlgorithm(*algo, n)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := core.FlopsByAlgorithm(*algo, n**nb)
+		if err != nil {
+			fatal(err)
+		}
+		c, err := bounds.CriticalPath(d, p)
+		if err != nil {
+			fatal(err)
+		}
+		a, err := bounds.AreaInt(d, p)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := bounds.MixedInt(d, p)
+		if err != nil {
+			fatal(err)
+		}
+		cp = append(cp, c.GFlops(f))
+		area = append(area, a.GFlops(f))
+		mixed = append(mixed, m.GFlops(f))
+		peak = append(peak, bounds.GemmPeak(f, p, *nb).GFlops(f))
+	}
+	tbl.Add("critical path", cp, nil)
+	tbl.Add("area bound", area, nil)
+	tbl.Add("mixed bound", mixed, nil)
+	tbl.Add("gemm peak", peak, nil)
+	fmt.Print(tbl.Render())
+	if *csvOut != "" {
+		if err := os.WriteFile(*csvOut, []byte(tbl.CSV()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cholbounds:", err)
+	os.Exit(1)
+}

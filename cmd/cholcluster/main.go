@@ -1,0 +1,111 @@
+// Command cholcluster simulates the tiled Cholesky on a distributed-memory
+// cluster of heterogeneous nodes — the paper's §II-B context (ScaLAPACK's
+// static 2D block-cyclic owner-computes vs dynamic scheduling) as a CLI.
+//
+// Usage:
+//
+//	cholcluster -nodes 4 -tiles 16                      # all three regimes
+//	cholcluster -nodes 8 -grid 2x4 -dist 2d -tiles 32
+//	cholcluster -nodes 4 -dist dynamic -net-gbps 1      # slow network
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/distributed"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 4, "cluster size")
+		tiles   = flag.Int("tiles", 16, "matrix size in tiles of 960")
+		distStr = flag.String("dist", "all", "1d | 2d | dynamic | all")
+		grid    = flag.String("grid", "", "PxQ process grid for -dist 2d (default: near-square)")
+		cpus    = flag.Int("cpus", 3, "CPU cores per node")
+		gpus    = flag.Int("gpus", 1, "GPUs per node")
+		netGbps = flag.Float64("net-gbps", 10, "network bandwidth per NIC (GB/s)")
+		prios   = flag.Bool("priorities", true, "priority-sorted worker queues (dmdas-like)")
+	)
+	flag.Parse()
+
+	node := platform.Mirage()
+	node.Classes[0].Count = *cpus
+	node.Classes[1].Count = *gpus
+	cluster := &distributed.Cluster{
+		Node:      node,
+		Nodes:     *nodes,
+		Net:       platform.Bus{Enabled: true, BandwidthBps: *netGbps * 1e9, LatencySec: 5e-6},
+		TileBytes: node.TileBytes,
+	}
+
+	p, q := nearSquare(*nodes)
+	if *grid != "" {
+		parts := strings.SplitN(*grid, "x", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -grid %q (want PxQ)", *grid))
+		}
+		var err1, err2 error
+		p, err1 = strconv.Atoi(parts[0])
+		q, err2 = strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || p*q != *nodes {
+			fatal(fmt.Errorf("grid %q does not cover %d nodes", *grid, *nodes))
+		}
+	}
+
+	regimes := []struct {
+		key  string
+		name string
+		opt  distributed.Options
+	}{
+		{"1d", "owner-computes 1D row-cyclic",
+			distributed.Options{Dist: distributed.RowCyclic{N: *nodes}, Priorities: *prios}},
+		{"2d", fmt.Sprintf("owner-computes 2D block-cyclic %dx%d", p, q),
+			distributed.Options{Dist: distributed.BlockCyclic{P: p, Q: q}, Priorities: *prios}},
+		{"dynamic", "dynamic cluster-wide",
+			distributed.Options{Priorities: *prios}},
+	}
+
+	d := graph.Cholesky(*tiles)
+	f := kernels.CholeskyFlops(*tiles * platform.TileNB)
+	m, err := bounds.MixedInt(d, cluster.FlatPlatform())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cluster: %d × (%d CPUs + %d GPUs), %.0f GB/s NICs; n=%d tiles; flat mixed bound %.0f GFLOP/s\n\n",
+		*nodes, *cpus, *gpus, *netGbps, *tiles, m.GFlops(f))
+	for _, reg := range regimes {
+		if *distStr != "all" && *distStr != reg.key {
+			continue
+		}
+		r, err := distributed.Simulate(d, cluster, reg.opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-36s %8.1f GFLOP/s  makespan %.4fs  %5d transfers  %.3fs on NICs\n",
+			reg.name, platform.GFlops(f, r.MakespanSec), r.MakespanSec, r.NetTransfers, r.NetSec)
+	}
+}
+
+// nearSquare factors n into the most square P×Q grid.
+func nearSquare(n int) (int, int) {
+	best := 1
+	for p := 1; p*p <= n; p++ {
+		if n%p == 0 {
+			best = p
+		}
+	}
+	return best, n / best
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cholcluster:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command cholreport regenerates a set of experiments and renders them as a
+// single standalone HTML report with SVG charts and data tables — the
+// shareable artifact of the reproduction.
+//
+// Usage:
+//
+//	cholreport -o report.html                 # headline figures, paper scale
+//	cholreport -o report.html -quick          # reduced sweep
+//	cholreport -o report.html -exps fig2,fig7,fig10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		out   = flag.String("o", "report.html", "output HTML file")
+		exps  = flag.String("exps", "fig2,fig4,fig5,fig7,fig10,fig11,luqr,distributed", "comma-separated experiment IDs (tabular ones only)")
+		quick = flag.Bool("quick", false, "reduced sweep")
+		runs  = flag.Int("runs", 0, "repetitions for actual-mode experiments")
+		seed  = flag.Int64("seed", 42, "base RNG seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+
+	var tables []*stats.Table
+	for _, id := range strings.Split(*exps, ",") {
+		id = strings.TrimSpace(id)
+		r, err := experiments.Find(id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", id)
+		_, tbl, err := r.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		if tbl == nil {
+			fatal(fmt.Errorf("%s has no tabular output; pick a figure/table experiment", id))
+		}
+		tables = append(tables, tbl)
+	}
+	page := report.HTML("Cholesky on heterogeneous platforms — reproduction report", tables)
+	if err := os.WriteFile(*out, []byte(page), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("report with %d charts written to %s\n", len(tables), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cholreport:", err)
+	os.Exit(1)
+}

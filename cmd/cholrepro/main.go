@@ -1,0 +1,115 @@
+// Command cholrepro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cholrepro -list
+//	cholrepro -exp fig7                  # one experiment, paper-scale sweep
+//	cholrepro -exp all -quick            # everything, reduced sweep
+//	cholrepro -exp fig2 -csv out.csv     # export the series as CSV
+//	cholrepro -exp fig12 -svg-dir out/   # also write SVG Gantt traces
+//
+// Every experiment prints the same rows/series as the corresponding paper
+// artifact (GFLOP/s vs matrix size in tiles of 960), plus an ASCII plot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment ID (see -list) or \"all\"")
+		list   = flag.Bool("list", false, "list available experiments")
+		quick  = flag.Bool("quick", false, "reduced sweep (fast smoke run)")
+		sizes  = flag.String("sizes", "", "comma-separated tile counts (override)")
+		runs   = flag.Int("runs", 0, "repetitions for actual-mode experiments (default 10)")
+		seed   = flag.Int64("seed", 42, "base RNG seed")
+		csvOut = flag.String("csv", "", "write the experiment's table as CSV to this file")
+		svgDir = flag.String("svg-dir", "", "directory for SVG Gantt traces (fig12)")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments:")
+		for _, r := range experiments.Registry() {
+			fmt.Printf("  %-10s %s\n", r.ID, r.Description)
+		}
+		if *exp == "" {
+			fmt.Println("\nRun one with: cholrepro -exp <id>   (or -exp all)")
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *sizes != "" {
+		cfg.Sizes = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fatal(fmt.Errorf("bad -sizes entry %q", s))
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = nil
+		for _, r := range experiments.Registry() {
+			ids = append(ids, r.ID)
+		}
+	}
+	for _, id := range ids {
+		r, err := experiments.Find(id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s — %s ===\n", r.ID, r.Description)
+		text, table, err := r.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		fmt.Println(text)
+		if *csvOut != "" && table != nil && len(ids) == 1 {
+			if err := os.WriteFile(*csvOut, []byte(table.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(CSV written to %s)\n", *csvOut)
+		}
+		if *svgDir != "" && id == "fig12" {
+			svgs, err := experiments.Fig12SVG(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fatal(err)
+			}
+			for name, svg := range svgs {
+				path := filepath.Join(*svgDir, "fig12-"+name+".svg")
+				if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("(SVG written to %s)\n", path)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cholrepro:", err)
+	os.Exit(1)
+}

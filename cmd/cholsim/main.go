@@ -1,0 +1,136 @@
+// Command cholsim runs one tiled-Cholesky scheduling simulation and reports
+// the achieved performance against the mixed bound, optionally rendering the
+// execution trace.
+//
+// Usage:
+//
+//	cholsim -tiles 16 -platform mirage -sched dmdas
+//	cholsim -tiles 8 -platform mirage-nocomm -sched trsm-cpu:6 -trace ascii
+//	cholsim -tiles 4 -platform mirage-nocomm -cp -cp-budget 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/simulator"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		tiles    = flag.Int("tiles", 8, "matrix size in tiles of 960")
+		algo     = flag.String("algo", "cholesky", "cholesky | lu | qr (lu/qr use the extended Mirage model)")
+		platName = flag.String("platform", "mirage", "mirage | mirage-nocomm | homogeneous:N | related:K (cholesky only; lu/qr pick automatically)")
+		platFile = flag.String("platform-file", "", "JSON platform description (overrides -platform)")
+		schedNm  = flag.String("sched", "dmdas", "random | greedy | dmda | dmdas | dmda-nocomm | trsm-cpu:K | gemm-syrk-gpu")
+		seed     = flag.Int64("seed", 42, "RNG seed")
+		overhead = flag.Bool("overhead", false, "apply the runtime-overhead + jitter model (actual-mode substitute)")
+		traceFmt = flag.String("trace", "", "render the execution trace: ascii | svg | chrome (Trace Event JSON) | paje (ViTE)")
+		explain  = flag.Bool("explain", false, "compare the schedule's per-class kernel placement with the mixed bound's LP optimum")
+		cp       = flag.Bool("cp", false, "also search a CP-style optimized static schedule and inject it")
+		cpBudget = flag.Int("cp-budget", 100000, "CP search node budget")
+	)
+	flag.Parse()
+
+	var p *platform.Platform
+	var err error
+	switch {
+	case *platFile != "":
+		p, err = platform.LoadFile(*platFile)
+	case *algo == "cholesky":
+		p, err = core.PlatformByName(*platName)
+	default:
+		p, err = core.PlatformForAlgorithm(*algo, *platName == "mirage-nocomm")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	s, err := core.SchedulerByName(*schedNm)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := core.DAGByAlgorithm(*algo, *tiles)
+	if err != nil {
+		fatal(err)
+	}
+	fl, err := core.FlopsByAlgorithm(*algo, *tiles*platform.TileNB)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := core.SimulateDAG(d, fl, p, s, simulator.Options{Seed: *seed, Overhead: *overhead})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("algo=%s platform=%s sched=%s tiles=%d (N=%d)\n",
+		*algo, p.Name, rep.Scheduler, *tiles, *tiles*platform.TileNB)
+	fmt.Printf("makespan      %.6f s\n", rep.MakespanSec)
+	fmt.Printf("performance   %.2f GFLOP/s\n", rep.GFlops)
+	fmt.Printf("mixed bound   %.2f GFLOP/s\n", rep.BoundGFlops)
+	fmt.Printf("efficiency    %.1f %% of the bound\n", 100*rep.Efficiency)
+	fmt.Printf("transfers     %d hops, %.4f s cumulative\n", rep.Result.TransferCount, rep.Result.TransferSec)
+
+	if *explain {
+		ex, err := bounds.Explain(d, p, rep.Result.Worker, rep.Result.BusySec, rep.Result.MakespanSec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(ex.Render())
+		dev := ex.BiggestDeviation()
+		fmt.Printf("largest deviation: %s %v (scheduled %d vs LP %.1f) — candidate for a static hint\n",
+			dev.Class, dev.Kind, dev.Scheduled, dev.LPOptimal)
+	}
+
+	if *traceFmt != "" {
+		var labels []string
+		for _, c := range p.Classes {
+			for i := 0; i < c.Count; i++ {
+				labels = append(labels, fmt.Sprintf("%s%d", c.Name, i))
+			}
+		}
+		g := trace.FromSimulation(d, p.Workers(), labels, rep.Result)
+		switch *traceFmt {
+		case "ascii":
+			fmt.Println()
+			fmt.Print(g.ASCII(100, nil))
+		case "svg":
+			fmt.Print(g.SVG(1200, 22))
+		case "chrome":
+			data, err := g.ChromeTrace()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(data))
+		case "paje":
+			fmt.Print(g.Paje())
+		default:
+			fatal(fmt.Errorf("unknown trace format %q (ascii | svg | chrome | paje)", *traceFmt))
+		}
+	}
+
+	if *cp {
+		r, err := core.OptimizeDAG(d, p, *cpBudget)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nCP search: %d nodes, exhausted=%v\n", r.Nodes, r.Exhausted)
+		inj, err := core.SimulateDAG(d, fl, p, r.Schedule.Scheduler("cp-inject"), simulator.Options{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("CP model makespan   %.6f s (%.2f GFLOP/s)\n",
+			r.Makespan, platform.GFlops(fl, r.Makespan))
+		fmt.Printf("CP injected in sim  %.6f s (%.2f GFLOP/s, %.1f %% of bound)\n",
+			inj.MakespanSec, inj.GFlops, 100*inj.Efficiency)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cholsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command choltune sweeps the tile size for a given matrix dimension on a
+// platform model and reports the best nb — the automated version of the
+// calibration behind the paper's fixed nb = 960 ("From previous work we are
+// getting maximum performance ... with tile size equal to 960").
+//
+// Usage:
+//
+//	choltune -n 15360
+//	choltune -n 23040 -candidates 240,480,960,1920
+//	choltune -n 15360 -platform-file mynode.json -ref-nb 960
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/autotune"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 15360, "matrix dimension")
+		cands    = flag.String("candidates", "", "comma-separated tile sizes (default: divisors-based set)")
+		platFile = flag.String("platform-file", "", "JSON platform description (default: Mirage)")
+		refNB    = flag.Int("ref-nb", platform.TileNB, "tile size the platform model was calibrated at")
+		seed     = flag.Int64("seed", 42, "jitter seed")
+	)
+	flag.Parse()
+
+	p := platform.Mirage()
+	if *platFile != "" {
+		loaded, err := platform.LoadFile(*platFile)
+		if err != nil {
+			fatal(err)
+		}
+		p = loaded
+	}
+
+	var candidates []int
+	if *cands != "" {
+		for _, s := range strings.Split(*cands, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad candidate %q", s))
+			}
+			candidates = append(candidates, v)
+		}
+	} else {
+		candidates = autotune.Divisors(*n, *n/64, *n/2)
+		candidates = append(candidates, *n)
+	}
+
+	points, err := autotune.Sweep(*n, candidates, p, *refNB, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("tile-size sweep for N=%d on %s (dmdas, overhead model):\n\n", *n, p.Name)
+	fmt.Printf("%8s %8s %12s %12s\n", "nb", "tiles", "GFLOP/s", "makespan(s)")
+	best := autotune.Best(points)
+	for _, pt := range points {
+		marker := ""
+		if pt.NB == best.NB {
+			marker = "   <- best"
+		}
+		fmt.Printf("%8d %8d %12.1f %12.4f%s\n", pt.NB, pt.Tiles, pt.GFlops, pt.Makespan, marker)
+	}
+	fmt.Printf("\nbest tile size: nb=%d (%.1f GFLOP/s)\n", best.NB, best.GFlops)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "choltune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Realfactor: solve a PDE-style linear system end to end with the parallel
+// runtime — the paper intro's motivating workload ("systems often arise in
+// physics applications ... where A is positive-definite due to the nature of
+// the modeled physical phenomenon").
+//
+// We build the 2-D Laplacian of a k×k grid, factorize A = L·Lᵀ in parallel,
+// then solve A·x = b by the two triangular solves L·y = b, Lᵀ·x = y, and
+// check the residual of the solve — the complete pipeline the factorization
+// exists for.
+//
+// Run with:  go run ./examples/realfactor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/runtime"
+)
+
+func main() {
+	const grid = 20 // 20×20 grid ⇒ N = 400
+	a := matrix.Laplacian2D(grid)
+	n := a.N
+	fmt.Printf("2-D Laplacian on a %d×%d grid: N = %d\n", grid, grid, n)
+
+	// A known solution ⇒ right-hand side b = A·x*.
+	xstar := make([]float64, n)
+	for i := range xstar {
+		xstar[i] = math.Sin(float64(i) * 0.1)
+	}
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * xstar[j]
+		}
+		b[i] = s
+	}
+
+	// Parallel tiled factorization (nb = 40 ⇒ 10×10 tiles, 220 tasks).
+	tl, err := matrix.FromDense(a, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := runtime.Factor(tl, runtime.Options{Policy: runtime.Priority})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("factorized in %.4f s with %d tasks, residual %.2e\n",
+		res.Seconds, len(res.Start), matrix.CholeskyResidual(a, tl.ToDense()))
+
+	// Parallel tiled triangular solves (their own task DAGs: TRSV + GEMV).
+	x, err := runtime.Solve(tl, b, runtime.Options{Policy: runtime.Priority})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify against the known solution.
+	maxErr := 0.0
+	for i := range x {
+		if e := math.Abs(x[i] - xstar[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("solve max|x − x*| = %.2e\n", maxErr)
+	if maxErr > 1e-8 {
+		log.Fatal("solution inaccurate")
+	}
+	fmt.Println("A·x = b solved correctly via parallel Cholesky")
+}

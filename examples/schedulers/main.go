@@ -1,0 +1,66 @@
+// Schedulers: compare every scheduling policy on the paper's machine model
+// across matrix sizes — a compact version of Figures 5/7 including the
+// extra policies (greedy, dmda-nocomm) and the static hint.
+//
+// Run with:  go run ./examples/schedulers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bounds"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+func main() {
+	p := platform.WithoutCommunication(platform.Mirage())
+	sizes := []int{4, 8, 16, 24, 32}
+
+	policies := []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.NewRandom() },
+		func() sched.Scheduler { return sched.NewGreedy() },
+		func() sched.Scheduler { return sched.NewDMDA() },
+		func() sched.Scheduler { return sched.NewDMDAS() },
+		func() sched.Scheduler { return sched.NewTriangleTRSM(7) },
+	}
+
+	fmt.Printf("%-22s", "GFLOP/s")
+	for _, n := range sizes {
+		fmt.Printf(" %8d", n)
+	}
+	fmt.Println(" (tiles)")
+
+	for _, mk := range policies {
+		name := mk().Name()
+		fmt.Printf("%-22s", name)
+		for _, n := range sizes {
+			d := graph.Cholesky(n)
+			r, err := simulator.Run(d, p, mk(), simulator.Options{Seed: 42})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %8.1f", r.GFlops(kernels.CholeskyFlops(n*platform.TileNB)))
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("%-22s", "mixed bound")
+	for _, n := range sizes {
+		m, err := bounds.MixedInt(graph.Cholesky(n), p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf(" %8.1f", m.GFlops(kernels.CholeskyFlops(n*platform.TileNB)))
+	}
+	fmt.Println()
+	fmt.Printf("%-22s", "gemm peak")
+	for range sizes {
+		fmt.Printf(" %8.1f", p.GemmPeakGFlops(kernels.GemmFlops(platform.TileNB)))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,127 @@
+// Package autotune searches for the best tile size nb for a matrix of size
+// N on a modelled platform — the knob the paper fixes to 960 because
+// "previous work" (Agullo et al., GPU Computing Gems'10; IPDPS'11) found it
+// optimal on Mirage. The trade-off it automates:
+//
+//   - large tiles: efficient kernels and little runtime overhead, but few
+//     tasks, so the heterogeneous machine starves for parallelism;
+//   - small tiles: abundant parallelism, but per-task runtime overhead and
+//     lower kernel efficiency dominate.
+//
+// The model scales per-kernel times from a reference calibration at nb₀
+// by the flop ratio, damped by an efficiency factor for small tiles
+// (kernels below ≈256 run at reduced sustained throughput, as on real
+// BLAS), and charges the platform's per-task overhead in simulation.
+package autotune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+// Efficiency models the sustained-throughput penalty of small tiles: full
+// efficiency at and above refNB, dropping smoothly below (a tile of 1/4 the
+// reference size runs at ≈70 % efficiency, matching typical BLAS curves).
+func Efficiency(nb, refNB int) float64 {
+	if nb >= refNB {
+		return 1
+	}
+	r := float64(nb) / float64(refNB)
+	return 0.55 + 0.45*math.Sqrt(r)
+}
+
+// ScalePlatform derives a platform model for tile size nb from a reference
+// model calibrated at refNB: each kernel time is scaled by its flop ratio
+// divided by the efficiency factor; tile bytes shrink quadratically.
+func ScalePlatform(ref *platform.Platform, refNB, nb int) *platform.Platform {
+	p := ref.Clone()
+	p.Name = fmt.Sprintf("%s-nb%d", ref.Name, nb)
+	eff := Efficiency(nb, refNB)
+	ratio := map[graph.Kind]float64{
+		graph.POTRF: kernels.PotrfFlops(nb) / kernels.PotrfFlops(refNB),
+		graph.TRSM:  kernels.TrsmFlops(nb) / kernels.TrsmFlops(refNB),
+		graph.SYRK:  kernels.SyrkFlops(nb) / kernels.SyrkFlops(refNB),
+		graph.GEMM:  kernels.GemmFlops(nb) / kernels.GemmFlops(refNB),
+	}
+	for ci := range p.Classes {
+		times := map[graph.Kind]float64{}
+		for k, t := range p.Classes[ci].Times {
+			r, ok := ratio[k]
+			if !ok {
+				continue // non-Cholesky kernels are not retuned
+			}
+			times[k] = t * r / eff
+		}
+		p.Classes[ci].Times = times
+	}
+	p.TileBytes = float64(nb) * float64(nb) * 8
+	return p
+}
+
+// Point is one sweep sample.
+type Point struct {
+	NB       int
+	Tiles    int // matrix partitioned into Tiles×Tiles
+	GFlops   float64
+	Makespan float64
+}
+
+// Sweep simulates the Cholesky factorization of an N×N matrix for each
+// candidate tile size (N must be divisible by each) under dmdas with the
+// runtime-overhead model on, and returns the samples sorted by nb.
+func Sweep(n int, candidates []int, ref *platform.Platform, refNB int, seed int64) ([]Point, error) {
+	var out []Point
+	for _, nb := range candidates {
+		if nb <= 0 || n%nb != 0 {
+			continue
+		}
+		tiles := n / nb
+		p := ScalePlatform(ref, refNB, nb)
+		d := graph.Cholesky(tiles)
+		r, err := simulator.Run(d, p, sched.NewDMDAS(),
+			simulator.Options{Seed: seed, Overhead: true})
+		if err != nil {
+			return nil, fmt.Errorf("autotune nb=%d: %w", nb, err)
+		}
+		out = append(out, Point{
+			NB:       nb,
+			Tiles:    tiles,
+			GFlops:   platform.GFlops(kernels.CholeskyFlops(n), r.MakespanSec),
+			Makespan: r.MakespanSec,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("autotune: no candidate tile size divides N=%d", n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].NB < out[j].NB })
+	return out, nil
+}
+
+// Best returns the highest-GFLOP/s sample of a sweep.
+func Best(points []Point) Point {
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.GFlops > best.GFlops {
+			best = p
+		}
+	}
+	return best
+}
+
+// Divisors returns the divisors of n within [lo, hi] — candidate tile sizes.
+func Divisors(n, lo, hi int) []int {
+	var out []int
+	for d := lo; d <= hi && d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package autotune
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+func TestEfficiencyShape(t *testing.T) {
+	if Efficiency(960, 960) != 1 || Efficiency(2000, 960) != 1 {
+		t.Fatal("efficiency above reference must be 1")
+	}
+	if e := Efficiency(240, 960); e <= 0.5 || e >= 1 {
+		t.Fatalf("quarter-size efficiency %g out of band", e)
+	}
+	// Monotone in nb.
+	prev := 0.0
+	for nb := 60; nb <= 960; nb += 60 {
+		e := Efficiency(nb, 960)
+		if e < prev {
+			t.Fatalf("efficiency not monotone at nb=%d", nb)
+		}
+		prev = e
+	}
+}
+
+func TestScalePlatformReferenceIdentity(t *testing.T) {
+	ref := platform.Mirage()
+	p := ScalePlatform(ref, platform.TileNB, platform.TileNB)
+	for _, k := range graph.CholeskyKinds {
+		for c := 0; c <= 1; c++ {
+			if math.Abs(p.Time(c, k)-ref.Time(c, k)) > 1e-15 {
+				t.Fatalf("identity scaling changed %v", k)
+			}
+		}
+	}
+	if p.TileBytes != ref.TileBytes {
+		t.Fatal("tile bytes changed")
+	}
+}
+
+func TestScalePlatformSmallerTilesFasterKernels(t *testing.T) {
+	ref := platform.Mirage()
+	p := ScalePlatform(ref, platform.TileNB, 480)
+	for _, k := range graph.CholeskyKinds {
+		if p.Time(1, k) >= ref.Time(1, k) {
+			t.Fatalf("%v at nb=480 not faster than at 960", k)
+		}
+	}
+	// GEMM scales by ≈ (1/2)³ / eff: between 8× and 5× faster.
+	r := ref.Time(1, graph.GEMM) / p.Time(1, graph.GEMM)
+	if r < 5 || r > 8 {
+		t.Fatalf("GEMM scaling ratio %g out of band", r)
+	}
+}
+
+func TestSweepFindsInteriorOptimum(t *testing.T) {
+	// N = 7680: candidates from very small (overhead-dominated) to one huge
+	// tile (no parallelism). The optimum must be interior — neither extreme.
+	ref := platform.Mirage()
+	pts, err := Sweep(7680, []int{120, 240, 480, 960, 1920, 3840, 7680}, ref, platform.TileNB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 7 {
+		t.Fatalf("%d points", len(pts))
+	}
+	best := Best(pts)
+	if best.NB == 120 || best.NB == 7680 {
+		t.Fatalf("optimum at extreme nb=%d", best.NB)
+	}
+	// One giant tile = serial execution on the fastest unit: worst or near it.
+	var nb7680 Point
+	for _, p := range pts {
+		if p.NB == 7680 {
+			nb7680 = p
+		}
+	}
+	if nb7680.GFlops >= best.GFlops {
+		t.Fatal("serial single tile cannot be optimal")
+	}
+}
+
+func TestSweepRejectsNoDivisors(t *testing.T) {
+	if _, err := Sweep(1000, []int{7, 13}, platform.Mirage(), platform.TileNB, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	d := Divisors(960, 100, 500)
+	want := []int{120, 160, 192, 240, 320, 480}
+	if len(d) != len(want) {
+		t.Fatalf("divisors %v", d)
+	}
+	for i, v := range want {
+		if d[i] != v {
+			t.Fatalf("divisors %v, want %v", d, want)
+		}
+	}
+}

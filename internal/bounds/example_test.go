@@ -1,0 +1,40 @@
+package bounds_test
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+)
+
+// Compute the paper's four bounds for a 16×16-tile Cholesky on Mirage
+// (Figure 2's rightmost region).
+func ExampleCompute() {
+	all, err := bounds.Compute(16, platform.TileNB, platform.Mirage())
+	if err != nil {
+		panic(err)
+	}
+	f := kernels.CholeskyFlops(16 * platform.TileNB)
+	fmt.Printf("area   %.0f GFLOP/s\n", all.Area.GFlops(f))
+	fmt.Printf("mixed  %.0f GFLOP/s\n", all.Mixed.GFlops(f))
+	fmt.Printf("peak   %.0f GFLOP/s\n", all.GemmPeak.GFlops(f))
+	// Output:
+	// area   917 GFLOP/s
+	// mixed  917 GFLOP/s
+	// peak   960 GFLOP/s
+}
+
+// The mixed bound strictly tightens the area bound at small sizes, because
+// the POTRF chain forces sequential work the area relaxation ignores.
+func ExampleMixedInt() {
+	d := graph.Cholesky(4)
+	p := platform.Mirage()
+	area, _ := bounds.AreaInt(d, p)
+	mixed, _ := bounds.MixedInt(d, p)
+	fmt.Printf("mixed/area makespan ratio > 4: %v\n",
+		mixed.MakespanSec/area.MakespanSec > 4)
+	// Output:
+	// mixed/area makespan ratio > 4: true
+}

@@ -1,0 +1,130 @@
+package bounds
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// Explain compares an executed schedule against the mixed bound's optimal
+// LP assignment — the diagnostic behind the paper's Section V-C3 analysis
+// ("We also analyzed the solution of the mixed bound and noticed that a
+// significant portion of the TRSM kernels were mapped onto CPUs. Analyzing
+// traces ... reveals that both policies allocate very few TRSMs on CPUs").
+//
+// For each resource class and kernel kind it reports how many tasks the
+// schedule placed there versus how many the bound's witness would, plus the
+// per-class busy fractions. Large deviations point at the static hints
+// worth injecting.
+
+// ClassKindCell is one (class, kind) comparison entry.
+type ClassKindCell struct {
+	Class     string
+	Kind      graph.Kind
+	Scheduled int     // tasks the schedule ran on this class
+	LPOptimal float64 // tasks the mixed bound's witness assigns here
+}
+
+// Explanation is the full schedule-vs-bound comparison.
+type Explanation struct {
+	MakespanSec   float64
+	BoundSec      float64
+	EfficiencyPct float64
+	Cells         []ClassKindCell
+	BusyFrac      []float64 // per class: mean worker busy fraction
+}
+
+// Explain builds the comparison from an execution record: worker[id] is the
+// worker each task ran on, busySec the per-worker busy time, makespan the
+// schedule length (the fields any simulator or runtime result carries).
+func Explain(d *graph.DAG, p *platform.Platform, worker []int, busySec []float64, makespan float64) (*Explanation, error) {
+	if len(worker) != len(d.Tasks) {
+		return nil, fmt.Errorf("bounds: worker array covers %d tasks, DAG has %d", len(worker), len(d.Tasks))
+	}
+	m, err := MixedInt(d, p)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explanation{
+		MakespanSec: makespan,
+		BoundSec:    m.MakespanSec,
+	}
+	if makespan > 0 {
+		ex.EfficiencyPct = 100 * m.MakespanSec / makespan
+	}
+	// Scheduled counts per (class, kind).
+	counts := map[int]map[graph.Kind]int{}
+	for _, t := range d.Tasks {
+		cls := p.WorkerClass(worker[t.ID])
+		if counts[cls] == nil {
+			counts[cls] = map[graph.Kind]int{}
+		}
+		counts[cls][t.Kind]++
+	}
+	kinds := d.Kinds()
+	for cls := range p.Classes {
+		for _, k := range kinds {
+			ex.Cells = append(ex.Cells, ClassKindCell{
+				Class:     p.Classes[cls].Name,
+				Kind:      k,
+				Scheduled: counts[cls][k],
+				LPOptimal: m.Assignment[cls][k],
+			})
+		}
+	}
+	sort.Slice(ex.Cells, func(i, j int) bool {
+		if ex.Cells[i].Class != ex.Cells[j].Class {
+			return ex.Cells[i].Class < ex.Cells[j].Class
+		}
+		return ex.Cells[i].Kind < ex.Cells[j].Kind
+	})
+	// Busy fractions per class.
+	ex.BusyFrac = make([]float64, len(p.Classes))
+	for w := 0; w < p.Workers() && w < len(busySec); w++ {
+		cls := p.WorkerClass(w)
+		if makespan > 0 {
+			ex.BusyFrac[cls] += busySec[w] / makespan / float64(p.Classes[cls].Count)
+		}
+	}
+	return ex, nil
+}
+
+// Render formats the explanation as a fixed-width report.
+func (ex *Explanation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.4fs vs mixed bound %.4fs (%.1f%% of bound)\n",
+		ex.MakespanSec, ex.BoundSec, ex.EfficiencyPct)
+	fmt.Fprintf(&b, "%-10s %-8s %10s %12s %10s\n", "class", "kernel", "scheduled", "LP-optimal", "delta")
+	for _, c := range ex.Cells {
+		delta := float64(c.Scheduled) - c.LPOptimal
+		mark := ""
+		if delta > 0.5 || delta < -0.5 {
+			mark = "  <-"
+		}
+		fmt.Fprintf(&b, "%-10s %-8s %10d %12.1f %+10.1f%s\n",
+			c.Class, c.Kind, c.Scheduled, c.LPOptimal, delta, mark)
+	}
+	for i, f := range ex.BusyFrac {
+		fmt.Fprintf(&b, "class %d busy fraction: %.1f%%\n", i, 100*f)
+	}
+	return b.String()
+}
+
+// BiggestDeviation returns the (class, kind) cell whose scheduled count
+// differs most from the LP optimum — the first place to look for a hint.
+func (ex *Explanation) BiggestDeviation() ClassKindCell {
+	best, bd := ClassKindCell{}, -1.0
+	for _, c := range ex.Cells {
+		d := float64(c.Scheduled) - c.LPOptimal
+		if d < 0 {
+			d = -d
+		}
+		if d > bd {
+			bd, best = d, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,82 @@
+package bounds
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+func TestExplainReproducesPaperTRSMObservation(t *testing.T) {
+	// The paper's §V-C3: the mixed bound maps a significant share of TRSMs
+	// to CPUs while dmdas allocates very few there. Explain must surface
+	// exactly that deviation on a medium matrix.
+	p := platform.WithoutCommunication(platform.Mirage())
+	d := graph.Cholesky(12)
+	r, err := simulator.Run(d, p, sched.NewDMDAS(), simulator.Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Explain(d, p, r.Worker, r.BusySec, r.MakespanSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpuTrsm ClassKindCell
+	for _, c := range ex.Cells {
+		if c.Class == "cpu" && c.Kind == graph.TRSM {
+			cpuTrsm = c
+		}
+	}
+	if cpuTrsm.LPOptimal <= float64(cpuTrsm.Scheduled) {
+		t.Fatalf("expected the LP to want more TRSMs on CPUs: scheduled %d, LP %g",
+			cpuTrsm.Scheduled, cpuTrsm.LPOptimal)
+	}
+	// Task conservation per kind across classes.
+	counts := d.CountByKind()
+	for _, k := range d.Kinds() {
+		sched, lp := 0, 0.0
+		for _, c := range ex.Cells {
+			if c.Kind == k {
+				sched += c.Scheduled
+				lp += c.LPOptimal
+			}
+		}
+		if sched != counts[k] || int(lp+0.5) != counts[k] {
+			t.Fatalf("%v: scheduled %d, LP %g, want %d", k, sched, lp, counts[k])
+		}
+	}
+	if ex.EfficiencyPct <= 0 || ex.EfficiencyPct > 100+1e-9 {
+		t.Fatalf("efficiency %g", ex.EfficiencyPct)
+	}
+	for _, f := range ex.BusyFrac {
+		if f < 0 || f > 1+1e-9 {
+			t.Fatalf("busy fraction %g", f)
+		}
+	}
+}
+
+func TestExplainRenderAndDeviation(t *testing.T) {
+	p := platform.WithoutCommunication(platform.Mirage())
+	d := graph.Cholesky(8)
+	r, err := simulator.Run(d, p, sched.NewDMDAS(), simulator.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Explain(d, p, r.Worker, r.BusySec, r.MakespanSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ex.Render()
+	for _, want := range []string{"mixed bound", "LP-optimal", "busy fraction", "TRSM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	dev := ex.BiggestDeviation()
+	if dev.Class == "" {
+		t.Fatal("no deviation found")
+	}
+}

@@ -1,0 +1,165 @@
+// Package check produces and verifies machine-checkable *result
+// certificates*: a JSON document recording an executed schedule together
+// with the lower bounds it was measured against, re-verifiable later
+// without trusting the producer. This serves the paper's reproducibility
+// agenda (the whole point of its SimGrid methodology): an archived
+// experiment can be re-checked — schedule validity, makespan arithmetic,
+// and bound soundness — from the certificate alone plus the deterministic
+// DAG builder and platform model.
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bounds"
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/simulator"
+)
+
+// Certificate is a self-contained, re-verifiable experiment record.
+type Certificate struct {
+	Algorithm string `json:"algorithm"`
+	Tiles     int    `json:"tiles"`
+	Tasks     int    `json:"tasks"`
+
+	MakespanSec     float64 `json:"makespan_sec"`
+	AreaBoundSec    float64 `json:"area_bound_sec"`
+	MixedBoundSec   float64 `json:"mixed_bound_sec"`
+	CriticalPathSec float64 `json:"critical_path_sec"`
+
+	Worker []int     `json:"worker"`
+	Start  []float64 `json:"start"`
+	End    []float64 `json:"end"`
+}
+
+// New builds a certificate from a simulation result, computing the bounds
+// it must respect.
+func New(d *graph.DAG, p *platform.Platform, r *simulator.Result) (*Certificate, error) {
+	if err := simulator.Validate(d, p, r); err != nil {
+		return nil, fmt.Errorf("check: refusing to certify an invalid schedule: %w", err)
+	}
+	area, err := bounds.AreaInt(d, p)
+	if err != nil {
+		return nil, err
+	}
+	mixed, err := bounds.MixedInt(d, p)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := bounds.CriticalPath(d, p)
+	if err != nil {
+		return nil, err
+	}
+	c := &Certificate{
+		Algorithm:       d.Algorithm,
+		Tiles:           d.P,
+		Tasks:           len(d.Tasks),
+		MakespanSec:     r.MakespanSec,
+		AreaBoundSec:    area.MakespanSec,
+		MixedBoundSec:   mixed.MakespanSec,
+		CriticalPathSec: cp.MakespanSec,
+		Worker:          append([]int{}, r.Worker...),
+		Start:           append([]float64{}, r.Start...),
+		End:             append([]float64{}, r.End...),
+	}
+	return c, nil
+}
+
+// Verify re-checks the certificate against the (re-built) DAG and platform:
+// schedule structure, makespan arithmetic, and bound soundness — including
+// recomputing the bounds so a tampered bound field cannot pass.
+func (c *Certificate) Verify(d *graph.DAG, p *platform.Platform) error {
+	if c.Tasks != len(d.Tasks) || c.Tiles != d.P || c.Algorithm != d.Algorithm {
+		return fmt.Errorf("check: certificate does not describe this DAG")
+	}
+	if len(c.Worker) != c.Tasks || len(c.Start) != c.Tasks || len(c.End) != c.Tasks {
+		return fmt.Errorf("check: schedule arrays incomplete")
+	}
+	// Structural validity: capability, dependencies, per-worker overlap.
+	perWorker := map[int][][2]float64{}
+	maxEnd := 0.0
+	for _, t := range d.Tasks {
+		id := t.ID
+		w := c.Worker[id]
+		if w < 0 || w >= p.Workers() {
+			return fmt.Errorf("check: task %d on invalid worker %d", id, w)
+		}
+		if math.IsInf(p.Time(p.WorkerClass(w), t.Kind), 1) {
+			return fmt.Errorf("check: task %d on incapable worker %d", id, w)
+		}
+		if c.End[id] < c.Start[id] {
+			return fmt.Errorf("check: task %d ends before it starts", id)
+		}
+		for _, pr := range t.Pred {
+			if c.Start[id] < c.End[pr]-1e-9 {
+				return fmt.Errorf("check: dependency %d→%d violated", pr, id)
+			}
+		}
+		perWorker[w] = append(perWorker[w], [2]float64{c.Start[id], c.End[id]})
+		if c.End[id] > maxEnd {
+			maxEnd = c.End[id]
+		}
+	}
+	for w, ivs := range perWorker {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i][0] < ivs[i-1][1]-1e-9 {
+				return fmt.Errorf("check: overlap on worker %d", w)
+			}
+		}
+	}
+	// Makespan arithmetic.
+	if math.Abs(maxEnd-c.MakespanSec) > 1e-9 {
+		return fmt.Errorf("check: makespan %g does not match max end %g", c.MakespanSec, maxEnd)
+	}
+	// Bound soundness, with the bounds recomputed independently.
+	area, err := bounds.AreaInt(d, p)
+	if err != nil {
+		return err
+	}
+	mixed, err := bounds.MixedInt(d, p)
+	if err != nil {
+		return err
+	}
+	cp, err := bounds.CriticalPath(d, p)
+	if err != nil {
+		return err
+	}
+	for _, pair := range []struct {
+		name     string
+		claimed  float64
+		computed float64
+	}{
+		{"area", c.AreaBoundSec, area.MakespanSec},
+		{"mixed", c.MixedBoundSec, mixed.MakespanSec},
+		{"critical-path", c.CriticalPathSec, cp.MakespanSec},
+	} {
+		if math.Abs(pair.claimed-pair.computed) > 1e-9*(1+pair.computed) {
+			return fmt.Errorf("check: %s bound %g does not recompute (%g)",
+				pair.name, pair.claimed, pair.computed)
+		}
+		if c.MakespanSec < pair.computed-1e-9 {
+			return fmt.Errorf("check: makespan %g beats the %s bound %g — impossible schedule",
+				c.MakespanSec, pair.name, pair.computed)
+		}
+	}
+	return nil
+}
+
+// Marshal serializes the certificate as indented JSON.
+func (c *Certificate) Marshal() ([]byte, error) {
+	return json.MarshalIndent(c, "", " ")
+}
+
+// Unmarshal parses a certificate document.
+func Unmarshal(data []byte) (*Certificate, error) {
+	c := &Certificate{}
+	if err := json.Unmarshal(data, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,97 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+func certify(t *testing.T, n int) (*Certificate, *graph.DAG, *platform.Platform) {
+	t.Helper()
+	p := platform.WithoutCommunication(platform.Mirage())
+	d := graph.Cholesky(n)
+	r, err := simulator.Run(d, p, sched.NewDMDAS(), simulator.Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(d, p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d, p
+}
+
+func TestCertificateRoundTripVerifies(t *testing.T) {
+	c, d, p := certify(t, 8)
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(d, p); err != nil {
+		t.Fatalf("round-tripped certificate failed verification: %v", err)
+	}
+}
+
+func TestTamperedMakespanDetected(t *testing.T) {
+	c, d, p := certify(t, 6)
+	c.MakespanSec *= 0.5 // claim an impossibly fast run
+	if err := c.Verify(d, p); err == nil {
+		t.Fatal("halved makespan passed verification")
+	}
+}
+
+func TestTamperedBoundDetected(t *testing.T) {
+	c, d, p := certify(t, 6)
+	c.MixedBoundSec *= 0.5 // loosen the claimed bound
+	if err := c.Verify(d, p); err == nil {
+		t.Fatal("tampered bound passed verification (bounds must be recomputed)")
+	}
+}
+
+func TestTamperedScheduleDetected(t *testing.T) {
+	c, d, p := certify(t, 6)
+	// Move a task earlier than its predecessor allows.
+	for _, tk := range d.Tasks {
+		if len(tk.Pred) > 0 {
+			c.Start[tk.ID] = 0
+			break
+		}
+	}
+	if err := c.Verify(d, p); err == nil {
+		t.Fatal("dependency-violating schedule passed verification")
+	}
+}
+
+func TestWrongDAGDetected(t *testing.T) {
+	c, _, p := certify(t, 6)
+	other := graph.Cholesky(7)
+	if err := c.Verify(other, p); err == nil {
+		t.Fatal("certificate verified against the wrong DAG")
+	}
+}
+
+func TestRefusesInvalidResult(t *testing.T) {
+	p := platform.WithoutCommunication(platform.Mirage())
+	d := graph.Cholesky(4)
+	r, err := simulator.Run(d, p, sched.NewDMDAS(), simulator.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Worker[0] = -1
+	if _, err := New(d, p, r); err == nil {
+		t.Fatal("certified an invalid result")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

@@ -1,0 +1,181 @@
+// Package core is the library façade: the high-level entry points a
+// downstream user calls to (a) factorize real matrices with the parallel
+// runtime, (b) simulate tiled Cholesky schedules on modelled heterogeneous
+// platforms, (c) compute the paper's makespan bounds, and (d) regenerate
+// the paper's tables and figures.
+//
+// It wires together the substrates (matrix/kernels/graph/platform/lp) and
+// the study layers (bounds/sched/simulator/cpsolve/runtime/experiments)
+// behind a small, stable surface. Everything it returns comes from those
+// packages, which remain importable directly for fine-grained control.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/cpsolve"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+// Factorize computes the Cholesky factor L of a symmetric positive-definite
+// matrix in parallel with the task runtime (nb = tile size, workers ≤ 0 =
+// GOMAXPROCS) and returns L together with the relative residual
+// ‖A − L·Lᵀ‖_F / ‖A‖_F.
+func Factorize(a *matrix.Dense, nb, workers int) (*matrix.Dense, float64, error) {
+	tl, err := matrix.FromDense(a, nb)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := runtime.Factor(tl, runtime.Options{Workers: workers, Policy: runtime.Priority}); err != nil {
+		return nil, 0, err
+	}
+	l := tl.ToDense()
+	return l, matrix.CholeskyResidual(a, l), nil
+}
+
+// PlatformByName builds one of the named platform models:
+//
+//	"mirage"            — the paper's machine (9 CPUs + 3 GPUs, PCI model)
+//	"mirage-nocomm"     — same, data transfers removed
+//	"homogeneous:N"     — N CPU cores
+//	"related:K"         — Mirage with a uniform GPU speedup K
+func PlatformByName(name string) (*platform.Platform, error) {
+	switch {
+	case name == "mirage":
+		return platform.Mirage(), nil
+	case name == "mirage-nocomm":
+		return platform.WithoutCommunication(platform.Mirage()), nil
+	case strings.HasPrefix(name, "homogeneous:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "homogeneous:"))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("core: bad homogeneous worker count in %q", name)
+		}
+		return platform.Homogeneous(n), nil
+	case strings.HasPrefix(name, "related:"):
+		k, err := strconv.ParseFloat(strings.TrimPrefix(name, "related:"), 64)
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("core: bad acceleration factor in %q", name)
+		}
+		return platform.Related(platform.Mirage(), k), nil
+	default:
+		return nil, fmt.Errorf("core: unknown platform %q (mirage, mirage-nocomm, homogeneous:N, related:K)", name)
+	}
+}
+
+// SchedulerByName builds one of the named scheduling policies:
+//
+//	"random", "greedy", "dmda", "dmdas", "dmdar", "dmda-nocomm",
+//	"trsm-cpu:K"       — dmdas + the triangle hint with threshold K
+//	"gemm-syrk-gpu"    — dmdas + GEMM/SYRK forced on GPUs
+func SchedulerByName(name string) (sched.Scheduler, error) {
+	switch {
+	case name == "random":
+		return sched.NewRandom(), nil
+	case name == "greedy":
+		return sched.NewGreedy(), nil
+	case name == "dmda":
+		return sched.NewDMDA(), nil
+	case name == "dmdas":
+		return sched.NewDMDAS(), nil
+	case name == "dmdar":
+		return sched.NewDMDAR(), nil
+	case name == "dmda-nocomm":
+		return sched.NewDMDANoComm(), nil
+	case strings.HasPrefix(name, "trsm-cpu:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(name, "trsm-cpu:"))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("core: bad triangle threshold in %q", name)
+		}
+		return sched.NewTriangleTRSM(k), nil
+	case name == "gemm-syrk-gpu":
+		return sched.NewDMDASWithHints(name, sched.GemmSyrkOnGPU()), nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %q", name)
+	}
+}
+
+// SimulationReport bundles one simulated run with its bound context.
+type SimulationReport struct {
+	Tiles       int
+	Scheduler   string
+	MakespanSec float64
+	GFlops      float64
+	BoundGFlops float64 // mixed-bound performance ceiling
+	Efficiency  float64 // GFlops / BoundGFlops
+	Result      *simulator.Result
+}
+
+// Simulate runs one tiled-Cholesky simulation and reports performance
+// against the mixed bound.
+func Simulate(nTiles int, p *platform.Platform, s sched.Scheduler, opt simulator.Options) (*SimulationReport, error) {
+	d := graph.Cholesky(nTiles)
+	return SimulateDAG(d, kernels.CholeskyFlops(nTiles*platform.TileNB), p, s, opt)
+}
+
+// SimulateDAG runs one simulation of an arbitrary factorization DAG (see
+// DAGByAlgorithm) and reports performance against the generalized mixed
+// bound, using the given flop total for the GFLOP/s conversion.
+func SimulateDAG(d *graph.DAG, flops float64, p *platform.Platform,
+	s sched.Scheduler, opt simulator.Options) (*SimulationReport, error) {
+
+	r, err := simulator.Run(d, p, s, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := simulator.Validate(d, p, r); err != nil {
+		return nil, fmt.Errorf("core: simulator produced an invalid schedule: %w", err)
+	}
+	m, err := bounds.MixedInt(d, p)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SimulationReport{
+		Tiles:       d.P,
+		Scheduler:   s.Name(),
+		MakespanSec: r.MakespanSec,
+		GFlops:      r.GFlops(flops),
+		BoundGFlops: m.GFlops(flops),
+		Result:      r,
+	}
+	if rep.BoundGFlops > 0 {
+		rep.Efficiency = rep.GFlops / rep.BoundGFlops
+	}
+	return rep, nil
+}
+
+// BoundsFor computes the four Figure-2 bounds for a tile count on a platform.
+func BoundsFor(nTiles int, p *platform.Platform) (bounds.All, error) {
+	return bounds.Compute(nTiles, platform.TileNB, p)
+}
+
+// OptimizeSchedule searches for a near-optimal static schedule of a tiled
+// Cholesky (the CP experiment) and returns it with its model makespan.
+func OptimizeSchedule(nTiles int, p *platform.Platform, nodeBudget int) (*cpsolve.Result, error) {
+	return OptimizeDAG(graph.Cholesky(nTiles), p, nodeBudget)
+}
+
+// OptimizeDAG is OptimizeSchedule for an arbitrary factorization DAG.
+func OptimizeDAG(d *graph.DAG, p *platform.Platform, nodeBudget int) (*cpsolve.Result, error) {
+	return cpsolve.Solve(d, p, cpsolve.Options{NodeBudget: nodeBudget, Beam: 3})
+}
+
+// RunExperiment regenerates one paper artifact by ID (see
+// experiments.Registry for the catalogue).
+func RunExperiment(id string, cfg experiments.Config) (string, error) {
+	r, err := experiments.Find(id)
+	if err != nil {
+		return "", err
+	}
+	text, _, err := r.Run(cfg)
+	return text, err
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/matrix"
+	"repro/internal/simulator"
+)
+
+func TestFactorizeRoundTrip(t *testing.T) {
+	a := matrix.RandSPD(64, 1)
+	l, res, err := Factorize(a, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-12 {
+		t.Fatalf("residual %g", res)
+	}
+	if l.N != 64 {
+		t.Fatal("wrong factor size")
+	}
+}
+
+func TestFactorizeBadTileSize(t *testing.T) {
+	a := matrix.RandSPD(10, 1)
+	if _, _, err := Factorize(a, 3, 2); err == nil {
+		t.Fatal("expected tile-size error")
+	}
+}
+
+func TestPlatformByName(t *testing.T) {
+	for name, workers := range map[string]int{
+		"mirage": 12, "mirage-nocomm": 12, "homogeneous:9": 9, "related:20": 12,
+	} {
+		p, err := PlatformByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Workers() != workers {
+			t.Fatalf("%s: %d workers", name, p.Workers())
+		}
+	}
+	for _, bad := range []string{"nope", "homogeneous:x", "homogeneous:-1", "related:0", "related:x"} {
+		if _, err := PlatformByName(bad); err == nil {
+			t.Fatalf("%s: expected error", bad)
+		}
+	}
+	p, _ := PlatformByName("mirage-nocomm")
+	if p.Bus.Enabled {
+		t.Fatal("nocomm platform has bus enabled")
+	}
+}
+
+func TestSchedulerByName(t *testing.T) {
+	for _, name := range []string{"random", "greedy", "dmda", "dmdas", "dmda-nocomm", "trsm-cpu:6", "gemm-syrk-gpu"} {
+		s, err := SchedulerByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s == nil {
+			t.Fatalf("%s: nil scheduler", name)
+		}
+	}
+	for _, bad := range []string{"nope", "trsm-cpu:x", "trsm-cpu:0"} {
+		if _, err := SchedulerByName(bad); err == nil {
+			t.Fatalf("%s: expected error", bad)
+		}
+	}
+}
+
+func TestSimulateReport(t *testing.T) {
+	p, _ := PlatformByName("mirage-nocomm")
+	s, _ := SchedulerByName("dmdas")
+	rep, err := Simulate(8, p, s, simulator.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GFlops > rep.BoundGFlops*(1+1e-9) {
+		t.Fatal("performance above bound")
+	}
+	if rep.Efficiency <= 0 || rep.Efficiency > 1+1e-9 {
+		t.Fatalf("efficiency %g", rep.Efficiency)
+	}
+	if rep.Scheduler != "dmdas" || rep.Tiles != 8 {
+		t.Fatal("report metadata wrong")
+	}
+}
+
+func TestBoundsFor(t *testing.T) {
+	p, _ := PlatformByName("mirage")
+	all, err := BoundsFor(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Mixed.MakespanSec < all.Area.MakespanSec-1e-12 {
+		t.Fatal("mixed below area")
+	}
+}
+
+func TestOptimizeSchedule(t *testing.T) {
+	p, _ := PlatformByName("mirage-nocomm")
+	r, err := OptimizeSchedule(4, p, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan <= 0 {
+		t.Fatal("bad makespan")
+	}
+	all, _ := BoundsFor(4, p)
+	if r.Makespan < all.Best()-1e-9 {
+		t.Fatal("CP schedule beats a lower bound")
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	cfg := experiments.Quick()
+	cfg.Sizes = []int{2, 4}
+	out, err := RunExperiment("table1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "29") {
+		t.Fatalf("table1 output missing GEMM speedup:\n%s", out)
+	}
+	if _, err := RunExperiment("nope", cfg); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}
+
+func TestFactorizeLaplacian(t *testing.T) {
+	a := matrix.Laplacian2D(6) // 36×36
+	l, res, err := Factorize(a, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-13 {
+		t.Fatalf("residual %g", res)
+	}
+	// L should be lower triangular.
+	for i := 0; i < l.N; i++ {
+		for j := i + 1; j < l.N; j++ {
+			if l.At(i, j) != 0 {
+				t.Fatal("factor not lower triangular")
+			}
+		}
+	}
+}
+
+func TestFactorizeLUAndQR(t *testing.T) {
+	a := matrix.DiagDominant(48, 1)
+	lu, res, err := FactorizeLU(a, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-11 || lu.N != 48 {
+		t.Fatalf("LU residual %g", res)
+	}
+	b := matrix.RandSymmetric(48, 2)
+	r, qres, err := FactorizeQR(b, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qres > 1e-10 || r.N != 48 {
+		t.Fatalf("QR residual %g", qres)
+	}
+	// R is upper triangular.
+	for i := 0; i < r.N; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatal("R not upper triangular")
+			}
+		}
+	}
+	if _, _, err := FactorizeLU(a, 7, 1); err == nil {
+		t.Fatal("expected tile-size error")
+	}
+	if _, _, err := FactorizeQR(b, 7, 1); err == nil {
+		t.Fatal("expected tile-size error")
+	}
+}
+
+func TestDAGFlopsPlatformByAlgorithm(t *testing.T) {
+	for _, alg := range []string{"cholesky", "lu", "qr"} {
+		d, err := DAGByAlgorithm(alg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Algorithm != alg {
+			t.Fatalf("algorithm %q", d.Algorithm)
+		}
+		fl, err := FlopsByAlgorithm(alg, 100)
+		if err != nil || fl <= 0 {
+			t.Fatalf("%s flops: %v %g", alg, err, fl)
+		}
+		p, err := PlatformForAlgorithm(alg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Bus.Enabled {
+			t.Fatal("nocomm flag ignored")
+		}
+		if err := p.Validate(d.Kinds()); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+	if _, err := DAGByAlgorithm("nope", 4); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := FlopsByAlgorithm("nope", 4); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := PlatformForAlgorithm("nope", false); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSimulateDAGLU(t *testing.T) {
+	d, _ := DAGByAlgorithm("lu", 6)
+	fl, _ := FlopsByAlgorithm("lu", 6*960)
+	p, _ := PlatformForAlgorithm("lu", true)
+	s, _ := SchedulerByName("dmdas")
+	rep, err := SimulateDAG(d, fl, p, s, simulator.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GFlops > rep.BoundGFlops*(1+1e-9) {
+		t.Fatal("LU performance above bound")
+	}
+}
+
+func TestOptimizeDAGQR(t *testing.T) {
+	d, _ := DAGByAlgorithm("qr", 3)
+	p, _ := PlatformForAlgorithm("qr", true)
+	r, err := OptimizeDAG(d, p, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Schedule.Validate(d, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSPDEndToEnd(t *testing.T) {
+	a := matrix.RandSPD(48, 9)
+	b := make([]float64, 48)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	x, res, err := SolveSPD(a, b, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-12 {
+		t.Fatalf("residual %g", res)
+	}
+	if len(x) != 48 {
+		t.Fatal("wrong solution length")
+	}
+	if _, _, err := SolveSPD(a, b[:10], 8, 1); err == nil {
+		t.Fatal("expected rhs-length error")
+	}
+}

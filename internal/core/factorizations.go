@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+)
+
+// The "other dense factorizations" extension: LU and QR entry points with
+// the same shape as Factorize, plus algorithm-aware DAG/flop helpers used by
+// the CLI and examples.
+
+// FactorizeLU computes the unpivoted LU factorization of a (diagonally
+// dominant) matrix in parallel and returns the combined LU factors and the
+// relative residual ‖A − L·U‖_F / ‖A‖_F.
+func FactorizeLU(a *matrix.Dense, nb, workers int) (*matrix.Dense, float64, error) {
+	tf, err := matrix.FromDenseFull(a, nb)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := runtime.FactorLU(tf, runtime.Options{Workers: workers, Policy: runtime.Priority}); err != nil {
+		return nil, 0, err
+	}
+	return tf.ToDense(), kernels.LUResidual(a, tf), nil
+}
+
+// FactorizeQR computes the tiled QR factorization in parallel and returns
+// the R factor and the orthogonal-invariance residual
+// ‖RᵀR − AᵀA‖_F / ‖AᵀA‖_F.
+func FactorizeQR(a *matrix.Dense, nb, workers int) (*matrix.Dense, float64, error) {
+	tf, err := matrix.FromDenseFull(a, nb)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, _, err := runtime.FactorQR(tf, runtime.Options{Workers: workers, Policy: runtime.Priority}); err != nil {
+		return nil, 0, err
+	}
+	return kernels.QRFactorR(tf), kernels.QRResidual(a, tf), nil
+}
+
+// SolveSPD solves A·x = b end to end with the parallel runtime: tiled
+// Cholesky factorization followed by the parallel forward/backward
+// substitutions (§II-A of the paper). It returns x and the relative
+// residual ‖A·x − b‖₂ / ‖b‖₂.
+func SolveSPD(a *matrix.Dense, b []float64, nb, workers int) ([]float64, float64, error) {
+	if len(b) != a.N {
+		return nil, 0, fmt.Errorf("core: rhs length %d != dimension %d", len(b), a.N)
+	}
+	tl, err := matrix.FromDense(a, nb)
+	if err != nil {
+		return nil, 0, err
+	}
+	rhs := append([]float64{}, b...)
+	x, err := runtime.FactorAndSolve(tl, rhs, runtime.Options{Workers: workers, Policy: runtime.Priority})
+	if err != nil {
+		return nil, 0, err
+	}
+	// Residual against the original A and b.
+	num, den := 0.0, 0.0
+	for i := 0; i < a.N; i++ {
+		s := -b[i]
+		for j := 0; j < a.N; j++ {
+			s += a.At(i, j) * x[j]
+		}
+		num += s * s
+		den += b[i] * b[i]
+	}
+	res := 0.0
+	if den > 0 {
+		res = math.Sqrt(num / den)
+	}
+	return x, res, nil
+}
+
+// DAGByAlgorithm builds the task graph of the named factorization.
+func DAGByAlgorithm(alg string, p int) (*graph.DAG, error) {
+	switch alg {
+	case "cholesky":
+		return graph.Cholesky(p), nil
+	case "lu":
+		return graph.LU(p), nil
+	case "qr":
+		return graph.QR(p), nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q (cholesky, lu, qr)", alg)
+	}
+}
+
+// FlopsByAlgorithm returns the factorization flop total for an N×N matrix.
+func FlopsByAlgorithm(alg string, n int) (float64, error) {
+	switch alg {
+	case "cholesky":
+		return kernels.CholeskyFlops(n), nil
+	case "lu":
+		return kernels.LUFlops(n), nil
+	case "qr":
+		return kernels.QRFlops(n), nil
+	default:
+		return 0, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+}
+
+// PlatformForAlgorithm returns the default Mirage-family model able to run
+// the algorithm: the plain Mirage timing table for Cholesky, the extended
+// one for LU and QR.
+func PlatformForAlgorithm(alg string, nocomm bool) (*platform.Platform, error) {
+	var p *platform.Platform
+	switch alg {
+	case "cholesky":
+		p = platform.Mirage()
+	case "lu", "qr":
+		p = platform.MirageExtended()
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+	if nocomm {
+		p = platform.WithoutCommunication(p)
+	}
+	return p, nil
+}

@@ -1,0 +1,497 @@
+// Package distributed extends the study to distributed memory — the setting
+// of the paper's Section II-B context: ScaLAPACK distributes tiles over a
+// virtual p×q homogeneous grid in 2D block-cyclic fashion and schedules
+// statically with an owner-computes rule, which "ensures a good load and
+// memory usage balancing for homogeneous computing resources. However, for
+// heterogeneous resources, this layout is no longer an option, and dynamic
+// scheduling is a widespread practice."
+//
+// This package lets that claim be measured: a cluster of identical
+// (possibly internally heterogeneous) nodes connected by a network, with
+//
+//   - static owner-computes scheduling under pluggable tile distributions
+//     (1D row-cyclic, 2D block-cyclic — the ScaLAPACK layouts), and
+//   - fully dynamic cluster-wide minimum-completion-time scheduling,
+//
+// simulated by a deterministic discrete-event engine: tiles live on node
+// memories, inter-node transfers serialize on sender and receiver NICs, and
+// intra-node placement is always dynamic (min ECT over the node's workers).
+package distributed
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// Distribution maps tiles to owning cluster nodes.
+type Distribution interface {
+	Name() string
+	Owner(i, j int) int
+}
+
+// BlockCyclic is the ScaLAPACK 2D block-cyclic layout over a P×Q grid
+// (P·Q = cluster nodes): tile (i, j) belongs to grid rank (i mod P, j mod Q).
+type BlockCyclic struct{ P, Q int }
+
+// Name identifies the layout.
+func (b BlockCyclic) Name() string { return fmt.Sprintf("block-cyclic-%dx%d", b.P, b.Q) }
+
+// Owner implements Distribution.
+func (b BlockCyclic) Owner(i, j int) int {
+	ii, jj := i%b.P, j%b.Q
+	if ii < 0 {
+		ii += b.P
+	}
+	if jj < 0 {
+		jj += b.Q
+	}
+	return ii*b.Q + jj
+}
+
+// RowCyclic is the 1D layout: tile row i belongs to node i mod N.
+type RowCyclic struct{ N int }
+
+// Name identifies the layout.
+func (r RowCyclic) Name() string { return fmt.Sprintf("row-cyclic-%d", r.N) }
+
+// Owner implements Distribution.
+func (r RowCyclic) Owner(i, j int) int { return ((i % r.N) + r.N) % r.N }
+
+// Cluster is a set of identical nodes joined by a network.
+type Cluster struct {
+	// Node is the per-node machine model; only its worker classes are used
+	// (each node's memory is one flat node-local space — the network, not
+	// the intra-node PCI, is the bottleneck modelled here).
+	Node *platform.Platform
+	// Nodes is the cluster size.
+	Nodes int
+	// Net models each node's NIC: a transfer occupies both the sender's and
+	// the receiver's NIC for latency + bytes/bandwidth.
+	Net platform.Bus
+	// TileBytes is the wire size of one tile.
+	TileBytes float64
+}
+
+// Validate checks the cluster can run the kinds.
+func (c *Cluster) Validate(kinds []graph.Kind) error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("distributed: cluster needs at least one node")
+	}
+	return c.Node.Validate(kinds)
+}
+
+// Workers returns the cluster-wide worker count.
+func (c *Cluster) Workers() int { return c.Nodes * c.Node.Workers() }
+
+// workerNode maps a global worker ID to its cluster node.
+func (c *Cluster) workerNode(w int) int { return w / c.Node.Workers() }
+
+// workerClass maps a global worker ID to its class in the node template.
+func (c *Cluster) workerClass(w int) int { return c.Node.WorkerClass(w % c.Node.Workers()) }
+
+// FlatPlatform aggregates the cluster into a single platform model (class
+// counts multiplied by the node count) so the communication-oblivious
+// bounds of internal/bounds apply unchanged.
+func (c *Cluster) FlatPlatform() *platform.Platform {
+	p := c.Node.Clone()
+	p.Name = fmt.Sprintf("%s-x%d", c.Node.Name, c.Nodes)
+	for i := range p.Classes {
+		p.Classes[i].Count *= c.Nodes
+	}
+	p.Bus = platform.Bus{}
+	return p
+}
+
+// Options selects the scheduling mode.
+type Options struct {
+	// Dist, when non-nil, turns on static owner-computes scheduling: each
+	// task runs on the node owning its written tile (ScaLAPACK's rule),
+	// with dynamic min-ECT placement among that node's workers. When nil,
+	// placement is dynamic across the whole cluster.
+	Dist Distribution
+	// Priorities sorts per-worker queues by bottom level when true
+	// (the dmdas-like refinement); FIFO otherwise.
+	Priorities bool
+}
+
+// Result of a distributed simulation.
+type Result struct {
+	MakespanSec  float64
+	Start, End   []float64
+	Worker       []int // global worker IDs
+	NetTransfers int
+	NetSec       float64 // cumulative NIC occupation time
+	NodeBusySec  []float64
+}
+
+type event struct {
+	time   float64
+	seq    int
+	worker int
+	task   *graph.Task
+}
+
+type evHeap []event
+
+func (h evHeap) Len() int { return len(h) }
+func (h evHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h evHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *evHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *evHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+type entry struct {
+	task *graph.Task
+	prio float64
+	seq  int
+}
+
+type sim struct {
+	d   *graph.DAG
+	c   *Cluster
+	opt Options
+
+	now        float64
+	queues     [][]entry
+	executing  []bool
+	workerFree []float64
+	estFree    []float64
+	dataReady  []float64
+	locations  map[[2]int]map[int]bool // tile → cluster nodes holding it
+	nicFree    []float64               // per node
+	prio       []float64
+	seq        int
+	res        *Result
+}
+
+// Simulate runs the DAG on the cluster.
+func Simulate(d *graph.DAG, c *Cluster, opt Options) (*Result, error) {
+	if err := c.Validate(d.Kinds()); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(d.Tasks)
+	nW := c.Workers()
+	s := &sim{
+		d: d, c: c, opt: opt,
+		queues:     make([][]entry, nW),
+		executing:  make([]bool, nW),
+		workerFree: make([]float64, nW),
+		estFree:    make([]float64, nW),
+		dataReady:  make([]float64, n),
+		locations:  map[[2]int]map[int]bool{},
+		nicFree:    make([]float64, c.Nodes),
+		res: &Result{
+			Start: make([]float64, n), End: make([]float64, n),
+			Worker: make([]int, n), NodeBusySec: make([]float64, c.Nodes),
+		},
+	}
+	for i := range s.res.Worker {
+		s.res.Worker[i] = -1
+	}
+	// Initial placement: tiles start on their owner (or node 0 without a
+	// distribution — the "matrix loaded on the head node" scenario).
+	for _, t := range d.Tasks {
+		for _, ref := range t.Footprint {
+			key := [2]int{ref.I, ref.J}
+			if s.locations[key] == nil {
+				home := 0
+				if opt.Dist != nil {
+					home = opt.Dist.Owner(ref.I, ref.J) % c.Nodes
+				}
+				s.locations[key] = map[int]bool{home: true}
+			}
+		}
+	}
+	if opt.Priorities {
+		bl, err := d.BottomLevels(func(t *graph.Task) float64 {
+			return c.Node.FastestTime(t.Kind)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.prio = bl
+	}
+
+	indeg := make([]int, n)
+	for _, t := range d.Tasks {
+		indeg[t.ID] = len(t.Pred)
+	}
+	var events evHeap
+	heap.Init(&events)
+	for _, t := range d.Tasks {
+		if indeg[t.ID] == 0 {
+			s.assign(t)
+		}
+	}
+	s.startAll(&events)
+	done := 0
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(event)
+		s.now = ev.time
+		s.executing[ev.worker] = false
+		s.workerFree[ev.worker] = s.now
+		done++
+		node := s.c.workerNode(ev.worker)
+		for _, ref := range ev.task.Footprint {
+			if ref.Mode == graph.ReadWrite {
+				s.locations[[2]int{ref.I, ref.J}] = map[int]bool{node: true}
+			}
+		}
+		for _, succ := range ev.task.Succ {
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				s.assign(s.d.Tasks[succ])
+			}
+		}
+		s.startAll(&events)
+	}
+	if done != n {
+		return nil, fmt.Errorf("distributed: deadlock — %d of %d tasks completed", done, n)
+	}
+	mk := 0.0
+	for _, e := range s.res.End {
+		if e > mk {
+			mk = e
+		}
+	}
+	s.res.MakespanSec = mk
+	return s.res, nil
+}
+
+// writtenTile returns the RW tile of a task (owner-computes anchor).
+func writtenTile(t *graph.Task) ([2]int, bool) {
+	for _, ref := range t.Footprint {
+		if ref.Mode == graph.ReadWrite {
+			return [2]int{ref.I, ref.J}, true
+		}
+	}
+	return [2]int{}, false
+}
+
+// assign picks a worker (min estimated completion time over the candidate
+// set) and prefetches remote tiles to its node.
+func (s *sim) assign(t *graph.Task) {
+	candidates := s.candidateWorkers(t)
+	bestW, bestECT := -1, math.Inf(1)
+	for _, w := range candidates {
+		exec := s.c.Node.Time(s.c.workerClass(w), t.Kind)
+		if math.IsInf(exec, 1) {
+			continue
+		}
+		ect := math.Max(s.estFree[w], s.now) + s.transferEstimate(t, s.c.workerNode(w)) + exec
+		if ect < bestECT {
+			bestECT, bestW = ect, w
+		}
+	}
+	if bestW == -1 {
+		panic(fmt.Sprintf("distributed: task %s runnable nowhere", t.Name()))
+	}
+	ready := s.fetch(t, s.c.workerNode(bestW))
+	s.dataReady[t.ID] = ready
+	exec := s.c.Node.Time(s.c.workerClass(bestW), t.Kind)
+	s.estFree[bestW] = math.Max(math.Max(s.estFree[bestW], s.now), ready) + exec
+
+	e := entry{task: t, seq: s.seq}
+	s.seq++
+	if s.prio != nil {
+		e.prio = s.prio[t.ID]
+		q := s.queues[bestW]
+		pos := sort.Search(len(q), func(i int) bool { return q[i].prio < e.prio })
+		q = append(q, entry{})
+		copy(q[pos+1:], q[pos:])
+		q[pos] = e
+		s.queues[bestW] = q
+	} else {
+		s.queues[bestW] = append(s.queues[bestW], e)
+	}
+}
+
+// candidateWorkers returns the workers a task may run on: the owner node's
+// workers under owner-computes, everything otherwise.
+func (s *sim) candidateWorkers(t *graph.Task) []int {
+	if s.opt.Dist == nil {
+		all := make([]int, s.c.Workers())
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	key, ok := writtenTile(t)
+	node := 0
+	if ok {
+		node = s.opt.Dist.Owner(key[0], key[1]) % s.c.Nodes
+	}
+	perNode := s.c.Node.Workers()
+	out := make([]int, perNode)
+	for i := range out {
+		out[i] = node*perNode + i
+	}
+	return out
+}
+
+// transferEstimate sums one network hop per tile missing on the node.
+func (s *sim) transferEstimate(t *graph.Task, node int) float64 {
+	if !s.c.Net.Enabled {
+		return 0
+	}
+	hop := s.c.Net.TransferTime(s.c.TileBytes)
+	total := 0.0
+	for _, ref := range t.Footprint {
+		if !s.locations[[2]int{ref.I, ref.J}][node] {
+			total += hop
+		}
+	}
+	return total
+}
+
+// fetch schedules the network transfers bringing t's tiles to node,
+// serializing on the sender's and receiver's NICs, and returns the arrival
+// time of the last tile.
+func (s *sim) fetch(t *graph.Task, node int) float64 {
+	ready := s.now
+	for _, ref := range t.Footprint {
+		key := [2]int{ref.I, ref.J}
+		locs := s.locations[key]
+		if locs[node] {
+			continue
+		}
+		if !s.c.Net.Enabled {
+			locs[node] = true
+			continue
+		}
+		src := s.pickSource(locs)
+		hop := s.c.Net.TransferTime(s.c.TileBytes)
+		start := math.Max(s.now, math.Max(s.nicFree[src], s.nicFree[node]))
+		end := start + hop
+		s.nicFree[src] = end
+		s.nicFree[node] = end
+		s.res.NetSec += hop
+		s.res.NetTransfers++
+		locs[node] = true
+		if end > ready {
+			ready = end
+		}
+	}
+	return ready
+}
+
+func (s *sim) pickSource(locs map[int]bool) int {
+	best := math.MaxInt32
+	for n, ok := range locs {
+		if ok && n < best {
+			best = n
+		}
+	}
+	return best
+}
+
+// startAll launches head-of-queue tasks on idle workers.
+func (s *sim) startAll(events *evHeap) {
+	for w := range s.queues {
+		if s.executing[w] || len(s.queues[w]) == 0 {
+			continue
+		}
+		e := s.queues[w][0]
+		s.queues[w] = s.queues[w][1:]
+		t := e.task
+		start := math.Max(math.Max(s.now, s.workerFree[w]), s.dataReady[t.ID])
+		exec := s.c.Node.Time(s.c.workerClass(w), t.Kind)
+		end := start + exec
+		s.res.Start[t.ID], s.res.End[t.ID], s.res.Worker[t.ID] = start, end, w
+		s.res.NodeBusySec[s.c.workerNode(w)] += exec
+		s.executing[w] = true
+		s.workerFree[w] = end
+		heap.Push(events, event{time: end, seq: s.seq, worker: w, task: t})
+		s.seq++
+	}
+}
+
+// Validate checks a distributed result is a legal schedule.
+func Validate(d *graph.DAG, c *Cluster, r *Result) error {
+	perWorker := map[int][][2]float64{}
+	for _, t := range d.Tasks {
+		id := t.ID
+		w := r.Worker[id]
+		if w < 0 || w >= c.Workers() {
+			return fmt.Errorf("distributed: task %s on invalid worker %d", t.Name(), w)
+		}
+		if math.IsInf(c.Node.Time(c.workerClass(w), t.Kind), 1) {
+			return fmt.Errorf("distributed: task %s on incapable worker", t.Name())
+		}
+		for _, pr := range t.Pred {
+			if r.Start[id] < r.End[pr]-1e-9 {
+				return fmt.Errorf("distributed: dependency %d→%d violated", pr, id)
+			}
+		}
+		perWorker[w] = append(perWorker[w], [2]float64{r.Start[id], r.End[id]})
+	}
+	for w, ivs := range perWorker {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i][0] < ivs[i-1][1]-1e-9 {
+				return fmt.Errorf("distributed: overlap on worker %d", w)
+			}
+		}
+	}
+	return nil
+}
+
+// OwnerOf exposes the owner-computes placement used for a task (tests).
+func OwnerOf(t *graph.Task, dist Distribution, nodes int) int {
+	key, ok := writtenTile(t)
+	if !ok {
+		return 0
+	}
+	return dist.Owner(key[0], key[1]) % nodes
+}
+
+// WeightedCyclic distributes tile rows over nodes proportionally to node
+// weights — the natural static answer to heterogeneous clusters (give the
+// node with 2 GPUs twice the rows). The paper's §II-B claims static layouts
+// stop being an option under heterogeneity; this distribution is the
+// strongest static contender to test that claim against.
+type WeightedCyclic struct {
+	Weights []float64 // per node; need not be normalized
+}
+
+// Name identifies the layout.
+func (w WeightedCyclic) Name() string { return fmt.Sprintf("weighted-cyclic-%d", len(w.Weights)) }
+
+// Owner assigns row i by weighted round-robin: within one period of
+// Σweights (scaled to integers), node n owns a contiguous share of slots
+// proportional to its weight.
+func (w WeightedCyclic) Owner(i, j int) int {
+	if len(w.Weights) == 0 {
+		return 0
+	}
+	// Quantize weights to a common period of 100 slots.
+	const period = 100
+	total := 0.0
+	for _, x := range w.Weights {
+		total += x
+	}
+	if total <= 0 {
+		return 0
+	}
+	slot := ((i % period) + period) % period
+	acc := 0.0
+	for n, x := range w.Weights {
+		acc += x / total * period
+		if float64(slot) < acc {
+			return n
+		}
+	}
+	return len(w.Weights) - 1
+}

@@ -1,0 +1,282 @@
+package distributed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// testCluster: 4 nodes of (3 CPUs + 1 GPU) with a 10 GB/s network.
+func testCluster(nodes int) *Cluster {
+	node := platform.Mirage()
+	node.Classes[0].Count = 3
+	node.Classes[1].Count = 1
+	return &Cluster{
+		Node:      node,
+		Nodes:     nodes,
+		Net:       platform.Bus{Enabled: true, BandwidthBps: 10e9, LatencySec: 5e-6},
+		TileBytes: node.TileBytes,
+	}
+}
+
+func homogeneousCluster(nodes, cpus int) *Cluster {
+	return &Cluster{
+		Node:      platform.Homogeneous(cpus),
+		Nodes:     nodes,
+		Net:       platform.Bus{Enabled: true, BandwidthBps: 10e9, LatencySec: 5e-6},
+		TileBytes: platform.Mirage().TileBytes,
+	}
+}
+
+func mustSim(t *testing.T, d *graph.DAG, c *Cluster, opt Options) *Result {
+	t.Helper()
+	r, err := Simulate(d, c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(d, c, r); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestBlockCyclicOwner(t *testing.T) {
+	b := BlockCyclic{P: 2, Q: 2}
+	if b.Owner(0, 0) != 0 || b.Owner(0, 1) != 1 || b.Owner(1, 0) != 2 || b.Owner(1, 1) != 3 {
+		t.Fatal("2x2 grid mapping wrong")
+	}
+	if b.Owner(2, 2) != 0 || b.Owner(3, 1) != 3 {
+		t.Fatal("cyclic wrap wrong")
+	}
+	if b.Name() != "block-cyclic-2x2" {
+		t.Fatal("name")
+	}
+	r := RowCyclic{N: 3}
+	if r.Owner(4, 7) != 1 || r.Name() != "row-cyclic-3" {
+		t.Fatal("row cyclic")
+	}
+}
+
+func TestOwnerComputesPlacement(t *testing.T) {
+	c := testCluster(4)
+	d := graph.Cholesky(8)
+	dist := BlockCyclic{P: 2, Q: 2}
+	r := mustSim(t, d, c, Options{Dist: dist})
+	for _, tk := range d.Tasks {
+		want := OwnerOf(tk, dist, c.Nodes)
+		if got := c.workerNode(r.Worker[tk.ID]); got != want {
+			t.Fatalf("task %s on node %d, owner is %d", tk.Name(), got, want)
+		}
+	}
+}
+
+func TestDynamicValidAndUsesAllNodes(t *testing.T) {
+	c := testCluster(4)
+	d := graph.Cholesky(16)
+	r := mustSim(t, d, c, Options{Priorities: true})
+	used := map[int]bool{}
+	for _, w := range r.Worker {
+		used[c.workerNode(w)] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("dynamic schedule used only %d nodes", len(used))
+	}
+}
+
+func TestBoundsHoldOnCluster(t *testing.T) {
+	c := testCluster(4)
+	flat := c.FlatPlatform()
+	if flat.Workers() != 16 {
+		t.Fatalf("flat platform has %d workers", flat.Workers())
+	}
+	for _, n := range []int{4, 8, 12} {
+		d := graph.Cholesky(n)
+		m, err := bounds.MixedInt(d, flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opt := range []Options{
+			{},
+			{Priorities: true},
+			{Dist: BlockCyclic{P: 2, Q: 2}},
+			{Dist: RowCyclic{N: 4}, Priorities: true},
+		} {
+			r := mustSim(t, d, c, opt)
+			if r.MakespanSec < m.MakespanSec-1e-9 {
+				t.Fatalf("n=%d: cluster makespan %g below flat mixed bound %g",
+					n, r.MakespanSec, m.MakespanSec)
+			}
+		}
+	}
+}
+
+func Test2DBeatsOr1DOnHomogeneous(t *testing.T) {
+	// The classic ScaLAPACK result: the 2D grid balances load/communication
+	// at least as well as a 1D layout on homogeneous clusters for large
+	// matrices.
+	c := homogeneousCluster(4, 4)
+	d := graph.Cholesky(24)
+	r2 := mustSim(t, d, c, Options{Dist: BlockCyclic{P: 2, Q: 2}})
+	r1 := mustSim(t, d, c, Options{Dist: RowCyclic{N: 4}})
+	if r2.MakespanSec > r1.MakespanSec*1.05 {
+		t.Fatalf("2D %g much worse than 1D %g", r2.MakespanSec, r1.MakespanSec)
+	}
+}
+
+func TestDynamicBeatsOwnerComputesOnHeterogeneous(t *testing.T) {
+	// The paper's §II-B claim: "for heterogeneous resources, this layout is
+	// no longer an option, and dynamic scheduling is a widespread practice".
+	c := testCluster(4)
+	d := graph.Cholesky(16)
+	static := mustSim(t, d, c, Options{Dist: BlockCyclic{P: 2, Q: 2}, Priorities: true})
+	dynamic := mustSim(t, d, c, Options{Priorities: true})
+	if dynamic.MakespanSec > static.MakespanSec {
+		t.Fatalf("dynamic %g worse than owner-computes %g on a heterogeneous cluster",
+			dynamic.MakespanSec, static.MakespanSec)
+	}
+}
+
+func TestNetworkTrafficAccounting(t *testing.T) {
+	c := testCluster(4)
+	d := graph.Cholesky(8)
+	r := mustSim(t, d, c, Options{Dist: BlockCyclic{P: 2, Q: 2}})
+	if r.NetTransfers == 0 || r.NetSec <= 0 {
+		t.Fatal("block-cyclic Cholesky must communicate")
+	}
+	// Free network: no accounting, same validity.
+	cFree := testCluster(4)
+	cFree.Net.Enabled = false
+	rf := mustSim(t, d, cFree, Options{Dist: BlockCyclic{P: 2, Q: 2}})
+	if rf.NetTransfers != 0 || rf.NetSec != 0 {
+		t.Fatal("free network still accounted transfers")
+	}
+	if rf.MakespanSec > r.MakespanSec+1e-9 {
+		t.Fatal("network costs made the run faster")
+	}
+}
+
+func TestSingleNodeClusterMatchesShape(t *testing.T) {
+	// One node, no network: behaves like a standalone machine.
+	c := testCluster(1)
+	d := graph.Cholesky(8)
+	r := mustSim(t, d, c, Options{Priorities: true})
+	if r.NetTransfers != 0 {
+		t.Fatal("single-node cluster should not use the network")
+	}
+	if r.MakespanSec <= 0 {
+		t.Fatal("bad makespan")
+	}
+}
+
+func TestClusterValidateErrors(t *testing.T) {
+	c := testCluster(0)
+	if err := c.Validate(graph.CholeskyKinds); err == nil {
+		t.Fatal("expected error for empty cluster")
+	}
+	bad := &graph.DAG{Tasks: []*graph.Task{
+		{ID: 0, Kind: graph.GEMM, Succ: []int{1}, Pred: []int{1}},
+		{ID: 1, Kind: graph.GEMM, Succ: []int{0}, Pred: []int{0}},
+	}}
+	if _, err := Simulate(bad, testCluster(2), Options{}); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	c := testCluster(2)
+	d := graph.Cholesky(6)
+	r := mustSim(t, d, c, Options{})
+	total := 0.0
+	for _, b := range r.NodeBusySec {
+		total += b
+	}
+	sum := 0.0
+	for id := range r.Start {
+		sum += r.End[id] - r.Start[id]
+	}
+	if math.Abs(total-sum) > 1e-9 {
+		t.Fatalf("busy accounting inconsistent: %g vs %g", total, sum)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c := testCluster(4)
+	d := graph.Cholesky(10)
+	a := mustSim(t, d, c, Options{Priorities: true})
+	b := mustSim(t, d, c, Options{Priorities: true})
+	if a.MakespanSec != b.MakespanSec {
+		t.Fatal("not deterministic")
+	}
+	for i := range a.Worker {
+		if a.Worker[i] != b.Worker[i] {
+			t.Fatal("placement not deterministic")
+		}
+	}
+}
+
+func TestScalingMoreNodesNotSlower(t *testing.T) {
+	d := graph.Cholesky(20)
+	r1 := mustSim(t, d, homogeneousCluster(1, 4), Options{Dist: RowCyclic{N: 1}})
+	r4 := mustSim(t, d, homogeneousCluster(4, 4), Options{Dist: BlockCyclic{P: 2, Q: 2}})
+	if r4.MakespanSec > r1.MakespanSec {
+		t.Fatalf("4 nodes (%g) slower than 1 node (%g)", r4.MakespanSec, r1.MakespanSec)
+	}
+}
+
+func TestWeightedCyclicShares(t *testing.T) {
+	w := WeightedCyclic{Weights: []float64{3, 1}}
+	counts := map[int]int{}
+	for i := 0; i < 400; i++ {
+		counts[w.Owner(i, 0)]++
+	}
+	// Node 0 should own ≈75 % of rows.
+	frac := float64(counts[0]) / 400
+	if frac < 0.7 || frac > 0.8 {
+		t.Fatalf("node 0 owns %.2f of rows, want ≈0.75", frac)
+	}
+	if w.Name() != "weighted-cyclic-2" {
+		t.Fatal("name")
+	}
+	// Degenerate inputs.
+	if (WeightedCyclic{}).Owner(3, 0) != 0 {
+		t.Fatal("empty weights should map to node 0")
+	}
+	if (WeightedCyclic{Weights: []float64{0, 0}}).Owner(3, 0) != 0 {
+		t.Fatal("zero weights should map to node 0")
+	}
+}
+
+func TestWeightedStaticStillLosesToDynamic(t *testing.T) {
+	// §II-B, quantified harder: even a heterogeneity-weighted static layout
+	// does not beat dynamic scheduling on a *mixed* cluster where per-task
+	// affinity (not just node speed) matters.
+	node := platform.Mirage()
+	node.Classes[0].Count = 3
+	node.Classes[1].Count = 1
+	fast := &Cluster{
+		Node: node, Nodes: 4,
+		Net:       platform.Bus{Enabled: true, BandwidthBps: 10e9, LatencySec: 5e-6},
+		TileBytes: node.TileBytes,
+	}
+	d := graph.Cholesky(16)
+	weighted := mustSim(t, d, fast, Options{
+		Dist:       WeightedCyclic{Weights: []float64{1, 1, 1, 1}},
+		Priorities: true,
+	})
+	dynamic := mustSim(t, d, fast, Options{Priorities: true})
+	if dynamic.MakespanSec > weighted.MakespanSec*1.02 {
+		t.Fatalf("dynamic %g should be at least competitive with weighted static %g",
+			dynamic.MakespanSec, weighted.MakespanSec)
+	}
+	// Validity of owner placement.
+	dist := WeightedCyclic{Weights: []float64{1, 1, 1, 1}}
+	for _, tk := range d.Tasks {
+		want := OwnerOf(tk, dist, fast.Nodes)
+		if got := fast.workerNode(weighted.Worker[tk.ID]); got != want {
+			t.Fatalf("task %s on node %d, owner %d", tk.Name(), got, want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>, rewriting the file when
+// -update-golden is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update-golden): %v", path, err)
+	}
+	if string(want) != got {
+		t.Fatalf("%s drifted from its golden file (run with -update-golden if intended)\n--- got ---\n%.500s", name, got)
+	}
+}
+
+func TestGoldenFig1DOT(t *testing.T) {
+	checkGolden(t, "fig1.dot", Fig1(Quick()))
+}
+
+func TestGoldenFig9(t *testing.T) {
+	checkGolden(t, "fig9.txt", Fig9(32, 6))
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+)
+
+// flops returns the factorization flop count for n tiles of size nb.
+func flops(n, nb int) float64 { return kernels.CholeskyFlops(n * nb) }
+
+// simGFlops runs one simulation and converts it to GFLOP/s.
+func simGFlops(d *graph.DAG, p *platform.Platform, s sched.Scheduler,
+	nb int, opt simulator.Options) (float64, error) {
+
+	r, err := simulator.Run(d, p, s, opt)
+	if err != nil {
+		return 0, err
+	}
+	return r.GFlops(flops(d.P, nb)), nil
+}
+
+// repeated runs fn for cfg.Runs seeds and reports mean and σ — the paper's
+// "average and standard deviation of 10 runs".
+func repeated(cfg Config, fn func(seed int64) (float64, error)) (mean, sigma float64, err error) {
+	var vals []float64
+	for r := 0; r < cfg.Runs; r++ {
+		v, err := fn(cfg.Seed + int64(r))
+		if err != nil {
+			return 0, 0, err
+		}
+		vals = append(vals, v)
+	}
+	return stats.Mean(vals), stats.StdDev(vals), nil
+}
+
+// schedulerFactories returns fresh instances of the three headline StarPU
+// policies per call (schedulers carry per-run state).
+func schedulerFactories() []func() sched.Scheduler {
+	return []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.NewRandom() },
+		func() sched.Scheduler { return sched.NewDMDA() },
+		func() sched.Scheduler { return sched.NewDMDAS() },
+	}
+}
+
+// xs converts tile counts to float x-positions.
+func xs(sizes []int) []float64 {
+	out := make([]float64, len(sizes))
+	for i, n := range sizes {
+		out[i] = float64(n)
+	}
+	return out
+}
+
+// sweepSchedulers simulates the three paper policies over cfg.Sizes on a
+// per-size platform and appends one series per policy (plus σ when
+// repeating). overhead selects the actual-execution substitute mode.
+func sweepSchedulers(cfg Config, tbl *stats.Table,
+	platformFor func(n int) *platform.Platform, overhead bool) error {
+
+	for _, mk := range schedulerFactories() {
+		name := mk().Name()
+		var means, sigmas []float64
+		for _, n := range cfg.Sizes {
+			d := graph.Cholesky(n)
+			p := platformFor(n)
+			if overhead {
+				m, s, err := repeated(cfg, func(seed int64) (float64, error) {
+					return simGFlops(d, p, mk(), cfg.NB,
+						simulator.Options{Seed: seed, Overhead: true})
+				})
+				if err != nil {
+					return fmt.Errorf("%s n=%d: %w", name, n, err)
+				}
+				means = append(means, m)
+				sigmas = append(sigmas, s)
+			} else if name == "random" {
+				// The paper: "results are deterministic for all schedulers
+				// except random", which averages 10 seeds in simulation too.
+				m, s, err := repeated(cfg, func(seed int64) (float64, error) {
+					return simGFlops(d, p, mk(), cfg.NB, simulator.Options{Seed: seed})
+				})
+				if err != nil {
+					return fmt.Errorf("%s n=%d: %w", name, n, err)
+				}
+				means = append(means, m)
+				sigmas = append(sigmas, s)
+			} else {
+				g, err := simGFlops(d, p, mk(), cfg.NB, simulator.Options{Seed: cfg.Seed})
+				if err != nil {
+					return fmt.Errorf("%s n=%d: %w", name, n, err)
+				}
+				means = append(means, g)
+				sigmas = append(sigmas, 0)
+			}
+		}
+		tbl.Add(name, means, sigmas)
+	}
+	return nil
+}
+
+// mixedBoundSeries appends the mixed-bound performance curve.
+func mixedBoundSeries(cfg Config, tbl *stats.Table, platformFor func(n int) *platform.Platform) error {
+	var vals []float64
+	for _, n := range cfg.Sizes {
+		d := graph.Cholesky(n)
+		m, err := mixedBound(d, platformFor(n))
+		if err != nil {
+			return err
+		}
+		vals = append(vals, m.GFlops(flops(n, cfg.NB)))
+	}
+	tbl.Add("mixed bound", vals, nil)
+	return nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Runner produces one experiment's output (rendered text plus, when
+// tabular, the underlying table for CSV export).
+type Runner struct {
+	ID          string
+	Description string
+	Run         func(cfg Config) (text string, table *stats.Table, err error)
+}
+
+func tableRunner(id, desc string, f func(Config) (*stats.Table, error)) Runner {
+	return Runner{ID: id, Description: desc, Run: func(cfg Config) (string, *stats.Table, error) {
+		t, err := f(cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return t.Render() + "\n" + t.Plot(16), t, nil
+	}}
+}
+
+// Registry lists every reproducible artifact by its paper ID.
+func Registry() []Runner {
+	rs := []Runner{
+		tableRunner("table1", "Table I: GPU/CPU speedup per kernel",
+			func(cfg Config) (*stats.Table, error) { return TableI(cfg), nil }),
+		tableRunner("tablek", "Acceleration factors K(n) (Section V-C2)",
+			func(cfg Config) (*stats.Table, error) { return TableK(cfg), nil }),
+		tableRunner("fig2", "Figure 2: theoretical performance upper bounds", Fig2),
+		tableRunner("fig3", "Figure 3: homogeneous actual (overhead substitute)", Fig3),
+		tableRunner("fig3real", "Figure 3 (real Go execution, host scale)", Fig3Real),
+		tableRunner("fig4", "Figure 4: homogeneous simulated + mixed bound", Fig4),
+		tableRunner("fig5", "Figure 5: heterogeneous related simulated", Fig5),
+		tableRunner("fig6", "Figure 6: heterogeneous unrelated actual (overhead substitute)", Fig6),
+		tableRunner("fig7", "Figure 7: heterogeneous unrelated simulated + mixed bound", Fig7),
+		tableRunner("fig8", "Figure 8: related case scaled to unrelated bound", Fig8),
+		{ID: "fig1", Description: "Figure 1: the 5x5-tile Cholesky task graph (Graphviz DOT)",
+			Run: func(cfg Config) (string, *stats.Table, error) { return Fig1(cfg), nil, nil }},
+		{ID: "fig9", Description: "Figure 9: TRSMs forced on CPUs (picture)",
+			Run: func(cfg Config) (string, *stats.Table, error) {
+				n := 16
+				if len(cfg.Sizes) > 0 {
+					n = cfg.Sizes[len(cfg.Sizes)-1]
+				}
+				return Fig9(n, 6), nil, nil
+			}},
+		tableRunner("fig10", "Figure 10: simulated performance with static knowledge", Fig10),
+		tableRunner("fig11", "Figure 11: actual performance with static knowledge (substitute)", Fig11),
+		{ID: "fig12", Description: "Figure 12: GPU traces dmda vs dmdas (8×8 tiles)",
+			Run: func(cfg Config) (string, *stats.Table, error) {
+				s, err := Fig12(cfg)
+				return s, nil, err
+			}},
+		tableRunner("mapping", "Section VI-B: CP mapping-only injection", MappingOnly),
+		tableRunner("gemmsyrk", "Section V-C3: GEMM+SYRK forced on GPUs", GemmSyrkHint),
+		tableRunner("transfer", "Ablation: transfer-aware vs transfer-blind dmda", TransferAblation),
+		tableRunner("luqr", "Extension: LU and QR under the paper's methodology", OtherFactorizations),
+		tableRunner("commcp", "Extension: communication-aware CP injection", CommAwareCP),
+		tableRunner("ws", "Ablation: work stealing on the random policy", WorkStealing),
+		tableRunner("memory", "Ablation: GPU memory capacity sweep", func(cfg Config) (*stats.Table, error) { return MemorySweep(cfg, 16, nil) }),
+		tableRunner("distributed", "Extension: cluster owner-computes vs dynamic", Distributed),
+		tableRunner("tilesize", "Extension: tile-size autotuning sweep", func(cfg Config) (*stats.Table, error) { return TileSizeSweep(cfg, 0, nil) }),
+		tableRunner("banded", "Extension: block-banded (irregular) Cholesky", func(cfg Config) (*stats.Table, error) { return Banded(cfg, 32, nil) }),
+		tableRunner("batched", "Extension: batched concurrent factorizations", func(cfg Config) (*stats.Table, error) { return Batched(cfg, 8, 4) }),
+		tableRunner("priosrc", "Ablation: dmdas priority source (fastest vs average)", PrioritySource),
+		tableRunner("fidelity", "Methodology: real execution vs calibrated simulation", SimulationFidelity),
+		tableRunner("variants", "Extension: right- vs left-looking Cholesky", Variants),
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
+	return rs
+}
+
+// Find returns the runner with the given ID.
+func Find(id string) (Runner, error) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

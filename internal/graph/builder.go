@@ -1,0 +1,184 @@
+package graph
+
+// builder constructs a DAG by replaying a sequential tiled algorithm and
+// inferring dependencies from data accesses, enforcing sequential consistency
+// exactly as StarPU does: a reader depends on the last writer of each tile it
+// reads; a writer depends on the last writer and on every reader since.
+type builder struct {
+	dag        *DAG
+	lastWriter map[[2]int]int   // tile → ID of last task writing it (−1: none)
+	readers    map[[2]int][]int // tasks reading the tile since its last write
+}
+
+func newBuilder(alg string, p int) *builder {
+	return &builder{
+		dag:        &DAG{Algorithm: alg, P: p},
+		lastWriter: map[[2]int]int{},
+		readers:    map[[2]int][]int{},
+	}
+}
+
+// task appends a task accessing the given tiles and wires its dependencies.
+func (b *builder) task(kind Kind, i, j, k int, refs ...TileRef) *Task {
+	t := &Task{ID: len(b.dag.Tasks), Kind: kind, I: i, J: j, K: k, Footprint: refs}
+	b.dag.Tasks = append(b.dag.Tasks, t)
+	deps := map[int]bool{}
+	for _, r := range refs {
+		key := [2]int{r.I, r.J}
+		if w, ok := b.lastWriter[key]; ok {
+			deps[w] = true
+		}
+		if r.Mode == ReadWrite {
+			for _, rd := range b.readers[key] {
+				deps[rd] = true
+			}
+		}
+	}
+	delete(deps, t.ID)
+	for p := range deps {
+		t.Pred = append(t.Pred, p)
+		b.dag.Tasks[p].Succ = append(b.dag.Tasks[p].Succ, t.ID)
+	}
+	sortInts(t.Pred)
+	// Update dataflow state after dependencies are wired.
+	for _, r := range refs {
+		key := [2]int{r.I, r.J}
+		if r.Mode == ReadWrite {
+			b.lastWriter[key] = t.ID
+			b.readers[key] = b.readers[key][:0]
+		} else {
+			b.readers[key] = append(b.readers[key], t.ID)
+		}
+	}
+	return t
+}
+
+func (b *builder) finish() *DAG {
+	for _, t := range b.dag.Tasks {
+		sortInts(t.Succ)
+	}
+	return b.dag
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Cholesky builds the task graph of the tiled Cholesky factorization of a
+// p×p tiled matrix (Algorithm 1; Figure 1 of the paper shows p = 5).
+// Task counts: p POTRF, p(p−1)/2 TRSM, p(p−1)/2 SYRK, p(p−1)(p−2)/6 GEMM.
+func Cholesky(p int) *DAG {
+	b := newBuilder("cholesky", p)
+	for k := 0; k < p; k++ {
+		b.task(POTRF, -1, -1, k, TileRef{k, k, ReadWrite})
+		for i := k + 1; i < p; i++ {
+			b.task(TRSM, i, -1, k,
+				TileRef{k, k, Read},
+				TileRef{i, k, ReadWrite})
+		}
+		for j := k + 1; j < p; j++ {
+			b.task(SYRK, -1, j, k,
+				TileRef{j, k, Read},
+				TileRef{j, j, ReadWrite})
+			for i := j + 1; i < p; i++ {
+				b.task(GEMM, i, j, k,
+					TileRef{i, k, Read},
+					TileRef{j, k, Read},
+					TileRef{i, j, ReadWrite})
+			}
+		}
+	}
+	return b.finish()
+}
+
+// LU builds the task graph of a tiled LU factorization without pivoting
+// (right-looking): GETRF on the diagonal, TRSM on row and column panels,
+// GEMM trailing updates. Used by the "other factorizations" extension.
+func LU(p int) *DAG {
+	b := newBuilder("lu", p)
+	for k := 0; k < p; k++ {
+		b.task(GETRF, -1, -1, k, TileRef{k, k, ReadWrite})
+		for j := k + 1; j < p; j++ { // row panel: Akj ← Lkk⁻¹·Akj
+			b.task(TRSM, k, j, k,
+				TileRef{k, k, Read},
+				TileRef{k, j, ReadWrite})
+		}
+		for i := k + 1; i < p; i++ { // column panel: Aik ← Aik·Ukk⁻¹
+			b.task(TRSM, i, k, k,
+				TileRef{k, k, Read},
+				TileRef{i, k, ReadWrite})
+		}
+		for i := k + 1; i < p; i++ {
+			for j := k + 1; j < p; j++ {
+				b.task(GEMM, i, j, k,
+					TileRef{i, k, Read},
+					TileRef{k, j, Read},
+					TileRef{i, j, ReadWrite})
+			}
+		}
+	}
+	return b.finish()
+}
+
+// QR builds the task graph of the tiled QR factorization (PLASMA-style
+// flat-tree: GEQRT on the diagonal, ORMQR on the row, TSQRT down the panel,
+// TSMQR trailing updates). Used by the "other factorizations" extension.
+func QR(p int) *DAG {
+	b := newBuilder("qr", p)
+	for k := 0; k < p; k++ {
+		b.task(GEQRT, -1, -1, k, TileRef{k, k, ReadWrite})
+		for j := k + 1; j < p; j++ {
+			b.task(ORMQR, k, j, k,
+				TileRef{k, k, Read},
+				TileRef{k, j, ReadWrite})
+		}
+		for i := k + 1; i < p; i++ {
+			b.task(TSQRT, i, -1, k,
+				TileRef{k, k, ReadWrite},
+				TileRef{i, k, ReadWrite})
+			for j := k + 1; j < p; j++ {
+				b.task(TSMQR, i, j, k,
+					TileRef{i, k, Read},
+					TileRef{k, j, ReadWrite},
+					TileRef{i, j, ReadWrite})
+			}
+		}
+	}
+	return b.finish()
+}
+
+// CholeskyLeftLooking builds the task graph of the *left-looking* tiled
+// Cholesky variant: updates are applied lazily when a panel is reached,
+// instead of eagerly after each factorization step (the right-looking
+// Algorithm 1). Same kernels, same task counts, different dependency
+// structure — left-looking has a longer critical path but touches each tile
+// write-once per phase, a classic locality/parallelism trade-off that the
+// schedulers and bounds can now measure.
+func CholeskyLeftLooking(p int) *DAG {
+	b := newBuilder("cholesky", p)
+	for j := 0; j < p; j++ {
+		// Accumulate all updates from previous panels into column j.
+		for k := 0; k < j; k++ {
+			b.task(SYRK, -1, j, k,
+				TileRef{j, k, Read},
+				TileRef{j, j, ReadWrite})
+		}
+		b.task(POTRF, -1, -1, j, TileRef{j, j, ReadWrite})
+		for i := j + 1; i < p; i++ {
+			for k := 0; k < j; k++ {
+				b.task(GEMM, i, j, k,
+					TileRef{i, k, Read},
+					TileRef{j, k, Read},
+					TileRef{i, j, ReadWrite})
+			}
+			b.task(TRSM, i, -1, j,
+				TileRef{j, j, Read},
+				TileRef{i, j, ReadWrite})
+		}
+	}
+	return b.finish()
+}

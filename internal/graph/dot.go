@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the task graph in Graphviz format, colored by kernel kind —
+// the generator of the paper's Figure 1 (the 5×5-tile Cholesky DAG).
+func (d *DAG) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", sanitize(d.Algorithm))
+	b.WriteString("  rankdir=TB;\n  node [style=filled, fontname=\"monospace\"];\n")
+	for _, t := range d.Tasks {
+		fmt.Fprintf(&b, "  %q [fillcolor=%q, shape=%s];\n",
+			t.Name(), dotColor(t.Kind), dotShape(t.Kind))
+	}
+	// Deterministic edge order.
+	type edge struct{ from, to int }
+	var edges []edge
+	for _, t := range d.Tasks {
+		for _, s := range t.Succ {
+			edges = append(edges, edge{t.ID, s})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -> %q;\n", d.Tasks[e.from].Name(), d.Tasks[e.to].Name())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// dotColor mirrors Figure 1's legend: one fill per kernel family.
+func dotColor(k Kind) string {
+	switch k {
+	case POTRF, GETRF, GEQRT:
+		return "#f4cccc" // red family: the diagonal kernel
+	case TRSM, ORMQR, TSQRT, TRSV:
+		return "#cfe2f3" // blue family
+	case SYRK:
+		return "#d9ead3" // green family
+	default:
+		return "#fce5cd" // orange family: GEMM-like updates
+	}
+}
+
+func dotShape(k Kind) string {
+	switch k {
+	case POTRF, GETRF, GEQRT:
+		return "octagon"
+	default:
+		return "box"
+	}
+}

@@ -1,0 +1,47 @@
+package graph
+
+// Merge composes independent DAGs into one (a batched workload: several
+// factorizations in flight at once, as dense solvers do for block-diagonal
+// systems or multiple right-hand sides). Task IDs are renumbered densely;
+// tile coordinates are offset per input so footprints never collide, which
+// keeps the simulator's data-transfer model faithful. No cross-DAG edges
+// are added — the scheduler is free to interleave.
+func Merge(dags ...*DAG) *DAG {
+	out := &DAG{Algorithm: "batch"}
+	tileStride := 0
+	for _, d := range dags {
+		if d.P > tileStride {
+			tileStride = d.P
+		}
+	}
+	tileStride++ // tile rows of batch i live in [i·stride, i·stride + P)
+	for bi, d := range dags {
+		base := len(out.Tasks)
+		off := bi * tileStride
+		for _, t := range d.Tasks {
+			nt := &Task{
+				ID:   base + t.ID,
+				Kind: t.Kind,
+				I:    t.I, J: t.J, K: t.K,
+			}
+			for _, ref := range t.Footprint {
+				j := ref.J
+				if j >= 0 {
+					j += off
+				}
+				nt.Footprint = append(nt.Footprint, TileRef{I: ref.I + off, J: j, Mode: ref.Mode})
+			}
+			for _, p := range t.Pred {
+				nt.Pred = append(nt.Pred, base+p)
+			}
+			for _, s := range t.Succ {
+				nt.Succ = append(nt.Succ, base+s)
+			}
+			out.Tasks = append(out.Tasks, nt)
+		}
+		if d.P > out.P {
+			out.P = d.P
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package graph
+
+import "math/rand"
+
+// RandomLayered generates a random layered DAG for property tests and
+// fuzzing: `layers` levels of up to `width` tasks, each task depending on a
+// random non-empty subset of the previous layer (edge probability edgeP).
+// Kinds are drawn from the Cholesky kernel set so standard platform models
+// can execute the graph. Each task writes its own tile and reads its
+// predecessors' tiles, giving the simulator a realistic transfer footprint.
+func RandomLayered(layers, width int, edgeP float64, seed int64) *DAG {
+	rng := rand.New(rand.NewSource(seed))
+	d := &DAG{Algorithm: "random", P: layers}
+	var prev []*Task
+	for l := 0; l < layers; l++ {
+		n := 1 + rng.Intn(width)
+		cur := make([]*Task, 0, n)
+		for i := 0; i < n; i++ {
+			kind := CholeskyKinds[rng.Intn(len(CholeskyKinds))]
+			t := &Task{
+				ID:   len(d.Tasks),
+				Kind: kind,
+				I:    l,
+				J:    i,
+				K:    l,
+				Footprint: []TileRef{
+					{I: l, J: i, Mode: ReadWrite},
+				},
+			}
+			if len(prev) > 0 {
+				picked := false
+				for _, pt := range prev {
+					if rng.Float64() < edgeP {
+						t.Pred = append(t.Pred, pt.ID)
+						pt.Succ = append(pt.Succ, t.ID)
+						t.Footprint = append(t.Footprint,
+							TileRef{I: pt.I, J: pt.J, Mode: Read})
+						picked = true
+					}
+				}
+				if !picked { // keep the graph connected layer to layer
+					pt := prev[rng.Intn(len(prev))]
+					t.Pred = append(t.Pred, pt.ID)
+					pt.Succ = append(pt.Succ, t.ID)
+					t.Footprint = append(t.Footprint,
+						TileRef{I: pt.I, J: pt.J, Mode: Read})
+				}
+			}
+			d.Tasks = append(d.Tasks, t)
+			cur = append(cur, t)
+		}
+		prev = cur
+	}
+	return d
+}

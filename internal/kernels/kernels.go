@@ -1,0 +1,153 @@
+// Package kernels implements the four numeric tile kernels of the tiled
+// Cholesky factorization — POTRF, TRSM, SYRK and GEMM — in pure Go, together
+// with their floating-point operation counts.
+//
+// These are the double-precision BLAS/LAPACK subroutines named by the paper
+// (Algorithm 1), specialized to the square nb×nb tiles and the exact
+// triangular variants the factorization needs:
+//
+//	POTRF: Akk ← Chol(Akk)            (lower factor, in place)
+//	TRSM:  Aik ← Aik · Lkk⁻ᵀ          (right, lower, transposed)
+//	SYRK:  Ajj ← Ajj − Ajk · Ajkᵀ     (lower triangle updated)
+//	GEMM:  Aij ← Aij − Aik · Ajkᵀ
+//
+// The implementations favour clarity plus reasonable cache behaviour
+// (ikj loop order with row reuse); they are the "MKL substitute" of the
+// reproduction — numerically exact, not performance-tuned. The scheduling
+// study consumes the platform timing model, not these kernels' wall time.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// Potrf factorizes the symmetric positive-definite tile a in place into its
+// lower Cholesky factor. Only the lower triangle of a is read and written.
+// It returns matrix.ErrNotPositiveDefinite (wrapped) on a non-positive pivot.
+func Potrf(a *matrix.Tile) error {
+	nb := a.NB
+	d := a.Data
+	for k := 0; k < nb; k++ {
+		p := d[k*nb+k]
+		if p <= 0 || math.IsNaN(p) {
+			return fmt.Errorf("%w: tile pivot %d is %g", matrix.ErrNotPositiveDefinite, k, p)
+		}
+		p = math.Sqrt(p)
+		d[k*nb+k] = p
+		inv := 1 / p
+		for i := k + 1; i < nb; i++ {
+			d[i*nb+k] *= inv
+		}
+		for j := k + 1; j < nb; j++ {
+			ljk := d[j*nb+k]
+			if ljk == 0 {
+				continue
+			}
+			for i := j; i < nb; i++ {
+				d[i*nb+j] -= d[i*nb+k] * ljk
+			}
+		}
+	}
+	return nil
+}
+
+// Trsm overwrites a with a · L⁻ᵀ where l holds a lower-triangular factor in
+// its lower triangle (diagonal included). This is the update applied to the
+// below-diagonal tiles of the panel: A[i][k] ← A[i][k] · L[k][k]⁻ᵀ.
+//
+// Row r of a solves xᵀ·Lᵀ = aᵀ, i.e. for each column j in increasing order:
+// x_j = (a_j − Σ_{k<j} x_k · L_jk) / L_jj.
+func Trsm(l, a *matrix.Tile) {
+	nb := a.NB
+	ld := l.Data
+	ad := a.Data
+	for r := 0; r < nb; r++ {
+		row := ad[r*nb : (r+1)*nb]
+		for j := 0; j < nb; j++ {
+			s := row[j]
+			lrow := ld[j*nb : j*nb+j]
+			for k, lv := range lrow {
+				s -= row[k] * lv
+			}
+			row[j] = s / ld[j*nb+j]
+		}
+	}
+}
+
+// Syrk performs the symmetric rank-nb update c ← c − a·aᵀ on the lower
+// triangle of c (the strict upper triangle of c is untouched).
+func Syrk(a, c *matrix.Tile) {
+	nb := a.NB
+	ad := a.Data
+	cd := c.Data
+	for i := 0; i < nb; i++ {
+		ai := ad[i*nb : (i+1)*nb]
+		for j := 0; j <= i; j++ {
+			aj := ad[j*nb : (j+1)*nb]
+			s := 0.0
+			for k := range ai {
+				s += ai[k] * aj[k]
+			}
+			cd[i*nb+j] -= s
+		}
+	}
+}
+
+// Gemm performs c ← c − a·bᵀ on full tiles (the paper's GEMM kernel: the
+// trailing update A[i][j] ← A[i][j] − A[i][k]·A[j][k]ᵀ).
+func Gemm(a, b, c *matrix.Tile) {
+	nb := a.NB
+	ad := a.Data
+	bd := b.Data
+	cd := c.Data
+	for i := 0; i < nb; i++ {
+		ai := ad[i*nb : (i+1)*nb]
+		ci := cd[i*nb : (i+1)*nb]
+		for j := 0; j < nb; j++ {
+			bj := bd[j*nb : (j+1)*nb]
+			s := 0.0
+			for k := range ai {
+				s += ai[k] * bj[k]
+			}
+			ci[j] -= s
+		}
+	}
+}
+
+// Flop counts per kernel for an nb×nb tile, using the standard dense linear
+// algebra conventions (LAPACK working notes). These feed the GFLOP/s
+// conversions and the GEMM-peak bound.
+
+// PotrfFlops returns the flop count of POTRF on an nb×nb tile: nb³/3 + nb²/2 + nb/6.
+func PotrfFlops(nb int) float64 {
+	n := float64(nb)
+	return n*n*n/3 + n*n/2 + n/6
+}
+
+// TrsmFlops returns the flop count of the triangular solve on an nb×nb tile: nb³.
+func TrsmFlops(nb int) float64 {
+	n := float64(nb)
+	return n * n * n
+}
+
+// SyrkFlops returns the flop count of the symmetric rank-nb update: nb³ + nb².
+func SyrkFlops(nb int) float64 {
+	n := float64(nb)
+	return n*n*n + n*n
+}
+
+// GemmFlops returns the flop count of the nb×nb tile multiply-accumulate: 2·nb³.
+func GemmFlops(nb int) float64 {
+	n := float64(nb)
+	return 2 * n * n * n
+}
+
+// CholeskyFlops returns the total flop count of factorizing an N×N matrix,
+// N³/3 + N²/2 + N/6 — the numerator of every GFLOP/s figure in the paper.
+func CholeskyFlops(n int) float64 {
+	x := float64(n)
+	return x*x*x/3 + x*x/2 + x/6
+}

@@ -1,0 +1,301 @@
+package kernels
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func randTile(nb int, seed int64) *matrix.Tile {
+	rng := rand.New(rand.NewSource(seed))
+	t := matrix.NewTile(nb)
+	for i := range t.Data {
+		t.Data[i] = rng.Float64()*2 - 1
+	}
+	return t
+}
+
+// spdTile returns a well-conditioned SPD tile.
+func spdTile(nb int, seed int64) *matrix.Tile {
+	b := randTile(nb, seed)
+	t := matrix.NewTile(nb)
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			s := 0.0
+			for k := 0; k < nb; k++ {
+				s += b.At(i, k) * b.At(j, k)
+			}
+			t.Set(i, j, s)
+		}
+		t.Set(i, i, t.At(i, i)+float64(nb))
+	}
+	return t
+}
+
+func tileToDense(t *matrix.Tile) *matrix.Dense {
+	d := matrix.NewDense(t.NB)
+	copy(d.Data, t.Data)
+	return d
+}
+
+func TestPotrfMatchesReference(t *testing.T) {
+	for _, nb := range []int{1, 2, 5, 16, 33} {
+		a := spdTile(nb, int64(nb))
+		want := tileToDense(a)
+		if err := matrix.ReferenceCholesky(want); err != nil {
+			t.Fatal(err)
+		}
+		if err := Potrf(a); err != nil {
+			t.Fatalf("nb=%d: %v", nb, err)
+		}
+		for i := 0; i < nb; i++ {
+			for j := 0; j <= i; j++ {
+				if math.Abs(a.At(i, j)-want.At(i, j)) > 1e-10 {
+					t.Fatalf("nb=%d: L(%d,%d) = %g, want %g", nb, i, j, a.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestPotrfLeavesUpperUntouched(t *testing.T) {
+	a := spdTile(5, 3)
+	a.Set(0, 4, 77) // garbage in the strict upper triangle
+	if err := Potrf(a); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 4) != 77 {
+		t.Fatal("Potrf modified the strict upper triangle")
+	}
+}
+
+func TestPotrfRejectsIndefinite(t *testing.T) {
+	a := matrix.NewTile(2)
+	a.Set(0, 0, -4)
+	a.Set(1, 1, 1)
+	if err := Potrf(a); !errors.Is(err, matrix.ErrNotPositiveDefinite) {
+		t.Fatalf("expected ErrNotPositiveDefinite, got %v", err)
+	}
+}
+
+// naive reference for TRSM: X·Lᵀ = A  ⇒  X = A·L⁻ᵀ.
+func refTrsm(l, a *matrix.Tile) *matrix.Tile {
+	nb := a.NB
+	x := matrix.NewTile(nb)
+	for r := 0; r < nb; r++ {
+		for j := 0; j < nb; j++ {
+			s := a.At(r, j)
+			for k := 0; k < j; k++ {
+				s -= x.At(r, k) * l.At(j, k)
+			}
+			x.Set(r, j, s/l.At(j, j))
+		}
+	}
+	return x
+}
+
+func TestTrsmSolvesSystem(t *testing.T) {
+	nb := 8
+	lt := spdTile(nb, 1)
+	if err := Potrf(lt); err != nil {
+		t.Fatal(err)
+	}
+	a := randTile(nb, 2)
+	orig := a.Clone()
+	Trsm(lt, a)
+	// Check X·Lᵀ == original A elementwise.
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			// (X·Lᵀ)(i,j) = Σ_k X(i,k)·L(j,k), k ≤ j since L lower.
+			s := 0.0
+			for k := 0; k <= j; k++ {
+				s += a.At(i, k) * lt.At(j, k)
+			}
+			if math.Abs(s-orig.At(i, j)) > 1e-9 {
+				t.Fatalf("X·Lᵀ(%d,%d) = %g, want %g", i, j, s, orig.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTrsmMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		nb := 6
+		lt := spdTile(nb, seed)
+		if err := Potrf(lt); err != nil {
+			return false
+		}
+		a := randTile(nb, seed+100)
+		want := refTrsm(lt, a)
+		Trsm(lt, a)
+		for i := range a.Data {
+			if math.Abs(a.Data[i]-want.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyrkMatchesGemmOnLower(t *testing.T) {
+	// SYRK(a, c) must equal GEMM(a, a, c) on the lower triangle.
+	f := func(seed int64) bool {
+		nb := 7
+		a := randTile(nb, seed)
+		c1 := spdTile(nb, seed+1)
+		c2 := c1.Clone()
+		Syrk(a, c1)
+		Gemm(a, a, c2)
+		for i := 0; i < nb; i++ {
+			for j := 0; j <= i; j++ {
+				if math.Abs(c1.At(i, j)-c2.At(i, j)) > 1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyrkLeavesUpperUntouched(t *testing.T) {
+	a := randTile(4, 1)
+	c := randTile(4, 2)
+	upper := c.At(0, 3)
+	Syrk(a, c)
+	if c.At(0, 3) != upper {
+		t.Fatal("Syrk modified the strict upper triangle of C")
+	}
+}
+
+func TestGemmKnownSmall(t *testing.T) {
+	// a = [[1,2],[3,4]], b = [[5,6],[7,8]], c = 0 ⇒ c = −a·bᵀ.
+	a := matrix.NewTile(2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	b := matrix.NewTile(2)
+	copy(b.Data, []float64{5, 6, 7, 8})
+	c := matrix.NewTile(2)
+	Gemm(a, b, c)
+	want := []float64{-(1*5 + 2*6), -(1*7 + 2*8), -(3*5 + 4*6), -(3*7 + 4*8)}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("c[%d] = %g, want %g", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestGemmAccumulates(t *testing.T) {
+	a := randTile(3, 5)
+	b := randTile(3, 6)
+	c := randTile(3, 7)
+	orig := c.Clone()
+	Gemm(a, b, c)
+	// c_new − c_old == −a·bᵀ
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			s := 0.0
+			for k := 0; k < 3; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			if math.Abs((orig.At(i, j)-c.At(i, j))-s) > 1e-12 {
+				t.Fatal("Gemm did not accumulate −a·bᵀ")
+			}
+		}
+	}
+}
+
+func TestTiledCholeskyMatchesReference(t *testing.T) {
+	for _, tc := range []struct{ p, nb int }{{1, 4}, {2, 3}, {4, 4}, {5, 2}, {3, 8}} {
+		n := tc.p * tc.nb
+		a := matrix.RandSPD(n, int64(n))
+		tl, err := matrix.FromDense(a, tc.nb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := TiledCholesky(tl); err != nil {
+			t.Fatalf("p=%d nb=%d: %v", tc.p, tc.nb, err)
+		}
+		l := tl.ToDense()
+		if res := matrix.CholeskyResidual(a, l); res > 1e-12 {
+			t.Fatalf("p=%d nb=%d: residual %g", tc.p, tc.nb, res)
+		}
+	}
+}
+
+func TestTiledCholeskyPropagatesIndefiniteError(t *testing.T) {
+	a := matrix.RandSymmetric(8, 3) // almost surely indefinite
+	tl, err := matrix.FromDense(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TiledCholesky(tl); !errors.Is(err, matrix.ErrNotPositiveDefinite) {
+		t.Fatalf("expected ErrNotPositiveDefinite, got %v", err)
+	}
+}
+
+func TestTiledCholeskyLaplacian(t *testing.T) {
+	a := matrix.Laplacian2D(4) // 16×16
+	tl, err := matrix.FromDense(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TiledCholesky(tl); err != nil {
+		t.Fatal(err)
+	}
+	if res := matrix.CholeskyResidual(a, tl.ToDense()); res > 1e-13 {
+		t.Fatalf("residual %g", res)
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	nb := 10
+	if got, want := GemmFlops(nb), 2000.0; got != want {
+		t.Fatalf("GemmFlops = %g, want %g", got, want)
+	}
+	if got, want := TrsmFlops(nb), 1000.0; got != want {
+		t.Fatalf("TrsmFlops = %g, want %g", got, want)
+	}
+	if got, want := SyrkFlops(nb), 1100.0; got != want {
+		t.Fatalf("SyrkFlops = %g, want %g", got, want)
+	}
+	if got := PotrfFlops(nb); math.Abs(got-(1000.0/3+50+10.0/6)) > 1e-9 {
+		t.Fatalf("PotrfFlops = %g", got)
+	}
+	// The factorization total must equal the sum over the task graph's tiles
+	// in the untiled limit: CholeskyFlops(N) ≈ N³/3.
+	if got := CholeskyFlops(960); got < 960.0*960*960/3 {
+		t.Fatalf("CholeskyFlops too small: %g", got)
+	}
+}
+
+func TestCholeskyFlopsMatchesTaskSum(t *testing.T) {
+	// Sum of per-kernel flops over the DAG task counts must equal
+	// CholeskyFlops(p·nb) exactly (the identity the paper's GFLOP/s rely on).
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		nb := 4
+		np := float64(p)
+		nT := np * (np - 1) / 2
+		nS := nT
+		nG := np * (np - 1) * (np - 2) / 6
+		sum := np*PotrfFlops(nb) + nT*TrsmFlops(nb) + nS*SyrkFlops(nb) + nG*GemmFlops(nb)
+		want := CholeskyFlops(p * nb)
+		if math.Abs(sum-want) > 1e-6*want {
+			t.Fatalf("p=%d: task-sum flops %g != CholeskyFlops %g", p, sum, want)
+		}
+	}
+}
+
+func TestVectorFlops(t *testing.T) {
+	if TrsvFlops(8) != 64 || GemvFlops(8) != 128 {
+		t.Fatal("vector kernel flop counts")
+	}
+}

@@ -1,0 +1,179 @@
+package kernels
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// LU tile kernels for the "other dense factorizations" extension
+// (conclusion of the paper): tiled LU without pivoting, right-looking.
+// Safe for diagonally dominant matrices (matrix.DiagDominant).
+
+// ErrZeroPivot is returned by Getrf on a (near-)zero pivot; LU without
+// pivoting cannot proceed.
+var ErrZeroPivot = errors.New("kernels: zero pivot in unpivoted LU")
+
+// Getrf computes the in-place LU factorization (no pivoting) of a tile:
+// unit-lower L below the diagonal, U on and above.
+func Getrf(a *matrix.Tile) error {
+	nb := a.NB
+	d := a.Data
+	for k := 0; k < nb; k++ {
+		p := d[k*nb+k]
+		if math.Abs(p) < 1e-300 || math.IsNaN(p) {
+			return fmt.Errorf("%w: pivot %d is %g", ErrZeroPivot, k, p)
+		}
+		inv := 1 / p
+		for i := k + 1; i < nb; i++ {
+			d[i*nb+k] *= inv
+		}
+		for i := k + 1; i < nb; i++ {
+			lik := d[i*nb+k]
+			if lik == 0 {
+				continue
+			}
+			for j := k + 1; j < nb; j++ {
+				d[i*nb+j] -= lik * d[k*nb+j]
+			}
+		}
+	}
+	return nil
+}
+
+// TrsmLowerLeftUnit overwrites a with L⁻¹·a where l holds a *unit* lower
+// triangular factor below its diagonal (a GETRF result). This is the LU row
+// panel update A_kj ← L_kk⁻¹·A_kj.
+func TrsmLowerLeftUnit(l, a *matrix.Tile) {
+	nb := a.NB
+	ld := l.Data
+	ad := a.Data
+	for i := 0; i < nb; i++ {
+		rowI := ad[i*nb : (i+1)*nb]
+		for j := 0; j < i; j++ {
+			lij := ld[i*nb+j]
+			if lij == 0 {
+				continue
+			}
+			rowJ := ad[j*nb : (j+1)*nb]
+			for c := range rowI {
+				rowI[c] -= lij * rowJ[c]
+			}
+		}
+	}
+}
+
+// TrsmUpperRight overwrites a with a·U⁻¹ where u holds an upper triangular
+// factor (non-unit diagonal) on and above its diagonal. This is the LU
+// column panel update A_ik ← A_ik·U_kk⁻¹.
+func TrsmUpperRight(u, a *matrix.Tile) {
+	nb := a.NB
+	ud := u.Data
+	ad := a.Data
+	for r := 0; r < nb; r++ {
+		row := ad[r*nb : (r+1)*nb]
+		for j := 0; j < nb; j++ {
+			s := row[j]
+			for k := 0; k < j; k++ {
+				s -= row[k] * ud[k*nb+j]
+			}
+			row[j] = s / ud[j*nb+j]
+		}
+	}
+}
+
+// GemmNN performs c ← c − a·b on full tiles (the LU trailing update; note
+// the non-transposed b, unlike the Cholesky Gemm).
+func GemmNN(a, b, c *matrix.Tile) {
+	nb := a.NB
+	ad := a.Data
+	bd := b.Data
+	cd := c.Data
+	for i := 0; i < nb; i++ {
+		ai := ad[i*nb : (i+1)*nb]
+		ci := cd[i*nb : (i+1)*nb]
+		for k := 0; k < nb; k++ {
+			f := ai[k]
+			if f == 0 {
+				continue
+			}
+			bk := bd[k*nb : (k+1)*nb]
+			for j := range ci {
+				ci[j] -= f * bk[j]
+			}
+		}
+	}
+}
+
+// TiledLU runs the tiled right-looking LU factorization (no pivoting)
+// sequentially on a full tiled matrix, overwriting it with L (unit lower)
+// and U.
+func TiledLU(t *matrix.TiledFull) error {
+	p := t.P
+	for k := 0; k < p; k++ {
+		if err := Getrf(t.Tile(k, k)); err != nil {
+			return err
+		}
+		for j := k + 1; j < p; j++ {
+			TrsmLowerLeftUnit(t.Tile(k, k), t.Tile(k, j))
+		}
+		for i := k + 1; i < p; i++ {
+			TrsmUpperRight(t.Tile(k, k), t.Tile(i, k))
+		}
+		for i := k + 1; i < p; i++ {
+			for j := k + 1; j < p; j++ {
+				GemmNN(t.Tile(i, k), t.Tile(k, j), t.Tile(i, j))
+			}
+		}
+	}
+	return nil
+}
+
+// LUResidual returns ‖A − L·U‖_F / ‖A‖_F for a factorized full-tiled matrix.
+func LUResidual(a *matrix.Dense, f *matrix.TiledFull) float64 {
+	lu := f.ToDense()
+	n := a.N
+	// Reconstruct L·U: L unit lower, U upper, both stored in lu.
+	r := matrix.NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				var lik float64
+				if k == i {
+					lik = 1
+				} else {
+					lik = lu.At(i, k)
+				}
+				if k <= j {
+					s += lik * lu.At(k, j)
+				}
+			}
+			r.Set(i, j, s)
+		}
+	}
+	num := a.Sub(r).FrobeniusNorm()
+	den := a.FrobeniusNorm()
+	if den == 0 {
+		return num
+	}
+	return num / den
+}
+
+// GetrfFlops returns the flop count of the unpivoted tile LU: 2nb³/3.
+func GetrfFlops(nb int) float64 {
+	n := float64(nb)
+	return 2 * n * n * n / 3
+}
+
+// LUFlops returns the total flop count of an N×N LU factorization: 2N³/3.
+func LUFlops(n int) float64 {
+	x := float64(n)
+	return 2 * x * x * x / 3
+}

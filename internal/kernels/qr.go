@@ -1,0 +1,269 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// QR tile kernels (flat-tree tiled QR, PLASMA-style) for the "other dense
+// factorizations" extension. Householder reflectors are applied vector by
+// vector (no compact WY accumulation): slower than LAPACK but numerically
+// identical, and the scheduling study consumes only the timing model.
+//
+// Storage convention after the factorization:
+//
+//	GEQRT(A_kk):     R on/above the diagonal of A_kk, the V vectors below
+//	                 (implicit unit diagonal), τ values in tau.
+//	TSQRT(R, A_ik):  updated R in A_kk's upper triangle; the bottom parts of
+//	                 the [R; A_ik] reflectors stored in A_ik (full tile),
+//	                 τ values in tau.
+
+// householder computes a Householder reflector for the vector (alpha, x):
+// H·(alpha, x) = (beta, 0). It returns beta and tau and scales x in place to
+// the reflector's tail (the head is an implicit 1). LAPACK dlarfg semantics.
+func householder(alpha float64, x []float64) (beta, tau float64) {
+	sigma := 0.0
+	for _, v := range x {
+		sigma += v * v
+	}
+	if sigma == 0 {
+		return alpha, 0 // already triangular; H = I
+	}
+	mu := math.Sqrt(alpha*alpha + sigma)
+	if alpha <= 0 {
+		beta = mu
+	} else {
+		beta = -mu
+	}
+	tau = (beta - alpha) / beta
+	inv := 1 / (alpha - beta)
+	for i := range x {
+		x[i] *= inv
+	}
+	return beta, tau
+}
+
+// Geqrt factorizes tile a in place: A = Q·R with R stored on/above the
+// diagonal and the Householder vectors V below it; tau (length nb) receives
+// the reflector scales.
+func Geqrt(a *matrix.Tile, tau []float64) {
+	nb := a.NB
+	d := a.Data
+	col := make([]float64, nb)
+	for j := 0; j < nb; j++ {
+		// Build the reflector from column j, rows j+1..nb−1.
+		tail := col[:nb-j-1]
+		for i := j + 1; i < nb; i++ {
+			tail[i-j-1] = d[i*nb+j]
+		}
+		beta, t := householder(d[j*nb+j], tail)
+		tau[j] = t
+		d[j*nb+j] = beta
+		for i := j + 1; i < nb; i++ {
+			d[i*nb+j] = tail[i-j-1]
+		}
+		if t == 0 {
+			continue
+		}
+		// Apply H = I − τ·v·vᵀ to the trailing columns.
+		for c := j + 1; c < nb; c++ {
+			w := d[j*nb+c]
+			for i := j + 1; i < nb; i++ {
+				w += d[i*nb+j] * d[i*nb+c]
+			}
+			w *= t
+			d[j*nb+c] -= w
+			for i := j + 1; i < nb; i++ {
+				d[i*nb+c] -= d[i*nb+j] * w
+			}
+		}
+	}
+}
+
+// Ormqr applies Qᵀ (from a Geqrt-factorized tile v with scales tau) to tile
+// c in place: C ← Qᵀ·C. This is the row update A_kj ← Qᵀ·A_kj.
+func Ormqr(v *matrix.Tile, tau []float64, c *matrix.Tile) {
+	nb := v.NB
+	vd := v.Data
+	cd := c.Data
+	for j := 0; j < nb; j++ { // H_0 applied first: Qᵀ = H_{nb−1}···H_0
+		t := tau[j]
+		if t == 0 {
+			continue
+		}
+		for col := 0; col < nb; col++ {
+			w := cd[j*nb+col]
+			for i := j + 1; i < nb; i++ {
+				w += vd[i*nb+j] * cd[i*nb+col]
+			}
+			w *= t
+			cd[j*nb+col] -= w
+			for i := j + 1; i < nb; i++ {
+				cd[i*nb+col] -= vd[i*nb+j] * w
+			}
+		}
+	}
+}
+
+// Tsqrt factorizes the stacked pair [R; B] where r's upper triangle holds
+// the current R (its strict lower triangle — earlier V vectors — is left
+// untouched) and b is a full tile. The reflector tails are stored in b, the
+// updated R stays in r, and tau receives the scales. This is the
+// triangle-on-top-of-square QR of the panel.
+func Tsqrt(r, b *matrix.Tile, tau []float64) {
+	nb := r.NB
+	rd := r.Data
+	bd := b.Data
+	colTail := make([]float64, nb)
+	for j := 0; j < nb; j++ {
+		for i := 0; i < nb; i++ {
+			colTail[i] = bd[i*nb+j]
+		}
+		beta, t := householder(rd[j*nb+j], colTail)
+		tau[j] = t
+		rd[j*nb+j] = beta
+		for i := 0; i < nb; i++ {
+			bd[i*nb+j] = colTail[i]
+		}
+		if t == 0 {
+			continue
+		}
+		// Apply to the remaining columns of [R; B]. The top part of the
+		// reflector is e_j, so w = R[j][c] + Σ_i B[i][j]·B[i][c].
+		for c := j + 1; c < nb; c++ {
+			w := rd[j*nb+c]
+			for i := 0; i < nb; i++ {
+				w += bd[i*nb+j] * bd[i*nb+c]
+			}
+			w *= t
+			rd[j*nb+c] -= w
+			for i := 0; i < nb; i++ {
+				bd[i*nb+c] -= bd[i*nb+j] * w
+			}
+		}
+	}
+}
+
+// Tsmqr applies the TSQRT reflectors (tails in v, scales in tau) to the
+// stacked pair [ctop; cbot]: the trailing update
+// [A_kj; A_ij] ← Qᵀ·[A_kj; A_ij].
+func Tsmqr(v *matrix.Tile, tau []float64, ctop, cbot *matrix.Tile) {
+	nb := v.NB
+	vd := v.Data
+	td := ctop.Data
+	bd := cbot.Data
+	for j := 0; j < nb; j++ {
+		t := tau[j]
+		if t == 0 {
+			continue
+		}
+		for col := 0; col < nb; col++ {
+			w := td[j*nb+col]
+			for i := 0; i < nb; i++ {
+				w += vd[i*nb+j] * bd[i*nb+col]
+			}
+			w *= t
+			td[j*nb+col] -= w
+			for i := 0; i < nb; i++ {
+				bd[i*nb+col] -= vd[i*nb+j] * w
+			}
+		}
+	}
+}
+
+// QRAux holds the Householder scales of a tiled QR factorization: TauGE[k]
+// for GEQRT(k), TauTS[i][k] for TSQRT(i, k). All slices are preallocated so
+// concurrent task execution never mutates shared structure.
+type QRAux struct {
+	P     int
+	NB    int
+	TauGE [][]float64
+	TauTS [][][]float64 // [i][k], nil where unused (i ≤ k)
+}
+
+// NewQRAux allocates the scale storage for a p×p tiled QR with tile size nb.
+func NewQRAux(p, nb int) *QRAux {
+	aux := &QRAux{P: p, NB: nb,
+		TauGE: make([][]float64, p),
+		TauTS: make([][][]float64, p),
+	}
+	for k := 0; k < p; k++ {
+		aux.TauGE[k] = make([]float64, nb)
+	}
+	for i := 0; i < p; i++ {
+		aux.TauTS[i] = make([][]float64, p)
+		for k := 0; k < i; k++ {
+			aux.TauTS[i][k] = make([]float64, nb)
+		}
+	}
+	return aux
+}
+
+// TiledQR runs the flat-tree tiled QR factorization sequentially: R ends up
+// in the upper block triangle of t, the reflectors in the lower blocks and
+// aux.
+func TiledQR(t *matrix.TiledFull) *QRAux {
+	p := t.P
+	aux := NewQRAux(p, t.NB)
+	for k := 0; k < p; k++ {
+		Geqrt(t.Tile(k, k), aux.TauGE[k])
+		for j := k + 1; j < p; j++ {
+			Ormqr(t.Tile(k, k), aux.TauGE[k], t.Tile(k, j))
+		}
+		for i := k + 1; i < p; i++ {
+			Tsqrt(t.Tile(k, k), t.Tile(i, k), aux.TauTS[i][k])
+			for j := k + 1; j < p; j++ {
+				Tsmqr(t.Tile(i, k), aux.TauTS[i][k], t.Tile(k, j), t.Tile(i, j))
+			}
+		}
+	}
+	return aux
+}
+
+// QRFactorR extracts the R factor (upper triangular) from a factorized
+// tiled matrix.
+func QRFactorR(t *matrix.TiledFull) *matrix.Dense {
+	n := t.N()
+	d := t.ToDense()
+	r := matrix.NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, d.At(i, j))
+		}
+	}
+	return r
+}
+
+// QRResidual checks a tiled QR factorization without forming Q, using the
+// orthogonal invariance ‖RᵀR − AᵀA‖_F / ‖AᵀA‖_F (Q orthogonal ⇒
+// AᵀA = RᵀQᵀQR = RᵀR).
+func QRResidual(a *matrix.Dense, t *matrix.TiledFull) float64 {
+	r := QRFactorR(t)
+	rtr := r.Transpose().Mul(r)
+	ata := a.Transpose().Mul(a)
+	num := rtr.Sub(ata).FrobeniusNorm()
+	den := ata.FrobeniusNorm()
+	if den == 0 {
+		return num
+	}
+	return num / den
+}
+
+// Flop counts for the QR kernels (PLASMA conventions, leading order).
+
+// GeqrtFlops returns the flop count of the tile QR: 4nb³/3.
+func GeqrtFlops(nb int) float64 { n := float64(nb); return 4 * n * n * n / 3 }
+
+// OrmqrFlops returns the flop count of applying a tile's Q: 2nb³.
+func OrmqrFlops(nb int) float64 { n := float64(nb); return 2 * n * n * n }
+
+// TsqrtFlops returns the flop count of the triangle-on-square QR: 2nb³.
+func TsqrtFlops(nb int) float64 { n := float64(nb); return 2 * n * n * n }
+
+// TsmqrFlops returns the flop count of the stacked update: 4nb³.
+func TsmqrFlops(nb int) float64 { n := float64(nb); return 4 * n * n * n }
+
+// QRFlops returns the total flop count of an N×N QR factorization: 4N³/3
+// (leading order, tall-skinny overhead excluded).
+func QRFlops(n int) float64 { x := float64(n); return 4 * x * x * x / 3 }

@@ -1,0 +1,71 @@
+package kernels
+
+import "repro/internal/matrix"
+
+// Vector kernels of the triangular-solve pipeline (§II-A of the paper:
+// "The solution vector x can then be computed by solving the two following
+// triangular systems: Ly = b and LTx = y").
+
+// Trsv solves L·x = b in place on a vector chunk (x aliases b): forward
+// substitution against the lower triangle of l.
+func Trsv(l *matrix.Tile, x []float64) {
+	nb := l.NB
+	d := l.Data
+	for i := 0; i < nb; i++ {
+		s := x[i]
+		row := d[i*nb : i*nb+i]
+		for j, lv := range row {
+			s -= lv * x[j]
+		}
+		x[i] = s / d[i*nb+i]
+	}
+}
+
+// TrsvT solves Lᵀ·x = b in place on a vector chunk: backward substitution.
+func TrsvT(l *matrix.Tile, x []float64) {
+	nb := l.NB
+	d := l.Data
+	for i := nb - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < nb; j++ {
+			s -= d[j*nb+i] * x[j]
+		}
+		x[i] = s / d[i*nb+i]
+	}
+}
+
+// Gemv computes y ← y − A·x on full-tile chunks.
+func Gemv(a *matrix.Tile, x, y []float64) {
+	nb := a.NB
+	d := a.Data
+	for i := 0; i < nb; i++ {
+		s := 0.0
+		row := d[i*nb : (i+1)*nb]
+		for j, av := range row {
+			s += av * x[j]
+		}
+		y[i] -= s
+	}
+}
+
+// GemvT computes y ← y − Aᵀ·x on full-tile chunks.
+func GemvT(a *matrix.Tile, x, y []float64) {
+	nb := a.NB
+	d := a.Data
+	for j := 0; j < nb; j++ {
+		xv := x[j]
+		if xv == 0 {
+			continue
+		}
+		row := d[j*nb : (j+1)*nb]
+		for i, av := range row {
+			y[i] -= av * xv
+		}
+	}
+}
+
+// TrsvFlops returns the flop count of a triangular solve on an nb chunk: nb².
+func TrsvFlops(nb int) float64 { n := float64(nb); return n * n }
+
+// GemvFlops returns the flop count of the chunk update: 2·nb².
+func GemvFlops(nb int) float64 { n := float64(nb); return 2 * n * n }

@@ -1,0 +1,26 @@
+package kernels
+
+import "repro/internal/matrix"
+
+// TiledCholesky runs Algorithm 1 of the paper sequentially on a tiled
+// matrix, overwriting it with the Cholesky factor. It is the sequential
+// reference for the parallel runtime and the direct executable form of the
+// task graph built by internal/graph.
+func TiledCholesky(t *matrix.Tiled) error {
+	p := t.P
+	for k := 0; k < p; k++ {
+		if err := Potrf(t.Tile(k, k)); err != nil {
+			return err
+		}
+		for i := k + 1; i < p; i++ {
+			Trsm(t.Tile(k, k), t.Tile(i, k))
+		}
+		for j := k + 1; j < p; j++ {
+			Syrk(t.Tile(j, k), t.Tile(j, j))
+			for i := j + 1; i < p; i++ {
+				Gemm(t.Tile(i, k), t.Tile(j, k), t.Tile(i, j))
+			}
+		}
+	}
+	return nil
+}

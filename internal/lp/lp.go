@@ -1,0 +1,408 @@
+// Package lp implements a small dense linear-programming solver — a
+// two-phase primal simplex with Bland's anti-cycling rule — plus a
+// branch-and-bound wrapper for (mixed-)integer programs.
+//
+// It is the substrate behind the paper's makespan lower bounds: the area
+// bound and the mixed bound are linear programs over the per-resource-type
+// task counts n_rt (Section III-A). Those programs are tiny (a handful of
+// variables, constraints independent of the matrix size), so a
+// clarity-first dense implementation is the right tool.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rel is the relation of a constraint row.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // Σ a_j x_j ≤ b
+	GE            // Σ a_j x_j ≥ b
+	EQ            // Σ a_j x_j = b
+)
+
+// String names the relation.
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Constraint is one row: Coef·x Rel RHS.
+type Constraint struct {
+	Coef []float64
+	Rel  Rel
+	RHS  float64
+}
+
+// Problem is minimize C·x subject to the constraints, x ≥ 0.
+type Problem struct {
+	C    []float64
+	Rows []Constraint
+}
+
+// NewProblem allocates a problem with n variables and the given objective.
+func NewProblem(c []float64) *Problem {
+	cc := make([]float64, len(c))
+	copy(cc, c)
+	return &Problem{C: cc}
+}
+
+// AddConstraint appends a row. The coefficient slice is copied and, if
+// shorter than the variable count, zero-extended.
+func (p *Problem) AddConstraint(coef []float64, rel Rel, rhs float64) {
+	row := make([]float64, len(p.C))
+	copy(row, coef)
+	p.Rows = append(p.Rows, Constraint{Coef: row, Rel: rel, RHS: rhs})
+}
+
+// Status classifies a solve outcome.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "unbounded"
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+}
+
+const eps = 1e-9
+
+// Solve minimizes the problem with a two-phase dense simplex.
+func Solve(p *Problem) *Solution {
+	n := len(p.C)
+	m := len(p.Rows)
+
+	// Count slack and artificial columns.
+	nSlack := 0
+	for _, r := range p.Rows {
+		if r.Rel != EQ {
+			nSlack++
+		}
+	}
+	// Build rows with b ≥ 0; decide artificials after normalization.
+	type row struct {
+		a   []float64 // length n + nSlack
+		b   float64
+		rel Rel
+		slk int // slack column index or −1
+	}
+	rows := make([]row, m)
+	si := 0
+	for i, r := range p.Rows {
+		a := make([]float64, n+nSlack)
+		copy(a, r.Coef)
+		b := r.RHS
+		rel := r.Rel
+		if b < 0 { // normalize to b ≥ 0
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		slk := -1
+		if r.Rel != EQ {
+			slk = n + si
+			si++
+			if rel == LE {
+				a[slk] = 1
+			} else {
+				a[slk] = -1
+			}
+		}
+		rows[i] = row{a: a, b: b, rel: rel, slk: slk}
+	}
+
+	// A row has a ready basic variable only if it is LE with +1 slack.
+	nArt := 0
+	for _, r := range rows {
+		if !(r.rel == LE && r.slk >= 0) {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+
+	// Tableau: m rows × (total+1); basis per row.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	ai := 0
+	for i, r := range rows {
+		t[i] = make([]float64, total+1)
+		copy(t[i], r.a)
+		t[i][total] = r.b
+		if r.rel == LE && r.slk >= 0 {
+			basis[i] = r.slk
+		} else {
+			col := n + nSlack + ai
+			ai++
+			t[i][col] = 1
+			basis[i] = col
+		}
+	}
+
+	pivot := func(pr, pc int, cost []float64) {
+		pv := t[pr][pc]
+		for j := range t[pr] {
+			t[pr][j] /= pv
+		}
+		for i := range t {
+			if i == pr {
+				continue
+			}
+			f := t[i][pc]
+			if f == 0 {
+				continue
+			}
+			for j := range t[i] {
+				t[i][j] -= f * t[pr][j]
+			}
+		}
+		f := cost[pc]
+		if f != 0 {
+			for j := range cost {
+				cost[j] -= f * t[pr][j]
+			}
+		}
+		basis[pr] = pc
+	}
+
+	// iterate runs the simplex on the given cost row restricted to columns
+	// [0, limit). Returns false if unbounded.
+	iterate := func(cost []float64, limit int) bool {
+		for iter := 0; iter < 100000; iter++ {
+			// Bland: entering = smallest index with negative reduced cost.
+			pc := -1
+			for j := 0; j < limit; j++ {
+				if cost[j] < -eps {
+					pc = j
+					break
+				}
+			}
+			if pc == -1 {
+				return true // optimal
+			}
+			// Ratio test with Bland tie-breaking.
+			pr, best := -1, math.Inf(1)
+			for i := 0; i < m; i++ {
+				if t[i][pc] > eps {
+					ratio := t[i][total] / t[i][pc]
+					if ratio < best-eps || (ratio < best+eps && (pr == -1 || basis[i] < basis[pr])) {
+						best, pr = ratio, i
+					}
+				}
+			}
+			if pr == -1 {
+				return false // unbounded
+			}
+			pivot(pr, pc, cost)
+		}
+		return true // iteration cap: treat as converged (should not happen with Bland)
+	}
+
+	// Phase 1: minimize sum of artificials.
+	if nArt > 0 {
+		w := make([]float64, total+1)
+		for j := n + nSlack; j < total; j++ {
+			w[j] = 1
+		}
+		// Make w consistent with the basis (eliminate basic artificials).
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+nSlack {
+				for j := range w {
+					w[j] -= t[i][j]
+				}
+			}
+		}
+		if !iterate(w, total) {
+			return &Solution{Status: Infeasible} // phase 1 can't be unbounded; be safe
+		}
+		if -w[total] > 1e-7 { // w row stores −value in RHS slot after elimination
+			return &Solution{Status: Infeasible}
+		}
+		// Drive any remaining artificial out of the basis if possible.
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+nSlack {
+				moved := false
+				for j := 0; j < n+nSlack; j++ {
+					if math.Abs(t[i][j]) > eps {
+						pivot(i, j, w)
+						moved = true
+						break
+					}
+				}
+				if !moved {
+					// Redundant row: zero it so it can't constrain phase 2.
+					for j := range t[i] {
+						t[i][j] = 0
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective over structural + slack columns only.
+	cost := make([]float64, total+1)
+	copy(cost, p.C)
+	for i := 0; i < m; i++ {
+		if basis[i] < n && cost[basis[i]] != 0 {
+			f := cost[basis[i]]
+			for j := range cost {
+				cost[j] -= f * t[i][j]
+			}
+		}
+	}
+	if !iterate(cost, n+nSlack) {
+		return &Solution{Status: Unbounded}
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][total]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.C[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: obj}
+}
+
+// SolveInteger minimizes the problem with the variables listed in intVars
+// constrained to non-negative integers, via LP-relaxation branch and bound
+// (best-first on the relaxation objective). maxNodes caps the search; if
+// exceeded, the best incumbent found is returned with an error.
+func SolveInteger(p *Problem, intVars []int, maxNodes int) (*Solution, error) {
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+	isInt := make(map[int]bool, len(intVars))
+	for _, v := range intVars {
+		if v < 0 || v >= len(p.C) {
+			return nil, fmt.Errorf("lp: integer variable %d out of range", v)
+		}
+		isInt[v] = true
+	}
+
+	// Nodes carry per-variable bound maps rather than accumulated constraint
+	// rows, so a subproblem's LP has at most two extra rows per integer
+	// variable no matter how deep the search goes.
+	type node struct {
+		lo, hi map[int]float64
+	}
+	withBound := func(m map[int]float64, v int, b float64, tighterIsLarger bool) map[int]float64 {
+		out := make(map[int]float64, len(m)+1)
+		for k, x := range m {
+			out[k] = x
+		}
+		if old, ok := out[v]; ok {
+			if tighterIsLarger && b < old {
+				b = old
+			}
+			if !tighterIsLarger && b > old {
+				b = old
+			}
+		}
+		out[v] = b
+		return out
+	}
+
+	var best *Solution
+	stack := []node{{}}
+	nodes := 0
+	for len(stack) > 0 {
+		nodes++
+		if nodes > maxNodes {
+			if best != nil {
+				return best, fmt.Errorf("lp: node budget exhausted; returning incumbent")
+			}
+			return nil, fmt.Errorf("lp: node budget exhausted with no incumbent")
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		rows := append([]Constraint{}, p.Rows...)
+		for v, b := range nd.lo {
+			coef := make([]float64, len(p.C))
+			coef[v] = 1
+			rows = append(rows, Constraint{Coef: coef, Rel: GE, RHS: b})
+		}
+		for v, b := range nd.hi {
+			coef := make([]float64, len(p.C))
+			coef[v] = 1
+			rows = append(rows, Constraint{Coef: coef, Rel: LE, RHS: b})
+		}
+		sub := &Problem{C: p.C, Rows: rows}
+		sol := Solve(sub)
+		if sol.Status != Optimal {
+			continue
+		}
+		if best != nil && sol.Obj >= best.Obj-1e-9 {
+			continue // bound
+		}
+		// Find most fractional integer variable.
+		frac, fv := -1.0, -1
+		for v := range p.C {
+			if !isInt[v] {
+				continue
+			}
+			f := sol.X[v] - math.Floor(sol.X[v])
+			d := math.Min(f, 1-f)
+			if d > 1e-6 && d > frac {
+				frac, fv = d, v
+			}
+		}
+		if fv == -1 {
+			// Integral: update incumbent (round to kill 1e−9 noise).
+			xi := make([]float64, len(sol.X))
+			copy(xi, sol.X)
+			for v := range isInt {
+				xi[v] = math.Round(xi[v])
+			}
+			best = &Solution{Status: Optimal, X: xi, Obj: sol.Obj}
+			continue
+		}
+		lo := math.Floor(sol.X[fv])
+		stack = append(stack,
+			node{lo: withBound(nd.lo, fv, lo+1, true), hi: nd.hi},
+			node{lo: nd.lo, hi: withBound(nd.hi, fv, lo, false)},
+		)
+	}
+	if best == nil {
+		return &Solution{Status: Infeasible}, nil
+	}
+	return best, nil
+}

@@ -1,0 +1,410 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimple2D(t *testing.T) {
+	// min −x−y s.t. x+y ≤ 4, x ≤ 3, y ≤ 3 ⇒ obj −4 (whole edge optimal).
+	p := NewProblem([]float64{-1, -1})
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	p.AddConstraint([]float64{0, 1}, LE, 3)
+	s := Solve(p)
+	if s.Status != Optimal || math.Abs(s.Obj-(-4)) > 1e-9 {
+		t.Fatalf("got %v obj=%g", s.Status, s.Obj)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x+2y s.t. x+y = 3, x ≤ 2 ⇒ x=2, y=1, obj 4.
+	p := NewProblem([]float64{1, 2})
+	p.AddConstraint([]float64{1, 1}, EQ, 3)
+	p.AddConstraint([]float64{1, 0}, LE, 2)
+	s := Solve(p)
+	if s.Status != Optimal || math.Abs(s.Obj-4) > 1e-9 {
+		t.Fatalf("got %v obj=%g x=%v", s.Status, s.Obj, s.X)
+	}
+	if math.Abs(s.X[0]-2) > 1e-9 || math.Abs(s.X[1]-1) > 1e-9 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min x s.t. x ≥ 5 ⇒ 5.
+	p := NewProblem([]float64{1})
+	p.AddConstraint([]float64{1}, GE, 5)
+	s := Solve(p)
+	if s.Status != Optimal || math.Abs(s.Obj-5) > 1e-9 {
+		t.Fatalf("got %v obj=%g", s.Status, s.Obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem([]float64{1})
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 3)
+	if s := Solve(p); s.Status != Infeasible {
+		t.Fatalf("got %v", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem([]float64{-1})
+	p.AddConstraint([]float64{1}, GE, 0)
+	if s := Solve(p); s.Status != Unbounded {
+		t.Fatalf("got %v", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x ≥ −2 is vacuous under x ≥ 0: min x ⇒ 0.
+	p := NewProblem([]float64{1})
+	p.AddConstraint([]float64{1}, GE, -2)
+	s := Solve(p)
+	if s.Status != Optimal || math.Abs(s.Obj) > 1e-9 {
+		t.Fatalf("got %v obj=%g", s.Status, s.Obj)
+	}
+	// −x ≥ 2 ⇔ x ≤ −2: infeasible with x ≥ 0.
+	p = NewProblem([]float64{1})
+	p.AddConstraint([]float64{-1}, GE, 2)
+	if s := Solve(p); s.Status != Infeasible {
+		t.Fatalf("got %v", s.Status)
+	}
+}
+
+func TestDegenerateRedundantRows(t *testing.T) {
+	p := NewProblem([]float64{1, 1})
+	p.AddConstraint([]float64{1, 1}, EQ, 2)
+	p.AddConstraint([]float64{2, 2}, EQ, 4) // redundant duplicate
+	s := Solve(p)
+	if s.Status != Optimal || math.Abs(s.Obj-2) > 1e-9 {
+		t.Fatalf("got %v obj=%g", s.Status, s.Obj)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	p := NewProblem([]float64{0, 0})
+	p.AddConstraint([]float64{1, 1}, GE, 1)
+	s := Solve(p)
+	if s.Status != Optimal || s.Obj != 0 {
+		t.Fatalf("got %v obj=%g", s.Status, s.Obj)
+	}
+}
+
+// --- brute force comparison -------------------------------------------------
+
+// solveSquare solves an n×n linear system by Gaussian elimination with
+// partial pivoting; returns nil if singular.
+func solveSquare(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64{}, a[i]...), b[i])
+	}
+	for c := 0; c < n; c++ {
+		best, bi := 0.0, -1
+		for r := c; r < n; r++ {
+			if v := math.Abs(m[r][c]); v > best {
+				best, bi = v, r
+			}
+		}
+		if best < 1e-9 {
+			return nil
+		}
+		m[c], m[bi] = m[bi], m[c]
+		for r := 0; r < n; r++ {
+			if r == c {
+				continue
+			}
+			f := m[r][c] / m[c][c]
+			for j := c; j <= n; j++ {
+				m[r][j] -= f * m[c][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x
+}
+
+// bruteForce enumerates candidate vertices of {x ≥ 0, rows} and returns the
+// minimum objective over feasible vertices, or NaN if none found.
+func bruteForce(p *Problem) float64 {
+	n := len(p.C)
+	// Candidate hyperplanes: each row as equality, plus x_i = 0.
+	type hp struct {
+		a []float64
+		b float64
+	}
+	var hps []hp
+	for _, r := range p.Rows {
+		hps = append(hps, hp{r.Coef, r.RHS})
+	}
+	for i := 0; i < n; i++ {
+		a := make([]float64, n)
+		a[i] = 1
+		hps = append(hps, hp{a, 0})
+	}
+	feasible := func(x []float64) bool {
+		for _, v := range x {
+			if v < -1e-7 {
+				return false
+			}
+		}
+		for _, r := range p.Rows {
+			s := 0.0
+			for j := range r.Coef {
+				s += r.Coef[j] * x[j]
+			}
+			switch r.Rel {
+			case LE:
+				if s > r.RHS+1e-7 {
+					return false
+				}
+			case GE:
+				if s < r.RHS-1e-7 {
+					return false
+				}
+			case EQ:
+				if math.Abs(s-r.RHS) > 1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	best := math.NaN()
+	// All n-subsets of hyperplanes.
+	idx := make([]int, n)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == n {
+			a := make([][]float64, n)
+			b := make([]float64, n)
+			for i, h := range idx {
+				a[i] = hps[h].a
+				b[i] = hps[h].b
+			}
+			x := solveSquare(a, b)
+			if x == nil || !feasible(x) {
+				return
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.C[j] * x[j]
+			}
+			if math.IsNaN(best) || obj < best {
+				best = obj
+			}
+			return
+		}
+		for h := start; h < len(hps); h++ {
+			idx[k] = h
+			rec(h+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func randomLP(rng *rand.Rand, n, m int) *Problem {
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = rng.Float64()*4 - 2
+	}
+	p := NewProblem(c)
+	for i := 0; i < m; i++ {
+		a := make([]float64, n)
+		for j := range a {
+			a[j] = rng.Float64()*4 - 2
+		}
+		p.AddConstraint(a, LE, rng.Float64()*5)
+	}
+	// Box to guarantee boundedness.
+	for j := 0; j < n; j++ {
+		a := make([]float64, n)
+		a[j] = 1
+		p.AddConstraint(a, LE, 10)
+	}
+	return p
+}
+
+func TestSimplexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(2) // 2 or 3 vars
+		m := 1 + rng.Intn(4)
+		p := randomLP(rng, n, m)
+		s := Solve(p)
+		want := bruteForce(p)
+		if math.IsNaN(want) {
+			if s.Status == Optimal {
+				t.Fatalf("trial %d: simplex optimal %g but brute force found no vertex", trial, s.Obj)
+			}
+			continue
+		}
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: simplex %v but brute force found %g", trial, s.Status, want)
+		}
+		if math.Abs(s.Obj-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: simplex %g, brute force %g", trial, s.Obj, want)
+		}
+	}
+}
+
+func TestSolutionSatisfiesConstraintsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomLP(rng, 3, 3)
+		s := Solve(p)
+		if s.Status != Optimal {
+			return true
+		}
+		for _, v := range s.X {
+			if v < -1e-7 {
+				return false
+			}
+		}
+		for _, r := range p.Rows {
+			dot := 0.0
+			for j := range r.Coef {
+				dot += r.Coef[j] * s.X[j]
+			}
+			if r.Rel == LE && dot > r.RHS+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveIntegerKnapsackLike(t *testing.T) {
+	// min −x−y s.t. 2x+3y ≤ 12.5, x ≤ 4.2, y ≤ 3.7, integer ⇒ best integral.
+	p := NewProblem([]float64{-1, -1})
+	p.AddConstraint([]float64{2, 3}, LE, 12.5)
+	p.AddConstraint([]float64{1, 0}, LE, 4.2)
+	p.AddConstraint([]float64{0, 1}, LE, 3.7)
+	s, err := SolveInteger(p, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	// Enumerate integers to verify.
+	best := 0.0
+	for x := 0; x <= 4; x++ {
+		for y := 0; y <= 3; y++ {
+			if 2*x+3*y <= 12 { // 12.5 floor with integer lhs values 2x+3y
+				if float64(2*x+3*y) <= 12.5 && float64(-x-y) < best {
+					best = float64(-x - y)
+				}
+			}
+		}
+	}
+	if math.Abs(s.Obj-best) > 1e-6 {
+		t.Fatalf("ILP obj %g, want %g (x=%v)", s.Obj, best, s.X)
+	}
+	for _, v := range []float64{s.X[0], s.X[1]} {
+		if math.Abs(v-math.Round(v)) > 1e-6 {
+			t.Fatalf("non-integral solution %v", s.X)
+		}
+	}
+}
+
+func TestSolveIntegerMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		// min c·x, a·x ≤ b, 0 ≤ x ≤ 5, x ∈ Z².
+		c := []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+		a := []float64{rng.Float64()*2 + 0.1, rng.Float64()*2 + 0.1}
+		b := rng.Float64()*10 + 1
+		p := NewProblem(c)
+		p.AddConstraint(a, LE, b)
+		p.AddConstraint([]float64{1, 0}, LE, 5)
+		p.AddConstraint([]float64{0, 1}, LE, 5)
+		s, err := SolveInteger(p, []int{0, 1}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		for x := 0; x <= 5; x++ {
+			for y := 0; y <= 5; y++ {
+				if a[0]*float64(x)+a[1]*float64(y) <= b+1e-12 {
+					if v := c[0]*float64(x) + c[1]*float64(y); v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if s.Status != Optimal || math.Abs(s.Obj-best) > 1e-6 {
+			t.Fatalf("trial %d: ILP %v/%g, enumeration %g", trial, s.Status, s.Obj, best)
+		}
+	}
+}
+
+func TestSolveIntegerInfeasible(t *testing.T) {
+	p := NewProblem([]float64{1})
+	p.AddConstraint([]float64{1}, GE, 2)
+	p.AddConstraint([]float64{1}, LE, 1)
+	s, err := SolveInteger(p, []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("got %v", s.Status)
+	}
+}
+
+func TestSolveIntegerBadVarIndex(t *testing.T) {
+	p := NewProblem([]float64{1})
+	if _, err := SolveInteger(p, []int{3}, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSolveIntegerFractionalRHS(t *testing.T) {
+	// min −x s.t. x ≤ 2.5, integer ⇒ x = 2.
+	p := NewProblem([]float64{-1})
+	p.AddConstraint([]float64{1}, LE, 2.5)
+	s, err := SolveInteger(p, []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.X[0]-2) > 1e-9 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestRelAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("Rel strings")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status strings")
+	}
+}
+
+func TestAddConstraintCopies(t *testing.T) {
+	p := NewProblem([]float64{1, 2})
+	coef := []float64{1, 1}
+	p.AddConstraint(coef, LE, 3)
+	coef[0] = 99
+	if p.Rows[0].Coef[0] == 99 {
+		t.Fatal("AddConstraint did not copy coefficients")
+	}
+	// Short coefficient slices are zero-extended.
+	p.AddConstraint([]float64{5}, LE, 1)
+	if len(p.Rows[1].Coef) != 2 || p.Rows[1].Coef[1] != 0 {
+		t.Fatal("short coef not zero-extended")
+	}
+}

@@ -1,0 +1,199 @@
+// Package matrix provides dense and tiled symmetric matrix storage for the
+// Cholesky reproduction: SPD test-matrix generators, norms, a reference
+// (untiled) Cholesky factorization, and residual verification used to check
+// the tiled kernels and the parallel runtime.
+//
+// All matrices are double precision (float64) and stored row-major, matching
+// the paper's setting (dense, symmetric, positive-definite, double
+// precision).
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major N×N dense matrix of float64.
+type Dense struct {
+	N    int
+	Data []float64 // len N*N, row-major
+}
+
+// NewDense allocates a zero N×N matrix.
+func NewDense(n int) *Dense {
+	if n < 0 {
+		panic("matrix: negative dimension")
+	}
+	return &Dense{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Equal reports whether m and o have the same shape and elements within tol.
+func (m *Dense) Equal(o *Dense, tol float64) bool {
+	if m.N != o.N {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// FrobeniusNorm returns ‖m‖_F.
+func (m *Dense) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns max_{ij} |m_ij|.
+func (m *Dense) MaxAbs() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Dense) Transpose() *Dense {
+	t := NewDense(m.N)
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m·o as a new matrix.
+func (m *Dense) Mul(o *Dense) *Dense {
+	if m.N != o.N {
+		panic("matrix: dimension mismatch in Mul")
+	}
+	n := m.N
+	r := NewDense(n)
+	for i := 0; i < n; i++ {
+		ri := r.Data[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			a := m.Data[i*n+k]
+			if a == 0 {
+				continue
+			}
+			ok := o.Data[k*n : (k+1)*n]
+			for j := range ri {
+				ri[j] += a * ok[j]
+			}
+		}
+	}
+	return r
+}
+
+// Sub returns m−o as a new matrix.
+func (m *Dense) Sub(o *Dense) *Dense {
+	if m.N != o.N {
+		panic("matrix: dimension mismatch in Sub")
+	}
+	r := NewDense(m.N)
+	for i := range r.Data {
+		r.Data[i] = m.Data[i] - o.Data[i]
+	}
+	return r
+}
+
+// LowerTimesTranspose returns L·Lᵀ where only the lower triangle (including
+// the diagonal) of m is read; the strict upper triangle is ignored. This is
+// the product used when verifying a Cholesky factor.
+func (m *Dense) LowerTimesTranspose() *Dense {
+	n := m.N
+	r := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			kmax := j
+			if i < j {
+				kmax = i
+			}
+			for k := 0; k <= kmax; k++ {
+				s += m.At(i, k) * m.At(j, k)
+			}
+			r.Set(i, j, s)
+			r.Set(j, i, s)
+		}
+	}
+	return r
+}
+
+// ErrNotPositiveDefinite is returned when a (reference or tiled) Cholesky
+// factorization encounters a non-positive pivot.
+var ErrNotPositiveDefinite = errors.New("matrix: not positive definite")
+
+// ReferenceCholesky factorizes m in place into its lower Cholesky factor L
+// (classic untiled right-looking algorithm). The strict upper triangle is
+// zeroed. It is the ground truth against which the tiled algorithm and the
+// parallel runtime are verified.
+func ReferenceCholesky(m *Dense) error {
+	n := m.N
+	for k := 0; k < n; k++ {
+		d := m.At(k, k)
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, k, d)
+		}
+		d = math.Sqrt(d)
+		m.Set(k, k, d)
+		for i := k + 1; i < n; i++ {
+			m.Set(i, k, m.At(i, k)/d)
+		}
+		for j := k + 1; j < n; j++ {
+			ljk := m.At(j, k)
+			if ljk == 0 {
+				continue
+			}
+			for i := j; i < n; i++ {
+				m.Set(i, j, m.At(i, j)-m.At(i, k)*ljk)
+			}
+		}
+	}
+	// Zero the strict upper triangle so the result is exactly L.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// CholeskyResidual returns the relative residual ‖A − L·Lᵀ‖_F / ‖A‖_F, where
+// l holds the factor in its lower triangle. Small (≈1e−14·N) residuals
+// indicate a correct factorization.
+func CholeskyResidual(a, l *Dense) float64 {
+	if a.N != l.N {
+		panic("matrix: dimension mismatch in CholeskyResidual")
+	}
+	llt := l.LowerTimesTranspose()
+	num := a.Sub(llt).FrobeniusNorm()
+	den := a.FrobeniusNorm()
+	if den == 0 {
+		return num
+	}
+	return num / den
+}

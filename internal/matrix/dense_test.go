@@ -1,0 +1,289 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseZero(t *testing.T) {
+	m := NewDense(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("expected zero at (%d,%d), got %g", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewDenseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	NewDense(-1)
+}
+
+func TestSetAt(t *testing.T) {
+	m := NewDense(3)
+	m.Set(1, 2, 5.5)
+	if got := m.At(1, 2); got != 5.5 {
+		t.Fatalf("At(1,2) = %g, want 5.5", got)
+	}
+	if got := m.At(2, 1); got != 0 {
+		t.Fatalf("At(2,1) = %g, want 0 (Set must not be symmetric)", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := RandSPD(5, 1)
+	c := m.Clone()
+	c.Set(0, 0, -99)
+	if m.At(0, 0) == -99 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !m.Equal(m.Clone(), 0) {
+		t.Fatal("Clone not equal to original")
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if NewDense(2).Equal(NewDense(3), 1) {
+		t.Fatal("matrices of different sizes reported equal")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		m := RandSymmetric(6, seed)
+		return m.Transpose().Transpose().Equal(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := RandSPD(7, 3)
+	i := Identity(7)
+	if !a.Mul(i).Equal(a, 1e-12) || !i.Mul(a).Equal(a, 1e-12) {
+		t.Fatal("A·I or I·A differs from A")
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := RandSymmetric(4, seed)
+		b := RandSymmetric(4, seed+1)
+		c := RandSymmetric(4, seed+2)
+		l := a.Mul(b).Mul(c)
+		r := a.Mul(b.Mul(c))
+		return l.Equal(r, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubSelfIsZero(t *testing.T) {
+	a := RandSPD(5, 9)
+	z := a.Sub(a)
+	if z.FrobeniusNorm() != 0 {
+		t.Fatal("A−A is not zero")
+	}
+}
+
+func TestFrobeniusNormKnown(t *testing.T) {
+	m := NewDense(2)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 4)
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("‖m‖_F = %g, want 5", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := NewDense(2)
+	m.Set(0, 1, -7)
+	m.Set(1, 0, 3)
+	if got := m.MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %g, want 7", got)
+	}
+}
+
+func TestLowerTimesTransposeMatchesFullProduct(t *testing.T) {
+	// Build an explicit lower-triangular L; check L·Lᵀ via the general Mul.
+	l := NewDense(5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			l.Set(i, j, float64(i+j+1))
+		}
+	}
+	want := l.Mul(l.Transpose())
+	got := l.LowerTimesTranspose()
+	if !got.Equal(want, 1e-12) {
+		t.Fatal("LowerTimesTranspose differs from explicit L·Lᵀ")
+	}
+}
+
+func TestLowerTimesTransposeIgnoresUpper(t *testing.T) {
+	l := NewDense(3)
+	l.Set(0, 0, 1)
+	l.Set(1, 0, 2)
+	l.Set(1, 1, 3)
+	l.Set(2, 2, 1)
+	withGarbage := l.Clone()
+	withGarbage.Set(0, 2, 123)
+	withGarbage.Set(0, 1, -5)
+	if !l.LowerTimesTranspose().Equal(withGarbage.LowerTimesTranspose(), 0) {
+		t.Fatal("strict upper triangle affected LowerTimesTranspose")
+	}
+}
+
+func TestReferenceCholeskyCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 17, 40} {
+		a := RandSPD(n, int64(n))
+		l := a.Clone()
+		if err := ReferenceCholesky(l); err != nil {
+			t.Fatalf("n=%d: unexpected error %v", n, err)
+		}
+		if res := CholeskyResidual(a, l); res > 1e-12 {
+			t.Fatalf("n=%d: residual %g too large", n, res)
+		}
+	}
+}
+
+func TestReferenceCholeskyZeroesUpper(t *testing.T) {
+	a := RandSPD(6, 42)
+	l := a.Clone()
+	if err := ReferenceCholesky(l); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if l.At(i, j) != 0 {
+				t.Fatalf("upper entry (%d,%d) = %g, want 0", i, j, l.At(i, j))
+			}
+		}
+	}
+}
+
+func TestReferenceCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDense(2)
+	a.Set(0, 0, -1)
+	a.Set(1, 1, 1)
+	err := ReferenceCholesky(a)
+	if !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("expected ErrNotPositiveDefinite, got %v", err)
+	}
+}
+
+func TestReferenceCholeskyKnown2x2(t *testing.T) {
+	// A = [[4, 2], [2, 5]] ⇒ L = [[2, 0], [1, 2]].
+	a := NewDense(2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 5)
+	if err := ReferenceCholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	want := [4]float64{2, 0, 1, 2}
+	for i, w := range want {
+		if math.Abs(a.Data[i]-w) > 1e-15 {
+			t.Fatalf("L[%d] = %g, want %g", i, a.Data[i], w)
+		}
+	}
+}
+
+func TestCholeskyResidualPropertySPD(t *testing.T) {
+	f := func(seed int64) bool {
+		a := RandSPD(10, seed)
+		l := a.Clone()
+		if err := ReferenceCholesky(l); err != nil {
+			return false
+		}
+		return CholeskyResidual(a, l) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaplacian2DIsSPD(t *testing.T) {
+	a := Laplacian2D(5)
+	l := a.Clone()
+	if err := ReferenceCholesky(l); err != nil {
+		t.Fatalf("Laplacian should be SPD: %v", err)
+	}
+	if res := CholeskyResidual(a, l); res > 1e-13 {
+		t.Fatalf("Laplacian residual %g too large", res)
+	}
+}
+
+func TestLaplacian2DSymmetric(t *testing.T) {
+	a := Laplacian2D(4)
+	if !a.Equal(a.Transpose(), 0) {
+		t.Fatal("Laplacian2D is not symmetric")
+	}
+}
+
+func TestHilbertSPDSmall(t *testing.T) {
+	a := Hilbert(6)
+	l := a.Clone()
+	if err := ReferenceCholesky(l); err != nil {
+		t.Fatalf("Hilbert(6) should factor: %v", err)
+	}
+}
+
+func TestRandSPDDeterministic(t *testing.T) {
+	if !RandSPD(8, 7).Equal(RandSPD(8, 7), 0) {
+		t.Fatal("RandSPD not deterministic for equal seeds")
+	}
+	if RandSPD(8, 7).Equal(RandSPD(8, 8), 0) {
+		t.Fatal("RandSPD identical across different seeds")
+	}
+}
+
+func TestIdentityResidualZero(t *testing.T) {
+	a := Identity(5)
+	l := a.Clone()
+	if err := ReferenceCholesky(l); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Equal(Identity(5), 0) {
+		t.Fatal("Cholesky of I is not I")
+	}
+}
+
+func TestBandedSPDFactorsAndRespectBand(t *testing.T) {
+	for _, band := range []int{1, 4, 16} {
+		a := BandedSPD(48, band, 7)
+		// Band respected.
+		for i := 0; i < 48; i++ {
+			for j := 0; j < 48; j++ {
+				d := i - j
+				if d < 0 {
+					d = -d
+				}
+				if d > band && a.At(i, j) != 0 {
+					t.Fatalf("band=%d: nonzero at (%d,%d)", band, i, j)
+				}
+			}
+		}
+		// Symmetric and SPD.
+		if !a.Equal(a.Transpose(), 1e-12) {
+			t.Fatalf("band=%d: not symmetric", band)
+		}
+		l := a.Clone()
+		if err := ReferenceCholesky(l); err != nil {
+			t.Fatalf("band=%d: %v", band, err)
+		}
+		if res := CholeskyResidual(a, l); res > 1e-12 {
+			t.Fatalf("band=%d: residual %g", band, res)
+		}
+	}
+}

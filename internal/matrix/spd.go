@@ -1,0 +1,135 @@
+package matrix
+
+import "math/rand"
+
+// RandSPD returns a random symmetric positive-definite N×N matrix generated
+// as B·Bᵀ + N·I from a uniform random B, with a deterministic seed. The +N·I
+// shift keeps the condition number moderate so factorization residuals stay
+// near machine precision.
+func RandSPD(n int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewDense(n)
+	for i := range b.Data {
+		b.Data[i] = rng.Float64()*2 - 1
+	}
+	a := b.Mul(b.Transpose())
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+// RandSymmetric returns a random symmetric (not necessarily definite) matrix;
+// useful for negative tests of the factorization error paths.
+func RandSymmetric(n int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	a := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.Float64()*2 - 1
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+// Laplacian2D returns the (SPD) 5-point finite-difference Laplacian on a
+// k×k grid, i.e. an N = k² matrix. This is the archetypal "matrix arising
+// from a PDE discretization" mentioned in the paper's introduction, used as
+// a realistic example workload.
+func Laplacian2D(k int) *Dense {
+	n := k * k
+	a := NewDense(n)
+	idx := func(x, y int) int { return x*k + y }
+	for x := 0; x < k; x++ {
+		for y := 0; y < k; y++ {
+			i := idx(x, y)
+			a.Set(i, i, 4)
+			if x > 0 {
+				a.Set(i, idx(x-1, y), -1)
+			}
+			if x < k-1 {
+				a.Set(i, idx(x+1, y), -1)
+			}
+			if y > 0 {
+				a.Set(i, idx(x, y-1), -1)
+			}
+			if y < k-1 {
+				a.Set(i, idx(x, y+1), -1)
+			}
+		}
+	}
+	return a
+}
+
+// Identity returns the N×N identity matrix.
+func Identity(n int) *Dense {
+	a := NewDense(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	return a
+}
+
+// Hilbert returns the n×n Hilbert matrix H_ij = 1/(i+j+1): SPD but extremely
+// ill-conditioned, exercising the numeric edge of the kernels.
+func Hilbert(n int) *Dense {
+	a := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, 1/float64(i+j+1))
+		}
+	}
+	return a
+}
+
+// BandedSPD returns a random SPD matrix with (element-level) half-bandwidth
+// `band`: entries |i−j| > band are zero. Generated as B·Bᵀ + N·I from a
+// banded random B (the product of banded matrices keeps the band).
+func BandedSPD(n, band int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewDense(n)
+	half := band / 2
+	if half < 1 {
+		half = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i - half; j <= i+half; j++ {
+			if j >= 0 && j < n {
+				b.Set(i, j, rng.Float64()*2-1)
+			}
+		}
+	}
+	a := b.Mul(b.Transpose())
+	// Truncate to the requested band exactly, then restore strict diagonal
+	// dominance (truncation alone does not preserve definiteness).
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if absInt(i-j) > band {
+				a.Set(i, j, 0)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				if v := a.At(i, j); v < 0 {
+					row -= v
+				} else {
+					row += v
+				}
+			}
+		}
+		a.Set(i, i, row+1)
+	}
+	return a
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,142 @@
+package matrix
+
+import "fmt"
+
+// Tile is one nb×nb block of a tiled matrix, stored row-major.
+type Tile struct {
+	NB   int
+	Data []float64
+}
+
+// NewTile allocates a zero nb×nb tile.
+func NewTile(nb int) *Tile { return &Tile{NB: nb, Data: make([]float64, nb*nb)} }
+
+// At returns tile element (i, j).
+func (t *Tile) At(i, j int) float64 { return t.Data[i*t.NB+j] }
+
+// Set assigns tile element (i, j).
+func (t *Tile) Set(i, j int, v float64) { t.Data[i*t.NB+j] = v }
+
+// Clone returns a deep copy of t.
+func (t *Tile) Clone() *Tile {
+	c := NewTile(t.NB)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Tiled is the lower-triangular tiled view of a symmetric matrix, as consumed
+// by the tiled Cholesky algorithm (Algorithm 1 of the paper): tiles T[i][j]
+// exist for j ≤ i only, each nb×nb, with P×P tiles overall.
+//
+// The factorization overwrites the tiles with the Cholesky factor, exactly as
+// the paper notes ("no extra memory area is needed to store the L tiles").
+type Tiled struct {
+	P  int // number of tile rows/cols
+	NB int // tile dimension
+	T  [][]*Tile
+}
+
+// NewTiled allocates a zero tiled matrix with p×p tiles of size nb.
+func NewTiled(p, nb int) *Tiled {
+	t := &Tiled{P: p, NB: nb, T: make([][]*Tile, p)}
+	for i := 0; i < p; i++ {
+		t.T[i] = make([]*Tile, i+1)
+		for j := 0; j <= i; j++ {
+			t.T[i][j] = NewTile(nb)
+		}
+	}
+	return t
+}
+
+// Tile returns tile (i, j), j ≤ i.
+func (t *Tiled) Tile(i, j int) *Tile {
+	if j > i {
+		panic(fmt.Sprintf("matrix: upper tile (%d,%d) requested from lower-tiled storage", i, j))
+	}
+	return t.T[i][j]
+}
+
+// N returns the full matrix dimension P·NB.
+func (t *Tiled) N() int { return t.P * t.NB }
+
+// Clone returns a deep copy.
+func (t *Tiled) Clone() *Tiled {
+	c := NewTiled(t.P, t.NB)
+	for i := 0; i < t.P; i++ {
+		for j := 0; j <= i; j++ {
+			copy(c.T[i][j].Data, t.T[i][j].Data)
+		}
+	}
+	return c
+}
+
+// FromDense tiles the lower triangle of a dense symmetric matrix. The matrix
+// dimension must be divisible by nb.
+func FromDense(a *Dense, nb int) (*Tiled, error) {
+	if nb <= 0 {
+		return nil, fmt.Errorf("matrix: tile size %d must be positive", nb)
+	}
+	if a.N%nb != 0 {
+		return nil, fmt.Errorf("matrix: dimension %d not divisible by tile size %d", a.N, nb)
+	}
+	p := a.N / nb
+	t := NewTiled(p, nb)
+	for bi := 0; bi < p; bi++ {
+		for bj := 0; bj <= bi; bj++ {
+			tile := t.T[bi][bj]
+			for i := 0; i < nb; i++ {
+				row := a.Data[(bi*nb+i)*a.N+bj*nb:]
+				copy(tile.Data[i*nb:(i+1)*nb], row[:nb])
+			}
+		}
+	}
+	return t, nil
+}
+
+// ToDense expands the tiled lower triangle back into a dense matrix. For
+// diagonal tiles only the lower triangle is copied (the factorization leaves
+// the strict upper part of diagonal tiles untouched); the strict upper
+// triangle of the result is zero, i.e. the result is the factor L.
+func (t *Tiled) ToDense() *Dense {
+	n := t.N()
+	a := NewDense(n)
+	for bi := 0; bi < t.P; bi++ {
+		for bj := 0; bj <= bi; bj++ {
+			tile := t.T[bi][bj]
+			for i := 0; i < t.NB; i++ {
+				jmax := t.NB
+				if bi == bj {
+					jmax = i + 1
+				}
+				for j := 0; j < jmax; j++ {
+					a.Set(bi*t.NB+i, bj*t.NB+j, tile.At(i, j))
+				}
+			}
+		}
+	}
+	return a
+}
+
+// ToDenseSymmetric expands the tiled lower triangle and mirrors it, returning
+// the full symmetric matrix it represents (for residual checks on inputs).
+func (t *Tiled) ToDenseSymmetric() *Dense {
+	n := t.N()
+	a := NewDense(n)
+	for bi := 0; bi < t.P; bi++ {
+		for bj := 0; bj <= bi; bj++ {
+			tile := t.T[bi][bj]
+			for i := 0; i < t.NB; i++ {
+				for j := 0; j < t.NB; j++ {
+					gi, gj := bi*t.NB+i, bj*t.NB+j
+					if gj > gi {
+						continue
+					}
+					v := tile.At(i, j)
+					a.Set(gi, gj, v)
+					a.Set(gj, gi, v)
+				}
+			}
+		}
+	}
+	return a
+}

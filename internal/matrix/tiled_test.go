@@ -1,0 +1,104 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	a := RandSPD(12, 5)
+	tl, err := FromDense(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := tl.ToDenseSymmetric()
+	if !back.Equal(a, 1e-15) {
+		t.Fatal("round trip through tiled storage lost data")
+	}
+}
+
+func TestFromDenseRejectsBadTileSize(t *testing.T) {
+	a := RandSPD(10, 1)
+	if _, err := FromDense(a, 3); err == nil {
+		t.Fatal("expected error for 10 % 3 != 0")
+	}
+	if _, err := FromDense(a, 0); err == nil {
+		t.Fatal("expected error for tile size 0")
+	}
+	if _, err := FromDense(a, -2); err == nil {
+		t.Fatal("expected error for negative tile size")
+	}
+}
+
+func TestTiledUpperAccessPanics(t *testing.T) {
+	tl := NewTiled(3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic accessing upper tile")
+		}
+	}()
+	tl.Tile(0, 1)
+}
+
+func TestTiledDimensions(t *testing.T) {
+	tl := NewTiled(4, 5)
+	if tl.N() != 20 {
+		t.Fatalf("N() = %d, want 20", tl.N())
+	}
+	// Lower triangle: row i has i+1 tiles.
+	for i := 0; i < 4; i++ {
+		if len(tl.T[i]) != i+1 {
+			t.Fatalf("row %d has %d tiles, want %d", i, len(tl.T[i]), i+1)
+		}
+	}
+}
+
+func TestTiledCloneIndependence(t *testing.T) {
+	a := RandSPD(8, 2)
+	tl, _ := FromDense(a, 2)
+	c := tl.Clone()
+	c.Tile(1, 0).Set(0, 0, 999)
+	if tl.Tile(1, 0).At(0, 0) == 999 {
+		t.Fatal("Clone shares tile storage")
+	}
+}
+
+func TestTileCloneAndAccess(t *testing.T) {
+	tile := NewTile(3)
+	tile.Set(2, 1, 4.5)
+	c := tile.Clone()
+	if c.At(2, 1) != 4.5 {
+		t.Fatal("Clone lost element")
+	}
+	c.Set(0, 0, 1)
+	if tile.At(0, 0) == 1 {
+		t.Fatal("Tile Clone shares storage")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := RandSPD(6, seed)
+		tl, err := FromDense(a, 2)
+		if err != nil {
+			return false
+		}
+		return tl.ToDenseSymmetric().Equal(a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToDenseIsLowerTriangular(t *testing.T) {
+	a := RandSPD(9, 11)
+	tl, _ := FromDense(a, 3)
+	d := tl.ToDense()
+	for i := 0; i < 9; i++ {
+		for j := i + 1; j < 9; j++ {
+			if d.At(i, j) != 0 {
+				t.Fatalf("ToDense upper entry (%d,%d) = %g, want 0", i, j, d.At(i, j))
+			}
+		}
+	}
+}

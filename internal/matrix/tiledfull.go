@@ -1,0 +1,107 @@
+package matrix
+
+import "fmt"
+
+// TiledFull is a full (square, not triangular) tiled matrix view: P×P tiles
+// of nb×nb elements. It backs the LU and QR factorizations of the
+// "other dense factorizations" extension, which touch tiles on both sides
+// of the diagonal.
+type TiledFull struct {
+	P  int
+	NB int
+	T  [][]*Tile // T[i][j], all j
+}
+
+// NewTiledFull allocates a zero full-tiled matrix.
+func NewTiledFull(p, nb int) *TiledFull {
+	t := &TiledFull{P: p, NB: nb, T: make([][]*Tile, p)}
+	for i := 0; i < p; i++ {
+		t.T[i] = make([]*Tile, p)
+		for j := 0; j < p; j++ {
+			t.T[i][j] = NewTile(nb)
+		}
+	}
+	return t
+}
+
+// Tile returns tile (i, j).
+func (t *TiledFull) Tile(i, j int) *Tile { return t.T[i][j] }
+
+// N returns the full dimension P·NB.
+func (t *TiledFull) N() int { return t.P * t.NB }
+
+// Clone returns a deep copy.
+func (t *TiledFull) Clone() *TiledFull {
+	c := NewTiledFull(t.P, t.NB)
+	for i := 0; i < t.P; i++ {
+		for j := 0; j < t.P; j++ {
+			copy(c.T[i][j].Data, t.T[i][j].Data)
+		}
+	}
+	return c
+}
+
+// FromDenseFull tiles a dense square matrix; the dimension must be divisible
+// by nb.
+func FromDenseFull(a *Dense, nb int) (*TiledFull, error) {
+	if nb <= 0 {
+		return nil, fmt.Errorf("matrix: tile size %d must be positive", nb)
+	}
+	if a.N%nb != 0 {
+		return nil, fmt.Errorf("matrix: dimension %d not divisible by tile size %d", a.N, nb)
+	}
+	p := a.N / nb
+	t := NewTiledFull(p, nb)
+	for bi := 0; bi < p; bi++ {
+		for bj := 0; bj < p; bj++ {
+			tile := t.T[bi][bj]
+			for i := 0; i < nb; i++ {
+				row := a.Data[(bi*nb+i)*a.N+bj*nb:]
+				copy(tile.Data[i*nb:(i+1)*nb], row[:nb])
+			}
+		}
+	}
+	return t, nil
+}
+
+// ToDense expands the tiled matrix back to dense form.
+func (t *TiledFull) ToDense() *Dense {
+	n := t.N()
+	a := NewDense(n)
+	for bi := 0; bi < t.P; bi++ {
+		for bj := 0; bj < t.P; bj++ {
+			tile := t.T[bi][bj]
+			for i := 0; i < t.NB; i++ {
+				copy(a.Data[(bi*t.NB+i)*n+bj*t.NB:(bi*t.NB+i)*n+(bj+1)*t.NB],
+					tile.Data[i*t.NB:(i+1)*t.NB])
+			}
+		}
+	}
+	return a
+}
+
+// DiagDominant returns a random diagonally dominant matrix (safe for LU
+// without pivoting) with a deterministic seed.
+func DiagDominant(n int, seed int64) *Dense {
+	a := RandSymmetric(n, seed) // reuse the generator; symmetry is irrelevant here
+	b := RandSymmetric(n, seed+1)
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for j := 0; j < n; j++ {
+			v := a.At(i, j) + 0.5*b.At(j, i)
+			a.Set(i, j, v)
+			if i != j {
+				row += abs(v)
+			}
+		}
+		a.Set(i, i, row+1)
+	}
+	return a
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

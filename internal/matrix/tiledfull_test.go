@@ -1,0 +1,78 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromDenseFullRoundTrip(t *testing.T) {
+	a := RandSymmetric(12, 4)
+	tf, err := FromDenseFull(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tf.ToDense().Equal(a, 0) {
+		t.Fatal("round trip lost data")
+	}
+	if tf.N() != 12 || tf.P != 4 {
+		t.Fatal("shape wrong")
+	}
+}
+
+func TestFromDenseFullErrors(t *testing.T) {
+	a := RandSymmetric(10, 1)
+	if _, err := FromDenseFull(a, 3); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+	if _, err := FromDenseFull(a, 0); err == nil {
+		t.Fatal("expected tile-size error")
+	}
+}
+
+func TestTiledFullCloneIndependent(t *testing.T) {
+	a := RandSymmetric(8, 2)
+	tf, _ := FromDenseFull(a, 4)
+	c := tf.Clone()
+	c.Tile(1, 0).Set(0, 0, 999)
+	if tf.Tile(1, 0).At(0, 0) == 999 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestTiledFullRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := RandSymmetric(6, seed)
+		tf, err := FromDenseFull(a, 2)
+		if err != nil {
+			return false
+		}
+		return tf.ToDense().Equal(a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagDominantIsDominant(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		a := DiagDominant(12, seed)
+		for i := 0; i < 12; i++ {
+			off := 0.0
+			for j := 0; j < 12; j++ {
+				if i != j {
+					off += math.Abs(a.At(i, j))
+				}
+			}
+			if math.Abs(a.At(i, i)) <= off {
+				t.Fatalf("row %d not dominant: |diag| %g vs off %g", i, a.At(i, i), off)
+			}
+		}
+	}
+}
+
+func TestDiagDominantDeterministic(t *testing.T) {
+	if !DiagDominant(8, 5).Equal(DiagDominant(8, 5), 0) {
+		t.Fatal("not deterministic")
+	}
+}

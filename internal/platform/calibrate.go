@@ -1,0 +1,95 @@
+package platform
+
+import (
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+)
+
+// Calibrate measures the real pure-Go kernels on the current machine and
+// returns a CPU timing table for tile size nb — the reproduction's analogue
+// of StarPU's automatic performance-model calibration (Augonnet et al.,
+// HPPC'09): run each kernel a few times on representative data and record
+// the mean execution time.
+//
+// reps is the number of timed repetitions per kernel (≥1). The returned
+// table can be plugged into a Platform so that simulations predict the
+// behaviour of the real runtime (internal/runtime) on this host.
+func Calibrate(nb, reps int) map[graph.Kind]float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	// Representative tiles: an SPD diagonal tile and generic panel tiles.
+	spd := func(seed int64) *matrix.Tile {
+		d := matrix.RandSPD(nb, seed)
+		t := matrix.NewTile(nb)
+		copy(t.Data, d.Data)
+		return t
+	}
+	rnd := func(seed int64) *matrix.Tile {
+		d := matrix.RandSymmetric(nb, seed)
+		t := matrix.NewTile(nb)
+		copy(t.Data, d.Data)
+		return t
+	}
+
+	l := spd(1)
+	_ = kernels.Potrf(l) // factor once; reused as the triangular input
+
+	// Pre-generate every input OUTSIDE the timed sections: matrix generation
+	// is itself O(nb³) and would otherwise dominate the measurement. The
+	// timed closures only copy (O(nb²)) and run the kernel.
+	potrfSrc := spd(2)
+	trsmSrc := rnd(3)
+	syrkA, syrkC := rnd(4), spd(5)
+	gemmA, gemmB, gemmC := rnd(6), rnd(7), rnd(8)
+	scratch := matrix.NewTile(nb)
+
+	timeIt := func(f func()) float64 {
+		f() // warm-up: page in code and data before timing
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			f()
+			el := time.Since(start).Seconds()
+			if r == 0 || el < best {
+				best = el // min filters scheduler interference (standard practice)
+			}
+		}
+		return best
+	}
+
+	times := map[graph.Kind]float64{}
+	times[graph.POTRF] = timeIt(func() {
+		copy(scratch.Data, potrfSrc.Data)
+		_ = kernels.Potrf(scratch)
+	})
+	times[graph.TRSM] = timeIt(func() {
+		copy(scratch.Data, trsmSrc.Data)
+		kernels.Trsm(l, scratch)
+	})
+	times[graph.SYRK] = timeIt(func() {
+		copy(scratch.Data, syrkC.Data)
+		kernels.Syrk(syrkA, scratch)
+	})
+	times[graph.GEMM] = timeIt(func() {
+		copy(scratch.Data, gemmC.Data)
+		kernels.Gemm(gemmA, gemmB, scratch)
+	})
+	return times
+}
+
+// CalibratedHost returns a homogeneous platform whose CPU class is calibrated
+// from the real kernels on this machine with n workers and tile size nb.
+func CalibratedHost(n, nb, reps int) *Platform {
+	return &Platform{
+		Name: "calibrated-host",
+		Classes: []Class{
+			{Name: "cpu", Count: n, Times: Calibrate(nb, reps)},
+		},
+		Bus:       Bus{Enabled: false},
+		TileBytes: float64(nb) * float64(nb) * 8,
+	}
+}

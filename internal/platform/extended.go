@@ -1,0 +1,80 @@
+package platform
+
+import (
+	"repro/internal/graph"
+	"repro/internal/kernels"
+)
+
+// Extended-model GPU speedups for the LU and QR kernels, chosen by analogy
+// with Table I (diagonal factorization kernels barely accelerate; regular
+// square updates accelerate like GEMM; panel kernels sit in between, like
+// TRSM). These parameterize the "other dense factorizations" extension
+// named in the paper's conclusion; they are a model, not a measurement.
+const (
+	SpeedupGETRF = 2.5
+	SpeedupGEQRT = 2.0
+	SpeedupORMQR = 22.0
+	SpeedupTSQRT = 6.0
+	SpeedupTSMQR = 27.0
+)
+
+// CPU sustained throughputs (GFLOP/s) for the extension kernels, alongside
+// the Cholesky ones of the Mirage model. The vector kernels (TRSV, GEMV) are
+// memory-bound: low sustained rates, and TRSV is *slower* on the GPU than on
+// a core (a latency-bound dependent recurrence) — which is why triangular
+// solves classically stay on CPUs.
+const (
+	cpuGetrfGFlops = 6.0
+	cpuGeqrtGFlops = 5.0
+	cpuOrmqrGFlops = 9.0
+	cpuTsqrtGFlops = 6.5
+	cpuTsmqrGFlops = 9.5
+	cpuTrsvGFlops  = 2.0
+	cpuGemvGFlops  = 4.0
+)
+
+// Vector-kernel GPU speedups.
+const (
+	SpeedupTRSV = 0.5 // GPU 2× slower
+	SpeedupGEMV = 5.0
+)
+
+// ExtendedCPUKernelTimes returns the Mirage CPU timing table including the
+// LU and QR kernels for tile size nb.
+func ExtendedCPUKernelTimes(nb int) map[graph.Kind]float64 {
+	t := CPUKernelTimes(nb)
+	t[graph.GETRF] = kernels.GetrfFlops(nb) / (cpuGetrfGFlops * 1e9)
+	t[graph.GEQRT] = kernels.GeqrtFlops(nb) / (cpuGeqrtGFlops * 1e9)
+	t[graph.ORMQR] = kernels.OrmqrFlops(nb) / (cpuOrmqrGFlops * 1e9)
+	t[graph.TSQRT] = kernels.TsqrtFlops(nb) / (cpuTsqrtGFlops * 1e9)
+	t[graph.TSMQR] = kernels.TsmqrFlops(nb) / (cpuTsmqrGFlops * 1e9)
+	t[graph.TRSV] = kernels.TrsvFlops(nb) / (cpuTrsvGFlops * 1e9)
+	t[graph.GEMV] = kernels.GemvFlops(nb) / (cpuGemvGFlops * 1e9)
+	return t
+}
+
+// ExtendedGPUKernelTimes derives the GPU table from the CPU one via the
+// extension speedups.
+func ExtendedGPUKernelTimes(nb int) map[graph.Kind]float64 {
+	cpu := ExtendedCPUKernelTimes(nb)
+	t := GPUKernelTimes(nb)
+	t[graph.GETRF] = cpu[graph.GETRF] / SpeedupGETRF
+	t[graph.GEQRT] = cpu[graph.GEQRT] / SpeedupGEQRT
+	t[graph.ORMQR] = cpu[graph.ORMQR] / SpeedupORMQR
+	t[graph.TSQRT] = cpu[graph.TSQRT] / SpeedupTSQRT
+	t[graph.TSMQR] = cpu[graph.TSMQR] / SpeedupTSMQR
+	t[graph.TRSV] = cpu[graph.TRSV] / SpeedupTRSV
+	t[graph.GEMV] = cpu[graph.GEMV] / SpeedupGEMV
+	return t
+}
+
+// MirageExtended returns the Mirage model with timing entries for all nine
+// kernel kinds, so LU and QR DAGs can be scheduled, bounded and simulated
+// exactly like Cholesky ones.
+func MirageExtended() *Platform {
+	p := Mirage()
+	p.Name = "mirage-extended"
+	p.Classes[0].Times = ExtendedCPUKernelTimes(TileNB)
+	p.Classes[1].Times = ExtendedGPUKernelTimes(TileNB)
+	return p
+}

@@ -1,0 +1,73 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestMirageExtendedValidatesAllAlgorithms(t *testing.T) {
+	p := MirageExtended()
+	for _, d := range []*graph.DAG{graph.Cholesky(6), graph.LU(6), graph.QR(6)} {
+		if err := p.Validate(d.Kinds()); err != nil {
+			t.Fatalf("%s: %v", d.Algorithm, err)
+		}
+	}
+}
+
+func TestMirageExtendedPreservesCholeskyTimes(t *testing.T) {
+	base := Mirage()
+	ext := MirageExtended()
+	for _, k := range graph.CholeskyKinds {
+		for cls := 0; cls <= 1; cls++ {
+			if ext.Time(cls, k) != base.Time(cls, k) {
+				t.Fatalf("class %d kernel %v changed", cls, k)
+			}
+		}
+	}
+}
+
+func TestExtendedSpeedups(t *testing.T) {
+	p := MirageExtended()
+	want := map[graph.Kind]float64{
+		graph.GETRF: SpeedupGETRF,
+		graph.GEQRT: SpeedupGEQRT,
+		graph.ORMQR: SpeedupORMQR,
+		graph.TSQRT: SpeedupTSQRT,
+		graph.TSMQR: SpeedupTSMQR,
+	}
+	for k, w := range want {
+		got := p.Time(0, k) / p.Time(1, k)
+		if math.Abs(got-w) > 1e-9 {
+			t.Fatalf("%v speedup %g, want %g", k, got, w)
+		}
+	}
+}
+
+func TestExtendedTimesPositive(t *testing.T) {
+	for k, v := range ExtendedCPUKernelTimes(TileNB) {
+		if v <= 0 {
+			t.Fatalf("CPU %v time %g", k, v)
+		}
+	}
+	for k, v := range ExtendedGPUKernelTimes(TileNB) {
+		if v <= 0 {
+			t.Fatalf("GPU %v time %g", k, v)
+		}
+	}
+}
+
+func TestVectorKernelTimes(t *testing.T) {
+	p := MirageExtended()
+	// TRSV is slower on GPU (latency-bound recurrence).
+	if p.Time(1, graph.TRSV) <= p.Time(0, graph.TRSV) {
+		t.Fatal("TRSV should be slower on GPU")
+	}
+	if p.Time(1, graph.GEMV) >= p.Time(0, graph.GEMV) {
+		t.Fatal("GEMV should be faster on GPU")
+	}
+	if err := p.Validate(graph.ForwardSolve(4).Kinds()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// JSON serialization of platform models, so custom machines can be described
+// in files and passed to the CLIs (the SimGrid-platform-file analogue: the
+// paper modifies "the platform file of our machine" to remove communication
+// costs, change bandwidths, etc.).
+//
+// Format example:
+//
+//	{
+//	  "name": "my-node",
+//	  "classes": [
+//	    {"name": "cpu", "count": 16,
+//	     "times": {"POTRF": 0.05, "TRSM": 0.1, "SYRK": 0.1, "GEMM": 0.18}},
+//	    {"name": "gpu", "count": 2,
+//	     "times": {"POTRF": 0.026, "TRSM": 0.009, "SYRK": 0.004, "GEMM": 0.006}}
+//	  ],
+//	  "bus": {"enabled": true, "bandwidth_bps": 6e9, "latency_sec": 1.5e-5},
+//	  "tile_bytes": 7372800,
+//	  "overhead": {"per_task_sec": 2e-5, "jitter_frac": 0.03}
+//	}
+//
+// Kernel times are keyed by kernel name (POTRF, TRSM, SYRK, GEMM, GETRF,
+// GEQRT, ORMQR, TSQRT, TSMQR).
+
+type jsonClass struct {
+	Name        string             `json:"name"`
+	Count       int                `json:"count"`
+	Times       map[string]float64 `json:"times"`
+	MemoryBytes float64            `json:"memory_bytes,omitempty"`
+}
+
+type jsonBus struct {
+	Enabled      bool    `json:"enabled"`
+	BandwidthBps float64 `json:"bandwidth_bps"`
+	LatencySec   float64 `json:"latency_sec"`
+}
+
+type jsonOverhead struct {
+	PerTaskSec float64 `json:"per_task_sec"`
+	JitterFrac float64 `json:"jitter_frac"`
+}
+
+type jsonPlatform struct {
+	Name      string       `json:"name"`
+	Classes   []jsonClass  `json:"classes"`
+	Bus       jsonBus      `json:"bus"`
+	TileBytes float64      `json:"tile_bytes"`
+	Overhead  jsonOverhead `json:"overhead"`
+}
+
+// kindByName maps kernel names to kinds.
+func kindByName(name string) (graph.Kind, bool) {
+	for k := graph.Kind(0); k < graph.NumKinds; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON encodes the platform in the documented file format.
+func (p *Platform) MarshalJSON() ([]byte, error) {
+	jp := jsonPlatform{
+		Name:      p.Name,
+		Bus:       jsonBus{p.Bus.Enabled, p.Bus.BandwidthBps, p.Bus.LatencySec},
+		TileBytes: p.TileBytes,
+		Overhead:  jsonOverhead{p.Overhead.PerTaskSec, p.Overhead.JitterFrac},
+	}
+	for _, c := range p.Classes {
+		jc := jsonClass{Name: c.Name, Count: c.Count, Times: map[string]float64{}, MemoryBytes: c.MemoryBytes}
+		for k, t := range c.Times {
+			jc.Times[k.String()] = t
+		}
+		jp.Classes = append(jp.Classes, jc)
+	}
+	return json.MarshalIndent(jp, "", "  ")
+}
+
+// UnmarshalJSON decodes the documented file format.
+func (p *Platform) UnmarshalJSON(data []byte) error {
+	var jp jsonPlatform
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return err
+	}
+	p.Name = jp.Name
+	p.Bus = Bus{Enabled: jp.Bus.Enabled, BandwidthBps: jp.Bus.BandwidthBps, LatencySec: jp.Bus.LatencySec}
+	p.TileBytes = jp.TileBytes
+	p.Overhead = Overhead{PerTaskSec: jp.Overhead.PerTaskSec, JitterFrac: jp.Overhead.JitterFrac}
+	p.Classes = nil
+	for _, jc := range jp.Classes {
+		c := Class{Name: jc.Name, Count: jc.Count, Times: map[graph.Kind]float64{}, MemoryBytes: jc.MemoryBytes}
+		for name, t := range jc.Times {
+			k, ok := kindByName(name)
+			if !ok {
+				return fmt.Errorf("platform: unknown kernel %q in class %q", name, jc.Name)
+			}
+			c.Times[k] = t
+		}
+		p.Classes = append(p.Classes, c)
+	}
+	return nil
+}
+
+// LoadFile reads a platform description from a JSON file.
+func LoadFile(path string) (*Platform, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{}
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, fmt.Errorf("platform: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// SaveFile writes the platform description to a JSON file.
+func (p *Platform) SaveFile(path string) error {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

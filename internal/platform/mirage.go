@@ -1,0 +1,180 @@
+package platform
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+)
+
+// TileNB is the tile size used throughout the paper's experiments: previous
+// work found nb = 960 optimal on Mirage, and all matrix sizes are multiples
+// of it.
+const TileNB = 960
+
+// Sustained per-kernel throughput of the CPU-core model (GFLOP/s), chosen so
+// that (a) the GPU/CPU speedups equal the paper's Table I exactly and (b)
+// the aggregate GEMM peak lands at Fig. 2's ≈960 GFLOP/s asymptote
+// (3 GPUs × 290 + 9 cores × 10). See DESIGN.md §6 for the derivation.
+const (
+	cpuGemmGFlops  = 10.0
+	cpuSyrkGFlops  = 9.0
+	cpuTrsmGFlops  = 9.0
+	cpuPotrfGFlops = 5.5
+)
+
+// Table I of the paper: GPU speedup over one CPU core per kernel.
+const (
+	SpeedupPOTRF = 2.0
+	SpeedupTRSM  = 11.0
+	SpeedupSYRK  = 26.0
+	SpeedupGEMM  = 29.0
+)
+
+// CPUKernelTimes returns the CPU-core timing table of the Mirage model for
+// tile size nb.
+func CPUKernelTimes(nb int) map[graph.Kind]float64 {
+	return map[graph.Kind]float64{
+		graph.POTRF: kernels.PotrfFlops(nb) / (cpuPotrfGFlops * 1e9),
+		graph.TRSM:  kernels.TrsmFlops(nb) / (cpuTrsmGFlops * 1e9),
+		graph.SYRK:  kernels.SyrkFlops(nb) / (cpuSyrkGFlops * 1e9),
+		graph.GEMM:  kernels.GemmFlops(nb) / (cpuGemmGFlops * 1e9),
+	}
+}
+
+// GPUKernelTimes derives the GPU timing table from the CPU one via the
+// Table I speedups (exactly, so derived quantities like the acceleration
+// factors K(n) match the paper's printed values).
+func GPUKernelTimes(nb int) map[graph.Kind]float64 {
+	cpu := CPUKernelTimes(nb)
+	return map[graph.Kind]float64{
+		graph.POTRF: cpu[graph.POTRF] / SpeedupPOTRF,
+		graph.TRSM:  cpu[graph.TRSM] / SpeedupTRSM,
+		graph.SYRK:  cpu[graph.SYRK] / SpeedupSYRK,
+		graph.GEMM:  cpu[graph.GEMM] / SpeedupGEMM,
+	}
+}
+
+// Mirage returns the model of the paper's experimental machine in its
+// experiment configuration: 9 CPU cores (2 hexa-core Westmere X5650, 3 cores
+// reserved to drive the GPUs) + 3 NVIDIA Tesla M2070 GPUs, PCIe ≈6 GB/s,
+// tile size 960 in double precision (7.37 MB per tile).
+//
+// This is the "heterogeneous unrelated" platform: per-kernel speedups differ
+// (2× to 29×).
+func Mirage() *Platform {
+	return &Platform{
+		Name: "mirage",
+		Classes: []Class{
+			{Name: "cpu", Count: 9, Times: CPUKernelTimes(TileNB)},
+			{Name: "gpu", Count: 3, Times: GPUKernelTimes(TileNB)},
+		},
+		Bus: Bus{
+			Enabled:      true,
+			BandwidthBps: 6e9,
+			LatencySec:   15e-6,
+		},
+		TileBytes: float64(TileNB) * TileNB * 8,
+		Overhead:  Overhead{PerTaskSec: 20e-6, JitterFrac: 0.03},
+	}
+}
+
+// Homogeneous returns a CPU-only platform with n cores (the paper's
+// homogeneous category uses n = 9).
+func Homogeneous(n int) *Platform {
+	return &Platform{
+		Name: "homogeneous",
+		Classes: []Class{
+			{Name: "cpu", Count: n, Times: CPUKernelTimes(TileNB)},
+		},
+		Bus:       Bus{Enabled: false},
+		TileBytes: float64(TileNB) * TileNB * 8,
+		Overhead:  Overhead{PerTaskSec: 20e-6, JitterFrac: 0.03},
+	}
+}
+
+// Related builds the paper's fictitious "heterogeneous related" platform
+// from a base platform: GPU kernel times are replaced by CPU time / K for a
+// single common acceleration factor K (typically K = AccelerationFactor of
+// the DAG under study, which depends on the tile count).
+func Related(base *Platform, k float64) *Platform {
+	if len(base.Classes) < 2 {
+		panic("platform: Related requires a CPU class and an accelerator class")
+	}
+	p := base.Clone()
+	p.Name = base.Name + "-related"
+	for i := 1; i < len(p.Classes); i++ {
+		times := map[graph.Kind]float64{}
+		for kind, t := range p.Classes[0].Times {
+			times[kind] = t / k
+		}
+		p.Classes[i].Times = times
+	}
+	return p
+}
+
+// WithoutCommunication returns a copy with data transfers disabled — the
+// configuration the paper uses when comparing simulated schedules to the
+// communication-oblivious bounds ("we have used the simulated performance,
+// where communication costs have been removed").
+func WithoutCommunication(base *Platform) *Platform {
+	p := base.Clone()
+	p.Bus.Enabled = false
+	p.Name = base.Name + "-nocomm"
+	return p
+}
+
+// ScaleClassTimes returns a copy with every kernel time of class r multiplied
+// by f (used by ablation benches: slower/faster GPUs, more CPU cores, ...).
+func ScaleClassTimes(base *Platform, r int, f float64) *Platform {
+	p := base.Clone()
+	for kind, t := range p.Classes[r].Times {
+		p.Classes[r].Times[kind] = t * f
+	}
+	return p
+}
+
+// GFlops converts (flops, seconds) to GFLOP/s, guarding against zero time.
+func GFlops(flops, seconds float64) float64 {
+	if seconds <= 0 {
+		return math.Inf(1)
+	}
+	return flops / seconds / 1e9
+}
+
+// Sirocco returns a model of a newer-generation mixed node — the
+// "verify the results on other hardware platforms" direction of the
+// paper's conclusion: 24 CPU cores plus two *different* GPU generations
+// (two fast, two slow), making three resource classes. Speedups are scaled
+// from the Mirage ratios: the fast GPUs roughly double the M2070 throughput
+// on regular kernels, the slow ones sit midway between CPU and M2070.
+func Sirocco() *Platform {
+	cpu := CPUKernelTimes(TileNB)
+	fast := map[graph.Kind]float64{
+		graph.POTRF: cpu[graph.POTRF] / 3,
+		graph.TRSM:  cpu[graph.TRSM] / 22,
+		graph.SYRK:  cpu[graph.SYRK] / 50,
+		graph.GEMM:  cpu[graph.GEMM] / 56,
+	}
+	slow := map[graph.Kind]float64{
+		graph.POTRF: cpu[graph.POTRF] / 1.5,
+		graph.TRSM:  cpu[graph.TRSM] / 6,
+		graph.SYRK:  cpu[graph.SYRK] / 13,
+		graph.GEMM:  cpu[graph.GEMM] / 15,
+	}
+	return &Platform{
+		Name: "sirocco",
+		Classes: []Class{
+			{Name: "cpu", Count: 24, Times: cpu},
+			{Name: "gpu-fast", Count: 2, Times: fast},
+			{Name: "gpu-slow", Count: 2, Times: slow},
+		},
+		Bus: Bus{
+			Enabled:      true,
+			BandwidthBps: 12e9,
+			LatencySec:   10e-6,
+		},
+		TileBytes: float64(TileNB) * TileNB * 8,
+		Overhead:  Overhead{PerTaskSec: 15e-6, JitterFrac: 0.03},
+	}
+}

@@ -1,0 +1,343 @@
+// Package report renders experiment tables (stats.Table) as a standalone
+// HTML report with SVG line charts — the shareable artifact form of the
+// paper's figures.
+//
+// Chart anatomy follows a fixed spec: 2px round-joined lines, ≥8px endpoint
+// markers with a 2px surface ring, hairline solid gridlines, a legend for
+// two or more series plus direct labels at line ends, native hover tooltips
+// on every marker, and a data-table view under each chart (which also
+// serves as the contrast relief for the lighter palette slots). Categorical
+// hues are assigned in a fixed validated order (never cycled); series
+// beyond the eighth fold into the table only. One y-axis per chart, always.
+package report
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Fixed categorical order (validated palette; see the data-viz reference):
+// light-mode steps, dark handled by CSS custom properties in the page.
+var seriesLight = []string{
+	"#2a78d6", "#1baf7a", "#eda100", "#008300",
+	"#4a3aa7", "#e34948", "#e87ba4", "#eb6834",
+}
+var seriesDark = []string{
+	"#3987e5", "#199e70", "#c98500", "#008300",
+	"#9085e9", "#e66767", "#d55181", "#d95926",
+}
+
+const (
+	chartW  = 760
+	chartH  = 340
+	marginL = 64
+	marginR = 150 // room for direct labels at line ends
+	marginT = 16
+	marginB = 36
+)
+
+// niceCeil rounds up to a clean axis maximum (1/2/5 × 10^k).
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// LineChartSVG renders one table as an SVG line chart. Only the first eight
+// series get lines (fixed hue order); all series appear in the table view.
+func LineChartSVG(t *stats.Table) string {
+	maxV := 0.0
+	for _, s := range t.Series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && v > maxV {
+				maxV = v
+			}
+		}
+	}
+	yMax := niceCeil(maxV)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, x := range t.Xs {
+		minX = math.Min(minX, x)
+		maxX = math.Max(maxX, x)
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	plotW := float64(chartW - marginL - marginR)
+	plotH := float64(chartH - marginT - marginB)
+	xpos := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	ypos := func(v float64) float64 { return marginT + (1-v/yMax)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %d %d" width="%d" height="%d" role="img" aria-label="%s">`+"\n",
+		chartW, chartH, chartW, chartH, html.EscapeString(t.Title))
+
+	// Hairline gridlines + y ticks at 5 clean divisions.
+	for i := 0; i <= 5; i++ {
+		v := yMax * float64(i) / 5
+		y := ypos(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" class="grid"/>`+"\n",
+			marginL, y, chartW-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" class="tick" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+4, formatTick(v))
+	}
+	// X ticks at each data point.
+	for _, x := range t.Xs {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" class="tick" text-anchor="middle">%g</text>`+"\n",
+			xpos(x), chartH-marginB+16, x)
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" class="axis-label" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, chartH-4, html.EscapeString(t.XLabel))
+
+	nSeries := len(t.Series)
+	if nSeries > len(seriesLight) {
+		nSeries = len(seriesLight)
+	}
+	for si := 0; si < nSeries; si++ {
+		s := t.Series[si]
+		cls := fmt.Sprintf("s%d", si+1)
+		// Polyline segments, broken at NaN gaps.
+		var seg []string
+		flush := func() {
+			if len(seg) >= 2 {
+				fmt.Fprintf(&b, `<polyline points="%s" class="line %s"/>`+"\n",
+					strings.Join(seg, " "), cls)
+			}
+			seg = seg[:0]
+		}
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				flush()
+				continue
+			}
+			seg = append(seg, fmt.Sprintf("%.1f,%.1f", xpos(t.Xs[i]), ypos(v)))
+		}
+		flush()
+		// Markers: r=4 with a 2px surface ring; native hover tooltips.
+		lastIdx := -1
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" class="dot %s"><title>%s — %s=%g: %.2f %s</title></circle>`+"\n",
+				xpos(t.Xs[i]), ypos(v), cls,
+				html.EscapeString(s.Name), html.EscapeString(t.XLabel), t.Xs[i], v, html.EscapeString(t.YLabel))
+			lastIdx = i
+		}
+		// Direct label at the line end, in text ink with a color key dot.
+		if lastIdx >= 0 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" class="dlabel">%s</text>`+"\n",
+				xpos(t.Xs[lastIdx])+10, ypos(s.Values[lastIdx])+4, html.EscapeString(s.Name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	if v >= 1000 {
+		return fmt.Sprintf("%.0f,%03.0f", math.Floor(v/1000), math.Mod(v, 1000))
+	}
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// tableHTML renders the data-table view (the always-available identity and
+// relief channel).
+func tableHTML(t *stats.Table) string {
+	var b strings.Builder
+	b.WriteString(`<details><summary>Data table</summary><table><thead><tr>`)
+	fmt.Fprintf(&b, "<th>%s</th>", html.EscapeString(t.XLabel))
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, "<th>%s</th>", html.EscapeString(s.Name))
+	}
+	b.WriteString("</tr></thead><tbody>\n")
+	for i, x := range t.Xs {
+		fmt.Fprintf(&b, "<tr><td>%g</td>", x)
+		for _, s := range t.Series {
+			if math.IsNaN(s.Values[i]) {
+				b.WriteString("<td>—</td>")
+			} else if s.Sigmas != nil && i < len(s.Sigmas) && s.Sigmas[i] > 0 {
+				fmt.Fprintf(&b, "<td>%.2f ± %.2f</td>", s.Values[i], s.Sigmas[i])
+			} else {
+				fmt.Fprintf(&b, "<td>%.2f</td>", s.Values[i])
+			}
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</tbody></table></details>\n")
+	return b.String()
+}
+
+// legendHTML renders the legend row (only for ≥ 2 series).
+func legendHTML(t *stats.Table) string {
+	if len(t.Series) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(`<div class="legend">`)
+	for si, s := range t.Series {
+		if si >= len(seriesLight) {
+			break
+		}
+		fmt.Fprintf(&b, `<span class="key"><span class="swatch s%dbg"></span>%s</span>`,
+			si+1, html.EscapeString(s.Name))
+	}
+	b.WriteString("</div>\n")
+	return b.String()
+}
+
+// HTML builds a standalone report page from a set of tables.
+func HTML(title string, tables []*stats.Table) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n<style>\n", html.EscapeString(title))
+	b.WriteString(`:root {
+  --surface-1: #fcfcfb; --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --grid: #e7e6e2;`)
+	for i, c := range seriesLight {
+		fmt.Fprintf(&b, " --series-%d: %s;", i+1, c)
+	}
+	b.WriteString(`
+}
+@media (prefers-color-scheme: dark) {
+  :root { --surface-1: #1a1a19; --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --grid: #33322f;`)
+	for i, c := range seriesDark {
+		fmt.Fprintf(&b, " --series-%d: %s;", i+1, c)
+	}
+	b.WriteString(`
+  }
+}
+body { background: var(--surface-1); color: var(--text-primary);
+  font: 14px/1.5 system-ui, sans-serif; max-width: 880px; margin: 2rem auto; padding: 0 1rem; }
+h1, h2 { font-weight: 600; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.tick, .axis-label { fill: var(--text-secondary); font-size: 11px; }
+.dlabel { fill: var(--text-primary); font-size: 12px; }
+.line { fill: none; stroke-width: 2; stroke-linejoin: round; stroke-linecap: round; }
+.dot { stroke: var(--surface-1); stroke-width: 2; }
+`)
+	for i := 1; i <= len(seriesLight); i++ {
+		fmt.Fprintf(&b, ".s%d { stroke: var(--series-%d); }\n.dot.s%d { fill: var(--series-%d); }\n.s%dbg { background: var(--series-%d); }\n.s%dbar { fill: var(--series-%d); }\n",
+			i, i, i, i, i, i, i, i)
+	}
+	b.WriteString(`.legend { display: flex; gap: 1rem; flex-wrap: wrap; margin: .25rem 0 1rem; color: var(--text-secondary); }
+.key { display: inline-flex; align-items: center; gap: .4rem; }
+.swatch { width: 12px; height: 12px; border-radius: 3px; display: inline-block; }
+table { border-collapse: collapse; margin: .5rem 0 1.5rem; }
+th, td { padding: .25rem .7rem; text-align: right; border-bottom: 1px solid var(--grid); }
+th:first-child, td:first-child { text-align: left; }
+details { margin-bottom: 2rem; color: var(--text-secondary); }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+	for _, t := range tables {
+		fmt.Fprintf(&b, "<h2>%s</h2>\n", html.EscapeString(t.Title))
+		b.WriteString(ChartSVG(t))
+		b.WriteString(legendHTML(t))
+		b.WriteString(tableHTML(t))
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// BarChartSVG renders a categorical table as grouped bars: ≤24px bars with
+// 4px rounded data-ends square at the baseline, a 2px surface gap between
+// neighbors, values labeled on the caps in text ink.
+func BarChartSVG(t *stats.Table) string {
+	maxV := 0.0
+	for _, s := range t.Series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && v > maxV {
+				maxV = v
+			}
+		}
+	}
+	yMax := niceCeil(maxV)
+	plotW := float64(chartW - marginL - 24)
+	plotH := float64(chartH - marginT - marginB)
+	nCats := len(t.Xs)
+	nSeries := len(t.Series)
+	if nSeries > len(seriesLight) {
+		nSeries = len(seriesLight)
+	}
+	ypos := func(v float64) float64 { return marginT + (1-v/yMax)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %d %d" width="%d" height="%d" role="img" aria-label="%s">`+"\n",
+		chartW, chartH, chartW, chartH, html.EscapeString(t.Title))
+	for i := 0; i <= 5; i++ {
+		v := yMax * float64(i) / 5
+		y := ypos(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" class="grid"/>`+"\n",
+			marginL, y, chartW-24, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" class="tick" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+4, formatTick(v))
+	}
+	slot := plotW / float64(nCats)
+	// Bar width: ≤24px, with a 2px surface gap between series neighbors.
+	barW := math.Min(24, (slot-8)/float64(nSeries)-2)
+	if barW < 3 {
+		barW = 3
+	}
+	base := ypos(0)
+	for ci := 0; ci < nCats; ci++ {
+		groupW := float64(nSeries)*(barW+2) - 2
+		x0 := marginL + slot*float64(ci) + (slot-groupW)/2
+		label := fmt.Sprintf("%g", t.Xs[ci])
+		if ci < len(t.XNames) {
+			label = t.XNames[ci]
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" class="tick" text-anchor="middle">%s</text>`+"\n",
+			x0+groupW/2, chartH-marginB+16, html.EscapeString(label))
+		for si := 0; si < nSeries; si++ {
+			v := t.Series[si].Values[ci]
+			if math.IsNaN(v) {
+				continue
+			}
+			x := x0 + float64(si)*(barW+2)
+			y := ypos(v)
+			h := base - y
+			if h < 1 {
+				h = 1
+			}
+			// Rounded data-end, square baseline: a clip-free approximation —
+			// round the top corners only via a path.
+			r := math.Min(4, barW/2)
+			fmt.Fprintf(&b,
+				`<path d="M%.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Z" class="bar s%dbar"><title>%s — %s: %.2f %s</title></path>`+"\n",
+				x, base, x, y+r, x, y, x+r, y, x+barW-r, y, x+barW, y, x+barW, y+r, x+barW, base,
+				si+1, html.EscapeString(t.Series[si].Name), html.EscapeString(label), v, html.EscapeString(t.YLabel))
+			// Value on the cap, in text ink.
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" class="dlabel" text-anchor="middle" font-size="10">%s</text>`+"\n",
+				x+barW/2, y-4, formatTick(v))
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" class="axis-label" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, chartH-4, html.EscapeString(t.XLabel))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// ChartSVG picks the form by the data's job: bars for categorical identity,
+// lines for continuous sweeps.
+func ChartSVG(t *stats.Table) string {
+	if t.Categorical {
+		return BarChartSVG(t)
+	}
+	return LineChartSVG(t)
+}

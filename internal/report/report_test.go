@@ -1,0 +1,151 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func demoTable() *stats.Table {
+	t := &stats.Table{Title: "Demo <fig>", XLabel: "tiles", YLabel: "GFLOP/s",
+		Xs: []float64{4, 8, 16, 32}}
+	t.Add("dmda", []float64{100, 300, 600, 850}, nil)
+	t.Add("dmdas", []float64{110, 320, 610, 870}, []float64{1, 2, 3, 4})
+	t.Add("bound", []float64{130, 500, 900, math.NaN()}, nil)
+	return t
+}
+
+func TestLineChartSVGStructure(t *testing.T) {
+	svg := LineChartSVG(demoTable())
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG")
+	}
+	// 3 series → 3 polylines (bound has a NaN at the end but ≥2 points remain).
+	if got := strings.Count(svg, "<polyline"); got != 3 {
+		t.Fatalf("%d polylines, want 3", got)
+	}
+	// Markers skip the NaN: 4+4+3 = 11 dots, each with a hover tooltip.
+	if got := strings.Count(svg, "<circle"); got != 11 {
+		t.Fatalf("%d markers, want 11", got)
+	}
+	if got := strings.Count(svg, "<title>"); got != 11 {
+		t.Fatalf("%d tooltips, want 11", got)
+	}
+	// Direct labels at line ends for all three series.
+	if got := strings.Count(svg, `class="dlabel"`); got != 3 {
+		t.Fatalf("%d direct labels, want 3", got)
+	}
+	// Title is escaped.
+	if strings.Contains(svg, "<fig>") {
+		t.Fatal("unescaped HTML in aria label")
+	}
+	// Gridlines are hairline class, 6 of them (0..5).
+	if got := strings.Count(svg, `class="grid"`); got != 6 {
+		t.Fatalf("%d gridlines, want 6", got)
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{0: 1, 0.7: 1, 3: 5, 9: 10, 12: 20, 49: 50, 51: 100, 960: 1000}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Fatalf("niceCeil(%g) = %g, want %g", in, got, want)
+		}
+	}
+}
+
+func TestHTMLReportComplete(t *testing.T) {
+	out := HTML("Report & title", []*stats.Table{demoTable()})
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Report &amp; title",
+		"prefers-color-scheme: dark", // dark mode is selected, not flipped
+		"--series-1: #2a78d6",
+		"Data table",
+		"320.00 ± 2.00", // sigma rendering in the table view
+		"—",             // NaN cell
+		`class="legend"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// One y-axis only: no second axis group.
+	if strings.Count(out, "axis-label") < 1 {
+		t.Fatal("x axis label missing")
+	}
+}
+
+func TestSingleSeriesNoLegend(t *testing.T) {
+	tb := &stats.Table{Title: "one", XLabel: "x", YLabel: "y", Xs: []float64{1, 2}}
+	tb.Add("only", []float64{1, 2}, nil)
+	if legendHTML(tb) != "" {
+		t.Fatal("single series must not get a legend box")
+	}
+	out := HTML("t", []*stats.Table{tb})
+	if strings.Contains(out, `class="legend"`) {
+		t.Fatal("legend rendered for single series")
+	}
+}
+
+func TestManySeriesCappedAtPalette(t *testing.T) {
+	tb := &stats.Table{Title: "many", XLabel: "x", YLabel: "y", Xs: []float64{1, 2}}
+	for i := 0; i < 11; i++ {
+		tb.Add(strings.Repeat("s", i+1), []float64{float64(i), float64(i + 1)}, nil)
+	}
+	svg := LineChartSVG(tb)
+	if got := strings.Count(svg, "<polyline"); got != 8 {
+		t.Fatalf("%d polylines, want 8 (palette is never cycled)", got)
+	}
+	// But the table view carries all 11.
+	table := tableHTML(tb)
+	if got := strings.Count(table, "<th>"); got != 12 {
+		t.Fatalf("%d table headers, want 12", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(1200) != "1,200" || formatTick(950) != "950" || formatTick(2.5) != "2.5" {
+		t.Fatalf("tick formats: %q %q %q", formatTick(1200), formatTick(950), formatTick(2.5))
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	tb := &stats.Table{
+		Title: "Table I", XLabel: "kernel", YLabel: "speedup",
+		Xs: []float64{0, 1, 2, 3}, Categorical: true,
+		XNames: []string{"POTRF", "TRSM", "SYRK", "GEMM"},
+	}
+	tb.Add("gpu/cpu", []float64{2, 11, 26, 29}, nil)
+	svg := ChartSVG(tb)
+	if !strings.Contains(svg, "<path") {
+		t.Fatal("categorical table should render bars")
+	}
+	if got := strings.Count(svg, "<path"); got != 4 {
+		t.Fatalf("%d bars, want 4", got)
+	}
+	if !strings.Contains(svg, "POTRF") || !strings.Contains(svg, "GEMM") {
+		t.Fatal("category labels missing")
+	}
+	// Values labeled on caps.
+	if !strings.Contains(svg, ">29<") {
+		t.Fatal("cap value labels missing")
+	}
+	// Non-categorical table still gets lines.
+	lt := demoTable()
+	if !strings.Contains(ChartSVG(lt), "<polyline") {
+		t.Fatal("continuous table should render lines")
+	}
+}
+
+func TestBarChartNaNSkipped(t *testing.T) {
+	tb := &stats.Table{Title: "x", XLabel: "c", YLabel: "y",
+		Xs: []float64{0, 1}, Categorical: true}
+	tb.Add("a", []float64{5, math.NaN()}, nil)
+	svg := BarChartSVG(tb)
+	if got := strings.Count(svg, "<path"); got != 1 {
+		t.Fatalf("%d bars, want 1 (NaN skipped)", got)
+	}
+}

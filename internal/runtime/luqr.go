@@ -1,0 +1,68 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+)
+
+// LUExecutor returns the TaskFunc running the tiled unpivoted LU kernels in
+// place on a full tiled matrix, matching graph.LU's task encoding (row-panel
+// TRSMs carry I == K, column-panel TRSMs J == K).
+func LUExecutor(tl *matrix.TiledFull) TaskFunc {
+	return func(t *graph.Task) error {
+		switch t.Kind {
+		case graph.GETRF:
+			return kernels.Getrf(tl.Tile(t.K, t.K))
+		case graph.TRSM:
+			if t.I == t.K { // row panel: A_kj ← L_kk⁻¹·A_kj
+				kernels.TrsmLowerLeftUnit(tl.Tile(t.K, t.K), tl.Tile(t.K, t.J))
+			} else { // column panel: A_ik ← A_ik·U_kk⁻¹
+				kernels.TrsmUpperRight(tl.Tile(t.K, t.K), tl.Tile(t.I, t.K))
+			}
+		case graph.GEMM:
+			kernels.GemmNN(tl.Tile(t.I, t.K), tl.Tile(t.K, t.J), tl.Tile(t.I, t.J))
+		default:
+			return fmt.Errorf("runtime: unexpected kind %v in LU DAG", t.Kind)
+		}
+		return nil
+	}
+}
+
+// FactorLU runs the parallel tiled LU factorization (no pivoting) in place.
+func FactorLU(tl *matrix.TiledFull, opt Options) (*Result, error) {
+	d := graph.LU(tl.P)
+	return Run(d, LUExecutor(tl), opt)
+}
+
+// QRExecutor returns the TaskFunc running the tiled QR kernels in place on a
+// full tiled matrix, with Householder scales kept in aux.
+func QRExecutor(tl *matrix.TiledFull, aux *kernels.QRAux) TaskFunc {
+	return func(t *graph.Task) error {
+		switch t.Kind {
+		case graph.GEQRT:
+			kernels.Geqrt(tl.Tile(t.K, t.K), aux.TauGE[t.K])
+		case graph.ORMQR:
+			kernels.Ormqr(tl.Tile(t.K, t.K), aux.TauGE[t.K], tl.Tile(t.K, t.J))
+		case graph.TSQRT:
+			kernels.Tsqrt(tl.Tile(t.K, t.K), tl.Tile(t.I, t.K), aux.TauTS[t.I][t.K])
+		case graph.TSMQR:
+			kernels.Tsmqr(tl.Tile(t.I, t.K), aux.TauTS[t.I][t.K],
+				tl.Tile(t.K, t.J), tl.Tile(t.I, t.J))
+		default:
+			return fmt.Errorf("runtime: unexpected kind %v in QR DAG", t.Kind)
+		}
+		return nil
+	}
+}
+
+// FactorQR runs the parallel tiled QR factorization in place and returns the
+// Householder scale storage alongside the execution record.
+func FactorQR(tl *matrix.TiledFull, opt Options) (*kernels.QRAux, *Result, error) {
+	d := graph.QR(tl.P)
+	aux := kernels.NewQRAux(tl.P, tl.NB)
+	r, err := Run(d, QRExecutor(tl, aux), opt)
+	return aux, r, err
+}

@@ -1,0 +1,125 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+)
+
+func TestFactorLUParallelCorrect(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, pol := range []Policy{FIFO, Priority, Random} {
+			a := matrix.DiagDominant(48, 3)
+			tf, err := matrix.FromDenseFull(a, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := FactorLU(tf, Options{Workers: workers, Policy: pol, Seed: 1})
+			if err != nil {
+				t.Fatalf("%v/%d: %v", pol, workers, err)
+			}
+			if res := kernels.LUResidual(a, tf); res > 1e-11 {
+				t.Fatalf("%v/%d: LU residual %g", pol, workers, res)
+			}
+			if err := Validate(graph.LU(6), r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestFactorLUMatchesSequential(t *testing.T) {
+	a := matrix.DiagDominant(32, 9)
+	seq, _ := matrix.FromDenseFull(a, 8)
+	par, _ := matrix.FromDenseFull(a, 8)
+	if err := kernels.TiledLU(seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FactorLU(par, Options{Workers: 4, Policy: Priority}); err != nil {
+		t.Fatal(err)
+	}
+	// Dependencies order all conflicting accesses: results must be bitwise
+	// identical to the sequential execution.
+	for i := 0; i < seq.P; i++ {
+		for j := 0; j < seq.P; j++ {
+			s, p := seq.Tile(i, j), par.Tile(i, j)
+			for k := range s.Data {
+				if s.Data[k] != p.Data[k] {
+					t.Fatalf("tile (%d,%d)[%d] differs", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestFactorLUZeroPivotPropagates(t *testing.T) {
+	a := matrix.NewDense(16) // all zeros: first pivot is zero
+	tf, _ := matrix.FromDenseFull(a, 4)
+	_, err := FactorLU(tf, Options{Workers: 2})
+	if !errors.Is(err, kernels.ErrZeroPivot) {
+		t.Fatalf("expected ErrZeroPivot, got %v", err)
+	}
+}
+
+func TestFactorQRParallelCorrect(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		a := matrix.RandSymmetric(40, 17)
+		tf, err := matrix.FromDenseFull(a, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, r, err := FactorQR(tf, Options{Workers: workers, Policy: Priority})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res := kernels.QRResidual(a, tf); res > 1e-10 {
+			t.Fatalf("workers=%d: QR residual %g", workers, res)
+		}
+		if err := Validate(graph.QR(5), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFactorQRMatchesSequential(t *testing.T) {
+	a := matrix.RandSymmetric(24, 5)
+	seq, _ := matrix.FromDenseFull(a, 8)
+	par, _ := matrix.FromDenseFull(a, 8)
+	auxSeq := kernels.TiledQR(seq)
+	auxPar, _, err := FactorQR(par, Options{Workers: 4, Policy: Random, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < seq.P; i++ {
+		for j := 0; j < seq.P; j++ {
+			s, p := seq.Tile(i, j), par.Tile(i, j)
+			for k := range s.Data {
+				if s.Data[k] != p.Data[k] {
+					t.Fatalf("tile (%d,%d)[%d] differs", i, j, k)
+				}
+			}
+		}
+	}
+	for k := range auxSeq.TauGE {
+		for c := range auxSeq.TauGE[k] {
+			if auxSeq.TauGE[k][c] != auxPar.TauGE[k][c] {
+				t.Fatal("GEQRT taus differ")
+			}
+		}
+	}
+}
+
+func TestLUExecutorRejectsWrongKind(t *testing.T) {
+	tf := matrix.NewTiledFull(2, 2)
+	fn := LUExecutor(tf)
+	if err := fn(&graph.Task{Kind: graph.POTRF}); err == nil {
+		t.Fatal("expected error for POTRF in LU executor")
+	}
+	fnQ := QRExecutor(tf, kernels.NewQRAux(2, 2))
+	if err := fnQ(&graph.Task{Kind: graph.GEMM}); err == nil {
+		t.Fatal("expected error for GEMM in QR executor")
+	}
+}

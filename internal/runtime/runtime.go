@@ -1,0 +1,372 @@
+// Package runtime is a real task-based parallel runtime — the reproduction's
+// StarPU "actual execution" mode for the homogeneous case: it executes a
+// task DAG with genuine goroutine workers, dependency tracking and a
+// pluggable ready-task policy, and measures wall-clock per-task timings.
+//
+// The paper's homogeneous experiments (Figure 3) run the tiled Cholesky with
+// random / dmda / dmdas on 9 CPU cores; on a shared-memory homogeneous
+// machine the dm* policies reduce to central-queue scheduling with or
+// without priorities, which is exactly what this runtime provides (Random,
+// FIFO, Priority policies).
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+)
+
+// Policy selects how workers pick among ready tasks.
+type Policy int
+
+// Ready-task policies.
+const (
+	// FIFO pops ready tasks in submission order (StarPU's eager).
+	FIFO Policy = iota
+	// Priority pops the highest-priority ready task (HEFT-like, the dmdas
+	// analogue on homogeneous platforms).
+	Priority
+	// Random pops a uniformly random ready task (the random policy's
+	// homogeneous analogue).
+	Random
+	// RandomPerWorker assigns each ready task to a uniformly random
+	// worker's private queue at push time — StarPU's `random` policy
+	// proper: not work-conserving, so it exhibits the load imbalance the
+	// paper's Figure 3 shows.
+	RandomPerWorker
+	// StealingDeques gives each worker a private deque: tasks released by a
+	// worker's completions go to its own deque (bottom, popped LIFO for
+	// locality); an idle worker steals from the longest other deque (FIFO
+	// end) — the classic work-stealing runtime (StarPU's `ws`).
+	StealingDeques
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Priority:
+		return "priority"
+	case Random:
+		return "random"
+	case RandomPerWorker:
+		return "random-per-worker"
+	default:
+		return "stealing-deques"
+	}
+}
+
+// Options configures an execution.
+type Options struct {
+	// Workers is the number of worker goroutines (default: GOMAXPROCS).
+	Workers int
+	// Policy selects the ready-queue discipline.
+	Policy Policy
+	// Priorities gives per-task priorities for the Priority policy
+	// (higher first). When nil, bottom levels with unit weights are used.
+	Priorities []float64
+	// Seed feeds the Random policy.
+	Seed int64
+}
+
+// Result of a real execution.
+type Result struct {
+	Seconds  float64   // wall-clock makespan
+	Start    []float64 // per task, seconds relative to run start
+	End      []float64
+	Worker   []int
+	BusySec  []float64 // per worker
+	TaskName []string
+}
+
+// TaskFunc executes one task; returning an error aborts the run.
+type TaskFunc func(t *graph.Task) error
+
+type readyQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []int   // central queue (all policies but RandomPerWorker)
+	perW    [][]int // private queues (RandomPerWorker)
+	prio    []float64
+	policy  Policy
+	rng     *rand.Rand
+	stopped bool
+	err     error
+}
+
+func newReadyQueue(workers int, policy Policy, prio []float64, seed int64) *readyQueue {
+	q := &readyQueue{policy: policy, prio: prio, rng: rand.New(rand.NewSource(seed))}
+	if policy == RandomPerWorker || policy == StealingDeques {
+		q.perW = make([][]int, workers)
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a ready task. from is the worker whose completion released
+// it (−1 for the initial roots).
+func (q *readyQueue) push(id, from int) {
+	q.mu.Lock()
+	switch q.policy {
+	case RandomPerWorker:
+		w := q.rng.Intn(len(q.perW))
+		q.perW[w] = append(q.perW[w], id)
+	case StealingDeques:
+		w := from
+		if w < 0 {
+			w = q.rng.Intn(len(q.perW)) // scatter the roots
+		}
+		q.perW[w] = append(q.perW[w], id)
+	default:
+		q.items = append(q.items, id)
+	}
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *readyQueue) fail(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.stopped = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *readyQueue) stop() {
+	q.mu.Lock()
+	q.stopped = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pop blocks until a task is available for this worker or the queue stops;
+// ok=false on stop.
+func (q *readyQueue) pop(worker int) (id int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.policy == RandomPerWorker {
+		mine := func() []int { return q.perW[worker] }
+		for len(mine()) == 0 && !q.stopped {
+			q.cond.Wait()
+		}
+		if len(mine()) == 0 {
+			return 0, false
+		}
+		id = q.perW[worker][0]
+		q.perW[worker] = q.perW[worker][1:]
+		return id, true
+	}
+	if q.policy == StealingDeques {
+		for !q.stopped {
+			if n := len(q.perW[worker]); n > 0 {
+				// Own deque: LIFO (locality).
+				id = q.perW[worker][n-1]
+				q.perW[worker] = q.perW[worker][:n-1]
+				return id, true
+			}
+			// Steal from the longest victim's FIFO end.
+			victim, best := -1, 0
+			for v := range q.perW {
+				if v != worker && len(q.perW[v]) > best {
+					victim, best = v, len(q.perW[v])
+				}
+			}
+			if victim >= 0 {
+				id = q.perW[victim][0]
+				q.perW[victim] = q.perW[victim][1:]
+				return id, true
+			}
+			q.cond.Wait()
+		}
+		return 0, false
+	}
+	for len(q.items) == 0 && !q.stopped {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	var idx int
+	switch q.policy {
+	case Priority:
+		idx = 0
+		for i := 1; i < len(q.items); i++ {
+			if q.prio[q.items[i]] > q.prio[q.items[idx]] {
+				idx = i
+			}
+		}
+	case Random:
+		idx = q.rng.Intn(len(q.items))
+	default:
+		idx = 0
+	}
+	id = q.items[idx]
+	q.items = append(q.items[:idx], q.items[idx+1:]...)
+	return id, true
+}
+
+// Run executes the DAG with fn on a pool of goroutine workers.
+func Run(d *graph.DAG, fn TaskFunc, opt Options) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(d.Tasks)
+	nW := opt.Workers
+	if nW <= 0 {
+		nW = runtime.GOMAXPROCS(0)
+	}
+	prio := opt.Priorities
+	if prio == nil && opt.Policy == Priority {
+		bl, err := d.BottomLevels(func(*graph.Task) float64 { return 1 })
+		if err != nil {
+			return nil, err
+		}
+		prio = bl
+	}
+	q := newReadyQueue(nW, opt.Policy, prio, opt.Seed)
+
+	res := &Result{
+		Start:    make([]float64, n),
+		End:      make([]float64, n),
+		Worker:   make([]int, n),
+		BusySec:  make([]float64, nW),
+		TaskName: make([]string, n),
+	}
+	for _, t := range d.Tasks {
+		res.TaskName[t.ID] = t.Name()
+	}
+
+	indeg := make([]int32, n)
+	for _, t := range d.Tasks {
+		indeg[t.ID] = int32(len(t.Pred))
+	}
+	var depMu sync.Mutex // protects indeg decrements + completion count
+	remaining := n
+
+	base := time.Now()
+	// Seed the queue before any worker can touch indeg.
+	for _, t := range d.Tasks {
+		if indeg[t.ID] == 0 {
+			q.push(t.ID, -1)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nW; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				id, ok := q.pop(worker)
+				if !ok {
+					return
+				}
+				t := d.Tasks[id]
+				start := time.Since(base).Seconds()
+				err := fn(t)
+				end := time.Since(base).Seconds()
+				res.Start[id], res.End[id], res.Worker[id] = start, end, worker
+				res.BusySec[worker] += end - start
+				if err != nil {
+					q.fail(fmt.Errorf("runtime: task %s: %w", t.Name(), err))
+					return
+				}
+				depMu.Lock()
+				remaining--
+				finished := remaining == 0
+				var woken []int
+				for _, s := range t.Succ {
+					indeg[s]--
+					if indeg[s] == 0 {
+						woken = append(woken, s)
+					}
+				}
+				depMu.Unlock()
+				for _, s := range woken {
+					q.push(s, worker)
+				}
+				if finished {
+					q.stop()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q.err != nil {
+		return nil, q.err
+	}
+	res.Seconds = time.Since(base).Seconds()
+	return res, nil
+}
+
+// CholeskyExecutor returns the TaskFunc running the numeric tile kernels of
+// the tiled Cholesky factorization in place on tl.
+//
+// Concurrent safety: the DAG's dependencies serialize every conflicting tile
+// access (that is their construction rule), so kernels may touch their tiles
+// without locks.
+func CholeskyExecutor(tl *matrix.Tiled) TaskFunc {
+	return func(t *graph.Task) error {
+		switch t.Kind {
+		case graph.POTRF:
+			return kernels.Potrf(tl.Tile(t.K, t.K))
+		case graph.TRSM:
+			kernels.Trsm(tl.Tile(t.K, t.K), tl.Tile(t.I, t.K))
+		case graph.SYRK:
+			kernels.Syrk(tl.Tile(t.J, t.K), tl.Tile(t.J, t.J))
+		case graph.GEMM:
+			kernels.Gemm(tl.Tile(t.I, t.K), tl.Tile(t.J, t.K), tl.Tile(t.I, t.J))
+		default:
+			return fmt.Errorf("runtime: unexpected kind %v in Cholesky DAG", t.Kind)
+		}
+		return nil
+	}
+}
+
+// Factor runs the full parallel tiled Cholesky factorization of tl in place
+// and returns the execution record.
+func Factor(tl *matrix.Tiled, opt Options) (*Result, error) {
+	d := graph.Cholesky(tl.P)
+	return Run(d, CholeskyExecutor(tl), opt)
+}
+
+// Validate checks the execution record is a legal schedule of the DAG:
+// intervals on one worker never overlap and no task started before its
+// predecessors ended. (Wall-clock noise gets 1 µs of slack.)
+func Validate(d *graph.DAG, r *Result) error {
+	const slack = 1e-6
+	n := len(d.Tasks)
+	if len(r.Start) != n || len(r.End) != n {
+		return fmt.Errorf("runtime: result does not cover the DAG")
+	}
+	for _, t := range d.Tasks {
+		for _, pr := range t.Pred {
+			if r.Start[t.ID] < r.End[pr]-slack {
+				return fmt.Errorf("runtime: %s started before predecessor %s finished",
+					d.Tasks[t.ID].Name(), d.Tasks[pr].Name())
+			}
+		}
+	}
+	perWorker := map[int][][2]float64{}
+	for id := range r.Start {
+		perWorker[r.Worker[id]] = append(perWorker[r.Worker[id]], [2]float64{r.Start[id], r.End[id]})
+	}
+	for w, ivs := range perWorker {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i][0] < ivs[i-1][1]-slack {
+				return fmt.Errorf("runtime: overlapping tasks on worker %d", w)
+			}
+		}
+	}
+	return nil
+}

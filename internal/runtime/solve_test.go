@@ -1,0 +1,244 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+)
+
+func TestTrsvKernelsAgainstDense(t *testing.T) {
+	nb := 8
+	spd := matrix.RandSPD(nb, 3)
+	lt := matrix.NewTile(nb)
+	copy(lt.Data, spd.Data)
+	if err := kernels.Potrf(lt); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, nb)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	// b = L·x, then Trsv must recover x.
+	b := make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		for j := 0; j <= i; j++ {
+			b[i] += lt.At(i, j) * x[j]
+		}
+	}
+	kernels.Trsv(lt, b)
+	for i := range x {
+		if math.Abs(b[i]-x[i]) > 1e-10 {
+			t.Fatalf("Trsv[%d] = %g, want %g", i, b[i], x[i])
+		}
+	}
+	// bT = Lᵀ·x, then TrsvT recovers x.
+	bT := make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		for j := i; j < nb; j++ {
+			bT[i] += lt.At(j, i) * x[j]
+		}
+	}
+	kernels.TrsvT(lt, bT)
+	for i := range x {
+		if math.Abs(bT[i]-x[i]) > 1e-10 {
+			t.Fatalf("TrsvT[%d] = %g, want %g", i, bT[i], x[i])
+		}
+	}
+}
+
+func TestGemvKernels(t *testing.T) {
+	nb := 5
+	a := matrix.NewTile(nb)
+	for i := range a.Data {
+		a.Data[i] = float64(i%7) - 3
+	}
+	x := []float64{1, -2, 3, 0.5, -1}
+	y := make([]float64, nb)
+	kernels.Gemv(a, x, y)
+	for i := 0; i < nb; i++ {
+		want := 0.0
+		for j := 0; j < nb; j++ {
+			want -= a.At(i, j) * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-12 {
+			t.Fatalf("Gemv[%d] = %g, want %g", i, y[i], want)
+		}
+	}
+	yT := make([]float64, nb)
+	kernels.GemvT(a, x, yT)
+	for i := 0; i < nb; i++ {
+		want := 0.0
+		for j := 0; j < nb; j++ {
+			want -= a.At(j, i) * x[j]
+		}
+		if math.Abs(yT[i]-want) > 1e-12 {
+			t.Fatalf("GemvT[%d] = %g, want %g", i, yT[i], want)
+		}
+	}
+}
+
+func TestSolveDAGsValid(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		f := graph.ForwardSolve(p)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("forward p=%d: %v", p, err)
+		}
+		bw := graph.BackwardSolve(p)
+		if err := bw.Validate(); err != nil {
+			t.Fatalf("backward p=%d: %v", p, err)
+		}
+		// p TRSV + p(p−1)/2 GEMV each.
+		for _, d := range []*graph.DAG{f, bw} {
+			c := d.CountByKind()
+			if c[graph.TRSV] != p || c[graph.GEMV] != p*(p-1)/2 {
+				t.Fatalf("%s p=%d: counts %v", d.Algorithm, p, c)
+			}
+		}
+	}
+}
+
+func TestForwardSolveDependencyChain(t *testing.T) {
+	d := graph.ForwardSolve(3)
+	byName := map[string]*graph.Task{}
+	for _, tk := range d.Tasks {
+		byName[tk.Name()] = tk
+	}
+	// GEMV_1_0 needs TRSV_0's chunk; TRSV_1 needs GEMV_1_0's update.
+	g10 := byName["GEMV_1_0"]
+	t0 := byName["TRSV_0"]
+	t1 := byName["TRSV_1"]
+	if g10 == nil || t0 == nil || t1 == nil {
+		t.Fatal("missing tasks")
+	}
+	has := func(s []int, v int) bool {
+		for _, x := range s {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(t0.Succ, g10.ID) || !has(g10.Succ, t1.ID) {
+		t.Fatal("forward-solve chain broken")
+	}
+}
+
+func TestFactorAndSolveEndToEnd(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		n, nb := 64, 8
+		a := matrix.RandSPD(n, 17)
+		tl, err := matrix.FromDense(a, nb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Known solution.
+		xstar := make([]float64, n)
+		for i := range xstar {
+			xstar[i] = math.Sin(float64(i))
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += a.At(i, j) * xstar[j]
+			}
+		}
+		x, err := FactorAndSolve(tl, b, Options{Workers: workers, Policy: Priority})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xstar[i]) > 1e-9 {
+				t.Fatalf("workers=%d: x[%d] = %g, want %g", workers, i, x[i], xstar[i])
+			}
+		}
+	}
+}
+
+func TestSolveRejectsBadLength(t *testing.T) {
+	a := matrix.RandSPD(16, 1)
+	tl, _ := matrix.FromDense(a, 4)
+	if _, err := Solve(tl, make([]float64, 10), Options{}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestSolveParallelMatchesSerial(t *testing.T) {
+	n, nb := 48, 8
+	a := matrix.RandSPD(n, 23)
+	tl, _ := matrix.FromDense(a, nb)
+	if _, err := Factor(tl, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	b1 := make([]float64, n)
+	b2 := make([]float64, n)
+	for i := range b1 {
+		b1[i] = float64(i%5) - 2
+		b2[i] = b1[i]
+	}
+	x1, err := Solve(tl, b1, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x4, err := Solve(tl, b2, Options{Workers: 4, Policy: Random, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if x1[i] != x4[i] {
+			t.Fatalf("parallel solve diverges at %d: %g vs %g", i, x1[i], x4[i])
+		}
+	}
+}
+
+func TestSolveRefinedImprovesIllConditioned(t *testing.T) {
+	// Hilbert(8) is ill-conditioned (κ ≈ 1.5e10) but still factorizable in
+	// double precision: refinement must not hurt, and typically reduces the
+	// residual of the plain solve.
+	n, nb := 8, 4
+	a := matrix.Hilbert(n)
+	l, _ := matrix.FromDense(a, nb)
+	if _, err := Factor(l, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	residual := func(x []float64) float64 {
+		worst := 0.0
+		for i := 0; i < n; i++ {
+			s := -b[i]
+			for j := 0; j < n; j++ {
+				s += a.At(i, j) * x[j]
+			}
+			worst += s * s
+		}
+		return math.Sqrt(worst)
+	}
+	plain := append([]float64{}, b...)
+	if _, err := Solve(l, plain, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	refined, err := SolveRefined(a, l, b, 2, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, rr := residual(plain), residual(refined)
+	if rr > rp*1.001 {
+		t.Fatalf("refinement worsened the residual: %g vs %g", rr, rp)
+	}
+	if rr > 1e-8 {
+		t.Fatalf("refined residual still large: %g", rr)
+	}
+}
+
+func TestSolveRefinedDimensionChecks(t *testing.T) {
+	a := matrix.RandSPD(16, 1)
+	l, _ := matrix.FromDense(a, 4)
+	if _, err := SolveRefined(a, l, make([]float64, 8), 1, Options{}); err == nil {
+		t.Fatal("expected length error")
+	}
+}

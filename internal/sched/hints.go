@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Static hints of Section V-C3. Class conventions follow internal/platform:
+// class 0 = CPUs, class 1 = GPUs.
+
+// TrsmTriangleOnCPU builds the paper's winning hint (Figure 9/10): every
+// TRSM task operating on a tile at least k rows below the diagonal of its
+// panel (i − panel ≥ k) is forced onto the CPUs; everything else stays
+// dynamic. The paper finds k ≈ 6–8 optimal on Mirage.
+func TrsmTriangleOnCPU(k int) AllowFunc {
+	return func(t *graph.Task) []int {
+		if t.Kind == graph.TRSM && t.I-t.K >= k {
+			return []int{0}
+		}
+		return nil
+	}
+}
+
+// GemmSyrkOnGPU forces GEMM and SYRK kernels onto the GPUs — the paper's
+// first (and only mildly effective) experiment with static information.
+func GemmSyrkOnGPU() AllowFunc {
+	return func(t *graph.Task) []int {
+		if t.Kind == graph.GEMM || t.Kind == graph.SYRK {
+			return []int{1}
+		}
+		return nil
+	}
+}
+
+// TrsmFractionOnCPU forces the given fraction of each panel's TRSMs (the
+// ones farthest from the diagonal) onto CPUs — the conclusion's "this
+// proportion of TRSM tasks should be run on CPUs" hint formalized.
+func TrsmFractionOnCPU(p int, frac float64) AllowFunc {
+	return func(t *graph.Task) []int {
+		if t.Kind != graph.TRSM {
+			return nil
+		}
+		panelLen := p - 1 - t.K // TRSMs in panel k: i ∈ [k+1, p)
+		if panelLen <= 0 {
+			return nil
+		}
+		// Distance rank from the bottom: i = p−1 is farthest.
+		fromBottom := p - 1 - t.I
+		if float64(fromBottom) < frac*float64(panelLen) {
+			return []int{0}
+		}
+		return nil
+	}
+}
+
+// ClassMap forces specific tasks onto specific resource classes (the
+// mapping-only injection of Section VI-B: keep the CP solution's CPU/GPU
+// split, let the dynamic scheduler pick order and worker).
+func ClassMap(classOf map[int]int) AllowFunc {
+	return func(t *graph.Task) []int {
+		if c, ok := classOf[t.ID]; ok {
+			return []int{c}
+		}
+		return nil
+	}
+}
+
+// Combine chains hint functions; the first non-nil restriction wins.
+func Combine(fs ...AllowFunc) AllowFunc {
+	return func(t *graph.Task) []int {
+		for _, f := range fs {
+			if f == nil {
+				continue
+			}
+			if c := f(t); c != nil {
+				return c
+			}
+		}
+		return nil
+	}
+}
+
+// NewTriangleTRSM returns the dmdas-with-triangle-hint scheduler used for
+// Figures 10 and 11, named after its k parameter.
+func NewTriangleTRSM(k int) Scheduler {
+	return NewDMDASWithHints(fmt.Sprintf("dmdas+trsm-cpu(k=%d)", k), TrsmTriangleOnCPU(k))
+}

@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// HEFTInsertion computes a static HEFT schedule with the *insertion-based*
+// policy of the original HEFT paper (Topcuoglu et al.): instead of appending
+// to the end of each worker's schedule, a task may be placed into an idle
+// gap between already-scheduled tasks when the gap is long enough. This is
+// the classic refinement over the end-append variant in static.go; both are
+// provided so the difference can be measured (it is one of the DESIGN.md
+// ablations).
+func HEFTInsertion(d *graph.DAG, p *platform.Platform) (*StaticSchedule, error) {
+	bl, err := d.BottomLevels(func(t *graph.Task) float64 {
+		return p.AverageTime(t.Kind)
+	})
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(d.Tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return bl[order[a]] > bl[order[b]] })
+
+	type iv struct{ s, e float64 }
+	nW := p.Workers()
+	booked := make([][]iv, nW)
+	start := make([]float64, len(d.Tasks))
+	finish := make([]float64, len(d.Tasks))
+	worker := make([]int, len(d.Tasks))
+	scheduled := make([]bool, len(d.Tasks))
+
+	// earliestSlot finds the earliest start ≥ ready on worker w for a task of
+	// duration exec, considering gaps between booked intervals.
+	earliestSlot := func(w int, ready, exec float64) float64 {
+		ivs := booked[w]
+		cur := ready
+		for _, b := range ivs {
+			if cur+exec <= b.s+1e-12 {
+				return cur // fits in the gap before b
+			}
+			if b.e > cur {
+				cur = b.e
+			}
+		}
+		return cur
+	}
+	insert := func(w int, s, e float64) {
+		ivs := booked[w]
+		pos := sort.Search(len(ivs), func(i int) bool { return ivs[i].s >= s })
+		ivs = append(ivs, iv{})
+		copy(ivs[pos+1:], ivs[pos:])
+		ivs[pos] = iv{s, e}
+		booked[w] = ivs
+	}
+
+	for _, id := range order {
+		t := d.Tasks[id]
+		ready := 0.0
+		for _, pr := range t.Pred {
+			if !scheduled[pr] {
+				return nil, fmt.Errorf("sched: insertion HEFT order violated dependency %d→%d", pr, id)
+			}
+			if finish[pr] > ready {
+				ready = finish[pr]
+			}
+		}
+		bestW, bestEFT := -1, math.Inf(1)
+		for w := 0; w < nW; w++ {
+			exec := p.Time(p.WorkerClass(w), t.Kind)
+			if math.IsInf(exec, 1) {
+				continue
+			}
+			if eft := earliestSlot(w, ready, exec) + exec; eft < bestEFT {
+				bestEFT, bestW = eft, w
+			}
+		}
+		if bestW == -1 {
+			return nil, fmt.Errorf("sched: task %s runnable nowhere", t.Name())
+		}
+		exec := p.Time(p.WorkerClass(bestW), t.Kind)
+		st := bestEFT - exec
+		worker[id], start[id], finish[id] = bestW, st, bestEFT
+		insert(bestW, st, bestEFT)
+		scheduled[id] = true
+	}
+	mk := 0.0
+	for _, f := range finish {
+		if f > mk {
+			mk = f
+		}
+	}
+	return &StaticSchedule{Worker: worker, Start: start, EstMakespan: mk}, nil
+}

@@ -1,0 +1,354 @@
+// Package sched implements the scheduling policies studied in the paper:
+//
+//   - random  — weighted random worker choice (StarPU's `random`): aware of
+//     platform heterogeneity through average acceleration ratios, blind to
+//     task heterogeneity and current load;
+//   - greedy  — earliest-available-worker (an eager central-queue stand-in);
+//   - dmda    — deque model data aware: minimum estimated completion time,
+//     including estimated data-transfer time (StarPU's `dmda`);
+//   - dmdas   — dmda with per-worker queues sorted by HEFT-like priorities
+//     (bottom level under fastest execution times), StarPU's `dmdas`;
+//   - dmdar   — dmda with queues reordered by data availability (StarPU's
+//     `dmdar`);
+//
+// plus the paper's *hybrid static/dynamic* layer: hint-constrained variants
+// (forcing kernel classes onto resource types, e.g. "TRSMs ≥ k tiles below
+// the diagonal run on CPUs"), full static-schedule injection (used with the
+// CP solver's solutions), and the partial injections of Section VI-B
+// (mapping-only and order-only). Static HEFT (end-append and
+// insertion-based) provides offline schedules and the CP warm start.
+//
+// Schedulers make *push-time* decisions, exactly like StarPU's dm* family:
+// when a task becomes ready the scheduler picks a worker queue; workers
+// drain their queue in FIFO (dmda) or priority (dmdas) order.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// View is the runtime state a dynamic scheduler may inspect when assigning a
+// ready task. It is implemented by the simulator (and by the real runtime
+// with wall-clock estimates).
+type View interface {
+	// Now returns the current simulation/wall time in seconds.
+	Now() float64
+	// Workers returns the total worker count.
+	Workers() int
+	// WorkerClass returns the resource class of worker w.
+	WorkerClass(w int) int
+	// QueueEnd returns the estimated time at which worker w will have
+	// drained everything currently assigned to it.
+	QueueEnd(w int) float64
+	// ExecTime returns the estimated execution time of t on worker w
+	// (+Inf if w's class has no implementation).
+	ExecTime(w int, t *graph.Task) float64
+	// TransferEstimate returns the estimated data-transfer time needed
+	// before t could run on worker w, given current data locations.
+	TransferEstimate(w int, t *graph.Task) float64
+}
+
+// Scheduler is a dynamic scheduling policy.
+type Scheduler interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Init prepares the policy for a run. It is called once before any
+	// Assign and may precompute priorities from the DAG and platform.
+	Init(d *graph.DAG, p *platform.Platform, seed int64)
+	// Assign returns the worker to queue the ready task on.
+	Assign(v View, t *graph.Task) int
+	// Priority returns the queue-ordering key of t (higher runs first).
+	// Only consulted when Ordered() is true.
+	Priority(t *graph.Task) float64
+	// Ordered reports whether worker queues are drained in priority order
+	// rather than FIFO.
+	Ordered() bool
+}
+
+// ClassRestricter is an optional Scheduler extension exposing the resource
+// classes a task may run on, so runtime-level mechanisms (work stealing)
+// never migrate a task somewhere the policy forbids. A nil return means any
+// class.
+type ClassRestricter interface {
+	AllowedClasses(t *graph.Task) []int
+}
+
+// Gater is an optional Scheduler extension: a scheduler implementing it can
+// hold a queued task back even when its worker is idle. Exact static-schedule
+// injection uses this to enforce the planned per-worker execution order —
+// without it, the runtime would opportunistically run later-planned tasks
+// early and silently deviate from the injected schedule.
+type Gater interface {
+	// MayStart reports whether t may start now, given a completion oracle.
+	MayStart(t *graph.Task, completed func(taskID int) bool) bool
+}
+
+// AllowFunc restricts the resource classes a task may be assigned to. A nil
+// AllowFunc (or a nil return) means all classes are allowed. This is the
+// hook through which the paper's static hints are injected into the dynamic
+// policies.
+type AllowFunc func(t *graph.Task) []int
+
+// ---------------------------------------------------------------------------
+// dm family: minimum estimated completion time, optionally priority-sorted.
+
+type dm struct {
+	name    string
+	sorted  bool
+	allow   AllowFunc
+	useComm bool // include transfer estimates in completion times
+	avgPrio bool // bottom levels from average times (classic HEFT) instead of fastest
+
+	prio []float64
+}
+
+// NewDMDA returns StarPU's dmda policy (minimum completion time, data aware,
+// FIFO queues).
+func NewDMDA() Scheduler { return &dm{name: "dmda", sorted: false, useComm: true} }
+
+// NewDMDAS returns StarPU's dmdas policy (dmda + priority-sorted queues).
+func NewDMDAS() Scheduler { return &dm{name: "dmdas", sorted: true, useComm: true} }
+
+// NewDMDAWithHints returns dmda restricted by the given class hints.
+func NewDMDAWithHints(name string, allow AllowFunc) Scheduler {
+	return &dm{name: name, sorted: false, useComm: true, allow: allow}
+}
+
+// NewDMDASWithHints returns dmdas restricted by the given class hints.
+func NewDMDASWithHints(name string, allow AllowFunc) Scheduler {
+	return &dm{name: name, sorted: true, useComm: true, allow: allow}
+}
+
+// NewDMDANoComm returns a dmda variant that ignores transfer estimates — the
+// ablation quantifying how much data-awareness matters.
+func NewDMDANoComm() Scheduler { return &dm{name: "dmda-nocomm", useComm: false} }
+
+// NewDMDASAvgPrio returns dmdas with priorities computed from platform-
+// *average* execution times (the original HEFT convention) instead of the
+// fastest times the paper uses — the priority-source ablation of DESIGN.md.
+func NewDMDASAvgPrio() Scheduler {
+	return &dm{name: "dmdas-avgprio", sorted: true, useComm: true, avgPrio: true}
+}
+
+func (s *dm) Name() string  { return s.name }
+func (s *dm) Ordered() bool { return s.sorted }
+
+func (s *dm) Init(d *graph.DAG, p *platform.Platform, seed int64) {
+	if !s.sorted {
+		return
+	}
+	// dmdas priorities: bottom level with the fastest execution time of each
+	// task among the resource types (paper, Section V-A); the avgPrio
+	// variant uses platform-average times (classic HEFT).
+	weight := p.FastestTime
+	if s.avgPrio {
+		weight = p.AverageTime
+	}
+	bl, err := d.BottomLevels(func(t *graph.Task) float64 {
+		return weight(t.Kind)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("sched: %v", err))
+	}
+	s.prio = bl
+}
+
+func (s *dm) Priority(t *graph.Task) float64 {
+	if s.prio == nil {
+		return 0
+	}
+	return s.prio[t.ID]
+}
+
+// AllowedClasses exposes the hint restriction (sched.ClassRestricter).
+func (s *dm) AllowedClasses(t *graph.Task) []int {
+	if s.allow == nil {
+		return nil
+	}
+	return s.allow(t)
+}
+
+func (s *dm) allowed(t *graph.Task) map[int]bool {
+	if s.allow == nil {
+		return nil
+	}
+	classes := s.allow(t)
+	if classes == nil {
+		return nil
+	}
+	m := make(map[int]bool, len(classes))
+	for _, c := range classes {
+		m[c] = true
+	}
+	return m
+}
+
+func (s *dm) Assign(v View, t *graph.Task) int {
+	allowed := s.allowed(t)
+	best, bestECT := -1, math.Inf(1)
+	for w := 0; w < v.Workers(); w++ {
+		if allowed != nil && !allowed[v.WorkerClass(w)] {
+			continue
+		}
+		exec := v.ExecTime(w, t)
+		if math.IsInf(exec, 1) {
+			continue
+		}
+		ect := math.Max(v.QueueEnd(w), v.Now()) + exec
+		if s.useComm {
+			ect += v.TransferEstimate(w, t)
+		}
+		if ect < bestECT {
+			bestECT, best = ect, w
+		}
+	}
+	if best == -1 {
+		// Hints excluded every runnable class: fall back to any runnable
+		// worker rather than deadlock.
+		for w := 0; w < v.Workers(); w++ {
+			if !math.IsInf(v.ExecTime(w, t), 1) {
+				return w
+			}
+		}
+		panic(fmt.Sprintf("sched: task %s runnable nowhere", t.Name()))
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// random: heterogeneity-weighted random assignment.
+
+type randomSched struct {
+	weights []float64 // per class
+	rng     *rand.Rand
+	pf      *platform.Platform
+}
+
+// NewRandom returns StarPU's random policy: workers are drawn with
+// probability proportional to their class's average acceleration ratio, so
+// GPUs receive proportionally more tasks, but neither task affinity nor
+// current load is considered.
+func NewRandom() Scheduler { return &randomSched{} }
+
+func (s *randomSched) Name() string                   { return "random" }
+func (s *randomSched) Ordered() bool                  { return false }
+func (s *randomSched) Priority(t *graph.Task) float64 { return 0 }
+
+func (s *randomSched) Init(d *graph.DAG, p *platform.Platform, seed int64) {
+	s.pf = p
+	s.rng = rand.New(rand.NewSource(seed))
+	s.weights = make([]float64, len(p.Classes))
+	for r := range p.Classes {
+		if p.Classes[r].Count == 0 {
+			continue
+		}
+		// Average acceleration ratio of class r relative to class 0,
+		// weighted by the DAG's task mix (the paper's K computation).
+		num, den := 0.0, 0.0
+		for kind, n := range d.CountByKind() {
+			t0, tr := p.Time(0, kind), p.Time(r, kind)
+			if math.IsInf(tr, 1) {
+				continue
+			}
+			if math.IsInf(t0, 1) {
+				t0 = tr
+			}
+			num += float64(n) * (t0 / tr)
+			den += float64(n)
+		}
+		if den > 0 {
+			s.weights[r] = num / den
+		}
+	}
+}
+
+func (s *randomSched) Assign(v View, t *graph.Task) int {
+	total := 0.0
+	for w := 0; w < v.Workers(); w++ {
+		if !math.IsInf(v.ExecTime(w, t), 1) {
+			total += s.weights[v.WorkerClass(w)]
+		}
+	}
+	x := s.rng.Float64() * total
+	for w := 0; w < v.Workers(); w++ {
+		if math.IsInf(v.ExecTime(w, t), 1) {
+			continue
+		}
+		x -= s.weights[v.WorkerClass(w)]
+		if x <= 0 {
+			return w
+		}
+	}
+	// Floating-point remainder: last runnable worker.
+	for w := v.Workers() - 1; w >= 0; w-- {
+		if !math.IsInf(v.ExecTime(w, t), 1) {
+			return w
+		}
+	}
+	panic("sched: no runnable worker")
+}
+
+// ---------------------------------------------------------------------------
+// greedy: earliest-available worker (load balancing, no data awareness).
+
+type greedy struct{}
+
+// NewGreedy returns a minimum-queue-end policy: like dmda without transfer
+// estimates and without task-affinity awareness beyond execution time.
+func NewGreedy() Scheduler { return greedy{} }
+
+func (greedy) Name() string                                        { return "greedy" }
+func (greedy) Ordered() bool                                       { return false }
+func (greedy) Priority(t *graph.Task) float64                      { return 0 }
+func (greedy) Init(d *graph.DAG, p *platform.Platform, seed int64) {}
+
+func (greedy) Assign(v View, t *graph.Task) int {
+	best, bestEnd := -1, math.Inf(1)
+	for w := 0; w < v.Workers(); w++ {
+		if math.IsInf(v.ExecTime(w, t), 1) {
+			continue
+		}
+		if end := math.Max(v.QueueEnd(w), v.Now()); end < bestEnd {
+			bestEnd, best = end, w
+		}
+	}
+	if best == -1 {
+		panic("sched: no runnable worker")
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// dmdar: dmda with queues reordered by data availability (StarPU's dmdar,
+// "deque model data aware ready"): among a worker's queued tasks, the ones
+// whose inputs are already resident run first, hiding transfer latency.
+
+type dmdar struct {
+	dm
+	locality map[int]float64 // per task: −(estimated remaining transfer time)
+}
+
+// NewDMDAR returns the dmdar policy.
+func NewDMDAR() Scheduler {
+	return &dmdar{dm: dm{name: "dmdar", sorted: true, useComm: true}, locality: map[int]float64{}}
+}
+
+func (s *dmdar) Init(d *graph.DAG, p *platform.Platform, seed int64) {
+	s.locality = make(map[int]float64, len(d.Tasks))
+}
+
+// Assign delegates to the dm placement, then records the chosen worker's
+// data-availability score as the task's queue priority: less outstanding
+// transfer ⇒ runs earlier.
+func (s *dmdar) Assign(v View, t *graph.Task) int {
+	w := s.dm.Assign(v, t)
+	s.locality[t.ID] = -v.TransferEstimate(w, t)
+	return w
+}
+
+func (s *dmdar) Priority(t *graph.Task) float64 { return s.locality[t.ID] }

@@ -1,0 +1,595 @@
+// Package simulator is the reproduction's SimGrid+StarPU substitute: a
+// deterministic discrete-event simulator executing a task DAG on a modelled
+// heterogeneous platform under a pluggable dynamic scheduling policy.
+//
+// The modelling level matches the paper's simulation setup:
+//
+//   - per-(kernel, resource-class) execution times from the platform model;
+//   - push-time scheduling: when a task's dependencies complete, the
+//     scheduler assigns it to a worker queue (FIFO for dmda, priority-
+//     sorted for dmdas), exactly StarPU's dm* behaviour;
+//   - data transfers over per-accelerator PCI links with prefetch at
+//     assignment time, MSI-style tile replication and invalidation on
+//     write, and serialization on each link (the fluid contention model);
+//   - an optional runtime-overhead + deterministic-jitter model standing in
+//     for "actual execution" runs (see DESIGN.md: heterogeneous actual
+//     executions cannot be performed without real GPUs).
+//
+// Simulations are fully deterministic for a given (DAG, platform, scheduler,
+// seed) tuple.
+package simulator
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// Options tunes a simulation run.
+type Options struct {
+	// Seed feeds the scheduler (random policy) and the jitter model.
+	Seed int64
+	// Overhead applies the platform's per-task runtime overhead and
+	// multiplicative jitter, emulating an actual (non-simulated) run.
+	Overhead bool
+	// WorkStealing lets an idle worker with an empty queue migrate the
+	// lowest-priority queued task from the most-loaded other worker
+	// (StarPU's `ws` family layered on any push policy). Hint restrictions
+	// are honoured via sched.ClassRestricter; static injections
+	// (sched.Gater implementations) are never stolen from.
+	WorkStealing bool
+}
+
+// Result is the outcome of one simulated execution.
+type Result struct {
+	MakespanSec   float64
+	Start, End    []float64 // per task ID
+	Worker        []int     // per task ID
+	TransferSec   float64   // cumulative time of all PCI hops
+	TransferCount int       // number of tile hops
+	BusySec       []float64 // per worker: total execution time
+	IdleSec       []float64 // per worker: makespan − busy
+	Evictions     int       // tiles dropped from device memory (LRU)
+	Writebacks    int       // evictions that required a device→host copy
+	StallSec      float64   // worker time spent waiting for data (start − max(free, now))
+}
+
+// GFlops returns the achieved performance for an algorithm of the given
+// total flop count.
+func (r *Result) GFlops(flops float64) float64 {
+	return platform.GFlops(flops, r.MakespanSec)
+}
+
+type queueEntry struct {
+	task *graph.Task
+	prio float64
+	seq  int
+}
+
+type event struct {
+	time   float64
+	seq    int
+	worker int
+	task   *graph.Task
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+type state struct {
+	d   *graph.DAG
+	p   *platform.Platform
+	s   sched.Scheduler
+	opt Options
+
+	now        float64
+	queues     [][]queueEntry
+	executing  []bool
+	workerFree []float64
+	estFree    []float64
+	dataReady  []float64
+	doneTask   []bool
+	locations  map[[2]int]map[int]bool // tile → memory nodes with a valid copy
+	linkFree   []float64               // per memory node (index ≥ 1 used)
+	seq        int
+
+	// Device memory manager (StarPU-style LRU with write-back): per node,
+	// the resident tiles with last-use stamps and pin counts (tiles needed
+	// by tasks assigned-but-not-finished on that node cannot be evicted).
+	capacity []int // per node, in tiles; 0 = unlimited
+	lastUse  []map[[2]int]int
+	pins     []map[[2]int]int
+
+	res *Result
+}
+
+// View interface for schedulers ------------------------------------------------
+
+func (st *state) Now() float64          { return st.now }
+func (st *state) Workers() int          { return st.p.Workers() }
+func (st *state) WorkerClass(w int) int { return st.p.WorkerClass(w) }
+func (st *state) QueueEnd(w int) float64 {
+	return st.estFree[w]
+}
+func (st *state) ExecTime(w int, t *graph.Task) float64 {
+	return st.p.Time(st.p.WorkerClass(w), t.Kind)
+}
+
+// TransferEstimate sums one PCI hop per missing tile (two for GPU↔GPU),
+// ignoring link contention — the same estimation level StarPU's dmda uses.
+func (st *state) TransferEstimate(w int, t *graph.Task) float64 {
+	if !st.p.Bus.Enabled {
+		return 0
+	}
+	node := st.p.MemoryNode(w)
+	hop := st.p.Bus.TransferTime(st.p.TileBytes)
+	total := 0.0
+	for _, ref := range t.Footprint {
+		locs := st.locations[[2]int{ref.I, ref.J}]
+		if locs[node] {
+			continue
+		}
+		if node == 0 || locs[0] {
+			total += hop
+		} else {
+			total += 2 * hop
+		}
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------------
+
+// Run simulates the DAG on the platform under the given scheduler.
+func Run(d *graph.DAG, p *platform.Platform, s sched.Scheduler, opt Options) (*Result, error) {
+	if err := p.Validate(d.Kinds()); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(d.Tasks)
+	nW := p.Workers()
+	st := &state{
+		d: d, p: p, s: s, opt: opt,
+		queues:     make([][]queueEntry, nW),
+		executing:  make([]bool, nW),
+		workerFree: make([]float64, nW),
+		estFree:    make([]float64, nW),
+		dataReady:  make([]float64, n),
+		doneTask:   make([]bool, n),
+		locations:  map[[2]int]map[int]bool{},
+		linkFree:   make([]float64, p.MemoryNodes()),
+		res: &Result{
+			Start:   make([]float64, n),
+			End:     make([]float64, n),
+			Worker:  make([]int, n),
+			BusySec: make([]float64, nW),
+			IdleSec: make([]float64, nW),
+		},
+	}
+	for i := range st.res.Worker {
+		st.res.Worker[i] = -1
+	}
+	// All tiles start valid on the host node.
+	for _, t := range d.Tasks {
+		for _, ref := range t.Footprint {
+			key := [2]int{ref.I, ref.J}
+			if st.locations[key] == nil {
+				st.locations[key] = map[int]bool{0: true}
+			}
+		}
+	}
+	// Device memory manager state.
+	st.capacity = make([]int, p.MemoryNodes())
+	st.lastUse = make([]map[[2]int]int, p.MemoryNodes())
+	st.pins = make([]map[[2]int]int, p.MemoryNodes())
+	for node := 0; node < p.MemoryNodes(); node++ {
+		st.capacity[node] = p.NodeCapacityTiles(node)
+		st.lastUse[node] = map[[2]int]int{}
+		st.pins[node] = map[[2]int]int{}
+	}
+
+	s.Init(d, p, opt.Seed)
+
+	indeg := make([]int, n)
+	for _, t := range d.Tasks {
+		indeg[t.ID] = len(t.Pred)
+	}
+
+	var events eventHeap
+	heap.Init(&events)
+
+	done := 0
+	for _, t := range d.Tasks {
+		if indeg[t.ID] == 0 {
+			st.assign(t)
+		}
+	}
+	st.tryStartAll(&events)
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(event)
+		st.now = ev.time
+		w := ev.worker
+		st.executing[w] = false
+		st.workerFree[w] = st.now
+		st.doneTask[ev.task.ID] = true
+		done++
+		// Invalidate: the written tile's only valid copy is on this node.
+		node := p.MemoryNode(w)
+		for _, ref := range ev.task.Footprint {
+			if ref.Mode == graph.ReadWrite {
+				key := [2]int{ref.I, ref.J}
+				for other := range st.locations[key] {
+					if other != node && other != 0 {
+						delete(st.lastUse[other], key)
+					}
+				}
+				st.locations[key] = map[int]bool{node: true}
+				if node != 0 {
+					if _, ok := st.lastUse[node][key]; !ok {
+						st.lastUse[node][key] = st.seq
+						st.seq++
+					}
+				}
+			}
+		}
+		st.pinFootprint(ev.task, node, -1)
+		for _, sid := range ev.task.Succ {
+			indeg[sid]--
+			if indeg[sid] == 0 {
+				st.assign(d.Tasks[sid])
+			}
+		}
+		st.tryStartAll(&events)
+	}
+
+	if done != n {
+		return nil, fmt.Errorf("simulator: deadlock — %d of %d tasks completed", done, n)
+	}
+	mk := 0.0
+	for _, e := range st.res.End {
+		if e > mk {
+			mk = e
+		}
+	}
+	st.res.MakespanSec = mk
+	for w := 0; w < nW; w++ {
+		st.res.IdleSec[w] = mk - st.res.BusySec[w]
+	}
+	return st.res, nil
+}
+
+// pinFootprint pins (or unpins, delta −1) a task's tiles on a memory node so
+// the LRU eviction cannot drop data a queued task depends on.
+func (st *state) pinFootprint(t *graph.Task, node, delta int) {
+	if node == 0 {
+		return
+	}
+	for _, ref := range t.Footprint {
+		key := [2]int{ref.I, ref.J}
+		st.pins[node][key] += delta
+		if st.pins[node][key] <= 0 {
+			delete(st.pins[node], key)
+		}
+	}
+}
+
+// addCopy records a resident tile on an accelerator node and evicts LRU
+// tiles if the node is over capacity.
+func (st *state) addCopy(node int, key [2]int) {
+	if node == 0 {
+		return
+	}
+	st.lastUse[node][key] = st.seq
+	st.seq++
+	st.evictIfNeeded(node)
+}
+
+// evictIfNeeded drops least-recently-used unpinned tiles from a full node,
+// writing back dirty copies (sole valid copy on this node) to the host over
+// the node's PCI link. If everything resident is pinned, the node
+// over-subscribes silently (the workload genuinely needs more memory).
+func (st *state) evictIfNeeded(node int) {
+	capTiles := st.capacity[node]
+	if capTiles == 0 {
+		return
+	}
+	for len(st.lastUse[node]) > capTiles {
+		victim, bestSeq, found := [2]int{}, int(^uint(0)>>1), false
+		for key, seq := range st.lastUse[node] {
+			if st.pins[node][key] > 0 {
+				continue
+			}
+			if seq < bestSeq {
+				bestSeq, victim, found = seq, key, true
+			}
+		}
+		if !found {
+			return
+		}
+		locs := st.locations[victim]
+		if len(locs) == 1 && locs[node] && st.p.Bus.Enabled {
+			// Sole copy: write back to the host before dropping.
+			hop := st.p.Bus.TransferTime(st.p.TileBytes)
+			start := math.Max(st.now, st.linkFree[node])
+			st.linkFree[node] = start + hop
+			st.res.TransferSec += hop
+			st.res.TransferCount++
+			st.res.Writebacks++
+			locs[0] = true
+		} else if len(locs) == 1 && locs[node] {
+			locs[0] = true // free transfers: the host copy is immediate
+		}
+		delete(locs, node)
+		delete(st.lastUse[node], victim)
+		st.res.Evictions++
+	}
+}
+
+// assign routes a freshly ready task through the scheduler to a worker queue
+// and prefetches its missing tiles to that worker's memory node.
+func (st *state) assign(t *graph.Task) {
+	w := st.s.Assign(st, t)
+	if w < 0 || w >= st.p.Workers() {
+		panic(fmt.Sprintf("simulator: scheduler assigned task %s to invalid worker %d", t.Name(), w))
+	}
+	st.pinFootprint(t, st.p.MemoryNode(w), 1)
+	ready := st.prefetch(t, w)
+	st.dataReady[t.ID] = ready
+	exec := st.ExecTime(w, t)
+	st.estFree[w] = math.Max(math.Max(st.estFree[w], st.now), ready) + exec
+
+	e := queueEntry{task: t, prio: st.s.Priority(t), seq: st.seq}
+	st.seq++
+	q := st.queues[w]
+	if st.s.Ordered() {
+		// Insert keeping descending priority, stable on seq.
+		pos := sort.Search(len(q), func(i int) bool { return q[i].prio < e.prio })
+		q = append(q, queueEntry{})
+		copy(q[pos+1:], q[pos:])
+		q[pos] = e
+	} else {
+		q = append(q, e)
+	}
+	st.queues[w] = q
+}
+
+// prefetch schedules the PCI hops bringing t's tiles to worker w's node and
+// returns the time at which all data is available there.
+func (st *state) prefetch(t *graph.Task, w int) float64 {
+	node := st.p.MemoryNode(w)
+	ready := st.now
+	for _, ref := range t.Footprint {
+		key := [2]int{ref.I, ref.J}
+		locs := st.locations[key]
+		if locs[node] {
+			if node != 0 { // refresh LRU position
+				st.lastUse[node][key] = st.seq
+				st.seq++
+			}
+			continue
+		}
+		if !st.p.Bus.Enabled {
+			locs[node] = true
+			st.addCopy(node, key)
+			continue
+		}
+		hop := st.p.Bus.TransferTime(st.p.TileBytes)
+		var avail float64
+		if node == 0 {
+			// Device → host over the source device's link.
+			src := st.sourceNode(locs)
+			start := math.Max(st.now, st.linkFree[src])
+			avail = start + hop
+			st.linkFree[src] = avail
+			st.res.TransferSec += hop
+			st.res.TransferCount++
+		} else if locs[0] {
+			// Host → device over the target device's link.
+			start := math.Max(st.now, st.linkFree[node])
+			avail = start + hop
+			st.linkFree[node] = avail
+			st.res.TransferSec += hop
+			st.res.TransferCount++
+		} else {
+			// Device → host → device: two hops on two links.
+			src := st.sourceNode(locs)
+			s1 := math.Max(st.now, st.linkFree[src])
+			e1 := s1 + hop
+			st.linkFree[src] = e1
+			s2 := math.Max(e1, st.linkFree[node])
+			avail = s2 + hop
+			st.linkFree[node] = avail
+			st.res.TransferSec += 2 * hop
+			st.res.TransferCount += 2
+			locs[0] = true // the host keeps the staged copy
+		}
+		locs[node] = true
+		st.addCopy(node, key)
+		if avail > ready {
+			ready = avail
+		}
+	}
+	return ready
+}
+
+// completed is the completion oracle handed to sched.Gater implementations.
+func (st *state) completed(id int) bool { return st.doneTask[id] }
+
+// sourceNode picks the transfer source deterministically: the host if it has
+// a valid copy, else the lowest-numbered holding node.
+func (st *state) sourceNode(locs map[int]bool) int {
+	if locs[0] {
+		return 0
+	}
+	best := math.MaxInt32
+	for n, ok := range locs {
+		if ok && n < best {
+			best = n
+		}
+	}
+	return best
+}
+
+// trySteal moves a queued task from the most-loaded victim to idle worker w.
+// Returns true if a task was migrated (and its data re-prefetched).
+func (st *state) trySteal(w int) bool {
+	restr, _ := st.s.(sched.ClassRestricter)
+	class := st.p.WorkerClass(w)
+	// Victim: the worker with the longest queue holding a stealable task.
+	bestV, bestIdx, bestLen := -1, -1, 0
+	for v := range st.queues {
+		if v == w || len(st.queues[v]) <= bestLen {
+			continue
+		}
+		// Steal from the back: the entry the victim would run last.
+		for idx := len(st.queues[v]) - 1; idx >= 0; idx-- {
+			t := st.queues[v][idx].task
+			if math.IsInf(st.ExecTime(w, t), 1) {
+				continue
+			}
+			if restr != nil {
+				if cls := restr.AllowedClasses(t); cls != nil && !containsInt(cls, class) {
+					continue
+				}
+			}
+			bestV, bestIdx, bestLen = v, idx, len(st.queues[v])
+			break
+		}
+	}
+	if bestV == -1 {
+		return false
+	}
+	e := st.queues[bestV][bestIdx]
+	st.queues[bestV] = append(st.queues[bestV][:bestIdx], st.queues[bestV][bestIdx+1:]...)
+	// Move pins and re-prefetch for the thief's memory node.
+	st.pinFootprint(e.task, st.p.MemoryNode(bestV), -1)
+	st.pinFootprint(e.task, st.p.MemoryNode(w), 1)
+	st.dataReady[e.task.ID] = st.prefetch(e.task, w)
+	exec := st.ExecTime(w, e.task)
+	st.estFree[w] = math.Max(math.Max(st.estFree[w], st.now), st.dataReady[e.task.ID]) + exec
+	st.queues[w] = append(st.queues[w], e)
+	return true
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// tryStartAll starts the head-of-queue task on every idle worker.
+func (st *state) tryStartAll(events *eventHeap) {
+	gater, _ := st.s.(sched.Gater)
+	if st.opt.WorkStealing && gater == nil {
+		for w := range st.queues {
+			if !st.executing[w] && len(st.queues[w]) == 0 {
+				st.trySteal(w)
+			}
+		}
+	}
+	for w := range st.queues {
+		for !st.executing[w] && len(st.queues[w]) > 0 {
+			e := st.queues[w][0]
+			if gater != nil && !gater.MayStart(e.task, st.completed) {
+				break // hold the worker for the planned-order predecessor
+			}
+			st.queues[w] = st.queues[w][1:]
+			t := e.task
+			avail := math.Max(st.now, st.workerFree[w])
+			start := math.Max(avail, st.dataReady[t.ID])
+			st.res.StallSec += start - avail
+			exec := st.ExecTime(w, t)
+			if st.opt.Overhead {
+				exec = st.jittered(exec, t.ID) + st.p.Overhead.PerTaskSec
+			}
+			end := start + exec
+			st.res.Start[t.ID] = start
+			st.res.End[t.ID] = end
+			st.res.Worker[t.ID] = w
+			st.res.BusySec[w] += end - start
+			st.executing[w] = true
+			st.workerFree[w] = end
+			if st.estFree[w] < end {
+				st.estFree[w] = end
+			}
+			heap.Push(events, event{time: end, seq: st.seq, worker: w, task: t})
+			st.seq++
+			break // worker now busy; inner loop exits via executing[w]
+		}
+	}
+}
+
+// jittered perturbs an execution time deterministically per (seed, task).
+func (st *state) jittered(exec float64, taskID int) float64 {
+	f := st.p.Overhead.JitterFrac
+	if f == 0 {
+		return exec
+	}
+	rng := rand.New(rand.NewSource(st.opt.Seed*1000003 + int64(taskID)))
+	u := 2*rng.Float64() - 1
+	return exec * (1 + f*u)
+}
+
+// Validate checks that a result is a legal schedule for the DAG: every task
+// ran exactly once on a worker able to execute it, per-worker intervals do
+// not overlap, and no task started before all its predecessors finished.
+// (Data-transfer delays only push starts later, so the dependency check is
+// a necessary condition regardless of the bus model.)
+func Validate(d *graph.DAG, p *platform.Platform, r *Result) error {
+	n := len(d.Tasks)
+	if len(r.Start) != n || len(r.End) != n || len(r.Worker) != n {
+		return fmt.Errorf("simulator: result arrays have wrong length")
+	}
+	perWorker := map[int][][2]float64{}
+	for _, t := range d.Tasks {
+		id := t.ID
+		w := r.Worker[id]
+		if w < 0 || w >= p.Workers() {
+			return fmt.Errorf("simulator: task %s on invalid worker %d", t.Name(), w)
+		}
+		if math.IsInf(p.Time(p.WorkerClass(w), t.Kind), 1) {
+			return fmt.Errorf("simulator: task %s ran on incapable worker %d", t.Name(), w)
+		}
+		if r.End[id] < r.Start[id] {
+			return fmt.Errorf("simulator: task %s ends before it starts", t.Name())
+		}
+		for _, pr := range t.Pred {
+			if r.Start[id] < r.End[pr]-1e-9 {
+				return fmt.Errorf("simulator: task %s started %.9f before predecessor %s finished %.9f",
+					t.Name(), r.Start[id], d.Tasks[pr].Name(), r.End[pr])
+			}
+		}
+		perWorker[w] = append(perWorker[w], [2]float64{r.Start[id], r.End[id]})
+	}
+	for w, ivs := range perWorker {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i][0] < ivs[i-1][1]-1e-9 {
+				return fmt.Errorf("simulator: overlapping intervals on worker %d", w)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package stats provides the small statistical and formatting helpers used
+// by the experiment harness: mean/standard deviation over repeated runs
+// (the paper reports avg ± σ of 10 runs), GFLOP/s series, and fixed-width
+// table / ASCII-plot rendering for terminal output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MinMax returns the extrema of xs.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// Series is one plotted curve: a name and a value per X position.
+type Series struct {
+	Name   string
+	Values []float64 // aligned with the owning Table's Xs
+	Sigmas []float64 // optional per-point standard deviations
+}
+
+// Table is the harness's output unit: a set of series over shared Xs,
+// matching one figure or table of the paper.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	Series []Series
+	// Categorical marks the X axis as discrete identities (kernel names,
+	// capacity buckets) rather than a continuous sweep — renderers should
+	// use bars instead of lines. Optional XNames label the categories.
+	Categorical bool
+	XNames      []string
+}
+
+// Add appends a series (padding with NaN if shorter than Xs).
+func (t *Table) Add(name string, values []float64, sigmas []float64) {
+	v := make([]float64, len(t.Xs))
+	for i := range v {
+		if i < len(values) {
+			v[i] = values[i]
+		} else {
+			v[i] = math.NaN()
+		}
+	}
+	t.Series = append(t.Series, Series{Name: name, Values: v, Sigmas: sigmas})
+}
+
+// Render prints the table with one row per X and one column per series.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %22s", s.Name)
+	}
+	b.WriteByte('\n')
+	for i, x := range t.Xs {
+		fmt.Fprintf(&b, "%-12g", x)
+		for _, s := range t.Series {
+			cell := fmt.Sprintf("%.2f", s.Values[i])
+			if s.Sigmas != nil && i < len(s.Sigmas) && s.Sigmas[i] > 0 {
+				cell += fmt.Sprintf("±%.2f", s.Sigmas[i])
+			}
+			fmt.Fprintf(&b, " %22s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, ",%s", s.Name)
+		if s.Sigmas != nil {
+			fmt.Fprintf(&b, ",%s_sigma", s.Name)
+		}
+	}
+	b.WriteByte('\n')
+	for i, x := range t.Xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range t.Series {
+			fmt.Fprintf(&b, ",%g", s.Values[i])
+			if s.Sigmas != nil {
+				sig := 0.0
+				if i < len(s.Sigmas) {
+					sig = s.Sigmas[i]
+				}
+				fmt.Fprintf(&b, ",%g", sig)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Plot renders a crude ASCII line chart of all series (for terminal use),
+// `rows` high and one column per X.
+func (t *Table) Plot(rows int) string {
+	if rows <= 0 {
+		rows = 20
+	}
+	_, hi := 0.0, 0.0
+	for _, s := range t.Series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == 0 {
+		hi = 1
+	}
+	glyphs := "ABCDEFGHIJ"
+	width := len(t.Xs)
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range t.Series {
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			r := rows - 1 - int(v/hi*float64(rows-1)+0.5)
+			if r < 0 {
+				r = 0
+			}
+			if r >= rows {
+				r = rows - 1
+			}
+			grid[r][i] = glyphs[si%len(glyphs)]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (max %s = %.1f)\n", t.Title, t.YLabel, hi)
+	for r := range grid {
+		fmt.Fprintf(&b, "|%s|\n", grid[r])
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", width))
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// Summary compactly reports a sample as "mean ± σ [min, max]".
+func Summary(xs []float64) string {
+	lo, hi := MinMax(xs)
+	return fmt.Sprintf("%.4g ± %.2g [%.4g, %.4g]", Mean(xs), StdDev(xs), lo, hi)
+}
+
+// Median returns the sample median.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64{}, xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}

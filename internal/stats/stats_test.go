@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDevKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean %g", Mean(xs))
+	}
+	if math.Abs(StdDev(xs)-2) > 1e-12 {
+		t.Fatalf("stddev %g", StdDev(xs))
+	}
+}
+
+func TestMeanEmptyAndSingle(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{3}) != 0 {
+		t.Fatal("empty/single sample handling")
+	}
+}
+
+func TestStdDevNonNegativeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		return StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %g, %g", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty MinMax")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := &Table{Title: "demo", XLabel: "n", YLabel: "gflops", Xs: []float64{4, 8}}
+	tb.Add("dmda", []float64{100, 200}, nil)
+	tb.Add("dmdas", []float64{110, 190}, []float64{1, 2})
+	out := tb.Render()
+	for _, want := range []string{"demo", "dmda", "dmdas", "110.00±1.00", "200.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q in:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	for _, want := range []string{"n,dmda,dmdas,dmdas_sigma", "4,100,110,1", "8,200,190,2"} {
+		if !strings.Contains(csv, want) {
+			t.Fatalf("CSV missing %q in:\n%s", want, csv)
+		}
+	}
+}
+
+func TestTableAddPadsShortSeries(t *testing.T) {
+	tb := &Table{Xs: []float64{1, 2, 3}}
+	tb.Add("short", []float64{9}, nil)
+	if !math.IsNaN(tb.Series[0].Values[2]) {
+		t.Fatal("missing values should be NaN")
+	}
+}
+
+func TestPlotContainsLegend(t *testing.T) {
+	tb := &Table{Title: "p", YLabel: "y", Xs: []float64{1, 2, 3, 4}}
+	tb.Add("a", []float64{1, 2, 3, 4}, nil)
+	tb.Add("b", []float64{4, 3, 2, 1}, nil)
+	out := tb.Plot(10)
+	if !strings.Contains(out, "A = a") || !strings.Contains(out, "B = b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if len(strings.Split(out, "\n")) < 12 {
+		t.Fatal("plot too short")
+	}
+}
+
+func TestPlotAllZeros(t *testing.T) {
+	tb := &Table{Title: "z", Xs: []float64{1}}
+	tb.Add("zero", []float64{0}, nil)
+	if out := tb.Plot(5); out == "" {
+		t.Fatal("empty plot")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	s := Summary([]float64{1, 2, 3})
+	if !strings.Contains(s, "2") || !strings.Contains(s, "[1, 3]") {
+		t.Fatalf("Summary = %q", s)
+	}
+}

@@ -1,0 +1,88 @@
+// Package sweep runs independent simulation jobs concurrently — the
+// workflow the paper describes for its SimGrid setup: "The Simgrid
+// simulator itself is not parallel, so the whole execution gets serialized,
+// but several simulations can be run in parallel for e.g. various matrix
+// sizes or schedulers, and one then gets all the results in parallel."
+//
+// Jobs must be independent and deterministic; results come back in job
+// order, so a parallel sweep is bit-identical to a sequential one.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job computes one independent result.
+type Job[T any] func() (T, error)
+
+// Run executes the jobs on a bounded worker pool (workers ≤ 0 means
+// GOMAXPROCS) and returns results in job order. The first error (by job
+// index) is returned; later jobs still run to completion.
+func Run[T any](jobs []Job[T], workers int) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = jobs[i]()
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("sweep: job %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// Map runs fn over the inputs concurrently, preserving order.
+func Map[In, Out any](inputs []In, workers int, fn func(In) (Out, error)) ([]Out, error) {
+	jobs := make([]Job[Out], len(inputs))
+	for i, in := range inputs {
+		in := in
+		jobs[i] = func() (Out, error) { return fn(in) }
+	}
+	return Run(jobs, workers)
+}
+
+// Grid evaluates fn over the cross product rows × cols concurrently and
+// returns a row-major matrix of results — the "various matrix sizes ×
+// schedulers" sweep shape.
+func Grid[R, C, Out any](rows []R, cols []C, workers int, fn func(R, C) (Out, error)) ([][]Out, error) {
+	type cell struct{ r, c int }
+	var cells []cell
+	for r := range rows {
+		for c := range cols {
+			cells = append(cells, cell{r, c})
+		}
+	}
+	flat, err := Map(cells, workers, func(cl cell) (Out, error) {
+		return fn(rows[cl.r], cols[cl.c])
+	})
+	out := make([][]Out, len(rows))
+	for r := range rows {
+		out[r] = make([]Out, len(cols))
+		for c := range cols {
+			out[r][c] = flat[r*len(cols)+c]
+		}
+	}
+	return out, err
+}

@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+func TestRunOrderedAndComplete(t *testing.T) {
+	jobs := make([]Job[int], 50)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) { return i * i, nil }
+	}
+	for _, workers := range []int{1, 4, 100} {
+		out, err := Run(jobs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunReportsFirstErrorByIndex(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job[int]{
+		func() (int, error) { return 1, nil },
+		func() (int, error) { return 0, fmt.Errorf("later: %w", boom) },
+		func() (int, error) { return 0, errors.New("even later") },
+	}
+	_, err := Run(jobs, 3)
+	if !errors.Is(err, boom) {
+		t.Fatalf("expected the lowest-index error, got %v", err)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	out, err := Run[int](nil, 4)
+	if err != nil || len(out) != 0 {
+		t.Fatal("empty job list should be a no-op")
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := []string{"a", "bb", "ccc"}
+	out, err := Map(in, 2, func(s string) (int, error) { return len(s), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	rows := []int{1, 2, 3}
+	cols := []int{10, 20}
+	m, err := Grid(rows, cols, 4, func(r, c int) (int, error) { return r * c, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || len(m[0]) != 2 || m[2][1] != 60 || m[0][0] != 10 {
+		t.Fatalf("grid = %v", m)
+	}
+}
+
+func TestParallelSimulationsDeterministic(t *testing.T) {
+	// The paper's use case: sizes × schedulers swept in parallel must give
+	// exactly the sequential results.
+	p := platform.WithoutCommunication(platform.Mirage())
+	sizes := []int{4, 6, 8}
+	mkScheds := []func() sched.Scheduler{sched.NewDMDA, sched.NewDMDAS}
+	run := func(n int, mk func() sched.Scheduler) (float64, error) {
+		r, err := simulator.Run(graph.Cholesky(n), p, mk(), simulator.Options{Seed: 1})
+		if err != nil {
+			return 0, err
+		}
+		return r.MakespanSec, nil
+	}
+	par, err := Grid(sizes, mkScheds, 4, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri, n := range sizes {
+		for ci, mk := range mkScheds {
+			want, err := run(n, mk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par[ri][ci] != want {
+				t.Fatalf("parallel sweep diverged at (%d, %d): %g vs %g",
+					ri, ci, par[ri][ci], want)
+			}
+		}
+	}
+}

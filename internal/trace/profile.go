@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/simulator"
+)
+
+// Parallelism profiling: how many tasks are ready or running over time.
+// This is the quantity behind the paper's §VI-A diagnosis of dmdas ("it
+// selects some tasks in the beginning which are critical but are not
+// generating enough level of parallelism") — a scheduler that burns ready
+// parallelism too early starves the GPUs later.
+
+// ProfilePoint samples the execution state at one instant.
+type ProfilePoint struct {
+	Time    float64
+	Running int // tasks executing
+	Ready   int // tasks with all predecessors finished, not yet started
+}
+
+// ReadyProfile samples the ready/running counts at `samples` uniform points
+// across the makespan of a simulated execution.
+func ReadyProfile(d *graph.DAG, r *simulator.Result, samples int) []ProfilePoint {
+	if samples <= 0 {
+		samples = 100
+	}
+	out := make([]ProfilePoint, 0, samples)
+	for s := 0; s < samples; s++ {
+		t := r.MakespanSec * float64(s) / float64(samples-1)
+		pt := ProfilePoint{Time: t}
+		for _, tk := range d.Tasks {
+			switch {
+			case r.Start[tk.ID] <= t && t < r.End[tk.ID]:
+				pt.Running++
+			case r.Start[tk.ID] > t:
+				ready := true
+				for _, pr := range tk.Pred {
+					if r.End[pr] > t {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					pt.Ready++
+				}
+			}
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// PeakParallelism returns the maximum running+ready count of a profile —
+// an upper estimate of how many workers the execution could have fed.
+func PeakParallelism(profile []ProfilePoint) int {
+	best := 0
+	for _, p := range profile {
+		if v := p.Running + p.Ready; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MeanRunning returns the average number of executing tasks — the effective
+// parallelism actually extracted.
+func MeanRunning(profile []ProfilePoint) float64 {
+	if len(profile) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, p := range profile {
+		s += float64(p.Running)
+	}
+	return s / float64(len(profile))
+}
+
+// RenderProfile draws the running-task count over time as an ASCII area
+// (rows = worker counts, columns = time).
+func RenderProfile(profile []ProfilePoint, height int) string {
+	if height <= 0 {
+		height = 12
+	}
+	maxR := 0
+	for _, p := range profile {
+		if p.Running > maxR {
+			maxR = p.Running
+		}
+	}
+	if maxR == 0 {
+		maxR = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "running tasks over time (max %d, mean %.1f):\n", maxR, MeanRunning(profile))
+	for row := height; row >= 1; row-- {
+		threshold := float64(row) / float64(height) * float64(maxR)
+		line := make([]byte, len(profile))
+		for i, p := range profile {
+			if float64(p.Running) >= threshold-1e-12 && p.Running > 0 {
+				line[i] = '#'
+			} else {
+				line[i] = ' '
+			}
+		}
+		lbl := ""
+		if row == height {
+			lbl = fmt.Sprintf("%3d", maxR)
+		} else if row == 1 {
+			lbl = "  1"
+		} else {
+			lbl = "   "
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", lbl, line)
+	}
+	return b.String()
+}
+
+// CompareProfiles summarizes two schedulers' profiles side by side, sorted
+// by name — the §VI-A comparison as a one-call report.
+func CompareProfiles(d *graph.DAG, results map[string]*simulator.Result, samples int) string {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		r := results[n]
+		pr := ReadyProfile(d, r, samples)
+		// Early-phase (first quarter) mean running: where dmdas starves.
+		quarter := pr[:int(math.Max(1, float64(len(pr))/4))]
+		fmt.Fprintf(&b, "%-8s makespan %.4fs  mean-running %.1f  early-phase %.1f  peak-avail %d\n",
+			n, r.MakespanSec, MeanRunning(pr), MeanRunning(quarter), PeakParallelism(pr))
+	}
+	return b.String()
+}

@@ -1,0 +1,245 @@
+// Package trace turns execution records (simulated or real) into Gantt
+// charts and idle-time analyses — the tooling behind the paper's Figure 12
+// (GPU traces for dmda vs dmdas on 8×8 tiles) and the trace inspection used
+// throughout Section V to explain scheduler behaviour.
+//
+// Renderers are ASCII (terminal) and SVG (files); both are deterministic.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+	"repro/internal/simulator"
+)
+
+// Span is one executed task instance on a worker.
+type Span struct {
+	Worker int
+	Start  float64
+	End    float64
+	Kind   graph.Kind
+	Name   string
+}
+
+// Gantt is a complete execution trace.
+type Gantt struct {
+	Workers  int
+	Makespan float64
+	Spans    []Span
+	Labels   []string // per worker, e.g. "cpu0", "gpu2"
+}
+
+// FromSimulation builds a Gantt from a simulator result.
+func FromSimulation(d *graph.DAG, workers int, labels []string, r *simulator.Result) *Gantt {
+	g := &Gantt{Workers: workers, Makespan: r.MakespanSec, Labels: labels}
+	for _, t := range d.Tasks {
+		g.Spans = append(g.Spans, Span{
+			Worker: r.Worker[t.ID],
+			Start:  r.Start[t.ID],
+			End:    r.End[t.ID],
+			Kind:   t.Kind,
+			Name:   t.Name(),
+		})
+	}
+	sort.Slice(g.Spans, func(i, j int) bool {
+		if g.Spans[i].Worker != g.Spans[j].Worker {
+			return g.Spans[i].Worker < g.Spans[j].Worker
+		}
+		return g.Spans[i].Start < g.Spans[j].Start
+	})
+	return g
+}
+
+// WorkerSpans returns the spans of one worker in start order.
+func (g *Gantt) WorkerSpans(w int) []Span {
+	var out []Span
+	for _, s := range g.Spans {
+		if s.Worker == w {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// IdleStats summarizes idle time for a set of workers.
+type IdleStats struct {
+	BusySec  float64
+	IdleSec  float64
+	IdleFrac float64
+	Gaps     int // number of idle gaps strictly inside the span of work
+}
+
+// Idle computes idle statistics for worker w over [0, Makespan].
+func (g *Gantt) Idle(w int) IdleStats {
+	spans := g.WorkerSpans(w)
+	busy := 0.0
+	gaps := 0
+	last := 0.0
+	for _, s := range spans {
+		busy += s.End - s.Start
+		if s.Start > last+1e-12 {
+			gaps++
+		}
+		if s.End > last {
+			last = s.End
+		}
+	}
+	idle := g.Makespan - busy
+	frac := 0.0
+	if g.Makespan > 0 {
+		frac = idle / g.Makespan
+	}
+	return IdleStats{BusySec: busy, IdleSec: idle, IdleFrac: frac, Gaps: gaps}
+}
+
+// GroupIdleFrac returns the mean idle fraction over the given workers — the
+// paper's "idle time on the critical resource (GPUs)" metric.
+func (g *Gantt) GroupIdleFrac(workers []int) float64 {
+	if len(workers) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, w := range workers {
+		sum += g.Idle(w).IdleFrac
+	}
+	return sum / float64(len(workers))
+}
+
+// kindGlyph maps kernel kinds to the single characters of the ASCII render.
+func kindGlyph(k graph.Kind) byte {
+	switch k {
+	case graph.POTRF, graph.GETRF, graph.GEQRT:
+		return 'P'
+	case graph.TRSM, graph.ORMQR, graph.TSQRT:
+		return 'T'
+	case graph.SYRK:
+		return 'S'
+	case graph.GEMM, graph.TSMQR:
+		return 'G'
+	default:
+		return '?'
+	}
+}
+
+// ASCII renders the trace as one row per worker, `width` characters across
+// the makespan; '.' is idle. Only the workers listed are drawn (nil = all).
+func (g *Gantt) ASCII(width int, workers []int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if workers == nil {
+		workers = make([]int, g.Workers)
+		for i := range workers {
+			workers[i] = i
+		}
+	}
+	var b strings.Builder
+	scale := float64(width) / math.Max(g.Makespan, 1e-12)
+	for _, w := range workers {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range g.WorkerSpans(w) {
+			from := int(s.Start * scale)
+			to := int(math.Ceil(s.End * scale))
+			if to > width {
+				to = width
+			}
+			if from >= to && from < width {
+				to = from + 1
+			}
+			for i := from; i < to && i < width; i++ {
+				row[i] = kindGlyph(s.Kind)
+			}
+		}
+		label := fmt.Sprintf("w%d", w)
+		if w < len(g.Labels) {
+			label = g.Labels[w]
+		}
+		fmt.Fprintf(&b, "%-6s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%-6s  makespan %.4fs  (P=POTRF-like T=TRSM-like S=SYRK G=GEMM-like .=idle)\n",
+		"", g.Makespan)
+	return b.String()
+}
+
+// kindColor gives each kernel kind a stable SVG fill.
+func kindColor(k graph.Kind) string {
+	switch k {
+	case graph.POTRF, graph.GETRF, graph.GEQRT:
+		return "#d62728" // red: the critical diagonal kernel
+	case graph.TRSM, graph.ORMQR, graph.TSQRT:
+		return "#1f77b4" // blue
+	case graph.SYRK:
+		return "#2ca02c" // green
+	case graph.GEMM, graph.TSMQR:
+		return "#ff7f0e" // orange
+	default:
+		return "#7f7f7f"
+	}
+}
+
+// SVG renders the trace as an SVG document (one lane per worker).
+func (g *Gantt) SVG(width, laneHeight int) string {
+	if width <= 0 {
+		width = 1000
+	}
+	if laneHeight <= 0 {
+		laneHeight = 24
+	}
+	const margin = 60
+	h := g.Workers*laneHeight + 2*margin/3
+	scale := float64(width-margin) / math.Max(g.Makespan, 1e-12)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n",
+		width+margin/2, h)
+	for w := 0; w < g.Workers; w++ {
+		y := w * laneHeight
+		label := fmt.Sprintf("w%d", w)
+		if w < len(g.Labels) {
+			label = g.Labels[w]
+		}
+		fmt.Fprintf(&b, `<text x="2" y="%d" font-size="11" font-family="monospace">%s</text>`+"\n",
+			y+laneHeight*2/3, label)
+		for _, s := range g.WorkerSpans(w) {
+			x := margin + int(s.Start*scale)
+			wd := int((s.End - s.Start) * scale)
+			if wd < 1 {
+				wd = 1
+			}
+			fmt.Fprintf(&b,
+				`<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s [%.4f, %.4f]</title></rect>`+"\n",
+				x, y+2, wd, laneHeight-4, kindColor(s.Kind), s.Name, s.Start, s.End)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// FromRuntime builds a Gantt from a real-execution record (internal/runtime):
+// spans carry wall-clock-relative times measured on goroutine workers.
+func FromRuntime(d *graph.DAG, workers int, r *runtime.Result) *Gantt {
+	g := &Gantt{Workers: workers, Makespan: r.Seconds}
+	for _, t := range d.Tasks {
+		g.Spans = append(g.Spans, Span{
+			Worker: r.Worker[t.ID],
+			Start:  r.Start[t.ID],
+			End:    r.End[t.ID],
+			Kind:   t.Kind,
+			Name:   t.Name(),
+		})
+	}
+	sort.Slice(g.Spans, func(i, j int) bool {
+		if g.Spans[i].Worker != g.Spans[j].Worker {
+			return g.Spans[i].Worker < g.Spans[j].Worker
+		}
+		return g.Spans[i].Start < g.Spans[j].Start
+	})
+	return g
+}

@@ -1,0 +1,348 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+func simulate(t *testing.T, s sched.Scheduler) (*graph.DAG, *platform.Platform, *simulator.Result) {
+	t.Helper()
+	p := platform.Mirage()
+	d := graph.Cholesky(8)
+	r, err := simulator.Run(d, p, s, simulator.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, p, r
+}
+
+func labels(p *platform.Platform) []string {
+	var out []string
+	for _, c := range p.Classes {
+		for i := 0; i < c.Count; i++ {
+			out = append(out, c.Name+string(rune('0'+i)))
+		}
+	}
+	return out
+}
+
+func TestFromSimulationCoversAllTasks(t *testing.T) {
+	d, p, r := simulate(t, sched.NewDMDA())
+	g := FromSimulation(d, p.Workers(), labels(p), r)
+	if len(g.Spans) != len(d.Tasks) {
+		t.Fatalf("spans %d, tasks %d", len(g.Spans), len(d.Tasks))
+	}
+	if g.Makespan != r.MakespanSec {
+		t.Fatal("makespan mismatch")
+	}
+}
+
+func TestIdleAccountingConsistent(t *testing.T) {
+	d, p, r := simulate(t, sched.NewDMDAS())
+	g := FromSimulation(d, p.Workers(), labels(p), r)
+	for w := 0; w < p.Workers(); w++ {
+		st := g.Idle(w)
+		if math.Abs(st.BusySec+st.IdleSec-g.Makespan) > 1e-9 {
+			t.Fatalf("worker %d: busy+idle != makespan", w)
+		}
+		if math.Abs(st.BusySec-r.BusySec[w]) > 1e-9 {
+			t.Fatalf("worker %d: busy %g vs simulator %g", w, st.BusySec, r.BusySec[w])
+		}
+		if st.IdleFrac < 0 || st.IdleFrac > 1 {
+			t.Fatalf("worker %d: idle frac %g", w, st.IdleFrac)
+		}
+	}
+}
+
+func TestGroupIdleFrac(t *testing.T) {
+	d, p, r := simulate(t, sched.NewDMDA())
+	g := FromSimulation(d, p.Workers(), labels(p), r)
+	gpus := p.ClassWorkers(1)
+	frac := g.GroupIdleFrac(gpus)
+	if frac < 0 || frac > 1 {
+		t.Fatalf("GPU idle frac %g", frac)
+	}
+	if g.GroupIdleFrac(nil) != 0 {
+		t.Fatal("empty group should be 0")
+	}
+}
+
+func TestASCIIRender(t *testing.T) {
+	d, p, r := simulate(t, sched.NewDMDA())
+	g := FromSimulation(d, p.Workers(), labels(p), r)
+	out := g.ASCII(100, p.ClassWorkers(1))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // 3 GPUs + legend
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "gpu0") || !strings.Contains(out, "makespan") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	// GPUs on Mirage run mostly GEMMs: glyph G must appear.
+	if !strings.Contains(out, "G") {
+		t.Fatal("no GEMM glyph on GPU lanes")
+	}
+}
+
+func TestASCIIDefaultsAllWorkers(t *testing.T) {
+	d, p, r := simulate(t, sched.NewDMDA())
+	g := FromSimulation(d, p.Workers(), labels(p), r)
+	out := g.ASCII(0, nil)
+	if got := strings.Count(out, "|"); got < 2*p.Workers() {
+		t.Fatalf("expected %d lanes, out:\n%s", p.Workers(), out)
+	}
+}
+
+func TestSVGWellFormedish(t *testing.T) {
+	d, p, r := simulate(t, sched.NewDMDAS())
+	g := FromSimulation(d, p.Workers(), labels(p), r)
+	svg := g.SVG(800, 20)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(svg, "<rect") != len(d.Tasks) {
+		t.Fatalf("rect count %d != %d tasks", strings.Count(svg, "<rect"), len(d.Tasks))
+	}
+	// All four kernel colors should appear for an 8×8 Cholesky.
+	for _, c := range []string{"#d62728", "#1f77b4", "#2ca02c", "#ff7f0e"} {
+		if !strings.Contains(svg, c) {
+			t.Fatalf("missing color %s", c)
+		}
+	}
+}
+
+func TestSVGDefaults(t *testing.T) {
+	d, p, r := simulate(t, sched.NewDMDA())
+	g := FromSimulation(d, p.Workers(), nil, r)
+	if svg := g.SVG(0, 0); !strings.Contains(svg, "w0") {
+		t.Fatal("default labels missing")
+	}
+}
+
+func TestWorkerSpansSorted(t *testing.T) {
+	d, p, r := simulate(t, sched.NewDMDA())
+	g := FromSimulation(d, p.Workers(), nil, r)
+	for w := 0; w < p.Workers(); w++ {
+		spans := g.WorkerSpans(w)
+		for i := 1; i < len(spans); i++ {
+			if spans[i].Start < spans[i-1].Start {
+				t.Fatal("spans not sorted")
+			}
+			if spans[i].Start < spans[i-1].End-1e-9 {
+				t.Fatal("overlapping spans on one worker")
+			}
+		}
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	// dmdas puts emphasis on the critical path early and idles the GPUs
+	// more at the start than dmda does on 8×8 tiles (Section VI-A).
+	p := platform.Mirage()
+	d := graph.Cholesky(8)
+	run := func(s sched.Scheduler) float64 {
+		r, err := simulator.Run(d, p, s, simulator.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := FromSimulation(d, p.Workers(), nil, r)
+		return g.GroupIdleFrac(p.ClassWorkers(1))
+	}
+	da := run(sched.NewDMDA())
+	das := run(sched.NewDMDAS())
+	if da < 0 || das < 0 {
+		t.Fatal("negative idle")
+	}
+	// Both have nontrivial GPU idle at this size (the paper's point).
+	if da == 0 && das == 0 {
+		t.Fatal("expected some GPU idle time on 8×8 tiles")
+	}
+}
+
+func TestKindGlyphsAndColors(t *testing.T) {
+	if kindGlyph(graph.POTRF) != 'P' || kindGlyph(graph.GEMM) != 'G' ||
+		kindGlyph(graph.TSMQR) != 'G' || kindGlyph(graph.Kind(99)) != '?' {
+		t.Fatal("glyph mapping")
+	}
+	if kindColor(graph.Kind(99)) != "#7f7f7f" {
+		t.Fatal("default color")
+	}
+}
+
+func TestFromRuntime(t *testing.T) {
+	a := matrixRandSPD()
+	tl, err := mfrom(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := runtime.Factor(tl, runtime.Options{Workers: 3, Policy: runtime.Priority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graph.Cholesky(tl.P)
+	g := FromRuntime(d, 3, r)
+	if len(g.Spans) != len(d.Tasks) {
+		t.Fatal("span count mismatch")
+	}
+	if g.Makespan <= 0 {
+		t.Fatal("no makespan")
+	}
+	total := 0.0
+	for w := 0; w < 3; w++ {
+		total += g.Idle(w).BusySec
+	}
+	if total <= 0 {
+		t.Fatal("no busy time recorded")
+	}
+	if out := g.ASCII(60, nil); !strings.Contains(out, "makespan") {
+		t.Fatal("ASCII render broken for runtime trace")
+	}
+}
+
+func matrixRandSPD() *matrix.Dense { return matrix.RandSPD(32, 4) }
+
+func mfrom(a *matrix.Dense, nb int) (*matrix.Tiled, error) { return matrix.FromDense(a, nb) }
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	d, p, r := simulate(t, sched.NewDMDAS())
+	g := FromSimulation(d, p.Workers(), labels(p), r)
+	data, err := g.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseChromeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Workers != g.Workers || len(back.Spans) != len(g.Spans) {
+		t.Fatalf("shape lost: %d/%d workers, %d/%d spans",
+			back.Workers, g.Workers, len(back.Spans), len(g.Spans))
+	}
+	if math.Abs(back.Makespan-g.Makespan) > 1e-9 {
+		t.Fatalf("makespan %g vs %g", back.Makespan, g.Makespan)
+	}
+	// Idle analysis must agree after the round trip.
+	for w := 0; w < g.Workers; w++ {
+		a, b := g.Idle(w), back.Idle(w)
+		if math.Abs(a.BusySec-b.BusySec) > 1e-9 {
+			t.Fatalf("worker %d busy lost: %g vs %g", w, a.BusySec, b.BusySec)
+		}
+	}
+	if back.Labels[9] != "gpu0" {
+		t.Fatalf("labels lost: %v", back.Labels)
+	}
+	// Kinds survive.
+	kinds := map[graph.Kind]bool{}
+	for _, s := range back.Spans {
+		kinds[s.Kind] = true
+	}
+	if !kinds[graph.POTRF] || !kinds[graph.GEMM] {
+		t.Fatal("kinds lost")
+	}
+}
+
+func TestParseChromeTraceRejectsGarbage(t *testing.T) {
+	if _, err := ParseChromeTrace([]byte("not json")); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := ParseChromeTrace([]byte(`[{"ph":"Q","tid":0}]`)); err == nil {
+		t.Fatal("expected unsupported-phase error")
+	}
+}
+
+func TestReadyProfileInvariants(t *testing.T) {
+	d, p, r := simulate(t, sched.NewDMDAS())
+	prof := ReadyProfile(d, r, 80)
+	if len(prof) != 80 {
+		t.Fatalf("%d samples", len(prof))
+	}
+	for _, pt := range prof {
+		if pt.Running < 0 || pt.Running > p.Workers() {
+			t.Fatalf("running %d outside [0, %d]", pt.Running, p.Workers())
+		}
+		if pt.Ready < 0 {
+			t.Fatal("negative ready")
+		}
+	}
+	if MeanRunning(prof) <= 0 {
+		t.Fatal("no work observed")
+	}
+	if PeakParallelism(prof) < 1 {
+		t.Fatal("no parallelism observed")
+	}
+}
+
+func TestRenderProfileAndCompare(t *testing.T) {
+	d, p, r1 := simulate(t, sched.NewDMDA())
+	_ = p
+	r2, err := simulator.Run(d, platform.Mirage(), sched.NewDMDAS(), simulator.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := ReadyProfile(d, r1, 60)
+	out := RenderProfile(prof, 8)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "running tasks") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+	cmp := CompareProfiles(d, map[string]*simulator.Result{"dmda": r1, "dmdas": r2}, 60)
+	if !strings.Contains(cmp, "dmda ") || !strings.Contains(cmp, "dmdas") {
+		t.Fatalf("compare broken:\n%s", cmp)
+	}
+	if !strings.Contains(cmp, "early-phase") {
+		t.Fatal("missing early-phase stat")
+	}
+}
+
+func TestMeanRunningEmpty(t *testing.T) {
+	if MeanRunning(nil) != 0 || PeakParallelism(nil) != 0 {
+		t.Fatal("empty profile handling")
+	}
+}
+
+func TestPajeExport(t *testing.T) {
+	d, p, r := simulate(t, sched.NewDMDAS())
+	g := FromSimulation(d, p.Workers(), labels(p), r)
+	out := g.Paje()
+	for _, want := range []string{
+		"%EventDef PajeDefineContainerType",
+		"1 S W WorkerState",
+		`2 GEMM S GEMM`,
+		"3 0.000000 w9 W 0 gpu0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Paje missing %q", want)
+		}
+	}
+	// One SetState + one ResetState per span.
+	if got := strings.Count(out, "\n4 "); got != len(d.Tasks) {
+		t.Fatalf("%d SetState events, want %d", got, len(d.Tasks))
+	}
+	if got := strings.Count(out, "\n5 "); got != len(d.Tasks) {
+		t.Fatalf("%d ResetState events, want %d", got, len(d.Tasks))
+	}
+	// Events are time-ordered.
+	prev := -1.0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "4 ") && !strings.HasPrefix(line, "5 ") {
+			continue
+		}
+		var tv float64
+		var code int
+		if _, err := fmt.Sscanf(line, "%d %f", &code, &tv); err != nil {
+			t.Fatalf("unparseable event line %q", line)
+		}
+		if tv < prev-1e-12 {
+			t.Fatalf("events out of order at %q", line)
+		}
+		prev = tv
+	}
+}
