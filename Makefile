@@ -1,0 +1,17 @@
+.PHONY: build test verify bench serve
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Tier-1 gate (ROADMAP.md): build + vet + race-enabled tests.
+verify:
+	./scripts/verify.sh
+
+bench:
+	go test -bench=. -benchmem
+
+serve:
+	go run ./cmd/cholserved

@@ -1,0 +1,74 @@
+// Command cholserved runs the evaluation service: a long-lived HTTP/JSON
+// server that answers bounds, simulation, sweep, and experiment requests
+// over the core API, with result caching and bounded concurrency.
+//
+// Usage:
+//
+//	cholserved -addr :8080 -workers 4 -queue 64 -cache 1024 -timeout 30s
+//
+// Endpoints: POST /v1/bounds, POST /v1/simulate, POST /v1/sweep,
+// GET /v1/experiments, GET /v1/experiments/{id}, GET /v1/platforms,
+// GET /v1/schedulers, GET /metrics, GET /healthz, /debug/pprof/.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", 1024, "result cache capacity (entries)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent evaluation limit")
+	queue := flag.Int("queue", 64, "admission queue depth before shedding with 503")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		CacheSize:      *cacheSize,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("cholserved listening on %s (workers=%d queue=%d cache=%d timeout=%s)",
+		*addr, *workers, *queue, *cacheSize, *timeout)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "cholserved:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Print("cholserved: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "cholserved: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

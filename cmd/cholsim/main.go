@@ -4,12 +4,14 @@
 //
 // Usage:
 //
+//	cholsim -list
 //	cholsim -tiles 16 -platform mirage -sched dmdas
 //	cholsim -tiles 8 -platform mirage-nocomm -sched trsm-cpu:6 -trace ascii
 //	cholsim -tiles 4 -platform mirage-nocomm -cp -cp-budget 50000
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,11 +25,12 @@ import (
 
 func main() {
 	var (
+		list     = flag.Bool("list", false, "list the registered platforms and schedulers")
 		tiles    = flag.Int("tiles", 8, "matrix size in tiles of 960")
 		algo     = flag.String("algo", "cholesky", "cholesky | lu | qr (lu/qr use the extended Mirage model)")
-		platName = flag.String("platform", "mirage", "mirage | mirage-nocomm | homogeneous:N | related:K (cholesky only; lu/qr pick automatically)")
+		platName = flag.String("platform", "mirage", core.PlatformUsage()+" (cholesky only; lu/qr pick automatically)")
 		platFile = flag.String("platform-file", "", "JSON platform description (overrides -platform)")
-		schedNm  = flag.String("sched", "dmdas", "random | greedy | dmda | dmdas | dmda-nocomm | trsm-cpu:K | gemm-syrk-gpu")
+		schedNm  = flag.String("sched", "dmdas", core.SchedulerUsage())
 		seed     = flag.Int64("seed", 42, "RNG seed")
 		overhead = flag.Bool("overhead", false, "apply the runtime-overhead + jitter model (actual-mode substitute)")
 		traceFmt = flag.String("trace", "", "render the execution trace: ascii | svg | chrome (Trace Event JSON) | paje (ViTE)")
@@ -36,6 +39,19 @@ func main() {
 		cpBudget = flag.Int("cp-budget", 100000, "CP search node budget")
 	)
 	flag.Parse()
+	ctx := context.Background()
+
+	if *list {
+		fmt.Println("Platforms:")
+		for _, e := range core.Platforms() {
+			fmt.Printf("  %-18s %s\n", e.Display(), e.Description)
+		}
+		fmt.Println("Schedulers:")
+		for _, e := range core.Schedulers() {
+			fmt.Printf("  %-18s %s\n", e.Display(), e.Description)
+		}
+		return
+	}
 
 	var p *platform.Platform
 	var err error
@@ -43,14 +59,14 @@ func main() {
 	case *platFile != "":
 		p, err = platform.LoadFile(*platFile)
 	case *algo == "cholesky":
-		p, err = core.PlatformByName(*platName)
+		p, err = core.NewPlatform(*platName)
 	default:
 		p, err = core.PlatformForAlgorithm(*algo, *platName == "mirage-nocomm")
 	}
 	if err != nil {
 		fatal(err)
 	}
-	s, err := core.SchedulerByName(*schedNm)
+	s, err := core.NewScheduler(*schedNm)
 	if err != nil {
 		fatal(err)
 	}
@@ -62,7 +78,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := core.SimulateDAG(d, fl, p, s, simulator.Options{Seed: *seed, Overhead: *overhead})
+	rep, err := core.SimulateDAG(ctx, d, fl, p, s, simulator.Options{Seed: *seed, Overhead: *overhead})
 	if err != nil {
 		fatal(err)
 	}
@@ -114,12 +130,12 @@ func main() {
 	}
 
 	if *cp {
-		r, err := core.OptimizeDAG(d, p, *cpBudget)
+		r, err := core.OptimizeDAG(ctx, d, p, *cpBudget)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("\nCP search: %d nodes, exhausted=%v\n", r.Nodes, r.Exhausted)
-		inj, err := core.SimulateDAG(d, fl, p, r.Schedule.Scheduler("cp-inject"), simulator.Options{Seed: *seed})
+		inj, err := core.SimulateDAG(ctx, d, fl, p, r.Schedule.Scheduler("cp-inject"), simulator.Options{Seed: *seed})
 		if err != nil {
 			fatal(err)
 		}

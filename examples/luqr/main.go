@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			rep, err := core.SimulateDAG(d, fl, p, sched.NewDMDAS(), simulator.Options{Seed: 42})
+			rep, err := core.SimulateDAG(context.Background(), d, fl, p, sched.NewDMDAS(), simulator.Options{Seed: 42})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,15 +28,15 @@ func main() {
 	fmt.Printf("factorized 512×512 SPD matrix, residual %.2e\n", residual)
 
 	// 2. Simulate a 16×16-tile Cholesky (N = 15360) on the Mirage model.
-	p, err := core.PlatformByName("mirage-nocomm")
+	p, err := core.NewPlatform("mirage-nocomm")
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := core.SchedulerByName("dmdas")
+	s, err := core.NewScheduler("dmdas")
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := core.Simulate(16, p, s, simulator.Options{Seed: 42})
+	rep, err := core.Simulate(context.Background(), 16, p, s, simulator.Options{Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,11 +46,11 @@ func main() {
 		rep.GFlops, rep.BoundGFlops, 100*rep.Efficiency)
 
 	// Where is the headroom? Try the paper's static hint.
-	hint, err := core.SchedulerByName("trsm-cpu:7")
+	hint, err := core.NewScheduler("trsm-cpu:7")
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep2, err := core.Simulate(16, p, hint, simulator.Options{Seed: 42})
+	rep2, err := core.Simulate(context.Background(), 16, p, hint, simulator.Options{Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,12 +8,18 @@
 // the study layers (bounds/sched/simulator/cpsolve/runtime/experiments)
 // behind a small, stable surface. Everything it returns comes from those
 // packages, which remain importable directly for fine-grained control.
+//
+// Platform models and scheduling policies are resolved through extensible
+// registries (see RegisterPlatform / RegisterScheduler in registry.go);
+// NewPlatform and NewScheduler look names up there. The evaluation entry
+// points take a context.Context and stop promptly when it is cancelled —
+// the simulator checks inside its event loop and the CP search inside its
+// node expansion — so a server can bound the CPU a request may burn.
 package core
 
 import (
+	"context"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/bounds"
 	"repro/internal/cpsolve"
@@ -43,65 +49,22 @@ func Factorize(a *matrix.Dense, nb, workers int) (*matrix.Dense, float64, error)
 	return l, matrix.CholeskyResidual(a, l), nil
 }
 
-// PlatformByName builds one of the named platform models:
+// PlatformByName builds a registered platform model.
 //
-//	"mirage"            — the paper's machine (9 CPUs + 3 GPUs, PCI model)
-//	"mirage-nocomm"     — same, data transfers removed
-//	"homogeneous:N"     — N CPU cores
-//	"related:K"         — Mirage with a uniform GPU speedup K
+// Deprecated: it is a thin wrapper over NewPlatform, kept so pre-registry
+// callers keep compiling; use NewPlatform (and RegisterPlatform to add
+// models) instead.
 func PlatformByName(name string) (*platform.Platform, error) {
-	switch {
-	case name == "mirage":
-		return platform.Mirage(), nil
-	case name == "mirage-nocomm":
-		return platform.WithoutCommunication(platform.Mirage()), nil
-	case strings.HasPrefix(name, "homogeneous:"):
-		n, err := strconv.Atoi(strings.TrimPrefix(name, "homogeneous:"))
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("core: bad homogeneous worker count in %q", name)
-		}
-		return platform.Homogeneous(n), nil
-	case strings.HasPrefix(name, "related:"):
-		k, err := strconv.ParseFloat(strings.TrimPrefix(name, "related:"), 64)
-		if err != nil || k <= 0 {
-			return nil, fmt.Errorf("core: bad acceleration factor in %q", name)
-		}
-		return platform.Related(platform.Mirage(), k), nil
-	default:
-		return nil, fmt.Errorf("core: unknown platform %q (mirage, mirage-nocomm, homogeneous:N, related:K)", name)
-	}
+	return NewPlatform(name)
 }
 
-// SchedulerByName builds one of the named scheduling policies:
+// SchedulerByName builds a registered scheduling policy.
 //
-//	"random", "greedy", "dmda", "dmdas", "dmdar", "dmda-nocomm",
-//	"trsm-cpu:K"       — dmdas + the triangle hint with threshold K
-//	"gemm-syrk-gpu"    — dmdas + GEMM/SYRK forced on GPUs
+// Deprecated: it is a thin wrapper over NewScheduler, kept so pre-registry
+// callers keep compiling; use NewScheduler (and RegisterScheduler to add
+// policies) instead.
 func SchedulerByName(name string) (sched.Scheduler, error) {
-	switch {
-	case name == "random":
-		return sched.NewRandom(), nil
-	case name == "greedy":
-		return sched.NewGreedy(), nil
-	case name == "dmda":
-		return sched.NewDMDA(), nil
-	case name == "dmdas":
-		return sched.NewDMDAS(), nil
-	case name == "dmdar":
-		return sched.NewDMDAR(), nil
-	case name == "dmda-nocomm":
-		return sched.NewDMDANoComm(), nil
-	case strings.HasPrefix(name, "trsm-cpu:"):
-		k, err := strconv.Atoi(strings.TrimPrefix(name, "trsm-cpu:"))
-		if err != nil || k < 1 {
-			return nil, fmt.Errorf("core: bad triangle threshold in %q", name)
-		}
-		return sched.NewTriangleTRSM(k), nil
-	case name == "gemm-syrk-gpu":
-		return sched.NewDMDASWithHints(name, sched.GemmSyrkOnGPU()), nil
-	default:
-		return nil, fmt.Errorf("core: unknown scheduler %q", name)
-	}
+	return NewScheduler(name)
 }
 
 // SimulationReport bundles one simulated run with its bound context.
@@ -116,19 +79,19 @@ type SimulationReport struct {
 }
 
 // Simulate runs one tiled-Cholesky simulation and reports performance
-// against the mixed bound.
-func Simulate(nTiles int, p *platform.Platform, s sched.Scheduler, opt simulator.Options) (*SimulationReport, error) {
+// against the mixed bound. Cancelling ctx aborts the event loop.
+func Simulate(ctx context.Context, nTiles int, p *platform.Platform, s sched.Scheduler, opt simulator.Options) (*SimulationReport, error) {
 	d := graph.Cholesky(nTiles)
-	return SimulateDAG(d, kernels.CholeskyFlops(nTiles*platform.TileNB), p, s, opt)
+	return SimulateDAG(ctx, d, kernels.CholeskyFlops(nTiles*platform.TileNB), p, s, opt)
 }
 
 // SimulateDAG runs one simulation of an arbitrary factorization DAG (see
 // DAGByAlgorithm) and reports performance against the generalized mixed
 // bound, using the given flop total for the GFLOP/s conversion.
-func SimulateDAG(d *graph.DAG, flops float64, p *platform.Platform,
+func SimulateDAG(ctx context.Context, d *graph.DAG, flops float64, p *platform.Platform,
 	s sched.Scheduler, opt simulator.Options) (*SimulationReport, error) {
 
-	r, err := simulator.Run(d, p, s, opt)
+	r, err := simulator.RunContext(ctx, d, p, s, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -160,22 +123,25 @@ func BoundsFor(nTiles int, p *platform.Platform) (bounds.All, error) {
 
 // OptimizeSchedule searches for a near-optimal static schedule of a tiled
 // Cholesky (the CP experiment) and returns it with its model makespan.
-func OptimizeSchedule(nTiles int, p *platform.Platform, nodeBudget int) (*cpsolve.Result, error) {
-	return OptimizeDAG(graph.Cholesky(nTiles), p, nodeBudget)
+// Cancelling ctx aborts the branch-and-bound search.
+func OptimizeSchedule(ctx context.Context, nTiles int, p *platform.Platform, nodeBudget int) (*cpsolve.Result, error) {
+	return OptimizeDAG(ctx, graph.Cholesky(nTiles), p, nodeBudget)
 }
 
 // OptimizeDAG is OptimizeSchedule for an arbitrary factorization DAG.
-func OptimizeDAG(d *graph.DAG, p *platform.Platform, nodeBudget int) (*cpsolve.Result, error) {
-	return cpsolve.Solve(d, p, cpsolve.Options{NodeBudget: nodeBudget, Beam: 3})
+func OptimizeDAG(ctx context.Context, d *graph.DAG, p *platform.Platform, nodeBudget int) (*cpsolve.Result, error) {
+	return cpsolve.SolveContext(ctx, d, p, cpsolve.Options{NodeBudget: nodeBudget, Beam: 3})
 }
 
 // RunExperiment regenerates one paper artifact by ID (see
-// experiments.Registry for the catalogue).
-func RunExperiment(id string, cfg experiments.Config) (string, error) {
+// experiments.Registry for the catalogue). The context is threaded into the
+// experiment's sweeps and CP searches through cfg.
+func RunExperiment(ctx context.Context, id string, cfg experiments.Config) (string, error) {
 	r, err := experiments.Find(id)
 	if err != nil {
 		return "", err
 	}
+	cfg.Context = ctx
 	text, _, err := r.Run(cfg)
 	return text, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -73,7 +74,7 @@ func TestSchedulerByName(t *testing.T) {
 func TestSimulateReport(t *testing.T) {
 	p, _ := PlatformByName("mirage-nocomm")
 	s, _ := SchedulerByName("dmdas")
-	rep, err := Simulate(8, p, s, simulator.Options{Seed: 1})
+	rep, err := Simulate(context.Background(), 8, p, s, simulator.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestBoundsFor(t *testing.T) {
 
 func TestOptimizeSchedule(t *testing.T) {
 	p, _ := PlatformByName("mirage-nocomm")
-	r, err := OptimizeSchedule(4, p, 5000)
+	r, err := OptimizeSchedule(context.Background(), 4, p, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,14 +118,14 @@ func TestOptimizeSchedule(t *testing.T) {
 func TestRunExperiment(t *testing.T) {
 	cfg := experiments.Quick()
 	cfg.Sizes = []int{2, 4}
-	out, err := RunExperiment("table1", cfg)
+	out, err := RunExperiment(context.Background(), "table1", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "29") {
 		t.Fatalf("table1 output missing GEMM speedup:\n%s", out)
 	}
-	if _, err := RunExperiment("nope", cfg); err == nil {
+	if _, err := RunExperiment(context.Background(), "nope", cfg); err == nil {
 		t.Fatal("expected unknown-experiment error")
 	}
 }
@@ -221,7 +222,7 @@ func TestSimulateDAGLU(t *testing.T) {
 	fl, _ := FlopsByAlgorithm("lu", 6*960)
 	p, _ := PlatformForAlgorithm("lu", true)
 	s, _ := SchedulerByName("dmdas")
-	rep, err := SimulateDAG(d, fl, p, s, simulator.Options{Seed: 1})
+	rep, err := SimulateDAG(context.Background(), d, fl, p, s, simulator.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestSimulateDAGLU(t *testing.T) {
 func TestOptimizeDAGQR(t *testing.T) {
 	d, _ := DAGByAlgorithm("qr", 3)
 	p, _ := PlatformForAlgorithm("qr", true)
-	r, err := OptimizeDAG(d, p, 3000)
+	r, err := OptimizeDAG(context.Background(), d, p, 3000)
 	if err != nil {
 		t.Fatal(err)
 	}

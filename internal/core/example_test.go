@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -39,9 +40,9 @@ func ExampleSolveSPD() {
 // Simulate the tiled Cholesky on the paper's machine model and compare the
 // achieved performance against the mixed bound.
 func ExampleSimulate() {
-	p, _ := core.PlatformByName("mirage-nocomm")
-	s, _ := core.SchedulerByName("dmdas")
-	rep, err := core.Simulate(8, p, s, simulator.Options{Seed: 42})
+	p, _ := core.NewPlatform("mirage-nocomm")
+	s, _ := core.NewScheduler("dmdas")
+	rep, err := core.Simulate(context.Background(), 8, p, s, simulator.Options{Seed: 42})
 	if err != nil {
 		panic(err)
 	}
@@ -52,9 +53,9 @@ func ExampleSimulate() {
 }
 
 // Compare scheduling policies by name.
-func ExampleSchedulerByName() {
+func ExampleNewScheduler() {
 	for _, name := range []string{"random", "dmda", "dmdas", "trsm-cpu:7"} {
-		s, err := core.SchedulerByName(name)
+		s, err := core.NewScheduler(name)
 		if err != nil {
 			panic(err)
 		}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// The registries replace the former stringly-typed PlatformByName /
+// SchedulerByName switch statements with an extensible surface: built-in
+// models register themselves in init below, and downstream code (a custom
+// platform file, an experimental policy, a test) can RegisterPlatform /
+// RegisterScheduler additional constructors under new names. Lookup,
+// enumeration (Platforms, Schedulers), CLI usage strings, and the
+// "unknown name" error messages are all generated from the same tables, so
+// they can never drift apart.
+
+// PlatformEntry is one registered platform constructor. Entries without a
+// Param are invoked by their plain Name ("mirage"); entries with a Param are
+// invoked as "name:arg" ("homogeneous:9") and Build receives the arg text.
+type PlatformEntry struct {
+	Name        string
+	Param       string // documentation label for the argument ("N", "K"); empty = no argument
+	Description string
+	Build       func(arg string) (*platform.Platform, error)
+}
+
+// Display returns the name as documented in CLI help: "mirage" or
+// "homogeneous:N".
+func (e PlatformEntry) Display() string {
+	if e.Param == "" {
+		return e.Name
+	}
+	return e.Name + ":" + e.Param
+}
+
+// SchedulerEntry is one registered scheduling-policy constructor. Build must
+// return a fresh instance per call: schedulers carry per-run state.
+type SchedulerEntry struct {
+	Name        string
+	Param       string
+	Description string
+	Build       func(arg string) (sched.Scheduler, error)
+}
+
+// Display returns the name as documented in CLI help: "dmdas" or
+// "trsm-cpu:K".
+func (e SchedulerEntry) Display() string {
+	if e.Param == "" {
+		return e.Name
+	}
+	return e.Name + ":" + e.Param
+}
+
+var registry = struct {
+	mu         sync.RWMutex
+	platforms  map[string]PlatformEntry
+	schedulers map[string]SchedulerEntry
+}{
+	platforms:  map[string]PlatformEntry{},
+	schedulers: map[string]SchedulerEntry{},
+}
+
+// RegisterPlatform adds a platform constructor to the registry. It panics on
+// an empty name, a name containing ":", a nil Build, or a duplicate
+// registration — all programmer errors, following http.Handle's convention.
+func RegisterPlatform(e PlatformEntry) {
+	validateEntry(e.Name, e.Build == nil, "platform")
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.platforms[e.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate platform registration %q", e.Name))
+	}
+	registry.platforms[e.Name] = e
+}
+
+// RegisterScheduler adds a scheduler constructor to the registry, with the
+// same panics as RegisterPlatform.
+func RegisterScheduler(e SchedulerEntry) {
+	validateEntry(e.Name, e.Build == nil, "scheduler")
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.schedulers[e.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate scheduler registration %q", e.Name))
+	}
+	registry.schedulers[e.Name] = e
+}
+
+func validateEntry(name string, nilBuild bool, what string) {
+	if name == "" || strings.Contains(name, ":") {
+		panic(fmt.Sprintf("core: invalid %s name %q", what, name))
+	}
+	if nilBuild {
+		panic(fmt.Sprintf("core: %s %q registered with nil Build", what, name))
+	}
+}
+
+// Platforms returns every registered platform entry, sorted by name.
+func Platforms() []PlatformEntry {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]PlatformEntry, 0, len(registry.platforms))
+	for _, e := range registry.platforms {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Schedulers returns every registered scheduler entry, sorted by name.
+func Schedulers() []SchedulerEntry {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]SchedulerEntry, 0, len(registry.schedulers))
+	for _, e := range registry.schedulers {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PlatformUsage returns the "a | b | c:N" summary of registered platform
+// names used by CLI flag help.
+func PlatformUsage() string {
+	var names []string
+	for _, e := range Platforms() {
+		names = append(names, e.Display())
+	}
+	return strings.Join(names, " | ")
+}
+
+// SchedulerUsage returns the "a | b | c:K" summary of registered scheduler
+// names used by CLI flag help.
+func SchedulerUsage() string {
+	var names []string
+	for _, e := range Schedulers() {
+		names = append(names, e.Display())
+	}
+	return strings.Join(names, " | ")
+}
+
+// NewPlatform builds the platform registered under name, which is either a
+// plain registered name ("mirage") or "name:arg" for parameterized entries
+// ("homogeneous:9"). The error for an unknown name enumerates what is
+// actually registered.
+func NewPlatform(name string) (*platform.Platform, error) {
+	base, arg, hasArg := strings.Cut(name, ":")
+	registry.mu.RLock()
+	e, ok := registry.platforms[base]
+	registry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown platform %q (registered: %s)", name, PlatformUsage())
+	}
+	if e.Param == "" && hasArg {
+		return nil, fmt.Errorf("core: platform %q takes no parameter (got %q)", base, name)
+	}
+	if e.Param != "" && (!hasArg || arg == "") {
+		return nil, fmt.Errorf("core: platform %q requires a parameter: use %q", base, e.Display())
+	}
+	return e.Build(arg)
+}
+
+// NewScheduler builds a fresh scheduler instance registered under name
+// ("dmdas", "trsm-cpu:6"). The error for an unknown name enumerates what is
+// actually registered.
+func NewScheduler(name string) (sched.Scheduler, error) {
+	base, arg, hasArg := strings.Cut(name, ":")
+	registry.mu.RLock()
+	e, ok := registry.schedulers[base]
+	registry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown scheduler %q (registered: %s)", name, SchedulerUsage())
+	}
+	if e.Param == "" && hasArg {
+		return nil, fmt.Errorf("core: scheduler %q takes no parameter (got %q)", base, name)
+	}
+	if e.Param != "" && (!hasArg || arg == "") {
+		return nil, fmt.Errorf("core: scheduler %q requires a parameter: use %q", base, e.Display())
+	}
+	return e.Build(arg)
+}
+
+// Built-in models and policies. The names and argument validation are
+// unchanged from the pre-registry façade.
+func init() {
+	RegisterPlatform(PlatformEntry{
+		Name:        "mirage",
+		Description: "the paper's machine (9 CPUs + 3 GPUs, PCI model)",
+		Build:       func(string) (*platform.Platform, error) { return platform.Mirage(), nil },
+	})
+	RegisterPlatform(PlatformEntry{
+		Name:        "mirage-nocomm",
+		Description: "Mirage with data transfers removed",
+		Build: func(string) (*platform.Platform, error) {
+			return platform.WithoutCommunication(platform.Mirage()), nil
+		},
+	})
+	RegisterPlatform(PlatformEntry{
+		Name: "homogeneous", Param: "N",
+		Description: "N identical CPU cores",
+		Build: func(arg string) (*platform.Platform, error) {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("core: bad homogeneous worker count in %q", "homogeneous:"+arg)
+			}
+			return platform.Homogeneous(n), nil
+		},
+	})
+	RegisterPlatform(PlatformEntry{
+		Name: "related", Param: "K",
+		Description: "Mirage with a uniform GPU speedup K",
+		Build: func(arg string) (*platform.Platform, error) {
+			k, err := strconv.ParseFloat(arg, 64)
+			if err != nil || k <= 0 {
+				return nil, fmt.Errorf("core: bad acceleration factor in %q", "related:"+arg)
+			}
+			return platform.Related(platform.Mirage(), k), nil
+		},
+	})
+
+	simple := func(name, desc string, mk func() sched.Scheduler) {
+		RegisterScheduler(SchedulerEntry{
+			Name: name, Description: desc,
+			Build: func(string) (sched.Scheduler, error) { return mk(), nil },
+		})
+	}
+	simple("random", "uniform random worker choice", func() sched.Scheduler { return sched.NewRandom() })
+	simple("greedy", "earliest-finish-time greedy", func() sched.Scheduler { return sched.NewGreedy() })
+	simple("dmda", "StarPU dmda: minimum estimated completion time", func() sched.Scheduler { return sched.NewDMDA() })
+	simple("dmdas", "dmda with priority-sorted queues", func() sched.Scheduler { return sched.NewDMDAS() })
+	simple("dmdar", "dmda with data-ready sorting", func() sched.Scheduler { return sched.NewDMDAR() })
+	simple("dmda-nocomm", "dmda ignoring transfer estimates", func() sched.Scheduler { return sched.NewDMDANoComm() })
+	simple("gemm-syrk-gpu", "dmdas + GEMM/SYRK forced on GPUs", func() sched.Scheduler {
+		return sched.NewDMDASWithHints("gemm-syrk-gpu", sched.GemmSyrkOnGPU())
+	})
+	RegisterScheduler(SchedulerEntry{
+		Name: "trsm-cpu", Param: "K",
+		Description: "dmdas + the triangle hint with threshold K",
+		Build: func(arg string) (sched.Scheduler, error) {
+			k, err := strconv.Atoi(arg)
+			if err != nil || k < 1 {
+				return nil, fmt.Errorf("core: bad triangle threshold in %q", "trsm-cpu:"+arg)
+			}
+			return sched.NewTriangleTRSM(k), nil
+		},
+	})
+}

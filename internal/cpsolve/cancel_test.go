@@ -1,0 +1,45 @@
+package cpsolve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// TestSolveContextDeadline gives a search that would visit millions of nodes
+// a budget far beyond the deadline: the branch-and-bound must bail out of
+// node expansion within its polling stride and report the context error.
+func TestSolveContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := SolveContext(ctx, graph.Cholesky(10), platform.Mirage(), Options{NodeBudget: 200_000_000})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancelled search took %v; cancellation is not prompt", el)
+	}
+}
+
+func TestSolveContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveContext(ctx, graph.Cholesky(4), platform.Mirage(), Options{NodeBudget: 1000}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveBackgroundUnaffected(t *testing.T) {
+	res, err := Solve(graph.Cholesky(3), platform.Mirage(), Options{NodeBudget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("makespan %v", res.Makespan)
+	}
+}

@@ -15,6 +15,7 @@
 package cpsolve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -56,6 +57,7 @@ type solver struct {
 	d      *graph.DAG
 	p      *platform.Platform
 	opt    Options
+	ctx    context.Context
 	blFast []float64 // bottom levels under fastest times (pruning + order)
 
 	classes    []int       // usable class indices
@@ -73,10 +75,25 @@ type solver struct {
 
 	nodes     int
 	exhausted bool
+	cancelled bool
 }
 
 // Solve searches for a low-makespan static schedule of d on p.
 func Solve(d *graph.DAG, p *platform.Platform, opt Options) (*Result, error) {
+	return SolveContext(context.Background(), d, p, opt)
+}
+
+// cancelCheckStride is how many explored nodes pass between context polls:
+// node expansion is cheap, so checking every node would be measurable, while
+// a few hundred nodes expand in well under a millisecond.
+const cancelCheckStride = 256
+
+// SolveContext is Solve with cancellation: the branch-and-bound unwinds and
+// returns ctx's error (dropping any incumbent) once the context is done.
+func SolveContext(ctx context.Context, d *graph.DAG, p *platform.Platform, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cpsolve: search cancelled: %w", err)
+	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -97,7 +114,7 @@ func Solve(d *graph.DAG, p *platform.Platform, opt Options) (*Result, error) {
 	}
 
 	s := &solver{
-		d: d, p: p, opt: opt, blFast: bl,
+		d: d, p: p, opt: opt, ctx: ctx, blFast: bl,
 		workerFree: make([]float64, p.Workers()),
 		finish:     make([]float64, len(d.Tasks)),
 		worker:     make([]int, len(d.Tasks)),
@@ -148,6 +165,9 @@ func Solve(d *graph.DAG, p *platform.Platform, opt Options) (*Result, error) {
 	s.bestMk = wm
 
 	s.dfs(0)
+	if s.cancelled {
+		return nil, fmt.Errorf("cpsolve: search cancelled after %d nodes: %w", s.nodes, ctx.Err())
+	}
 
 	start := make([]float64, len(d.Tasks))
 	copy(start, s.bestStart)
@@ -166,7 +186,10 @@ func Solve(d *graph.DAG, p *platform.Platform, opt Options) (*Result, error) {
 // dfs explores scheduling decisions; maxFinish is the latest committed end.
 func (s *solver) dfs(maxFinish float64) {
 	s.nodes++
-	if s.nodes > s.opt.NodeBudget {
+	if s.nodes%cancelCheckStride == 0 && s.ctx.Err() != nil {
+		s.cancelled = true
+	}
+	if s.cancelled || s.nodes > s.opt.NodeBudget {
 		s.exhausted = false
 		return
 	}
@@ -266,7 +289,7 @@ func (s *solver) dfs(maxFinish float64) {
 			s.finish[id] = -1
 			s.worker[id] = -1
 
-			if s.nodes > s.opt.NodeBudget {
+			if s.cancelled || s.nodes > s.opt.NodeBudget {
 				return
 			}
 		}

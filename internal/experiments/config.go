@@ -12,11 +12,17 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/platform"
 )
 
 // Config sets the sweep parameters of the harness.
 type Config struct {
+	// Context, when non-nil, cancels the experiment between sweep points and
+	// inside the underlying simulations and CP searches. Nil means
+	// context.Background() (run to completion).
+	Context context.Context
 	// Sizes are the tile counts n (matrix size = n·NB), the paper's x-axis
 	// "Matrix Size (multiple of 960)".
 	Sizes []int
@@ -42,6 +48,14 @@ type Config struct {
 	RealWorkers int
 	// Seed is the base RNG seed.
 	Seed int64
+}
+
+// Ctx returns the experiment's context, defaulting to context.Background().
+func (c Config) Ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 // Default mirrors the paper's experimental range.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -370,7 +371,7 @@ func TestBestTriangleKPaperRange(t *testing.T) {
 		t.Fatalf("best k = %d, paper reports 6-8", k)
 	}
 	d := graph.Cholesky(n)
-	plain, err := simGFlops(d, p, sched.NewDMDAS(), cfg.NB, simulator.Options{Seed: cfg.Seed})
+	plain, err := simGFlops(context.Background(), d, p, sched.NewDMDAS(), cfg.NB, simulator.Options{Seed: cfg.Seed})
 	if err != nil {
 		t.Fatal(err)
 	}

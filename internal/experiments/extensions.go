@@ -51,7 +51,7 @@ func OtherFactorizations(cfg Config) (*stats.Table, error) {
 		for _, n := range cfg.Sizes {
 			d := builders[alg](n)
 			f := algoFlops(alg, n, cfg.NB)
-			r, err := simulator.Run(d, p, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
+			r, err := simulator.RunContext(cfg.Ctx(), d, p, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d: %w", alg, n, err)
 			}
@@ -95,14 +95,14 @@ func CommAwareCP(cfg Config) (*stats.Table, error) {
 		d := graph.Cholesky(n)
 		f := flops(n, cfg.NB)
 
-		g, err := simGFlops(d, target, sched.NewDMDAS(), cfg.NB, simulator.Options{Seed: cfg.Seed})
+		g, err := simGFlops(cfg.Ctx(), d, target, sched.NewDMDAS(), cfg.NB, simulator.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
 		dm = append(dm, g)
 
 		// Warm start from the dmdas schedule in the CP's own (no-comm) model.
-		warmRes, err := simulator.Run(d, model, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
+		warmRes, err := simulator.RunContext(cfg.Ctx(), d, model, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -110,25 +110,25 @@ func CommAwareCP(cfg Config) (*stats.Table, error) {
 			Worker: warmRes.Worker, Start: warmRes.Start, EstMakespan: warmRes.MakespanSec,
 		}
 
-		ro, err := cpsolve.Solve(d, model, cpsolve.Options{
+		ro, err := cpsolve.SolveContext(cfg.Ctx(), d, model, cpsolve.Options{
 			NodeBudget: cfg.CPBudget, Beam: 3, WarmStart: warm,
 		})
 		if err != nil {
 			return nil, err
 		}
-		so, err := simulator.Run(d, target, ro.Schedule.Scheduler("cp-oblivious"), simulator.Options{})
+		so, err := simulator.RunContext(cfg.Ctx(), d, target, ro.Schedule.Scheduler("cp-oblivious"), simulator.Options{})
 		if err != nil {
 			return nil, err
 		}
 		obl = append(obl, so.GFlops(f))
 
-		ra, err := cpsolve.Solve(d, model, cpsolve.Options{
+		ra, err := cpsolve.SolveContext(cfg.Ctx(), d, model, cpsolve.Options{
 			NodeBudget: cfg.CPBudget, Beam: 3, CommHopSec: hop, WarmStart: warm,
 		})
 		if err != nil {
 			return nil, err
 		}
-		sa, err := simulator.Run(d, target, ra.Schedule.Scheduler("cp-aware"), simulator.Options{})
+		sa, err := simulator.RunContext(cfg.Ctx(), d, target, ra.Schedule.Scheduler("cp-aware"), simulator.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -165,7 +165,7 @@ func WorkStealing(cfg Config) (*stats.Table, error) {
 		for _, n := range cfg.Sizes {
 			d := graph.Cholesky(n)
 			m, s, err := repeated(cfg, func(seed int64) (float64, error) {
-				return simGFlops(d, p, v.mk(), cfg.NB,
+				return simGFlops(cfg.Ctx(), d, p, v.mk(), cfg.NB,
 					simulator.Options{Seed: seed, WorkStealing: v.steal})
 			})
 			if err != nil {
@@ -209,7 +209,7 @@ func MemorySweep(cfg Config, n int, capacities []int) (*stats.Table, error) {
 		if c > 0 {
 			p.Classes[1].MemoryBytes = float64(c) * p.TileBytes
 		}
-		r, err := simulator.Run(d, p, sched.NewDMDA(), simulator.Options{Seed: cfg.Seed})
+		r, err := simulator.RunContext(cfg.Ctx(), d, p, sched.NewDMDA(), simulator.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -349,7 +349,7 @@ func Banded(cfg Config, n int, bandwidths []int) (*stats.Table, error) {
 	for _, bw := range bandwidths {
 		d := graph.BandedCholesky(n, bw)
 		f := dagFlops(d, cfg.NB)
-		r, err := simulator.Run(d, p, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
+		r, err := simulator.RunContext(cfg.Ctx(), d, p, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -388,11 +388,11 @@ func Batched(cfg Config, n, batch int) (*stats.Table, error) {
 	merged := graph.Merge(dags...)
 	f := flops(n, cfg.NB)
 
-	seq, err := simulator.Run(single, p, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
+	seq, err := simulator.RunContext(cfg.Ctx(), single, p, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
-	bat, err := simulator.Run(merged, p, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
+	bat, err := simulator.RunContext(cfg.Ctx(), merged, p, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -425,7 +425,7 @@ func PrioritySource(cfg Config) (*stats.Table, error) {
 		name := mk().Name()
 		for _, n := range cfg.Sizes {
 			d := graph.Cholesky(n)
-			g, err := simGFlops(d, unrelatedSimPlatform(n), mk(), cfg.NB,
+			g, err := simGFlops(cfg.Ctx(), d, unrelatedSimPlatform(n), mk(), cfg.NB,
 				simulator.Options{Seed: cfg.Seed})
 			if err != nil {
 				return nil, err
@@ -480,7 +480,7 @@ func SimulationFidelity(cfg Config) (*stats.Table, error) {
 		}
 		realMs = append(realMs, stats.Median(times)*1e3)
 		// Calibrated simulation of the same configuration.
-		sim, err := simulator.Run(graph.Cholesky(n), host, sched.NewDMDAS(), simulator.Options{})
+		sim, err := simulator.RunContext(cfg.Ctx(), graph.Cholesky(n), host, sched.NewDMDAS(), simulator.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -517,7 +517,7 @@ func Variants(cfg Config) (*stats.Table, error) {
 	for _, bd := range builders {
 		var vals []float64
 		for _, n := range cfg.Sizes {
-			g, err := simGFlops(bd.mk(n), unrelatedSimPlatform(n), sched.NewDMDAS(),
+			g, err := simGFlops(cfg.Ctx(), bd.mk(n), unrelatedSimPlatform(n), sched.NewDMDAS(),
 				cfg.NB, simulator.Options{Seed: cfg.Seed})
 			if err != nil {
 				return nil, err

@@ -35,7 +35,7 @@ func Fig12(cfg Config) (string, error) {
 	results := map[string]*simulator.Result{}
 	for _, mk := range []func() sched.Scheduler{sched.NewDMDA, sched.NewDMDAS} {
 		s := mk()
-		r, err := simulator.Run(d, p, s, simulator.Options{Seed: cfg.Seed})
+		r, err := simulator.RunContext(cfg.Ctx(), d, p, s, simulator.Options{Seed: cfg.Seed})
 		if err != nil {
 			return "", err
 		}
@@ -58,7 +58,7 @@ func Fig12SVG(cfg Config) (map[string]string, error) {
 	out := map[string]string{}
 	for _, mk := range []func() sched.Scheduler{sched.NewDMDA, sched.NewDMDAS} {
 		s := mk()
-		r, err := simulator.Run(d, p, s, simulator.Options{Seed: cfg.Seed})
+		r, err := simulator.RunContext(cfg.Ctx(), d, p, s, simulator.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}

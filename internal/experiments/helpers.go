@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -15,10 +16,10 @@ import (
 func flops(n, nb int) float64 { return kernels.CholeskyFlops(n * nb) }
 
 // simGFlops runs one simulation and converts it to GFLOP/s.
-func simGFlops(d *graph.DAG, p *platform.Platform, s sched.Scheduler,
+func simGFlops(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched.Scheduler,
 	nb int, opt simulator.Options) (float64, error) {
 
-	r, err := simulator.Run(d, p, s, opt)
+	r, err := simulator.RunContext(ctx, d, p, s, opt)
 	if err != nil {
 		return 0, err
 	}
@@ -30,6 +31,9 @@ func simGFlops(d *graph.DAG, p *platform.Platform, s sched.Scheduler,
 func repeated(cfg Config, fn func(seed int64) (float64, error)) (mean, sigma float64, err error) {
 	var vals []float64
 	for r := 0; r < cfg.Runs; r++ {
+		if err := cfg.Ctx().Err(); err != nil {
+			return 0, 0, fmt.Errorf("experiments: cancelled: %w", err)
+		}
 		v, err := fn(cfg.Seed + int64(r))
 		if err != nil {
 			return 0, 0, err
@@ -64,6 +68,7 @@ func xs(sizes []int) []float64 {
 func sweepSchedulers(cfg Config, tbl *stats.Table,
 	platformFor func(n int) *platform.Platform, overhead bool) error {
 
+	ctx := cfg.Ctx()
 	for _, mk := range schedulerFactories() {
 		name := mk().Name()
 		var means, sigmas []float64
@@ -72,7 +77,7 @@ func sweepSchedulers(cfg Config, tbl *stats.Table,
 			p := platformFor(n)
 			if overhead {
 				m, s, err := repeated(cfg, func(seed int64) (float64, error) {
-					return simGFlops(d, p, mk(), cfg.NB,
+					return simGFlops(ctx, d, p, mk(), cfg.NB,
 						simulator.Options{Seed: seed, Overhead: true})
 				})
 				if err != nil {
@@ -84,7 +89,7 @@ func sweepSchedulers(cfg Config, tbl *stats.Table,
 				// The paper: "results are deterministic for all schedulers
 				// except random", which averages 10 seeds in simulation too.
 				m, s, err := repeated(cfg, func(seed int64) (float64, error) {
-					return simGFlops(d, p, mk(), cfg.NB, simulator.Options{Seed: seed})
+					return simGFlops(ctx, d, p, mk(), cfg.NB, simulator.Options{Seed: seed})
 				})
 				if err != nil {
 					return fmt.Errorf("%s n=%d: %w", name, n, err)
@@ -92,7 +97,7 @@ func sweepSchedulers(cfg Config, tbl *stats.Table,
 				means = append(means, m)
 				sigmas = append(sigmas, s)
 			} else {
-				g, err := simGFlops(d, p, mk(), cfg.NB, simulator.Options{Seed: cfg.Seed})
+				g, err := simGFlops(ctx, d, p, mk(), cfg.NB, simulator.Options{Seed: cfg.Seed})
 				if err != nil {
 					return fmt.Errorf("%s n=%d: %w", name, n, err)
 				}

@@ -56,12 +56,12 @@ func BestTriangleK(cfg Config, n int, p *platform.Platform, overhead bool) (int,
 	eval := func(s sched.Scheduler) (float64, error) {
 		if overhead {
 			g, _, err := repeated(cfg, func(seed int64) (float64, error) {
-				return simGFlops(d, p, s, cfg.NB,
+				return simGFlops(cfg.Ctx(), d, p, s, cfg.NB,
 					simulator.Options{Seed: seed, Overhead: true})
 			})
 			return g, err
 		}
-		return simGFlops(d, p, s, cfg.NB, simulator.Options{Seed: cfg.Seed})
+		return simGFlops(cfg.Ctx(), d, p, s, cfg.NB, simulator.Options{Seed: cfg.Seed})
 	}
 	bestK, bestG := 0, math.Inf(-1)
 	if g, err := eval(sched.NewDMDAS()); err != nil {
@@ -102,7 +102,7 @@ func Fig10(cfg Config) (*stats.Table, error) {
 		p := unrelatedSimPlatform(n)
 		f := flops(n, cfg.NB)
 
-		dmRes, err := simulator.Run(d, p, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
+		dmRes, err := simulator.RunContext(cfg.Ctx(), d, p, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -121,14 +121,14 @@ func Fig10(cfg Config) (*stats.Table, error) {
 			warm := &sched.StaticSchedule{
 				Worker: dmRes.Worker, Start: dmRes.Start, EstMakespan: dmRes.MakespanSec,
 			}
-			r, err := cpsolve.Solve(d, p, cpsolve.Options{
+			r, err := cpsolve.SolveContext(cfg.Ctx(), d, p, cpsolve.Options{
 				NodeBudget: cfg.CPBudget, Beam: 3, WarmStart: warm,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig10 CP n=%d: %w", n, err)
 			}
 			cpVal = append(cpVal, platform.GFlops(f, r.Makespan))
-			sim, err := simulator.Run(d, p, r.Schedule.Scheduler("cp-inject"), simulator.Options{})
+			sim, err := simulator.RunContext(cfg.Ctx(), d, p, r.Schedule.Scheduler("cp-inject"), simulator.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -167,7 +167,7 @@ func Fig11(cfg Config) (*stats.Table, error) {
 		d := graph.Cholesky(n)
 		p := platform.Mirage()
 		m, s, err := repeated(cfg, func(seed int64) (float64, error) {
-			return simGFlops(d, p, sched.NewDMDAS(), cfg.NB,
+			return simGFlops(cfg.Ctx(), d, p, sched.NewDMDAS(), cfg.NB,
 				simulator.Options{Seed: seed, Overhead: true})
 		})
 		if err != nil {
@@ -207,7 +207,7 @@ func MappingOnly(cfg Config) (*stats.Table, error) {
 		d := graph.Cholesky(n)
 		p := unrelatedSimPlatform(n)
 		f := flops(n, cfg.NB)
-		dmRes, err := simulator.Run(d, p, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
+		dmRes, err := simulator.RunContext(cfg.Ctx(), d, p, sched.NewDMDAS(), simulator.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -215,23 +215,23 @@ func MappingOnly(cfg Config) (*stats.Table, error) {
 		warm := &sched.StaticSchedule{
 			Worker: dmRes.Worker, Start: dmRes.Start, EstMakespan: dmRes.MakespanSec,
 		}
-		r, err := cpsolve.Solve(d, p, cpsolve.Options{
+		r, err := cpsolve.SolveContext(cfg.Ctx(), d, p, cpsolve.Options{
 			NodeBudget: cfg.CPBudget, Beam: 3, WarmStart: warm,
 		})
 		if err != nil {
 			return nil, err
 		}
-		sim, err := simulator.Run(d, p, r.Schedule.Scheduler("cp-full"), simulator.Options{})
+		sim, err := simulator.RunContext(cfg.Ctx(), d, p, r.Schedule.Scheduler("cp-full"), simulator.Options{})
 		if err != nil {
 			return nil, err
 		}
 		full = append(full, sim.GFlops(f))
-		mo, err := simGFlops(d, p, r.Schedule.MappingScheduler(p), cfg.NB, simulator.Options{Seed: cfg.Seed})
+		mo, err := simGFlops(cfg.Ctx(), d, p, r.Schedule.MappingScheduler(p), cfg.NB, simulator.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
 		mapOnly = append(mapOnly, mo)
-		oo, err := simGFlops(d, p, r.Schedule.OrderScheduler(), cfg.NB, simulator.Options{Seed: cfg.Seed})
+		oo, err := simGFlops(cfg.Ctx(), d, p, r.Schedule.OrderScheduler(), cfg.NB, simulator.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -258,12 +258,12 @@ func GemmSyrkHint(cfg Config) (*stats.Table, error) {
 	for _, n := range cfg.Sizes {
 		d := graph.Cholesky(n)
 		p := unrelatedSimPlatform(n)
-		g, err := simGFlops(d, p, sched.NewDMDAS(), cfg.NB, simulator.Options{Seed: cfg.Seed})
+		g, err := simGFlops(cfg.Ctx(), d, p, sched.NewDMDAS(), cfg.NB, simulator.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
 		plain = append(plain, g)
-		h, err := simGFlops(d, p,
+		h, err := simGFlops(cfg.Ctx(), d, p,
 			sched.NewDMDASWithHints("dmdas+gemm-syrk-gpu", sched.GemmSyrkOnGPU()),
 			cfg.NB, simulator.Options{Seed: cfg.Seed})
 		if err != nil {
@@ -289,12 +289,12 @@ func TransferAblation(cfg Config) (*stats.Table, error) {
 	for _, n := range cfg.Sizes {
 		d := graph.Cholesky(n)
 		p := platform.Mirage()
-		a, err := simGFlops(d, p, sched.NewDMDA(), cfg.NB, simulator.Options{Seed: cfg.Seed})
+		a, err := simGFlops(cfg.Ctx(), d, p, sched.NewDMDA(), cfg.NB, simulator.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
 		aware = append(aware, a)
-		b, err := simGFlops(d, p, sched.NewDMDANoComm(), cfg.NB, simulator.Options{Seed: cfg.Seed})
+		b, err := simGFlops(cfg.Ctx(), d, p, sched.NewDMDANoComm(), cfg.NB, simulator.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}

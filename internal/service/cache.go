@@ -1,0 +1,124 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// LRU is a concurrency-safe fixed-capacity least-recently-used result cache.
+// Keys are canonical request hashes (see requestKey); values are immutable
+// response payloads, so a cached value may be handed to any number of
+// concurrent readers without copying.
+type LRU struct {
+	mu           sync.Mutex
+	capacity     int
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// NewLRU returns a cache holding at most capacity entries (minimum 1).
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU{capacity: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached value for key and refreshes its recency.
+func (c *LRU) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put stores a value under key, evicting the least-recently-used entry when
+// over capacity.
+func (c *LRU) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *LRU) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// flightGroup deduplicates concurrent computations of the same key
+// (singleflight): while one caller runs fn, followers for the same key block
+// until it finishes and share its result instead of re-running the LP solve
+// or event loop. A follower whose own context expires stops waiting and
+// returns that error; the computation itself keeps running for the others.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Do returns the result of fn for key, running it at most once across
+// concurrent callers. The bool reports whether this caller shared another
+// caller's in-flight computation.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*flightCall{}
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

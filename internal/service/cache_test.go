@@ -1,0 +1,126 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("c", 3) // evicts b: a was refreshed by the Get above
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", c.Len())
+	}
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v.(int) != 10 {
+		t.Fatalf("update lost: %v", v)
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("Stats() = %d, %d", hits, misses)
+	}
+}
+
+// TestLRUConcurrentMixedLoad hammers one cache from many goroutines with
+// overlapping hit/miss/evict traffic; run under -race this is the
+// concurrency-safety test the issue asks for.
+func TestLRUConcurrentMixedLoad(t *testing.T) {
+	c := NewLRU(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%100) // >capacity key space forces evictions
+				if v, ok := c.Get(key); ok {
+					if v.(string) != key {
+						t.Errorf("cache returned %v for %s", v, key)
+						return
+					}
+				} else {
+					c.Put(key, key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("cache overflowed capacity: %d", c.Len())
+	}
+}
+
+// TestFlightGroupRunsOnce launches many concurrent misses of one key; the
+// expensive computation must execute exactly once and every caller must see
+// its value.
+func TestFlightGroupRunsOnce(t *testing.T) {
+	var g flightGroup
+	var runs atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, 20)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := g.Do(context.Background(), "key", func() (any, error) {
+				runs.Add(1)
+				<-release
+				return "value", nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let followers queue up behind the leader before releasing it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("computation ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != "value" {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+	}
+}
+
+// TestFlightGroupFollowerHonoursContext: a follower whose context expires
+// stops waiting even though the leader's computation is still running.
+func TestFlightGroupFollowerHonoursContext(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go g.Do(context.Background(), "key", func() (any, error) {
+		close(leaderIn)
+		<-release
+		return nil, nil
+	})
+	<-leaderIn
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, shared, err := g.Do(ctx, "key", func() (any, error) { return nil, nil })
+	if !shared || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower: shared=%v err=%v, want shared deadline error", shared, err)
+	}
+	close(release)
+}

@@ -1,0 +1,41 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// platformFingerprint hashes the full timing model — classes, per-kernel
+// times, memory caps, bus, tile size, overhead — so cache keys depend on
+// what a platform *is*, not what it is called: two names resolving to the
+// same model share cache entries, and a re-registered name with different
+// timings cannot serve stale results.
+func platformFingerprint(p *platform.Platform) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "tile=%g|bus=%v/%g/%g|oh=%g/%g/%v",
+		p.TileBytes, p.Bus.Enabled, p.Bus.BandwidthBps, p.Bus.LatencySec,
+		p.Overhead.PerTaskSec, p.Overhead.JitterFrac, p.Overhead.JitterActive)
+	for _, c := range p.Classes {
+		fmt.Fprintf(h, "|%s/%d/%g", c.Name, c.Count, c.MemoryBytes)
+		for k := graph.Kind(0); k < graph.NumKinds; k++ {
+			if t, ok := c.Times[k]; ok {
+				fmt.Fprintf(h, ",%d=%g", k, t)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// requestKey builds the canonical cache key for one evaluation request:
+// the endpoint, the platform fingerprint, and every option that changes the
+// result, joined in a fixed order and hashed.
+func requestKey(endpoint string, parts ...string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s", endpoint, strings.Join(parts, "|"))
+	return endpoint + ":" + hex.EncodeToString(h.Sum(nil))[:24]
+}

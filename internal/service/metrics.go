@@ -1,0 +1,178 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Metrics is a minimal Prometheus-expfmt metric registry: counters, gauge
+// functions, and fixed-bucket histograms, rendered as text/plain version
+// 0.0.4 on /metrics. It deliberately implements only what cholserved needs
+// rather than importing a client library (the container has no network
+// access for new dependencies, and the text format is tiny).
+type Metrics struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order, for stable output
+}
+
+type family struct {
+	name, help, typ string
+	series          map[string]*series // canonical label string → series
+	seriesOrder     []string
+	buckets         []float64 // histograms only
+}
+
+type series struct {
+	labels string // rendered `{k="v",...}` block, "" when unlabelled
+	value  float64
+	fn     func() float64 // gauge functions
+	// histogram state
+	bucketCounts []uint64
+	sum          float64
+	count        uint64
+}
+
+// Labels is one metric series' label set.
+type Labels map[string]string
+
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, l[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{families: map[string]*family{}}
+}
+
+func (m *Metrics) family(name, help, typ string, buckets []float64) *family {
+	f, ok := m.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: map[string]*series{}, buckets: buckets}
+		m.families[name] = f
+		m.order = append(m.order, name)
+	}
+	return f
+}
+
+func (f *family) at(labels Labels) *series {
+	key := labels.render()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		if f.typ == "histogram" {
+			s.bucketCounts = make([]uint64, len(f.buckets))
+		}
+		f.series[key] = s
+		f.seriesOrder = append(f.seriesOrder, key)
+	}
+	return s
+}
+
+// CounterAdd increments the counter series by delta (creating it on first
+// use).
+func (m *Metrics) CounterAdd(name, help string, labels Labels, delta float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.family(name, help, "counter", nil).at(labels).value += delta
+}
+
+// CounterValue reads a counter series back (0 when absent) — used by tests
+// and cheap introspection.
+func (m *Metrics) CounterValue(name string, labels Labels) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.families[name]
+	if !ok {
+		return 0
+	}
+	s, ok := f.series[labels.render()]
+	if !ok {
+		return 0
+	}
+	return s.value
+}
+
+// GaugeFunc registers a gauge whose value is sampled at scrape time.
+func (m *Metrics) GaugeFunc(name, help string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.family(name, help, "gauge", nil).at(nil)
+	s.fn = fn
+}
+
+// Observe records one sample into a histogram series with the family's
+// bucket upper bounds (set on first call).
+func (m *Metrics) Observe(name, help string, labels Labels, buckets []float64, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.family(name, help, "histogram", buckets)
+	s := f.at(labels)
+	for i, ub := range f.buckets {
+		if v <= ub {
+			s.bucketCounts[i]++
+		}
+	}
+	s.sum += v
+	s.count++
+}
+
+// Render writes the registry in the Prometheus text exposition format.
+func (m *Metrics) Render(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, name := range m.order {
+		f := m.families[name]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, key := range f.seriesOrder {
+			s := f.series[key]
+			switch f.typ {
+			case "histogram":
+				inner := strings.TrimSuffix(strings.TrimPrefix(s.labels, "{"), "}")
+				for i, ub := range f.buckets {
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, mergeLabels(inner, fmt.Sprintf("le=%q", fmtFloat(ub))), s.bucketCounts[i])
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, mergeLabels(inner, `le="+Inf"`), s.count)
+				fmt.Fprintf(w, "%s_sum%s %g\n", f.name, s.labels, s.sum)
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, s.count)
+			case "gauge":
+				v := s.value
+				if s.fn != nil {
+					v = s.fn()
+				}
+				fmt.Fprintf(w, "%s%s %g\n", f.name, s.labels, v)
+			default:
+				fmt.Fprintf(w, "%s%s %g\n", f.name, s.labels, s.value)
+			}
+		}
+	}
+}
+
+func mergeLabels(inner, extra string) string {
+	if inner == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + inner + "," + extra + "}"
+}
+
+func fmtFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+// DefBuckets are the request-latency histogram bounds in seconds.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}

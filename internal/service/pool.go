@@ -1,0 +1,65 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Pool.Do when the admission queue is at its
+// depth limit; handlers map it to 503 so overload sheds instead of piling
+// unbounded goroutines behind the worker slots.
+var ErrQueueFull = errors.New("service: evaluation queue full")
+
+// Pool bounds the evaluation work a server runs at once: at most `workers`
+// computations execute concurrently, and at most `queueDepth` admitted
+// requests may wait for a slot. fn runs on the caller's goroutine while it
+// holds a slot; it is expected to honour ctx so a timed-out request frees
+// its slot promptly.
+type Pool struct {
+	slots      chan struct{}
+	queueDepth int64
+	queued     atomic.Int64
+	active     atomic.Int64
+}
+
+// NewPool returns a pool of `workers` slots (minimum 1) admitting at most
+// `queueDepth` waiters (minimum 1).
+func NewPool(workers, queueDepth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	return &Pool{slots: make(chan struct{}, workers), queueDepth: int64(queueDepth)}
+}
+
+// Do runs fn under a worker slot. It returns ErrQueueFull when the waiting
+// line is at capacity, ctx's error when the context expires before a slot
+// frees, and fn's error otherwise.
+func (p *Pool) Do(ctx context.Context, fn func() error) error {
+	if p.queued.Add(1) > p.queueDepth {
+		p.queued.Add(-1)
+		return ErrQueueFull
+	}
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		p.queued.Add(-1)
+		return ctx.Err()
+	}
+	p.queued.Add(-1)
+	p.active.Add(1)
+	defer func() {
+		p.active.Add(-1)
+		<-p.slots
+	}()
+	return fn()
+}
+
+// QueueDepth returns how many admitted requests are waiting for a slot.
+func (p *Pool) QueueDepth() int64 { return p.queued.Load() }
+
+// Active returns how many computations hold a slot right now.
+func (p *Pool) Active() int64 { return p.active.Load() }

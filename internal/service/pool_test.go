@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsWork(t *testing.T) {
+	p := NewPool(2, 4)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), func() error { n.Add(1); return nil }); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != 4 {
+		t.Fatalf("ran %d, want 4", n.Load())
+	}
+	if p.Active() != 0 || p.QueueDepth() != 0 {
+		t.Fatalf("pool not drained: active=%d queued=%d", p.Active(), p.QueueDepth())
+	}
+}
+
+// TestPoolShedsWhenQueueFull fills the single slot and the whole queue, then
+// verifies the next request is rejected immediately with ErrQueueFull rather
+// than waiting.
+func TestPoolShedsWhenQueueFull(t *testing.T) {
+	p := NewPool(1, 2)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() error { close(started); <-block; return nil })
+	<-started
+	// Fill the queue with waiters (the slot holder above also counts toward
+	// the queued gauge only while waiting, so give the waiters time to park).
+	for i := 0; i < 2; i++ {
+		go p.Do(context.Background(), func() error { return nil })
+	}
+	deadline := time.Now().Add(time.Second)
+	for p.QueueDepth() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	err := p.Do(context.Background(), func() error { return nil })
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	close(block)
+}
+
+// TestPoolHonoursContextWhileQueued: a caller whose context expires while
+// waiting for a slot returns promptly and releases its queue position.
+func TestPoolHonoursContextWhileQueued(t *testing.T) {
+	p := NewPool(1, 8)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() error { close(started); <-block; return nil })
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.Do(ctx, func() error { t.Error("fn must not run after ctx expiry"); return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("queued caller took %v to notice expiry", el)
+	}
+	if p.QueueDepth() != 0 {
+		t.Fatalf("expired caller left queue depth %d", p.QueueDepth())
+	}
+	close(block)
+
+	// The slot must be reclaimable afterwards.
+	if err := p.Do(context.Background(), func() error { return nil }); err != nil {
+		t.Fatalf("slot not reclaimed: %v", err)
+	}
+}
+
+// TestPoolConcurrencyBound asserts no more than `workers` functions ever
+// execute at once under a storm of submissions (run with -race).
+func TestPoolConcurrencyBound(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers, 64)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func() error {
+				c := cur.Add(1)
+				for {
+					pk := peak.Load()
+					if c <= pk || peak.CompareAndSwap(pk, c) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if pk := peak.Load(); pk > workers {
+		t.Fatalf("observed %d concurrent executions, bound is %d", pk, workers)
+	}
+}

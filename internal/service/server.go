@@ -1,0 +1,618 @@
+// Package service is the evaluation service layer behind cmd/cholserved: a
+// long-running HTTP/JSON façade over the core API that turns one-shot CLI
+// evaluations ("bounds + simulated makespan for (platform, scheduler, n)")
+// into something that survives sustained concurrent traffic.
+//
+// It adds three things the library layer deliberately does not have:
+//
+//   - a concurrency-safe LRU result cache keyed by a canonical request hash
+//     (platform fingerprint × scheduler × options × tile count), with
+//     singleflight deduplication so identical concurrent misses run the LP
+//     solve and event loop once;
+//   - a bounded worker pool with a queue-depth limit and a per-request
+//     timeout, the context cancelling down through core into the simulator
+//     event loop and the CP branch-and-bound;
+//   - an observability surface: /metrics in Prometheus text format,
+//     /healthz, and net/http/pprof under /debug/pprof/.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/simulator"
+	"repro/internal/sweep"
+)
+
+// Config tunes one Server.
+type Config struct {
+	// CacheSize is the LRU capacity in entries (default 1024).
+	CacheSize int
+	// Workers bounds concurrently executing evaluations (default 4).
+	Workers int
+	// QueueDepth bounds admitted requests waiting for a worker slot; beyond
+	// it requests are shed with 503 (default 64).
+	QueueDepth int
+	// RequestTimeout is the per-request evaluation deadline (default 30s).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the evaluation service. Create with New, mount via Handler.
+type Server struct {
+	cfg     Config
+	cache   *LRU
+	flight  flightGroup
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server with its routes mounted.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.cache = NewLRU(s.cfg.CacheSize)
+	s.pool = NewPool(s.cfg.Workers, s.cfg.QueueDepth)
+
+	s.metrics.GaugeFunc("cholserved_cache_entries", "Entries resident in the result cache.",
+		func() float64 { return float64(s.cache.Len()) })
+	s.metrics.GaugeFunc("cholserved_queue_depth", "Admitted requests waiting for a worker slot.",
+		func() float64 { return float64(s.pool.QueueDepth()) })
+	s.metrics.GaugeFunc("cholserved_active_workers", "Evaluations currently holding a worker slot.",
+		func() float64 { return float64(s.pool.Active()) })
+
+	s.mux.HandleFunc("POST /v1/bounds", s.instrument("/v1/bounds", s.handleBounds))
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument("/v1/experiments", s.handleExperimentList))
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("/v1/experiments/{id}", s.handleExperiment))
+	s.mux.HandleFunc("GET /v1/platforms", s.instrument("/v1/platforms", s.handlePlatforms))
+	s.mux.HandleFunc("GET /v1/schedulers", s.instrument("/v1/schedulers", s.handleSchedulers))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.Render(w)
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the mounted routes.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the registry (tests scrape it directly).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache exposes the result cache (tests assert hit/miss behaviour).
+func (s *Server) Cache() *LRU { return s.cache }
+
+// ---------------------------------------------------------------------------
+// Instrumentation and error plumbing
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-request timeout, the latency
+// histogram, and the request counter.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		s.metrics.Observe("cholserved_request_seconds",
+			"Wall-clock request latency by endpoint.",
+			Labels{"endpoint": endpoint}, DefBuckets, time.Since(start).Seconds())
+		s.metrics.CounterAdd("cholserved_requests_total",
+			"Requests served, by endpoint and status code.",
+			Labels{"endpoint": endpoint, "code": strconv.Itoa(sw.status)}, 1)
+	}
+}
+
+type apiError struct {
+	status int
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return &apiError{status: http.StatusBadRequest, err: err} }
+
+// writeErr maps an error to its HTTP status and emits the JSON error body.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		status = ae.status
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = http.StatusGatewayTimeout
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any, cacheHit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if cacheHit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	json.NewEncoder(w).Encode(v)
+}
+
+// cached serves key from the LRU or computes it under a worker slot with
+// singleflight deduplication, storing successful results.
+func (s *Server) cached(ctx context.Context, endpoint, key string, compute func() (any, error)) (any, bool, error) {
+	if v, ok := s.cache.Get(key); ok {
+		s.metrics.CounterAdd("cholserved_cache_hits_total",
+			"Requests served from the result cache.", Labels{"endpoint": endpoint}, 1)
+		return v, true, nil
+	}
+	s.metrics.CounterAdd("cholserved_cache_misses_total",
+		"Requests that had to compute their result.", Labels{"endpoint": endpoint}, 1)
+	var val any
+	err := s.pool.Do(ctx, func() error {
+		v, _, ferr := s.flight.Do(ctx, key, compute)
+		if ferr != nil {
+			return ferr
+		}
+		s.cache.Put(key, v)
+		val = v
+		return nil
+	})
+	return val, false, err
+}
+
+func decode[T any](r *http.Request) (T, error) {
+	var req T
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, badRequest(fmt.Errorf("service: bad request body: %w", err))
+	}
+	return req, nil
+}
+
+// ---------------------------------------------------------------------------
+// /v1/bounds
+
+// BoundsRequest asks for the paper's four makespan bounds of a tiled
+// Cholesky on a registered platform.
+type BoundsRequest struct {
+	Platform string `json:"platform"`
+	Tiles    int    `json:"tiles"`
+}
+
+// BoundValue is one bound in both views (lower bound on time, upper bound
+// on performance).
+type BoundValue struct {
+	MakespanSec float64 `json:"makespan_sec"`
+	GFlops      float64 `json:"gflops"`
+}
+
+// BoundsResponse carries the four Figure-2 bounds.
+type BoundsResponse struct {
+	Platform     string                `json:"platform"`
+	Tiles        int                   `json:"tiles"`
+	MatrixSize   int                   `json:"matrix_size"`
+	Bounds       map[string]BoundValue `json:"bounds"`
+	BestMakespan float64               `json:"best_makespan_sec"`
+}
+
+func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[BoundsRequest](r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Tiles < 1 || req.Tiles > 256 {
+		writeErr(w, badRequest(fmt.Errorf("service: tiles must be in [1, 256], got %d", req.Tiles)))
+		return
+	}
+	p, err := core.NewPlatform(req.Platform)
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	key := requestKey("bounds", platformFingerprint(p), strconv.Itoa(req.Tiles))
+	v, hit, err := s.cached(r.Context(), "/v1/bounds", key, func() (any, error) {
+		all, err := core.BoundsFor(req.Tiles, p)
+		if err != nil {
+			return nil, err
+		}
+		fl, _ := core.FlopsByAlgorithm("cholesky", req.Tiles*platform.TileNB)
+		mk := func(b bounds.Result) BoundValue {
+			return BoundValue{MakespanSec: b.MakespanSec, GFlops: b.GFlops(fl)}
+		}
+		return &BoundsResponse{
+			Platform:   req.Platform,
+			Tiles:      req.Tiles,
+			MatrixSize: req.Tiles * platform.TileNB,
+			Bounds: map[string]BoundValue{
+				"critical_path": mk(all.CriticalPath),
+				"area":          mk(all.Area),
+				"mixed":         mk(all.Mixed),
+				"gemm_peak":     mk(all.GemmPeak),
+			},
+			BestMakespan: all.Best(),
+		}, nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, v, hit)
+}
+
+// ---------------------------------------------------------------------------
+// /v1/simulate
+
+// SimulateRequest asks for one simulated execution of a factorization DAG
+// on a registered platform under a registered scheduler.
+type SimulateRequest struct {
+	Platform     string `json:"platform"`
+	Scheduler    string `json:"scheduler"`
+	Algorithm    string `json:"algorithm,omitempty"` // cholesky (default) | lu | qr
+	Tiles        int    `json:"tiles"`
+	Seed         int64  `json:"seed,omitempty"`
+	Overhead     bool   `json:"overhead,omitempty"`
+	WorkStealing bool   `json:"work_stealing,omitempty"`
+}
+
+// SimulateResponse summarizes the run against the mixed bound.
+type SimulateResponse struct {
+	Platform      string  `json:"platform"`
+	Scheduler     string  `json:"scheduler"`
+	Algorithm     string  `json:"algorithm"`
+	Tiles         int     `json:"tiles"`
+	MatrixSize    int     `json:"matrix_size"`
+	MakespanSec   float64 `json:"makespan_sec"`
+	GFlops        float64 `json:"gflops"`
+	BoundGFlops   float64 `json:"bound_gflops"`
+	Efficiency    float64 `json:"efficiency"`
+	TransferSec   float64 `json:"transfer_sec"`
+	TransferCount int     `json:"transfer_count"`
+	Evictions     int     `json:"evictions"`
+	Writebacks    int     `json:"writebacks"`
+	StallSec      float64 `json:"stall_sec"`
+}
+
+func (r SimulateRequest) normalize() (SimulateRequest, error) {
+	if r.Algorithm == "" {
+		r.Algorithm = "cholesky"
+	}
+	if r.Tiles < 1 || r.Tiles > 128 {
+		return r, fmt.Errorf("service: tiles must be in [1, 128], got %d", r.Tiles)
+	}
+	if r.Scheduler == "" {
+		return r, fmt.Errorf("service: scheduler is required")
+	}
+	return r, nil
+}
+
+func (r SimulateRequest) key(fp string) string {
+	return requestKey("simulate", fp, r.Scheduler, r.Algorithm,
+		strconv.Itoa(r.Tiles), strconv.FormatInt(r.Seed, 10),
+		strconv.FormatBool(r.Overhead), strconv.FormatBool(r.WorkStealing))
+}
+
+// simulateOnce resolves and runs one simulation request (the shared compute
+// path of /v1/simulate and /v1/sweep cells).
+func (s *Server) simulateOnce(ctx context.Context, req SimulateRequest, p *platform.Platform) (*SimulateResponse, error) {
+	sch, err := core.NewScheduler(req.Scheduler)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	d, err := core.DAGByAlgorithm(req.Algorithm, req.Tiles)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	if err := p.Validate(d.Kinds()); err != nil {
+		return nil, badRequest(fmt.Errorf("service: platform %q cannot run %s: %w", req.Platform, req.Algorithm, err))
+	}
+	fl, err := core.FlopsByAlgorithm(req.Algorithm, req.Tiles*platform.TileNB)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	rep, err := core.SimulateDAG(ctx, d, fl, p, sch, simulator.Options{
+		Seed: req.Seed, Overhead: req.Overhead, WorkStealing: req.WorkStealing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SimulateResponse{
+		Platform:      req.Platform,
+		Scheduler:     rep.Scheduler,
+		Algorithm:     req.Algorithm,
+		Tiles:         req.Tiles,
+		MatrixSize:    req.Tiles * platform.TileNB,
+		MakespanSec:   rep.MakespanSec,
+		GFlops:        rep.GFlops,
+		BoundGFlops:   rep.BoundGFlops,
+		Efficiency:    rep.Efficiency,
+		TransferSec:   rep.Result.TransferSec,
+		TransferCount: rep.Result.TransferCount,
+		Evictions:     rep.Result.Evictions,
+		Writebacks:    rep.Result.Writebacks,
+		StallSec:      rep.Result.StallSec,
+	}, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[SimulateRequest](r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	req, err = req.normalize()
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	p, err := core.NewPlatform(req.Platform)
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	v, hit, err := s.cached(r.Context(), "/v1/simulate", req.key(platformFingerprint(p)), func() (any, error) {
+		return s.simulateOnce(r.Context(), req, p)
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, v, hit)
+}
+
+// ---------------------------------------------------------------------------
+// /v1/sweep
+
+// SweepRequest evaluates the cross product tiles × schedulers in one call —
+// the "various matrix sizes or schedulers" workflow the paper runs in
+// parallel. Cells share the /v1/simulate cache, so a sweep both benefits
+// from and warms the per-simulation entries.
+type SweepRequest struct {
+	Platform   string   `json:"platform"`
+	Schedulers []string `json:"schedulers"`
+	Tiles      []int    `json:"tiles"`
+	Algorithm  string   `json:"algorithm,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
+}
+
+// SweepResponse is the row-major result grid: Results[i][j] is tiles[i]
+// under schedulers[j].
+type SweepResponse struct {
+	Platform   string                `json:"platform"`
+	Schedulers []string              `json:"schedulers"`
+	Tiles      []int                 `json:"tiles"`
+	Results    [][]*SimulateResponse `json:"results"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[SweepRequest](r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.Schedulers) == 0 || len(req.Tiles) == 0 {
+		writeErr(w, badRequest(fmt.Errorf("service: sweep needs at least one scheduler and one tile count")))
+		return
+	}
+	if len(req.Schedulers)*len(req.Tiles) > 1024 {
+		writeErr(w, badRequest(fmt.Errorf("service: sweep of %d cells exceeds the 1024-cell limit",
+			len(req.Schedulers)*len(req.Tiles))))
+		return
+	}
+	p, err := core.NewPlatform(req.Platform)
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	fp := platformFingerprint(p)
+
+	type cell struct{ ti, si int }
+	var cells []cell
+	for ti := range req.Tiles {
+		for si := range req.Schedulers {
+			cells = append(cells, cell{ti, si})
+		}
+	}
+	ctx := r.Context()
+	// The sweep holds one admission slot and fans its cells out over the
+	// worker budget; each cell goes through the cache and singleflight like
+	// a standalone /v1/simulate.
+	var flat []*SimulateResponse
+	err = s.pool.Do(ctx, func() error {
+		var ferr error
+		flat, ferr = sweep.MapContext(ctx, cells, s.cfg.Workers, func(c cell) (*SimulateResponse, error) {
+			cr := SimulateRequest{
+				Platform: req.Platform, Scheduler: req.Schedulers[c.si],
+				Algorithm: req.Algorithm, Tiles: req.Tiles[c.ti], Seed: req.Seed,
+			}
+			cr, err := cr.normalize()
+			if err != nil {
+				return nil, badRequest(err)
+			}
+			key := cr.key(fp)
+			if v, ok := s.cache.Get(key); ok {
+				s.metrics.CounterAdd("cholserved_cache_hits_total",
+					"Requests served from the result cache.", Labels{"endpoint": "/v1/sweep"}, 1)
+				return v.(*SimulateResponse), nil
+			}
+			s.metrics.CounterAdd("cholserved_cache_misses_total",
+				"Requests that had to compute their result.", Labels{"endpoint": "/v1/sweep"}, 1)
+			v, _, err := s.flight.Do(ctx, key, func() (any, error) {
+				return s.simulateOnce(ctx, cr, p)
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.cache.Put(key, v)
+			return v.(*SimulateResponse), nil
+		})
+		return ferr
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := &SweepResponse{Platform: req.Platform, Schedulers: req.Schedulers, Tiles: req.Tiles}
+	resp.Results = make([][]*SimulateResponse, len(req.Tiles))
+	for i := range resp.Results {
+		resp.Results[i] = flat[i*len(req.Schedulers) : (i+1)*len(req.Schedulers)]
+	}
+	writeJSON(w, resp, false)
+}
+
+// ---------------------------------------------------------------------------
+// /v1/experiments
+
+// ExperimentInfo is one catalogue entry.
+type ExperimentInfo struct {
+	ID          string `json:"id"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	var list []ExperimentInfo
+	for _, e := range experiments.Registry() {
+		list = append(list, ExperimentInfo{ID: e.ID, Description: e.Description})
+	}
+	writeJSON(w, list, false)
+}
+
+// ExperimentResponse is one regenerated paper artifact.
+type ExperimentResponse struct {
+	ID     string `json:"id"`
+	Output string `json:"output"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	cfg := experiments.Quick()
+	if q.Get("full") == "1" {
+		cfg = experiments.Default()
+	}
+	if v := q.Get("sizes"); v != "" {
+		cfg.Sizes = nil
+		for _, part := range strings.Split(v, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				writeErr(w, badRequest(fmt.Errorf("service: bad sizes entry %q", part)))
+				return
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+	if v := q.Get("runs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, badRequest(fmt.Errorf("service: bad runs %q", v)))
+			return
+		}
+		cfg.Runs = n
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeErr(w, badRequest(fmt.Errorf("service: bad seed %q", v)))
+			return
+		}
+		cfg.Seed = n
+	}
+	key := requestKey("experiment", id, q.Get("full"), q.Get("sizes"),
+		strconv.Itoa(cfg.Runs), strconv.FormatInt(cfg.Seed, 10))
+	v, hit, err := s.cached(r.Context(), "/v1/experiments/{id}", key, func() (any, error) {
+		text, err := core.RunExperiment(r.Context(), id, cfg)
+		if err != nil {
+			if strings.Contains(err.Error(), "unknown experiment") {
+				return nil, badRequest(err)
+			}
+			return nil, err
+		}
+		return &ExperimentResponse{ID: id, Output: text}, nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, v, hit)
+}
+
+// ---------------------------------------------------------------------------
+// Registry catalogues
+
+// RegistryEntry is one platform or scheduler constructor as exposed over
+// the API.
+type RegistryEntry struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	var list []RegistryEntry
+	for _, e := range core.Platforms() {
+		list = append(list, RegistryEntry{Name: e.Display(), Description: e.Description})
+	}
+	writeJSON(w, list, false)
+}
+
+func (s *Server) handleSchedulers(w http.ResponseWriter, r *http.Request) {
+	var list []RegistryEntry
+	for _, e := range core.Schedulers() {
+		list = append(list, RegistryEntry{Name: e.Display(), Description: e.Description})
+	}
+	writeJSON(w, list, false)
+}

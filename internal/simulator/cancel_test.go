@@ -1,0 +1,47 @@
+package simulator
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, graph.Cholesky(8), platform.Mirage(), sched.NewDMDAS(), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextDeadlineStopsEventLoop drives a large DAG with an
+// already-expired deadline: the event loop must notice within its polling
+// stride and abandon the run instead of draining the whole heap.
+func TestRunContextDeadlineStopsEventLoop(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, graph.Cholesky(24), platform.Mirage(), sched.NewDMDAS(), Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancelled run took %v; cancellation is not prompt", el)
+	}
+}
+
+func TestRunBackgroundUnaffected(t *testing.T) {
+	res, err := Run(graph.Cholesky(4), platform.Mirage(), sched.NewDMDAS(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanSec <= 0 {
+		t.Fatalf("makespan %v", res.MakespanSec)
+	}
+}

@@ -21,6 +21,7 @@ package simulator
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -158,6 +159,21 @@ func (st *state) TransferEstimate(w int, t *graph.Task) float64 {
 
 // Run simulates the DAG on the platform under the given scheduler.
 func Run(d *graph.DAG, p *platform.Platform, s sched.Scheduler, opt Options) (*Result, error) {
+	return RunContext(context.Background(), d, p, s, opt)
+}
+
+// cancelCheckStride is how many completion events the event loop processes
+// between context checks: frequent enough that cancellation lands within
+// microseconds of simulated work, rare enough to keep ctx.Err off the hot
+// path.
+const cancelCheckStride = 32
+
+// RunContext is Run with cancellation: the event loop polls ctx every few
+// events and abandons the simulation with ctx's error once it is done.
+func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched.Scheduler, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("simulator: run cancelled: %w", err)
+	}
 	if err := p.Validate(d.Kinds()); err != nil {
 		return nil, err
 	}
@@ -225,6 +241,11 @@ func Run(d *graph.DAG, p *platform.Platform, s sched.Scheduler, opt Options) (*R
 	st.tryStartAll(&events)
 
 	for events.Len() > 0 {
+		if done%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("simulator: run cancelled after %d of %d tasks: %w", done, n, err)
+			}
+		}
 		ev := heap.Pop(&events).(event)
 		st.now = ev.time
 		w := ev.worker

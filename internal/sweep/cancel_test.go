@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancelMidFlight cancels while jobs are still queued: the
+// dispatcher must stop handing out work, drain in-flight jobs, and report
+// how far it got.
+func TestRunContextCancelMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	jobs := make([]Job[int], 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) {
+			if started.Add(1) == 4 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return i, nil
+		}
+	}
+	_, err := RunContext(ctx, jobs, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 64 {
+		t.Fatalf("all %d jobs ran despite cancellation", n)
+	}
+}
+
+func TestMapContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := MapContext(ctx, []int{1, 2, 3, 4}, 2, func(v int) (int, error) {
+		ran.Add(1)
+		return v * v, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapContextCompletes(t *testing.T) {
+	out, err := MapContext(context.Background(), []int{1, 2, 3}, 2, func(v int) (int, error) { return v + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0] != 2 || out[2] != 4 {
+		t.Fatalf("out = %v", out)
+	}
+}

@@ -9,6 +9,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -21,6 +22,13 @@ type Job[T any] func() (T, error)
 // GOMAXPROCS) and returns results in job order. The first error (by job
 // index) is returned; later jobs still run to completion.
 func Run[T any](jobs []Job[T], workers int) ([]T, error) {
+	return RunContext(context.Background(), jobs, workers)
+}
+
+// RunContext is Run with cancellation: once ctx is done no further job is
+// dispatched and ctx's error is returned after in-flight jobs drain. Jobs
+// wanting mid-job cancellation should close over ctx themselves.
+func RunContext[T any](ctx context.Context, jobs []Job[T], workers int) ([]T, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -40,11 +48,23 @@ func Run[T any](jobs []Job[T], workers int) ([]T, error) {
 			}
 		}()
 	}
+	dispatched := len(jobs)
 	for i := range jobs {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			dispatched = i
+		}
+		if dispatched != len(jobs) {
+			break
+		}
 	}
 	close(next)
 	wg.Wait()
+	if dispatched != len(jobs) {
+		return results, fmt.Errorf("sweep: cancelled after dispatching %d of %d jobs: %w",
+			dispatched, len(jobs), ctx.Err())
+	}
 	for i, err := range errs {
 		if err != nil {
 			return results, fmt.Errorf("sweep: job %d: %w", i, err)
@@ -55,12 +75,17 @@ func Run[T any](jobs []Job[T], workers int) ([]T, error) {
 
 // Map runs fn over the inputs concurrently, preserving order.
 func Map[In, Out any](inputs []In, workers int, fn func(In) (Out, error)) ([]Out, error) {
+	return MapContext(context.Background(), inputs, workers, fn)
+}
+
+// MapContext is Map with cancellation, with RunContext's semantics.
+func MapContext[In, Out any](ctx context.Context, inputs []In, workers int, fn func(In) (Out, error)) ([]Out, error) {
 	jobs := make([]Job[Out], len(inputs))
 	for i, in := range inputs {
 		in := in
 		jobs[i] = func() (Out, error) { return fn(in) }
 	}
-	return Run(jobs, workers)
+	return RunContext(ctx, jobs, workers)
 }
 
 // Grid evaluates fn over the cross product rows × cols concurrently and
