@@ -1,4 +1,4 @@
-.PHONY: build test verify bench serve
+.PHONY: build test verify bench bench-pinned serve
 
 build:
 	go build ./...
@@ -6,12 +6,17 @@ build:
 test:
 	go test ./...
 
-# Tier-1 gate (ROADMAP.md): build + vet + race-enabled tests.
+# Tier-1 gate (ROADMAP.md): build + vet + race-enabled tests + cholbench smoke.
 verify:
 	./scripts/verify.sh
 
 bench:
 	go test -bench=. -benchmem
+
+# Full pinned benchmark suite (see "Benchmarking & perf trajectory" in
+# README.md). Compare against a previous PR's file with -baseline-from.
+bench-pinned:
+	go run ./cmd/cholbench -out BENCH_PR2.json
 
 serve:
 	go run ./cmd/cholserved

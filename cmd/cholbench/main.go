@@ -1,0 +1,227 @@
+// Command cholbench runs the repository's pinned benchmark suite and emits
+// a machine-readable BENCH_*.json perf record (see internal/benchio for the
+// schema). Unlike `go test -bench`, iteration counts are fixed per
+// configuration, so allocs/op is exact and two runs — before and after an
+// optimisation, or two PRs apart — are directly comparable.
+//
+// The suite covers the hot paths of the reproduction:
+//
+//   - the discrete-event simulator at P ∈ {16, 64, 128} tiles under the
+//     dmda, dmdas and random policies;
+//   - the AreaInt / MixedInt bound ILPs at P ∈ {32, 64, 128};
+//   - one end-to-end sweep (sizes × schedulers on the parallel sweep pool).
+//
+// Usage:
+//
+//	cholbench -out BENCH_PR2.json                 # full suite
+//	cholbench -out BENCH_PR2.json -baseline-from BENCH_old.json
+//	cholbench -smoke                              # <60s sanity run for CI
+//	cholbench -gobench -out suite.json            # also print benchstat text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchio"
+	"repro/internal/bounds"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+	"repro/internal/simulator"
+	"repro/internal/sweep"
+
+	"repro/internal/core"
+)
+
+type simCase struct {
+	p     int
+	sched string
+	iters int
+}
+
+type boundCase struct {
+	p     int
+	name  string
+	iters int
+	run   func(*graph.DAG, *platform.Platform) (bounds.Result, error)
+}
+
+func fullSimCases() []simCase {
+	var cs []simCase
+	iters := map[int]int{16: 20, 64: 3, 128: 1}
+	for _, p := range []int{16, 64, 128} {
+		for _, s := range []string{"dmda", "dmdas", "random"} {
+			cs = append(cs, simCase{p: p, sched: s, iters: iters[p]})
+		}
+	}
+	return cs
+}
+
+func fullBoundCases() []boundCase {
+	var cs []boundCase
+	for _, p := range []int{32, 64, 128} {
+		cs = append(cs,
+			boundCase{p: p, name: "area-int", iters: 20, run: bounds.AreaInt},
+			boundCase{p: p, name: "mixed-int", iters: 20, run: bounds.MixedInt},
+		)
+	}
+	return cs
+}
+
+func main() {
+	smoke := flag.Bool("smoke", false, "reduced <60s suite: run, sanity-check, write nothing")
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	baselineFrom := flag.String("baseline-from", "", "previous suite JSON whose results become this run's embedded baseline")
+	note := flag.String("note", "", "free-form note stored in the suite")
+	gobench := flag.Bool("gobench", false, "also print results in Go benchmark text format (for benchstat)")
+	flag.Parse()
+
+	simCases, boundCases := fullSimCases(), fullBoundCases()
+	if *smoke {
+		simCases = []simCase{
+			{p: 16, sched: "dmda", iters: 3},
+			{p: 16, sched: "dmdas", iters: 3},
+			{p: 16, sched: "random", iters: 3},
+			{p: 64, sched: "dmdas", iters: 1},
+		}
+		boundCases = []boundCase{
+			{p: 32, name: "area-int", iters: 3, run: bounds.AreaInt},
+			{p: 32, name: "mixed-int", iters: 3, run: bounds.MixedInt},
+		}
+	}
+
+	suite := benchio.NewSuite("cholbench")
+	suite.Note = *note
+	if *baselineFrom != "" {
+		prev, err := benchio.ReadFile(*baselineFrom)
+		if err != nil {
+			fatal(err)
+		}
+		// A previous run that itself carried a baseline passes the *original*
+		// baseline through, so the trajectory always compares against the
+		// oldest recorded numbers.
+		suite.Baseline = prev.Results
+		if len(prev.Baseline) > 0 {
+			suite.Baseline = prev.Baseline
+		}
+	}
+
+	pf := platform.Mirage()
+
+	// Simulator hot path. DAG construction is hoisted out of the measured
+	// function: the suite targets the event loop, not the builder.
+	for _, c := range simCases {
+		d := graph.Cholesky(c.p)
+		flops := kernels.CholeskyFlops(c.p * platform.TileNB)
+		var last *simulator.Result
+		r := benchio.Measure(fmt.Sprintf("sim/P=%d/%s", c.p, c.sched), c.iters, func() {
+			s, err := core.NewScheduler(c.sched)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := simulator.Run(d, pf, s, simulator.Options{Seed: 42})
+			if err != nil {
+				fatal(err)
+			}
+			last = res
+		})
+		if last.MakespanSec <= 0 {
+			fatal(fmt.Errorf("cholbench: sim P=%d/%s produced non-positive makespan", c.p, c.sched))
+		}
+		r = r.WithMetric("sim_gflops", last.GFlops(flops)).
+			WithMetric("tasks_per_sec", float64(len(d.Tasks))/(r.NsPerOp/1e9))
+		suite.Add(r)
+		progress(r)
+	}
+
+	// Bound LPs/ILPs.
+	for _, c := range boundCases {
+		d := graph.Cholesky(c.p)
+		flops := kernels.CholeskyFlops(c.p * platform.TileNB)
+		var last bounds.Result
+		r := benchio.Measure(fmt.Sprintf("bounds/%s/P=%d", c.name, c.p), c.iters, func() {
+			b, err := c.run(d, pf)
+			if err != nil {
+				fatal(err)
+			}
+			last = b
+		})
+		if last.MakespanSec <= 0 {
+			fatal(fmt.Errorf("cholbench: bound %s P=%d produced non-positive makespan", c.name, c.p))
+		}
+		r = r.WithMetric("bound_gflops", last.GFlops(flops))
+		suite.Add(r)
+		progress(r)
+	}
+
+	// End-to-end sweep: sizes × schedulers through the parallel pool — the
+	// paper's "many simulations in parallel" workflow in one number.
+	sizes := []int{8, 16, 24}
+	iters := 2
+	if *smoke {
+		sizes = []int{4, 8}
+		iters = 1
+	}
+	scheds := []string{"dmda", "dmdas", "random"}
+	r := benchio.Measure("sweep/end-to-end", iters, func() {
+		type cfg struct {
+			p     int
+			sched string
+		}
+		var cfgs []cfg
+		for _, p := range sizes {
+			for _, s := range scheds {
+				cfgs = append(cfgs, cfg{p, s})
+			}
+		}
+		mk, err := sweep.Map(cfgs, 0, func(c cfg) (float64, error) {
+			s, err := core.NewScheduler(c.sched)
+			if err != nil {
+				return 0, err
+			}
+			res, err := simulator.Run(graph.Cholesky(c.p), pf, s, simulator.Options{Seed: 42})
+			if err != nil {
+				return 0, err
+			}
+			return res.MakespanSec, nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range mk {
+			if m <= 0 {
+				fatal(fmt.Errorf("cholbench: sweep produced non-positive makespan"))
+			}
+		}
+	})
+	suite.Add(r)
+	progress(r)
+
+	if *gobench {
+		fmt.Print(benchio.FormatGoBench(suite.Results))
+	}
+	if *smoke {
+		fmt.Printf("cholbench: smoke suite passed (%d benchmarks)\n", len(suite.Results))
+		return
+	}
+	if err := suite.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	for _, d := range suite.Compare() {
+		if d.BaselineFound {
+			fmt.Printf("%-28s ns/op %.2fx  allocs/op %.2fx of baseline\n", d.Name, d.NsRatio, d.AllocsRatio)
+		}
+	}
+	fmt.Printf("cholbench: wrote %d benchmarks to %s\n", len(suite.Results), *out)
+}
+
+func progress(r benchio.Result) {
+	fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %12.0f allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,212 @@
+// Package benchio is the measurement and serialization substrate of the
+// pinned benchmark harness (cmd/cholbench): it runs a function for a *fixed*
+// iteration count — unlike testing.B, which calibrates N per run and thereby
+// makes allocs/op and ns/op incomparable across machines and revisions — and
+// records ns/op, allocs/op, bytes/op plus free-form metrics (GFLOP/s,
+// tasks/s) into a JSON document (BENCH_*.json) that every future PR can
+// diff against.
+//
+// The schema is deliberately benchstat-friendly: FormatGoBench renders a
+// suite in the standard `BenchmarkName  N  ns/op ...` text format, so
+// `benchstat old.txt new.txt` works on two saved runs.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Result is one measured benchmark.
+type Result struct {
+	Name        string             `json:"name"`
+	Iters       int                `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Suite is a full harness run: environment fingerprint, the measured
+// results, and (optionally) the pre-optimisation baseline the run is being
+// compared against. Committing both halves in one file keeps the perf
+// trajectory self-contained: the claim "2x fewer allocs" is re-checkable
+// from the document alone.
+type Suite struct {
+	Name      string   `json:"name"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Note      string   `json:"note,omitempty"`
+	Baseline  []Result `json:"baseline,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// NewSuite returns an empty suite stamped with the current environment.
+func NewSuite(name string) *Suite {
+	return &Suite{
+		Name:      name,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Measure runs fn for exactly iters iterations (after one untimed warm-up
+// call) and returns the per-op cost. Allocation figures come from the
+// runtime's monotonic malloc counters, so they are exact and deterministic
+// for a deterministic fn; ns/op carries the usual wall-clock noise.
+func Measure(name string, iters int, fn func()) Result {
+	if iters < 1 {
+		iters = 1
+	}
+	fn() // warm-up: pull code and data into caches, populate lazy state
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Result{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+	}
+}
+
+// WithMetric attaches a named metric (e.g. "gflops") and returns the result
+// for chaining.
+func (r Result) WithMetric(name string, v float64) Result {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[name] = v
+	return r
+}
+
+// Add appends a result to the suite.
+func (s *Suite) Add(r Result) { s.Results = append(s.Results, r) }
+
+// Find returns the result with the given name from rs, or false.
+func Find(rs []Result, name string) (Result, bool) {
+	for _, r := range rs {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// WriteFile serializes the suite as indented JSON.
+func (s *Suite) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile parses a suite document.
+func ReadFile(path string) (*Suite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Suite{}
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, fmt.Errorf("benchio: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// FormatGoBench renders results in the standard Go benchmark text format so
+// two saved runs can be compared with benchstat.
+func FormatGoBench(rs []Result) string {
+	var b strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&b, "Benchmark%s %8d %14.0f ns/op %14.0f B/op %10.0f allocs/op",
+			sanitize(r.Name), r.Iters, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		names := make([]string, 0, len(r.Metrics))
+		for n := range r.Metrics {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %12.3f %s", r.Metrics[n], n)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	up := true
+	for _, c := range name {
+		switch c {
+		case '/', ':':
+			out = append(out, '/')
+			up = true
+		case ' ', '=':
+			up = true
+		default:
+			if up {
+				c = toUpper(c)
+				up = false
+			}
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+func toUpper(c rune) rune {
+	if 'a' <= c && c <= 'z' {
+		return c - 'a' + 'A'
+	}
+	return c
+}
+
+// Delta describes one baseline→current comparison.
+type Delta struct {
+	Name          string
+	NsRatio       float64 // current / baseline (lower is better)
+	AllocsRatio   float64
+	BaselineFound bool
+}
+
+// Compare pairs the suite's results with its embedded baseline by name.
+func (s *Suite) Compare() []Delta {
+	out := make([]Delta, 0, len(s.Results))
+	for _, r := range s.Results {
+		d := Delta{Name: r.Name}
+		if b, ok := Find(s.Baseline, r.Name); ok {
+			d.BaselineFound = true
+			d.NsRatio = ratio(r.NsPerOp, b.NsPerOp)
+			d.AllocsRatio = ratio(r.AllocsPerOp, b.AllocsPerOp)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func ratio(cur, base float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 1
+		}
+		return 0
+	}
+	return cur / base
+}

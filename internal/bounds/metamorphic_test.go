@@ -1,0 +1,159 @@
+package bounds_test
+
+// Metamorphic safety net for the bound computations: whatever the platform
+// and tile count, the paper's chain of inequalities
+//
+//	AreaInt ≤ MixedInt ≤ best simulated makespan
+//
+// must hold — the mixed bound only *adds* a constraint to the area LP, and
+// every simulated schedule is a feasible execution the bounds are sound
+// against. The test runs against every platform in the core registry, so a
+// newly registered model is covered automatically.
+
+import (
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/simulator"
+)
+
+// paramDefaults supplies an argument for parameterized registry entries.
+// A new parameterized platform must add a default here to stay covered.
+var paramDefaults = map[string]string{
+	"homogeneous": "8",
+	"related":     "20",
+}
+
+func registeredPlatformNames(t *testing.T) []string {
+	t.Helper()
+	var names []string
+	for _, e := range core.Platforms() {
+		if e.Param == "" {
+			names = append(names, e.Name)
+			continue
+		}
+		arg, ok := paramDefaults[e.Name]
+		if !ok {
+			t.Fatalf("registered platform %q takes a parameter but has no default in paramDefaults — add one", e.Name)
+		}
+		names = append(names, e.Name+":"+arg)
+	}
+	return names
+}
+
+const tol = 1e-9
+
+// TestBoundChainAllPlatforms checks AreaInt ≤ MixedInt for every registered
+// platform across the P = 4..24 range.
+func TestBoundChainAllPlatforms(t *testing.T) {
+	for _, name := range registeredPlatformNames(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pf, err := core.NewPlatform(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := 4; p <= 24; p++ {
+				d := graph.Cholesky(p)
+				area, err := bounds.AreaInt(d, pf)
+				if err != nil {
+					t.Fatalf("P=%d: AreaInt: %v", p, err)
+				}
+				mixed, err := bounds.MixedInt(d, pf)
+				if err != nil {
+					t.Fatalf("P=%d: MixedInt: %v", p, err)
+				}
+				if area.MakespanSec <= 0 || mixed.MakespanSec <= 0 {
+					t.Fatalf("P=%d: non-positive bound (area=%g mixed=%g)", p, area.MakespanSec, mixed.MakespanSec)
+				}
+				if area.MakespanSec > mixed.MakespanSec*(1+tol)+tol {
+					t.Errorf("P=%d: AreaInt %.12g > MixedInt %.12g — the mixed bound must dominate",
+						p, area.MakespanSec, mixed.MakespanSec)
+				}
+			}
+		})
+	}
+}
+
+// TestBoundsBelowSimulatedMakespan checks the full chain against simulated
+// schedules: no scheduler may beat a sound lower bound.
+func TestBoundsBelowSimulatedMakespan(t *testing.T) {
+	schedulers := []string{"dmda", "dmdas", "greedy"}
+	for _, name := range registeredPlatformNames(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pf, err := core.NewPlatform(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := 4; p <= 24; p += 4 {
+				d := graph.Cholesky(p)
+				mixed, err := bounds.MixedInt(d, pf)
+				if err != nil {
+					t.Fatalf("P=%d: %v", p, err)
+				}
+				best := -1.0
+				bestSched := ""
+				for _, sn := range schedulers {
+					s, err := core.NewScheduler(sn)
+					if err != nil {
+						t.Fatal(err)
+					}
+					r, err := simulator.Run(d, pf, s, simulator.Options{Seed: 1})
+					if err != nil {
+						t.Fatalf("P=%d %s: %v", p, sn, err)
+					}
+					if best < 0 || r.MakespanSec < best {
+						best, bestSched = r.MakespanSec, sn
+					}
+				}
+				if mixed.MakespanSec > best*(1+tol)+tol {
+					t.Errorf("P=%d: MixedInt %.12g > simulated makespan %.12g (%s) — bound is unsound",
+						p, mixed.MakespanSec, best, bestSched)
+				}
+			}
+		})
+	}
+}
+
+// TestMixedDominatesAreaRelaxed pins the same chain for the LP relaxations,
+// and that each relaxation lower-bounds its integral version.
+func TestMixedDominatesAreaRelaxed(t *testing.T) {
+	pf, err := core.NewPlatform("mirage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 4; p <= 24; p += 5 {
+		d := graph.Cholesky(p)
+		checks := []struct {
+			lo, hi string
+			loF    func(*graph.DAG) (bounds.Result, error)
+			hiF    func(*graph.DAG) (bounds.Result, error)
+		}{
+			{"area", "area-int",
+				func(d *graph.DAG) (bounds.Result, error) { return bounds.Area(d, pf) },
+				func(d *graph.DAG) (bounds.Result, error) { return bounds.AreaInt(d, pf) }},
+			{"mixed", "mixed-int",
+				func(d *graph.DAG) (bounds.Result, error) { return bounds.Mixed(d, pf) },
+				func(d *graph.DAG) (bounds.Result, error) { return bounds.MixedInt(d, pf) }},
+			{"area", "mixed",
+				func(d *graph.DAG) (bounds.Result, error) { return bounds.Area(d, pf) },
+				func(d *graph.DAG) (bounds.Result, error) { return bounds.Mixed(d, pf) }},
+		}
+		for _, c := range checks {
+			lo, err := c.loF(d)
+			if err != nil {
+				t.Fatalf("P=%d %s: %v", p, c.lo, err)
+			}
+			hi, err := c.hiF(d)
+			if err != nil {
+				t.Fatalf("P=%d %s: %v", p, c.hi, err)
+			}
+			if lo.MakespanSec > hi.MakespanSec*(1+tol)+tol {
+				t.Errorf("P=%d: %s %.12g > %s %.12g", p, c.lo, lo.MakespanSec, c.hi, hi.MakespanSec)
+			}
+		}
+	}
+}

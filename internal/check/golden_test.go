@@ -1,0 +1,70 @@
+package check
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current behaviour")
+
+const certGoldenPath = "testdata/certificate_p8.golden.json"
+
+// TestCertificateJSONRoundTrip re-verifies a certificate after a JSON
+// round-trip: serialization must lose nothing the verifier depends on.
+func TestCertificateJSONRoundTrip(t *testing.T) {
+	c, d, p := certify(t, 8)
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, back) {
+		t.Fatalf("certificate changed across JSON round-trip")
+	}
+	if err := back.Verify(d, p); err != nil {
+		t.Fatalf("round-tripped certificate fails verification: %v", err)
+	}
+}
+
+// TestCertificateGolden pins the byte-exact P=8 certificate. The document
+// embeds the full schedule and the recomputed bounds, so this fails on any
+// observable change to the simulator, the bound solvers, or the JSON
+// encoding — regenerate consciously with -update.
+func TestCertificateGolden(t *testing.T) {
+	c, d, p := certify(t, 8)
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(certGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(certGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", certGoldenPath, len(data))
+		return
+	}
+	golden, err := os.ReadFile(certGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(bytes.TrimRight(golden, "\n"), data) {
+		t.Fatalf("P=8 certificate differs from golden file — simulator or bounds behaviour changed")
+	}
+	back, err := Unmarshal(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(d, p); err != nil {
+		t.Fatalf("golden certificate fails verification: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Kind identifies a kernel subroutine. The timing tables of
@@ -111,27 +112,45 @@ type DAG struct {
 	Algorithm string // "cholesky", "lu", "qr"
 	P         int    // tile count per dimension
 	Tasks     []*Task
+
+	// Aggregates over Tasks (kind census) are computed once on first use:
+	// the bound LPs and schedulers query them per call, and rescanning a
+	// few-hundred-thousand-task DAG each time dominated their cost at large
+	// P. Callers mutating Tasks after the first Kinds/CountByKind call must
+	// work on a fresh DAG.
+	aggOnce   sync.Once
+	aggKinds  []Kind
+	aggCounts map[Kind]int
+}
+
+func (d *DAG) aggregates() ([]Kind, map[Kind]int) {
+	d.aggOnce.Do(func() {
+		counts := make(map[Kind]int, NumKinds)
+		for _, t := range d.Tasks {
+			counts[t.Kind]++
+		}
+		kinds := make([]Kind, 0, len(counts))
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		d.aggKinds, d.aggCounts = kinds, counts
+	})
+	return d.aggKinds, d.aggCounts
 }
 
 // Kinds returns the distinct kernel kinds present, in ascending order.
 func (d *DAG) Kinds() []Kind {
-	seen := map[Kind]bool{}
-	for _, t := range d.Tasks {
-		seen[t.Kind] = true
-	}
-	ks := make([]Kind, 0, len(seen))
-	for k := range seen {
-		ks = append(ks, k)
-	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
-	return ks
+	ks, _ := d.aggregates()
+	return append([]Kind(nil), ks...)
 }
 
 // CountByKind returns the number of tasks of each kind.
 func (d *DAG) CountByKind() map[Kind]int {
-	c := map[Kind]int{}
-	for _, t := range d.Tasks {
-		c[t.Kind]++
+	_, counts := d.aggregates()
+	c := make(map[Kind]int, len(counts))
+	for k, n := range counts {
+		c[k] = n
 	}
 	return c
 }

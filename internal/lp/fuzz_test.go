@@ -1,0 +1,136 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzReader decodes fuzz bytes into small bounded integers so the
+// generated LPs stay well-conditioned (simplex on wild coefficients would
+// only test float noise, not solver logic).
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// intIn returns a value in [lo, hi].
+func (r *fuzzReader) intIn(lo, hi int) int {
+	span := hi - lo + 1
+	return lo + int(r.byte())%span
+}
+
+// decodeLP builds a feasible problem from fuzz bytes: coefficients and a
+// non-negative witness point x0 are drawn first, then each row's RHS is set
+// relative to A·x0 so that x0 satisfies it — the LP is feasible by
+// construction, which lets the target assert on Solve's answer instead of
+// merely checking it doesn't crash.
+func decodeLP(data []byte) (p *Problem, x0 []float64) {
+	r := &fuzzReader{data: data}
+	n := r.intIn(1, 5)
+	m := r.intIn(1, 7)
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = float64(r.intIn(-4, 6))
+	}
+	x0 = make([]float64, n)
+	for j := range x0 {
+		x0[j] = float64(r.intIn(0, 5))
+	}
+	p = NewProblem(c)
+	for i := 0; i < m; i++ {
+		coef := make([]float64, n)
+		dot := 0.0
+		for j := range coef {
+			coef[j] = float64(r.intIn(-3, 4))
+			dot += coef[j] * x0[j]
+		}
+		slack := float64(r.intIn(0, 8))
+		switch r.intIn(0, 2) {
+		case 0:
+			p.AddConstraint(coef, LE, dot+slack)
+		case 1:
+			p.AddConstraint(coef, GE, dot-slack)
+		default:
+			p.AddConstraint(coef, EQ, dot)
+		}
+	}
+	return p, x0
+}
+
+// FuzzLPSolve feeds Solve random feasible LPs and checks the invariants a
+// correct simplex can never break: a feasible problem is never reported
+// infeasible; an optimal solution is primal-feasible, non-negative,
+// objective-consistent, and no worse than the known feasible witness.
+func FuzzLPSolve(f *testing.F) {
+	// Seeds shaped after the package's unit tests: a plain 2-var LE program,
+	// an EQ+GE program needing phase 1, a degenerate tie, an unbounded ray,
+	// and the area-LP shape (assignment rows + capacity rows).
+	f.Add([]byte{2, 2, 10, 3, 2, 3, 1, 1, 0, 4, 1, 1, 0, 3})
+	f.Add([]byte{3, 3, 1, 1, 1, 2, 2, 2, 1, 1, 1, 2, 0, 1, 2, 3, 1, 4, 1})
+	f.Add([]byte{1, 2, 5, 1, 1, 0, 0, 1, 0, 0})
+	f.Add([]byte{4, 5, 0, 0, 0, 9, 5, 5, 5, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			return // keep cases small and fast
+		}
+		p, x0 := decodeLP(data)
+		sol := Solve(p)
+		if sol.Status == Infeasible {
+			t.Fatalf("feasible-by-construction LP reported infeasible (witness %v, rows %+v)", x0, p.Rows)
+		}
+		if sol.Status != Optimal {
+			return // Unbounded is legal: the objective can be an open ray
+		}
+		const tol = 1e-6
+		if len(sol.X) != len(p.C) {
+			t.Fatalf("solution has %d vars, problem has %d", len(sol.X), len(p.C))
+		}
+		witness := 0.0
+		for j, v := range sol.X {
+			if v < -tol {
+				t.Fatalf("negative variable x[%d] = %g", j, v)
+			}
+			witness += p.C[j] * x0[j]
+		}
+		for i, row := range p.Rows {
+			dot := 0.0
+			for j, a := range row.Coef {
+				dot += a * sol.X[j]
+			}
+			switch row.Rel {
+			case LE:
+				if dot > row.RHS+tol {
+					t.Fatalf("row %d violated: %g </= %g", i, dot, row.RHS)
+				}
+			case GE:
+				if dot < row.RHS-tol {
+					t.Fatalf("row %d violated: %g >/= %g", i, dot, row.RHS)
+				}
+			case EQ:
+				if math.Abs(dot-row.RHS) > tol {
+					t.Fatalf("row %d violated: %g != %g", i, dot, row.RHS)
+				}
+			}
+		}
+		obj := 0.0
+		for j := range sol.X {
+			obj += p.C[j] * sol.X[j]
+		}
+		if math.Abs(obj-sol.Obj) > tol*(1+math.Abs(obj)) {
+			t.Fatalf("objective %g does not match C·X = %g", sol.Obj, obj)
+		}
+		if sol.Obj > witness+tol {
+			t.Fatalf("claimed optimum %g is worse than feasible witness value %g", sol.Obj, witness)
+		}
+	})
+}

@@ -12,6 +12,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Rel is the relation of a constraint row.
@@ -115,9 +116,10 @@ func Solve(p *Problem) *Solution {
 		slk int // slack column index or −1
 	}
 	rows := make([]row, m)
+	rowBack := make([]float64, m*(n+nSlack)) // one backing array for all rows
 	si := 0
 	for i, r := range p.Rows {
-		a := make([]float64, n+nSlack)
+		a := rowBack[i*(n+nSlack) : (i+1)*(n+nSlack) : (i+1)*(n+nSlack)]
 		copy(a, r.Coef)
 		b := r.RHS
 		rel := r.Rel
@@ -155,12 +157,15 @@ func Solve(p *Problem) *Solution {
 	}
 	total := n + nSlack + nArt
 
-	// Tableau: m rows × (total+1); basis per row.
+	// Tableau: m rows × (total+1) carved from one backing array — the dense
+	// pivot walks rows sequentially, so contiguity keeps it in cache and
+	// replaces m row allocations with one.
 	t := make([][]float64, m)
+	tBack := make([]float64, m*(total+1))
 	basis := make([]int, m)
 	ai := 0
 	for i, r := range rows {
-		t[i] = make([]float64, total+1)
+		t[i] = tBack[i*(total+1) : (i+1)*(total+1) : (i+1)*(total+1)]
 		copy(t[i], r.a)
 		t[i][total] = r.b
 		if r.rel == LE && r.slk >= 0 {
@@ -174,26 +179,30 @@ func Solve(p *Problem) *Solution {
 	}
 
 	pivot := func(pr, pc int, cost []float64) {
-		pv := t[pr][pc]
-		for j := range t[pr] {
-			t[pr][j] /= pv
+		// Row-local slices let the compiler drop bounds checks in the three
+		// elimination loops; the arithmetic and its order are unchanged.
+		prow := t[pr]
+		pv := prow[pc]
+		for j := range prow {
+			prow[j] /= pv
 		}
 		for i := range t {
 			if i == pr {
 				continue
 			}
-			f := t[i][pc]
+			ri := t[i]
+			f := ri[pc]
 			if f == 0 {
 				continue
 			}
-			for j := range t[i] {
-				t[i][j] -= f * t[pr][j]
+			for j := range ri {
+				ri[j] -= f * prow[j]
 			}
 		}
 		f := cost[pc]
 		if f != 0 {
 			for j := range cost {
-				cost[j] -= f * t[pr][j]
+				cost[j] -= f * prow[j]
 			}
 		}
 		basis[pr] = pc
@@ -217,8 +226,9 @@ func Solve(p *Problem) *Solution {
 			// Ratio test with Bland tie-breaking.
 			pr, best := -1, math.Inf(1)
 			for i := 0; i < m; i++ {
-				if t[i][pc] > eps {
-					ratio := t[i][total] / t[i][pc]
+				ti := t[i]
+				if ti[pc] > eps {
+					ratio := ti[total] / ti[pc]
 					if ratio < best-eps || (ratio < best+eps && (pr == -1 || basis[i] < basis[pr])) {
 						best, pr = ratio, i
 					}
@@ -301,6 +311,15 @@ func Solve(p *Problem) *Solution {
 	return &Solution{Status: Optimal, X: x, Obj: obj}
 }
 
+func sortedKeys(m map[int]float64) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
 // SolveInteger minimizes the problem with the variables listed in intVars
 // constrained to non-negative integers, via LP-relaxation branch and bound
 // (best-first on the relaxation objective). maxNodes caps the search; if
@@ -354,16 +373,21 @@ func SolveInteger(p *Problem, intVars []int, maxNodes int) (*Solution, error) {
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
-		rows := append([]Constraint{}, p.Rows...)
-		for v, b := range nd.lo {
+		// Emit bound rows in sorted variable order: map iteration order is
+		// random per run, and row order steers the simplex through different
+		// (equally optimal) pivot paths — sorting keeps subproblem solves,
+		// and hence returned vertices on degenerate optima, deterministic.
+		rows := make([]Constraint, 0, len(p.Rows)+len(nd.lo)+len(nd.hi))
+		rows = append(rows, p.Rows...)
+		for _, v := range sortedKeys(nd.lo) {
 			coef := make([]float64, len(p.C))
 			coef[v] = 1
-			rows = append(rows, Constraint{Coef: coef, Rel: GE, RHS: b})
+			rows = append(rows, Constraint{Coef: coef, Rel: GE, RHS: nd.lo[v]})
 		}
-		for v, b := range nd.hi {
+		for _, v := range sortedKeys(nd.hi) {
 			coef := make([]float64, len(p.C))
 			coef[v] = 1
-			rows = append(rows, Constraint{Coef: coef, Rel: LE, RHS: b})
+			rows = append(rows, Constraint{Coef: coef, Rel: LE, RHS: nd.hi[v]})
 		}
 		sub := &Problem{C: p.C, Rows: rows}
 		sol := Solve(sub)

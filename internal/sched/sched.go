@@ -243,6 +243,11 @@ func (s *randomSched) Init(d *graph.DAG, p *platform.Platform, seed int64) {
 	s.pf = p
 	s.rng = rand.New(rand.NewSource(seed))
 	s.weights = make([]float64, len(p.Classes))
+	// Kinds() is sorted, so the weight sums accumulate in a fixed order —
+	// map-range order here would make the float rounding (and thus the
+	// random draws) differ run to run.
+	counts := d.CountByKind()
+	kinds := d.Kinds()
 	for r := range p.Classes {
 		if p.Classes[r].Count == 0 {
 			continue
@@ -250,7 +255,8 @@ func (s *randomSched) Init(d *graph.DAG, p *platform.Platform, seed int64) {
 		// Average acceleration ratio of class r relative to class 0,
 		// weighted by the DAG's task mix (the paper's K computation).
 		num, den := 0.0, 0.0
-		for kind, n := range d.CountByKind() {
+		for _, kind := range kinds {
+			n := counts[kind]
 			t0, tr := p.Time(0, kind), p.Time(r, kind)
 			if math.IsInf(tr, 1) {
 				continue

@@ -1,0 +1,233 @@
+package simulator
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sweep"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current behaviour")
+
+// detConfig is one cell of the determinism grid.
+type detConfig struct {
+	name  string
+	p     int
+	pf    func() *platform.Platform
+	sched func() sched.Scheduler
+	opt   Options
+}
+
+// memCapped is Mirage with GPU memory squeezed to 6 tiles so the LRU
+// eviction and write-back paths are exercised by the grid.
+func memCapped() *platform.Platform {
+	pf := platform.Mirage().Clone()
+	pf.Name = "mirage-mem6"
+	pf.Classes[1].MemoryBytes = 6 * pf.TileBytes
+	return pf
+}
+
+func detGrid() []detConfig {
+	platforms := []struct {
+		name string
+		mk   func() *platform.Platform
+	}{
+		{"mirage", platform.Mirage},
+		{"mirage-nocomm", func() *platform.Platform { return platform.WithoutCommunication(platform.Mirage()) }},
+		{"homogeneous4", func() *platform.Platform { return platform.Homogeneous(4) }},
+		{"related20", func() *platform.Platform { return platform.Related(platform.Mirage(), 20) }},
+		{"mirage-mem6", memCapped},
+	}
+	schedulers := []struct {
+		name string
+		mk   func() sched.Scheduler
+	}{
+		{"dmda", sched.NewDMDA},
+		{"dmdas", sched.NewDMDAS},
+		{"dmdar", sched.NewDMDAR},
+		{"random", sched.NewRandom},
+		{"greedy", sched.NewGreedy},
+	}
+	var grid []detConfig
+	for _, pf := range platforms {
+		for _, s := range schedulers {
+			for _, p := range []int{4, 8, 16} {
+				for _, seed := range []int64{1, 7} {
+					grid = append(grid, detConfig{
+						name:  fmt.Sprintf("%s/%s/P=%d/seed=%d", pf.name, s.name, p, seed),
+						p:     p,
+						pf:    pf.mk,
+						sched: s.mk,
+						opt:   Options{Seed: seed},
+					})
+				}
+			}
+		}
+	}
+	// A few option variants on top of the cross product.
+	grid = append(grid,
+		detConfig{name: "mirage/dmdas/P=12/overhead", p: 12, pf: platform.Mirage,
+			sched: sched.NewDMDAS, opt: Options{Seed: 3, Overhead: true}},
+		detConfig{name: "mirage/dmda/P=12/stealing", p: 12, pf: platform.Mirage,
+			sched: sched.NewDMDA, opt: Options{Seed: 3, WorkStealing: true}},
+	)
+	return grid
+}
+
+// TestDeterminismGrid runs every grid cell twice and requires bit-identical
+// results — the package doc's "fully deterministic for a given (DAG,
+// platform, scheduler, seed) tuple" promise, enforced field by field.
+func TestDeterminismGrid(t *testing.T) {
+	for _, cfg := range detGrid() {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			d := graph.Cholesky(cfg.p)
+			r1, err := Run(d, cfg.pf(), cfg.sched(), cfg.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := Run(d, cfg.pf(), cfg.sched(), cfg.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1, r2) {
+				t.Fatalf("two identical runs diverged:\nfirst:  %+v\nsecond: %+v", r1, r2)
+			}
+		})
+	}
+}
+
+// resultHash folds every observable field of a Result into one FNV-64a
+// digest. Any bit-level change to the schedule — a reordered event, a
+// different worker choice, a perturbed float — changes the digest.
+func resultHash(r *Result) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	f := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	i := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	f(r.MakespanSec)
+	f(r.TransferSec)
+	i(r.TransferCount)
+	i(r.Evictions)
+	i(r.Writebacks)
+	f(r.StallSec)
+	for id := range r.Start {
+		f(r.Start[id])
+		f(r.End[id])
+		i(r.Worker[id])
+	}
+	for w := range r.BusySec {
+		f(r.BusySec[w])
+		f(r.IdleSec[w])
+	}
+	return h.Sum64()
+}
+
+const goldenPath = "testdata/golden_results.json"
+
+// TestGoldenResults pins the exact schedules the simulator produces: the
+// per-config digests were recorded before the large-N performance pass, so
+// any observable behaviour change — however plausible-looking — fails here
+// until the golden file is consciously regenerated with -update.
+func TestGoldenResults(t *testing.T) {
+	grid := detGrid()
+	got := make(map[string]string, len(grid))
+	for _, cfg := range grid {
+		r, err := Run(graph.Cholesky(cfg.p), cfg.pf(), cfg.sched(), cfg.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		got[cfg.name] = fmt.Sprintf("%016x", resultHash(r))
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", goldenPath, len(got))
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no golden entry (run with -update)", name)
+			continue
+		}
+		if got[name] != w {
+			t.Errorf("%s: schedule digest %s != golden %s — simulator behaviour changed", name, got[name], w)
+		}
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d entries, grid has %d", len(want), len(got))
+	}
+}
+
+// TestSweepParallelBitIdentical checks the sweep package's ordering promise
+// end to end: a parallel sweep of simulations is bit-identical to the same
+// sweep on a single worker.
+func TestSweepParallelBitIdentical(t *testing.T) {
+	type cell struct {
+		p    int
+		mk   func() sched.Scheduler
+		seed int64
+	}
+	var cells []cell
+	for _, p := range []int{4, 6, 8, 10, 12} {
+		for _, mk := range []func() sched.Scheduler{sched.NewDMDA, sched.NewDMDAS, sched.NewRandom} {
+			cells = append(cells, cell{p: p, mk: mk, seed: int64(p)})
+		}
+	}
+	run := func(workers int) []*Result {
+		out, err := sweep.Map(cells, workers, func(c cell) (*Result, error) {
+			return Run(graph.Cholesky(c.p), platform.Mirage(), c.mk(), Options{Seed: c.seed})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range cells {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("cell %d: parallel sweep result differs from workers=1", i)
+		}
+	}
+}

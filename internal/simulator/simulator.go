@@ -17,10 +17,16 @@
 //
 // Simulations are fully deterministic for a given (DAG, platform, scheduler,
 // seed) tuple.
+//
+// The event loop is allocation-free per event: tile locations, LRU stamps
+// and pin counts live in dense arrays indexed by (tile, memory node), the
+// event heap is a concrete type (no interface boxing), worker queues are
+// head-indexed rings, and the ready scan only revisits workers whose state
+// changed since the last scan. The determinism and golden tests in this
+// package pin the pre-optimisation schedules bit for bit.
 package simulator
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -73,6 +79,62 @@ type queueEntry struct {
 	seq  int
 }
 
+// wqueue is a head-indexed worker queue: popping the front advances a
+// cursor instead of reslicing, so the backing array is reused rather than
+// abandoned and re-grown on every dequeue/enqueue cycle.
+type wqueue struct {
+	items []queueEntry
+	head  int
+}
+
+func (q *wqueue) size() int            { return len(q.items) - q.head }
+func (q *wqueue) at(i int) *queueEntry { return &q.items[q.head+i] }
+
+func (q *wqueue) popFront() queueEntry {
+	e := q.items[q.head]
+	q.items[q.head] = queueEntry{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return e
+}
+
+func (q *wqueue) pushBack(e queueEntry) { q.items = append(q.items, e) }
+
+// insert places e at position pos (relative to the head). When dead slots
+// exist before the head it shifts the short prefix left into them, which is
+// the cheap direction for the common high-priority-near-head insert.
+func (q *wqueue) insert(pos int, e queueEntry) {
+	if pos == q.size() {
+		q.pushBack(e)
+		return
+	}
+	if q.head > 0 {
+		copy(q.items[q.head-1:], q.items[q.head:q.head+pos])
+		q.head--
+		q.items[q.head+pos] = e
+		return
+	}
+	q.items = append(q.items, queueEntry{})
+	copy(q.items[pos+1:], q.items[pos:])
+	q.items[pos] = e
+}
+
+func (q *wqueue) remove(pos int) queueEntry {
+	i := q.head + pos
+	e := q.items[i]
+	copy(q.items[i:], q.items[i+1:])
+	q.items[len(q.items)-1] = queueEntry{}
+	q.items = q.items[:len(q.items)-1]
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return e
+}
+
 type event struct {
 	time   float64
 	seq    int
@@ -80,18 +142,57 @@ type event struct {
 	task   *graph.Task
 }
 
+func eventLess(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a concrete binary min-heap. container/heap would box every
+// pushed and popped event through an interface, one allocation each — the
+// single largest per-event allocation source before the performance pass.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	*h = s
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{}
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r, small := 2*i+1, 2*i+2, i
+		if l < n && eventLess(s[l], s[small]) {
+			small = l
+		}
+		if r < n && eventLess(s[r], s[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}
 
 type state struct {
 	d   *graph.DAG
@@ -100,24 +201,46 @@ type state struct {
 	opt Options
 
 	now        float64
-	queues     [][]queueEntry
+	queues     []wqueue
 	executing  []bool
 	workerFree []float64
 	estFree    []float64
 	dataReady  []float64
 	doneTask   []bool
-	locations  map[[2]int]map[int]bool // tile → memory nodes with a valid copy
-	linkFree   []float64               // per memory node (index ≥ 1 used)
+	linkFree   []float64 // per memory node (index ≥ 1 used)
 	seq        int
+
+	// Policy capabilities and constants resolved once per run.
+	ordered bool
+	gater   sched.Gater
+	restr   sched.ClassRestricter
+	hop     float64 // per-tile PCI hop time
+	nNodes  int
+	nTiles  int
+
+	// Tile state, dense-indexed. Tiles are numbered in first-appearance
+	// order over the tasks' footprints; footTiles/footOff give each task's
+	// footprint as tile indices, parallel to Task.Footprint.
+	footTiles   []int32
+	footOff     []int32
+	loc         []bool  // [tile*nNodes + node]: node holds a valid copy
+	locCount    []int32 // per tile: number of valid copies
+	workerDirty []bool  // workers whose queues/executing state changed since the last ready scan
 
 	// Device memory manager (StarPU-style LRU with write-back): per node,
 	// the resident tiles with last-use stamps and pin counts (tiles needed
 	// by tasks assigned-but-not-finished on that node cannot be evicted).
-	capacity []int // per node, in tiles; 0 = unlimited
-	lastUse  []map[[2]int]int
-	pins     []map[[2]int]int
+	capacity      []int     // per node, in tiles; 0 = unlimited
+	lastUse       []int     // [node*nTiles + tile]: residency stamp, −1 = absent
+	pins          []int32   // [node*nTiles + tile]
+	residentTiles [][]int32 // per node: tile indices currently resident
 
 	res *Result
+}
+
+// footprint returns task t's tile indices, parallel to t.Footprint.
+func (st *state) footprint(t *graph.Task) []int32 {
+	return st.footTiles[st.footOff[t.ID]:st.footOff[t.ID+1]]
 }
 
 // View interface for schedulers ------------------------------------------------
@@ -139,17 +262,16 @@ func (st *state) TransferEstimate(w int, t *graph.Task) float64 {
 		return 0
 	}
 	node := st.p.MemoryNode(w)
-	hop := st.p.Bus.TransferTime(st.p.TileBytes)
 	total := 0.0
-	for _, ref := range t.Footprint {
-		locs := st.locations[[2]int{ref.I, ref.J}]
-		if locs[node] {
+	for _, ti := range st.footprint(t) {
+		base := int(ti) * st.nNodes
+		if st.loc[base+node] {
 			continue
 		}
-		if node == 0 || locs[0] {
-			total += hop
+		if node == 0 || st.loc[base] {
+			total += st.hop
 		} else {
-			total += 2 * hop
+			total += 2 * st.hop
 		}
 	}
 	return total
@@ -182,16 +304,19 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 	}
 	n := len(d.Tasks)
 	nW := p.Workers()
+	nNodes := p.MemoryNodes()
 	st := &state{
 		d: d, p: p, s: s, opt: opt,
-		queues:     make([][]queueEntry, nW),
-		executing:  make([]bool, nW),
-		workerFree: make([]float64, nW),
-		estFree:    make([]float64, nW),
-		dataReady:  make([]float64, n),
-		doneTask:   make([]bool, n),
-		locations:  map[[2]int]map[int]bool{},
-		linkFree:   make([]float64, p.MemoryNodes()),
+		queues:      make([]wqueue, nW),
+		executing:   make([]bool, nW),
+		workerFree:  make([]float64, nW),
+		estFree:     make([]float64, nW),
+		dataReady:   make([]float64, n),
+		doneTask:    make([]bool, n),
+		linkFree:    make([]float64, nNodes),
+		workerDirty: make([]bool, nW),
+		nNodes:      nNodes,
+		hop:         p.Bus.TransferTime(p.TileBytes),
 		res: &Result{
 			Start:   make([]float64, n),
 			End:     make([]float64, n),
@@ -203,23 +328,52 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 	for i := range st.res.Worker {
 		st.res.Worker[i] = -1
 	}
-	// All tiles start valid on the host node.
+	st.ordered = s.Ordered()
+	st.gater, _ = s.(sched.Gater)
+	st.restr, _ = s.(sched.ClassRestricter)
+
+	// Index every footprint tile densely, and record each task's footprint
+	// as tile indices. All tiles start valid on the host node.
+	totalRefs := 0
 	for _, t := range d.Tasks {
+		totalRefs += len(t.Footprint)
+	}
+	st.footTiles = make([]int32, totalRefs)
+	st.footOff = make([]int32, n+1)
+	tileIdx := make(map[[2]int]int32, totalRefs/4+1)
+	off := 0
+	for _, t := range d.Tasks {
+		st.footOff[t.ID] = int32(off)
 		for _, ref := range t.Footprint {
 			key := [2]int{ref.I, ref.J}
-			if st.locations[key] == nil {
-				st.locations[key] = map[int]bool{0: true}
+			ti, ok := tileIdx[key]
+			if !ok {
+				ti = int32(len(tileIdx))
+				tileIdx[key] = ti
 			}
+			st.footTiles[off] = ti
+			off++
 		}
 	}
+	st.footOff[n] = int32(off)
+	st.nTiles = len(tileIdx)
+	st.loc = make([]bool, st.nTiles*nNodes)
+	st.locCount = make([]int32, st.nTiles)
+	for ti := 0; ti < st.nTiles; ti++ {
+		st.loc[ti*nNodes] = true // host copy
+		st.locCount[ti] = 1
+	}
+
 	// Device memory manager state.
-	st.capacity = make([]int, p.MemoryNodes())
-	st.lastUse = make([]map[[2]int]int, p.MemoryNodes())
-	st.pins = make([]map[[2]int]int, p.MemoryNodes())
-	for node := 0; node < p.MemoryNodes(); node++ {
+	st.capacity = make([]int, nNodes)
+	st.lastUse = make([]int, nNodes*st.nTiles)
+	st.pins = make([]int32, nNodes*st.nTiles)
+	st.residentTiles = make([][]int32, nNodes)
+	for i := range st.lastUse {
+		st.lastUse[i] = -1
+	}
+	for node := 0; node < nNodes; node++ {
 		st.capacity[node] = p.NodeCapacityTiles(node)
-		st.lastUse[node] = map[[2]int]int{}
-		st.pins[node] = map[[2]int]int{}
 	}
 
 	s.Init(d, p, opt.Seed)
@@ -230,7 +384,6 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 	}
 
 	var events eventHeap
-	heap.Init(&events)
 
 	done := 0
 	for _, t := range d.Tasks {
@@ -240,36 +393,42 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 	}
 	st.tryStartAll(&events)
 
-	for events.Len() > 0 {
+	for len(events) > 0 {
 		if done%cancelCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("simulator: run cancelled after %d of %d tasks: %w", done, n, err)
 			}
 		}
-		ev := heap.Pop(&events).(event)
+		ev := events.pop()
 		st.now = ev.time
 		w := ev.worker
 		st.executing[w] = false
 		st.workerFree[w] = st.now
+		st.workerDirty[w] = true
 		st.doneTask[ev.task.ID] = true
 		done++
 		// Invalidate: the written tile's only valid copy is on this node.
 		node := p.MemoryNode(w)
-		for _, ref := range ev.task.Footprint {
-			if ref.Mode == graph.ReadWrite {
-				key := [2]int{ref.I, ref.J}
-				for other := range st.locations[key] {
-					if other != node && other != 0 {
-						delete(st.lastUse[other], key)
-					}
+		foot := st.footprint(ev.task)
+		for k, ref := range ev.task.Footprint {
+			if ref.Mode != graph.ReadWrite {
+				continue
+			}
+			ti := int(foot[k])
+			base := ti * st.nNodes
+			for other := 0; other < st.nNodes; other++ {
+				if other == node || !st.loc[base+other] {
+					continue
 				}
-				st.locations[key] = map[int]bool{node: true}
-				if node != 0 {
-					if _, ok := st.lastUse[node][key]; !ok {
-						st.lastUse[node][key] = st.seq
-						st.seq++
-					}
+				st.loc[base+other] = false
+				if other != 0 {
+					st.removeResident(other, ti)
 				}
+			}
+			st.loc[base+node] = true
+			st.locCount[ti] = 1
+			if node != 0 && st.lastUse[node*st.nTiles+ti] < 0 {
+				st.addResident(node, ti)
 			}
 		}
 		st.pinFootprint(ev.task, node, -1)
@@ -298,29 +457,54 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 	return st.res, nil
 }
 
+// addResident records tile ti on node with a fresh LRU stamp.
+func (st *state) addResident(node, ti int) {
+	st.lastUse[node*st.nTiles+ti] = st.seq
+	st.seq++
+	st.residentTiles[node] = append(st.residentTiles[node], int32(ti))
+}
+
+// removeResident drops tile ti from node's residency set.
+func (st *state) removeResident(node, ti int) {
+	st.lastUse[node*st.nTiles+ti] = -1
+	rs := st.residentTiles[node]
+	for i, v := range rs {
+		if int(v) == ti {
+			rs[i] = rs[len(rs)-1]
+			st.residentTiles[node] = rs[:len(rs)-1]
+			return
+		}
+	}
+}
+
 // pinFootprint pins (or unpins, delta −1) a task's tiles on a memory node so
 // the LRU eviction cannot drop data a queued task depends on.
 func (st *state) pinFootprint(t *graph.Task, node, delta int) {
 	if node == 0 {
 		return
 	}
-	for _, ref := range t.Footprint {
-		key := [2]int{ref.I, ref.J}
-		st.pins[node][key] += delta
-		if st.pins[node][key] <= 0 {
-			delete(st.pins[node], key)
+	base := node * st.nTiles
+	for _, ti := range st.footprint(t) {
+		st.pins[base+int(ti)] += int32(delta)
+		if st.pins[base+int(ti)] < 0 {
+			st.pins[base+int(ti)] = 0
 		}
 	}
 }
 
 // addCopy records a resident tile on an accelerator node and evicts LRU
 // tiles if the node is over capacity.
-func (st *state) addCopy(node int, key [2]int) {
+func (st *state) addCopy(node, ti int) {
 	if node == 0 {
 		return
 	}
-	st.lastUse[node][key] = st.seq
-	st.seq++
+	if st.lastUse[node*st.nTiles+ti] >= 0 {
+		// Refresh the stamp of an already-resident tile.
+		st.lastUse[node*st.nTiles+ti] = st.seq
+		st.seq++
+	} else {
+		st.addResident(node, ti)
+	}
 	st.evictIfNeeded(node)
 }
 
@@ -333,34 +517,39 @@ func (st *state) evictIfNeeded(node int) {
 	if capTiles == 0 {
 		return
 	}
-	for len(st.lastUse[node]) > capTiles {
-		victim, bestSeq, found := [2]int{}, int(^uint(0)>>1), false
-		for key, seq := range st.lastUse[node] {
-			if st.pins[node][key] > 0 {
+	for len(st.residentTiles[node]) > capTiles {
+		victim, bestSeq := -1, int(^uint(0)>>1)
+		base := node * st.nTiles
+		for _, v := range st.residentTiles[node] {
+			ti := int(v)
+			if st.pins[base+ti] > 0 {
 				continue
 			}
-			if seq < bestSeq {
-				bestSeq, victim, found = seq, key, true
+			if s := st.lastUse[base+ti]; s < bestSeq {
+				bestSeq, victim = s, ti
 			}
 		}
-		if !found {
+		if victim == -1 {
 			return
 		}
-		locs := st.locations[victim]
-		if len(locs) == 1 && locs[node] && st.p.Bus.Enabled {
-			// Sole copy: write back to the host before dropping.
-			hop := st.p.Bus.TransferTime(st.p.TileBytes)
-			start := math.Max(st.now, st.linkFree[node])
-			st.linkFree[node] = start + hop
-			st.res.TransferSec += hop
-			st.res.TransferCount++
-			st.res.Writebacks++
-			locs[0] = true
-		} else if len(locs) == 1 && locs[node] {
-			locs[0] = true // free transfers: the host copy is immediate
+		lb := victim * st.nNodes
+		if st.locCount[victim] == 1 && st.loc[lb+node] {
+			if st.p.Bus.Enabled {
+				// Sole copy: write back to the host before dropping.
+				start := math.Max(st.now, st.linkFree[node])
+				st.linkFree[node] = start + st.hop
+				st.res.TransferSec += st.hop
+				st.res.TransferCount++
+				st.res.Writebacks++
+			}
+			st.loc[lb] = true // the host holds the surviving copy
+			st.locCount[victim]++
 		}
-		delete(locs, node)
-		delete(st.lastUse[node], victim)
+		if st.loc[lb+node] {
+			st.loc[lb+node] = false
+			st.locCount[victim]--
+		}
+		st.removeResident(node, victim)
 		st.res.Evictions++
 	}
 }
@@ -380,17 +569,15 @@ func (st *state) assign(t *graph.Task) {
 
 	e := queueEntry{task: t, prio: st.s.Priority(t), seq: st.seq}
 	st.seq++
-	q := st.queues[w]
-	if st.s.Ordered() {
+	q := &st.queues[w]
+	if st.ordered {
 		// Insert keeping descending priority, stable on seq.
-		pos := sort.Search(len(q), func(i int) bool { return q[i].prio < e.prio })
-		q = append(q, queueEntry{})
-		copy(q[pos+1:], q[pos:])
-		q[pos] = e
+		pos := sort.Search(q.size(), func(i int) bool { return q.at(i).prio < e.prio })
+		q.insert(pos, e)
 	} else {
-		q = append(q, e)
+		q.pushBack(e)
 	}
-	st.queues[w] = q
+	st.workerDirty[w] = true
 }
 
 // prefetch schedules the PCI hops bringing t's tiles to worker w's node and
@@ -398,53 +585,55 @@ func (st *state) assign(t *graph.Task) {
 func (st *state) prefetch(t *graph.Task, w int) float64 {
 	node := st.p.MemoryNode(w)
 	ready := st.now
-	for _, ref := range t.Footprint {
-		key := [2]int{ref.I, ref.J}
-		locs := st.locations[key]
-		if locs[node] {
+	for _, tv := range st.footprint(t) {
+		ti := int(tv)
+		base := ti * st.nNodes
+		if st.loc[base+node] {
 			if node != 0 { // refresh LRU position
-				st.lastUse[node][key] = st.seq
+				st.lastUse[node*st.nTiles+ti] = st.seq
 				st.seq++
 			}
 			continue
 		}
 		if !st.p.Bus.Enabled {
-			locs[node] = true
-			st.addCopy(node, key)
+			st.loc[base+node] = true
+			st.locCount[ti]++
+			st.addCopy(node, ti)
 			continue
 		}
-		hop := st.p.Bus.TransferTime(st.p.TileBytes)
 		var avail float64
 		if node == 0 {
 			// Device → host over the source device's link.
-			src := st.sourceNode(locs)
+			src := st.sourceNode(ti)
 			start := math.Max(st.now, st.linkFree[src])
-			avail = start + hop
+			avail = start + st.hop
 			st.linkFree[src] = avail
-			st.res.TransferSec += hop
+			st.res.TransferSec += st.hop
 			st.res.TransferCount++
-		} else if locs[0] {
+		} else if st.loc[base] {
 			// Host → device over the target device's link.
 			start := math.Max(st.now, st.linkFree[node])
-			avail = start + hop
+			avail = start + st.hop
 			st.linkFree[node] = avail
-			st.res.TransferSec += hop
+			st.res.TransferSec += st.hop
 			st.res.TransferCount++
 		} else {
 			// Device → host → device: two hops on two links.
-			src := st.sourceNode(locs)
+			src := st.sourceNode(ti)
 			s1 := math.Max(st.now, st.linkFree[src])
-			e1 := s1 + hop
+			e1 := s1 + st.hop
 			st.linkFree[src] = e1
 			s2 := math.Max(e1, st.linkFree[node])
-			avail = s2 + hop
+			avail = s2 + st.hop
 			st.linkFree[node] = avail
-			st.res.TransferSec += 2 * hop
+			st.res.TransferSec += 2 * st.hop
 			st.res.TransferCount += 2
-			locs[0] = true // the host keeps the staged copy
+			st.loc[base] = true // the host keeps the staged copy
+			st.locCount[ti]++
 		}
-		locs[node] = true
-		st.addCopy(node, key)
+		st.loc[base+node] = true
+		st.locCount[ti]++
+		st.addCopy(node, ti)
 		if avail > ready {
 			ready = avail
 		}
@@ -457,57 +646,52 @@ func (st *state) completed(id int) bool { return st.doneTask[id] }
 
 // sourceNode picks the transfer source deterministically: the host if it has
 // a valid copy, else the lowest-numbered holding node.
-func (st *state) sourceNode(locs map[int]bool) int {
-	if locs[0] {
-		return 0
-	}
-	best := math.MaxInt32
-	for n, ok := range locs {
-		if ok && n < best {
-			best = n
+func (st *state) sourceNode(ti int) int {
+	base := ti * st.nNodes
+	for node := 0; node < st.nNodes; node++ {
+		if st.loc[base+node] {
+			return node
 		}
 	}
-	return best
+	return 0
 }
 
 // trySteal moves a queued task from the most-loaded victim to idle worker w.
 // Returns true if a task was migrated (and its data re-prefetched).
 func (st *state) trySteal(w int) bool {
-	restr, _ := st.s.(sched.ClassRestricter)
 	class := st.p.WorkerClass(w)
 	// Victim: the worker with the longest queue holding a stealable task.
 	bestV, bestIdx, bestLen := -1, -1, 0
 	for v := range st.queues {
-		if v == w || len(st.queues[v]) <= bestLen {
+		if v == w || st.queues[v].size() <= bestLen {
 			continue
 		}
 		// Steal from the back: the entry the victim would run last.
-		for idx := len(st.queues[v]) - 1; idx >= 0; idx-- {
-			t := st.queues[v][idx].task
+		for idx := st.queues[v].size() - 1; idx >= 0; idx-- {
+			t := st.queues[v].at(idx).task
 			if math.IsInf(st.ExecTime(w, t), 1) {
 				continue
 			}
-			if restr != nil {
-				if cls := restr.AllowedClasses(t); cls != nil && !containsInt(cls, class) {
+			if st.restr != nil {
+				if cls := st.restr.AllowedClasses(t); cls != nil && !containsInt(cls, class) {
 					continue
 				}
 			}
-			bestV, bestIdx, bestLen = v, idx, len(st.queues[v])
+			bestV, bestIdx, bestLen = v, idx, st.queues[v].size()
 			break
 		}
 	}
 	if bestV == -1 {
 		return false
 	}
-	e := st.queues[bestV][bestIdx]
-	st.queues[bestV] = append(st.queues[bestV][:bestIdx], st.queues[bestV][bestIdx+1:]...)
+	e := st.queues[bestV].remove(bestIdx)
 	// Move pins and re-prefetch for the thief's memory node.
 	st.pinFootprint(e.task, st.p.MemoryNode(bestV), -1)
 	st.pinFootprint(e.task, st.p.MemoryNode(w), 1)
 	st.dataReady[e.task.ID] = st.prefetch(e.task, w)
 	exec := st.ExecTime(w, e.task)
 	st.estFree[w] = math.Max(math.Max(st.estFree[w], st.now), st.dataReady[e.task.ID]) + exec
-	st.queues[w] = append(st.queues[w], e)
+	st.queues[w].pushBack(e)
 	return true
 }
 
@@ -520,24 +704,35 @@ func containsInt(s []int, v int) bool {
 	return false
 }
 
-// tryStartAll starts the head-of-queue task on every idle worker.
+// tryStartAll starts the head-of-queue task on every idle worker. On the
+// common path (no gating, no stealing) only workers whose queues or
+// execution state changed since the last scan are visited: for every other
+// worker the post-scan invariant "executing, or empty queue" still holds,
+// so rescanning it cannot start anything. Gating breaks the invariant (a
+// completion elsewhere can unblock a held queue head) and stealing needs a
+// global view, so both fall back to the full scan.
 func (st *state) tryStartAll(events *eventHeap) {
-	gater, _ := st.s.(sched.Gater)
-	if st.opt.WorkStealing && gater == nil {
+	scanAll := st.gater != nil || st.opt.WorkStealing
+	if st.opt.WorkStealing && st.gater == nil {
 		for w := range st.queues {
-			if !st.executing[w] && len(st.queues[w]) == 0 {
+			if !st.executing[w] && st.queues[w].size() == 0 {
 				st.trySteal(w)
 			}
 		}
 	}
 	for w := range st.queues {
-		for !st.executing[w] && len(st.queues[w]) > 0 {
-			e := st.queues[w][0]
-			if gater != nil && !gater.MayStart(e.task, st.completed) {
+		if !scanAll {
+			if !st.workerDirty[w] {
+				continue
+			}
+			st.workerDirty[w] = false
+		}
+		for !st.executing[w] && st.queues[w].size() > 0 {
+			e := st.queues[w].at(0)
+			if st.gater != nil && !st.gater.MayStart(e.task, st.completed) {
 				break // hold the worker for the planned-order predecessor
 			}
-			st.queues[w] = st.queues[w][1:]
-			t := e.task
+			t := st.queues[w].popFront().task
 			avail := math.Max(st.now, st.workerFree[w])
 			start := math.Max(avail, st.dataReady[t.ID])
 			st.res.StallSec += start - avail
@@ -555,7 +750,7 @@ func (st *state) tryStartAll(events *eventHeap) {
 			if st.estFree[w] < end {
 				st.estFree[w] = end
 			}
-			heap.Push(events, event{time: end, seq: st.seq, worker: w, task: t})
+			events.push(event{time: end, seq: st.seq, worker: w, task: t})
 			st.seq++
 			break // worker now busy; inner loop exits via executing[w]
 		}

@@ -1,0 +1,57 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunContextZeroJobs: an empty sweep completes trivially — empty (but
+// non-nil) result slice, no error, and no worker goroutines spawned.
+func TestRunContextZeroJobs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	out, err := RunContext[int](context.Background(), nil, 8)
+	if err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	if out == nil || len(out) != 0 {
+		t.Fatalf("out = %#v, want empty non-nil slice", out)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew from %d to %d on an empty sweep", before, after)
+	}
+	// A cancelled ctx does not turn an empty sweep into an error either.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext[int](ctx, []Job[int]{}, 4); err != nil {
+		t.Fatalf("empty sweep with cancelled ctx: err = %v, want nil", err)
+	}
+}
+
+// TestRunContextPreCancelledDeterministic: a ctx cancelled before dispatch
+// must return ctx.Err() and run zero jobs — every time, not just when the
+// dispatcher's select happens to notice cancellation before a worker's
+// receive. The loop would flake without the deterministic pre-dispatch poll.
+func TestRunContextPreCancelledDeterministic(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for round := 0; round < 200; round++ {
+		var ran atomic.Int64
+		jobs := make([]Job[int], 16)
+		for i := range jobs {
+			jobs[i] = func() (int, error) { ran.Add(1); return 0, nil }
+		}
+		out, err := RunContext(ctx, jobs, 4)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: err = %v, want context.Canceled", round, err)
+		}
+		if n := ran.Load(); n != 0 {
+			t.Fatalf("round %d: %d jobs ran despite pre-cancelled ctx", round, n)
+		}
+		if len(out) != len(jobs) {
+			t.Fatalf("round %d: result slice has %d entries, want %d", round, len(out), len(jobs))
+		}
+	}
+}

@@ -26,16 +26,24 @@ func Run[T any](jobs []Job[T], workers int) ([]T, error) {
 }
 
 // RunContext is Run with cancellation: once ctx is done no further job is
-// dispatched and ctx's error is returned after in-flight jobs drain. Jobs
-// wanting mid-job cancellation should close over ctx themselves.
+// dispatched and ctx's error is returned after in-flight jobs drain. A ctx
+// already cancelled on entry deterministically runs zero jobs. Zero jobs
+// complete trivially — an empty result slice, no error, no workers spawned.
+// Jobs wanting mid-job cancellation should close over ctx themselves.
 func RunContext[T any](ctx context.Context, jobs []Job[T], workers int) ([]T, error) {
+	results := make([]T, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("sweep: cancelled after dispatching 0 of %d jobs: %w", len(jobs), err)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	results := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -50,6 +58,13 @@ func RunContext[T any](ctx context.Context, jobs []Job[T], workers int) ([]T, er
 	}
 	dispatched := len(jobs)
 	for i := range jobs {
+		// The explicit poll keeps cancellation deterministic: a done ctx
+		// always wins, where the select alone would race an idle worker's
+		// ready receive against ctx.Done and sometimes dispatch anyway.
+		if ctx.Err() != nil {
+			dispatched = i
+			break
+		}
 		select {
 		case next <- i:
 		case <-ctx.Done():

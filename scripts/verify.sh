@@ -5,3 +5,6 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+# Benchmark harness smoke: a fixed-iteration subset of the pinned suite
+# (<60s) proving the hot paths still run end to end. Writes nothing.
+go run ./cmd/cholbench -smoke
