@@ -8,13 +8,15 @@
 //
 //   - the discrete-event simulator at P ∈ {16, 64, 128} tiles under the
 //     dmda, dmdas and random policies;
+//   - the same event loop with the obs event recorder attached (sim-recorded/*),
+//     pinning the cost of decision tracing against the nil-recorder fast path;
 //   - the AreaInt / MixedInt bound ILPs at P ∈ {32, 64, 128};
 //   - one end-to-end sweep (sizes × schedulers on the parallel sweep pool).
 //
 // Usage:
 //
-//	cholbench -out BENCH_PR2.json                 # full suite
-//	cholbench -out BENCH_PR2.json -baseline-from BENCH_old.json
+//	cholbench -out BENCH_PR3.json                 # full suite
+//	cholbench -out BENCH_PR3.json -baseline-from BENCH_old.json
 //	cholbench -smoke                              # <60s sanity run for CI
 //	cholbench -gobench -out suite.json            # also print benchstat text
 package main
@@ -28,6 +30,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/graph"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/simulator"
 	"repro/internal/sweep"
@@ -72,13 +75,17 @@ func fullBoundCases() []boundCase {
 
 func main() {
 	smoke := flag.Bool("smoke", false, "reduced <60s suite: run, sanity-check, write nothing")
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
 	baselineFrom := flag.String("baseline-from", "", "previous suite JSON whose results become this run's embedded baseline")
 	note := flag.String("note", "", "free-form note stored in the suite")
 	gobench := flag.Bool("gobench", false, "also print results in Go benchmark text format (for benchstat)")
 	flag.Parse()
 
 	simCases, boundCases := fullSimCases(), fullBoundCases()
+	recCases := []simCase{
+		{p: 16, sched: "dmda", iters: 20},
+		{p: 64, sched: "dmda", iters: 3},
+	}
 	if *smoke {
 		simCases = []simCase{
 			{p: 16, sched: "dmda", iters: 3},
@@ -90,6 +97,7 @@ func main() {
 			{p: 32, name: "area-int", iters: 3, run: bounds.AreaInt},
 			{p: 32, name: "mixed-int", iters: 3, run: bounds.MixedInt},
 		}
+		recCases = []simCase{{p: 16, sched: "dmda", iters: 3}}
 	}
 
 	suite := benchio.NewSuite("cholbench")
@@ -132,6 +140,47 @@ func main() {
 		}
 		r = r.WithMetric("sim_gflops", last.GFlops(flops)).
 			WithMetric("tasks_per_sec", float64(len(d.Tasks))/(r.NsPerOp/1e9))
+		suite.Add(r)
+		progress(r)
+	}
+
+	// The same event loop with the obs recorder attached. The sim/* cases
+	// above pin the nil-recorder fast path (comparable against PR2 via
+	// -baseline-from); these pin the recording overhead, with a reused
+	// recorder so steady-state capacity is measured, not first-run growth.
+	// The harness also enforces the observability contract: recording must
+	// not move a single task.
+	for _, c := range recCases {
+		d := graph.Cholesky(c.p)
+		s, err := core.NewScheduler(c.sched)
+		if err != nil {
+			fatal(err)
+		}
+		plain, err := simulator.Run(d, pf, s, simulator.Options{Seed: 42})
+		if err != nil {
+			fatal(err)
+		}
+		rec := obs.NewRecorder()
+		var last *simulator.Result
+		r := benchio.Measure(fmt.Sprintf("sim-recorded/P=%d/%s", c.p, c.sched), c.iters, func() {
+			rec.Reset()
+			s, err := core.NewScheduler(c.sched)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := simulator.Run(d, pf, s, simulator.Options{Seed: 42, Recorder: rec})
+			if err != nil {
+				fatal(err)
+			}
+			last = res
+		})
+		for id := range d.Tasks {
+			if last.Worker[id] != plain.Worker[id] || last.Start[id] != plain.Start[id] {
+				fatal(fmt.Errorf("cholbench: recording perturbed the P=%d/%s schedule at task %d", c.p, c.sched, id))
+			}
+		}
+		r = r.WithMetric("events", float64(rec.Events())).
+			WithMetric("mean_decision_depth", rec.MeanDecisionDepth())
 		suite.Add(r)
 		progress(r)
 	}

@@ -8,7 +8,8 @@
 //
 // Endpoints: POST /v1/bounds, POST /v1/simulate, POST /v1/sweep,
 // GET /v1/experiments, GET /v1/experiments/{id}, GET /v1/platforms,
-// GET /v1/schedulers, GET /metrics, GET /healthz, /debug/pprof/.
+// GET /v1/schedulers, GET /v1/runs, GET /v1/runs/{id},
+// GET /v1/runs/{id}/trace, GET /metrics, GET /healthz, /debug/pprof/.
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,13 +35,22 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent evaluation limit")
 	queue := flag.Int("queue", 64, "admission queue depth before shedding with 503")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline")
+	ledgerSize := flag.Int("ledger-size", 64, "run ledger capacity: recent evaluations inspectable via /v1/runs")
+	logJSON := flag.Bool("log-json", false, "emit request logs as JSON instead of logfmt-style text")
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
 
 	srv := service.New(service.Config{
 		CacheSize:      *cacheSize,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
+		LedgerSize:     *ledgerSize,
+		Logger:         slog.New(handler),
 	})
 
 	httpSrv := &http.Server{
@@ -53,8 +64,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("cholserved listening on %s (workers=%d queue=%d cache=%d timeout=%s)",
-		*addr, *workers, *queue, *cacheSize, *timeout)
+	log.Printf("cholserved listening on %s (workers=%d queue=%d cache=%d timeout=%s ledger=%d)",
+		*addr, *workers, *queue, *cacheSize, *timeout, *ledgerSize)
 
 	select {
 	case err := <-errCh:

@@ -12,12 +12,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/bounds"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/simulator"
 	"repro/internal/trace"
@@ -34,7 +36,10 @@ func main() {
 		seed     = flag.Int64("seed", 42, "RNG seed")
 		overhead = flag.Bool("overhead", false, "apply the runtime-overhead + jitter model (actual-mode substitute)")
 		traceFmt = flag.String("trace", "", "render the execution trace: ascii | svg | chrome (Trace Event JSON) | paje (ViTE)")
+		traceDec = flag.Bool("trace-decisions", false, "record scheduling decisions; -trace chrome then embeds per-candidate ECT terms and decision→span flow arrows")
 		explain  = flag.Bool("explain", false, "compare the schedule's per-class kernel placement with the mixed bound's LP optimum")
+		gap      = flag.Bool("explain-gap", false, "decompose makespan − mixed bound into named components (idle ramp, PCI stalls, starvation, drain, miscast work)")
+		gapJSON  = flag.Bool("explain-gap-json", false, "like -explain-gap but emit the attribution as JSON")
 		cp       = flag.Bool("cp", false, "also search a CP-style optimized static schedule and inject it")
 		cpBudget = flag.Int("cp-budget", 100000, "CP search node budget")
 	)
@@ -78,7 +83,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := core.SimulateDAG(ctx, d, fl, p, s, simulator.Options{Seed: *seed, Overhead: *overhead})
+	var rec *obs.Recorder
+	if *traceDec || *gap || *gapJSON {
+		rec = obs.NewRecorder()
+	}
+	rep, err := core.SimulateDAG(ctx, d, fl, p, s, simulator.Options{Seed: *seed, Overhead: *overhead, Recorder: rec})
 	if err != nil {
 		fatal(err)
 	}
@@ -102,6 +111,24 @@ func main() {
 			dev.Class, dev.Kind, dev.Scheduled, dev.LPOptimal)
 	}
 
+	if *gap || *gapJSON {
+		attr, err := obs.AttributeGap(d, p, rep.Result.Worker, rep.Result.BusySec,
+			rep.Result.Start, rep.Result.End, rep.Result.MakespanSec, rep.Result.TransferSec, rec)
+		if err != nil {
+			fatal(err)
+		}
+		if *gapJSON {
+			data, err := json.MarshalIndent(attr, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(data))
+		} else {
+			fmt.Println()
+			fmt.Print(attr.Render())
+		}
+	}
+
 	if *traceFmt != "" {
 		var labels []string
 		for _, c := range p.Classes {
@@ -117,7 +144,7 @@ func main() {
 		case "svg":
 			fmt.Print(g.SVG(1200, 22))
 		case "chrome":
-			data, err := g.ChromeTrace()
+			data, err := g.ChromeTraceWithDecisions(d, rep.Result, rec)
 			if err != nil {
 				fatal(err)
 			}

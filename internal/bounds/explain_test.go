@@ -1,9 +1,10 @@
-package bounds
+package bounds_test
 
 import (
 	"strings"
 	"testing"
 
+	"repro/internal/bounds"
 	"repro/internal/graph"
 	"repro/internal/platform"
 	"repro/internal/sched"
@@ -20,11 +21,11 @@ func TestExplainReproducesPaperTRSMObservation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex, err := Explain(d, p, r.Worker, r.BusySec, r.MakespanSec)
+	ex, err := bounds.Explain(d, p, r.Worker, r.BusySec, r.MakespanSec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var cpuTrsm ClassKindCell
+	var cpuTrsm bounds.ClassKindCell
 	for _, c := range ex.Cells {
 		if c.Class == "cpu" && c.Kind == graph.TRSM {
 			cpuTrsm = c
@@ -65,7 +66,7 @@ func TestExplainRenderAndDeviation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex, err := Explain(d, p, r.Worker, r.BusySec, r.MakespanSec)
+	ex, err := bounds.Explain(d, p, r.Worker, r.BusySec, r.MakespanSec)
 	if err != nil {
 		t.Fatal(err)
 	}

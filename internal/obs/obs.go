@@ -1,0 +1,151 @@
+// Package obs is the simulator's instrumentation subsystem: a typed,
+// allocation-conscious event recorder capturing *why* a dynamic scheduler
+// behaved the way it did, and a gap-attribution analysis decomposing the
+// distance between an executed schedule and the paper's mixed bound.
+//
+// The paper's entire Section V–VI argument is built on reading traces: the
+// Figure-12 Gantt charts and the §V-C3 analysis ("analyzing traces ...
+// reveals that both policies allocate very few TRSMs on CPUs") are what
+// justify the static hints and the mixed bound itself. A post-hoc Gantt
+// shows *what* dmda/dmdas did; the recorder keeps the per-candidate
+// completion-time terms, transfer timings and eviction pressure that the
+// event loop would otherwise discard, so the *why* survives the run.
+//
+// Design constraints, in order:
+//
+//   - a nil *Recorder is the off switch: every instrumentation site in the
+//     simulator is a single pointer check, so the PR2 allocation/op wins
+//     are preserved when tracing is off (pinned by cmd/cholbench);
+//   - events are concrete structs appended to per-kind slices — no
+//     interfaces, no maps on the hot path; decision candidates live in one
+//     shared backing slice indexed by (offset, length) pairs;
+//   - Reset keeps capacity, so a reused recorder reaches steady-state
+//     zero-allocation recording.
+package obs
+
+import "repro/internal/graph"
+
+// Ready marks a task becoming ready (all predecessors finished) and being
+// handed to the scheduler.
+type Ready struct {
+	TimeSec float64 `json:"time_sec"`
+	Task    int32   `json:"task"`
+}
+
+// Candidate is one worker considered by a scheduling decision, with the
+// estimated-completion-time terms the policy weighed (or would have
+// weighed) at that instant.
+type Candidate struct {
+	Worker       int32   `json:"worker"`
+	Class        int32   `json:"class"`
+	Chosen       bool    `json:"chosen"`
+	Infeasible   bool    `json:"infeasible,omitempty"`    // class has no implementation for the kernel
+	HintExcluded bool    `json:"hint_excluded,omitempty"` // a static hint forbids the class
+	ExecSec      float64 `json:"exec_sec"`                // estimated execution time
+	TransferSec  float64 `json:"transfer_sec"`            // estimated PCI transfer for missing tiles
+	QueueWaitSec float64 `json:"queue_wait_sec"`          // estimated wait behind the worker's queue
+	ECTSec       float64 `json:"ect_sec"`                 // estimated completion time (absolute)
+}
+
+// Decision is one scheduling decision: the chosen worker plus every
+// candidate's estimate terms. Candidates are stored in the recorder's
+// shared Candidates slice at [CandOff, CandOff+CandLen).
+type Decision struct {
+	TimeSec float64    `json:"time_sec"`
+	Task    int32      `json:"task"`
+	Kind    graph.Kind `json:"kind"`
+	Worker  int32      `json:"worker"` // chosen
+	CandOff int32      `json:"-"`
+	CandLen int32      `json:"-"`
+}
+
+// Transfer is one PCI tile hop (prefetch, host staging, or LRU write-back).
+type Transfer struct {
+	StartSec  float64 `json:"start_sec"`
+	EndSec    float64 `json:"end_sec"`
+	Tile      int32   `json:"tile"`
+	From      int32   `json:"from"` // memory node
+	To        int32   `json:"to"`   // memory node
+	Writeback bool    `json:"writeback,omitempty"`
+}
+
+// Eviction is one tile dropped from device memory by the LRU manager.
+type Eviction struct {
+	TimeSec   float64 `json:"time_sec"`
+	Node      int32   `json:"node"`
+	Tile      int32   `json:"tile"`
+	Writeback bool    `json:"writeback,omitempty"` // the drop forced a device→host copy
+}
+
+// Idle is one worker idle interval ending at a task start. StallSec is the
+// tail portion spent waiting for data transfers (the worker was otherwise
+// free to run); the rest is queue starvation.
+type Idle struct {
+	Worker   int32   `json:"worker"`
+	FromSec  float64 `json:"from_sec"`
+	ToSec    float64 `json:"to_sec"`
+	StallSec float64 `json:"stall_sec"`
+}
+
+// Recorder accumulates simulation events. The zero value is ready to use;
+// a nil *Recorder disables recording (the simulator's fast path).
+type Recorder struct {
+	Readies    []Ready
+	Decisions  []Decision
+	Candidates []Candidate // shared backing for Decision candidate ranges
+	Transfers  []Transfer
+	Evictions  []Eviction
+	Idles      []Idle
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// DecisionCandidates returns the candidate slice of one decision.
+func (r *Recorder) DecisionCandidates(d Decision) []Candidate {
+	return r.Candidates[d.CandOff : d.CandOff+d.CandLen]
+}
+
+// Reset drops all events but keeps the backing capacity, so a reused
+// recorder records without further allocation.
+func (r *Recorder) Reset() {
+	r.Readies = r.Readies[:0]
+	r.Decisions = r.Decisions[:0]
+	r.Candidates = r.Candidates[:0]
+	r.Transfers = r.Transfers[:0]
+	r.Evictions = r.Evictions[:0]
+	r.Idles = r.Idles[:0]
+}
+
+// Events returns the total number of recorded events (candidates are terms
+// of their decision, not separate events).
+func (r *Recorder) Events() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Readies) + len(r.Decisions) + len(r.Transfers) + len(r.Evictions) + len(r.Idles)
+}
+
+// EventCounts returns per-type event counts, keyed by the stable type names
+// used in metrics and reports. Nil-safe.
+func (r *Recorder) EventCounts() map[string]int {
+	if r == nil {
+		return nil
+	}
+	return map[string]int{
+		"ready":    len(r.Readies),
+		"decision": len(r.Decisions),
+		"transfer": len(r.Transfers),
+		"eviction": len(r.Evictions),
+		"idle":     len(r.Idles),
+	}
+}
+
+// MeanDecisionDepth returns the average number of candidates weighed per
+// decision — the "how contested was each placement" summary statistic.
+func (r *Recorder) MeanDecisionDepth() float64 {
+	if r == nil || len(r.Decisions) == 0 {
+		return 0
+	}
+	return float64(len(r.Candidates)) / float64(len(r.Decisions))
+}

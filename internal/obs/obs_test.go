@@ -1,0 +1,202 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+func run(t *testing.T, p *platform.Platform, s sched.Scheduler, tiles int, rec *obs.Recorder) (*graph.DAG, *simulator.Result) {
+	t.Helper()
+	d := graph.Cholesky(tiles)
+	r, err := simulator.Run(d, p, s, simulator.Options{Seed: 42, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, r
+}
+
+func TestRecorderCapturesEvents(t *testing.T) {
+	p := platform.Mirage()
+	rec := obs.NewRecorder()
+	d, r := run(t, p, sched.NewDMDA(), 8, rec)
+
+	if got, want := len(rec.Decisions), len(d.Tasks); got != want {
+		t.Fatalf("decisions %d, want one per task (%d)", got, want)
+	}
+	if got, want := len(rec.Readies), len(d.Tasks); got != want {
+		t.Fatalf("readies %d, want %d", got, want)
+	}
+	for i, dec := range rec.Decisions {
+		if int(dec.Worker) != r.Worker[dec.Task] {
+			t.Fatalf("decision %d chose worker %d, result ran task %d on %d",
+				i, dec.Worker, dec.Task, r.Worker[dec.Task])
+		}
+		cands := rec.DecisionCandidates(dec)
+		if len(cands) != p.Workers() {
+			t.Fatalf("decision %d weighed %d candidates, want all %d workers", i, len(cands), p.Workers())
+		}
+		chosen := 0
+		for _, c := range cands {
+			if c.Chosen {
+				chosen++
+				if c.Worker != dec.Worker {
+					t.Fatalf("decision %d: chosen flag on worker %d, decision says %d", i, c.Worker, dec.Worker)
+				}
+				if c.Infeasible {
+					t.Fatalf("decision %d chose an infeasible worker", i)
+				}
+			}
+			if !c.Infeasible && !c.HintExcluded && c.ECTSec < dec.TimeSec-1e-12 {
+				t.Fatalf("decision %d: candidate ECT %g before decision time %g", i, c.ECTSec, dec.TimeSec)
+			}
+		}
+		if chosen != 1 {
+			t.Fatalf("decision %d: %d candidates marked chosen", i, chosen)
+		}
+	}
+	if len(rec.Transfers) == 0 {
+		t.Fatal("mirage run recorded no PCI transfers")
+	}
+	if r.TransferCount != len(rec.Transfers) {
+		t.Fatalf("recorder saw %d transfers, result counted %d", len(rec.Transfers), r.TransferCount)
+	}
+	var transferSec float64
+	for _, tr := range rec.Transfers {
+		if tr.EndSec < tr.StartSec {
+			t.Fatalf("transfer ends before it starts: %+v", tr)
+		}
+		transferSec += tr.EndSec - tr.StartSec
+	}
+	if math.Abs(transferSec-r.TransferSec) > 1e-9 {
+		t.Fatalf("recorded transfer time %g, result %g", transferSec, r.TransferSec)
+	}
+
+	counts := rec.EventCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != rec.Events() {
+		t.Fatalf("EventCounts sums to %d, Events() %d", total, rec.Events())
+	}
+	if depth := rec.MeanDecisionDepth(); depth != float64(p.Workers()) {
+		t.Fatalf("mean decision depth %g, want %d", depth, p.Workers())
+	}
+
+	rec.Reset()
+	if rec.Events() != 0 || len(rec.Candidates) != 0 {
+		t.Fatalf("Reset left %d events, %d candidates", rec.Events(), len(rec.Candidates))
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var rec *obs.Recorder
+	if rec.Events() != 0 {
+		t.Fatal("nil recorder reports events")
+	}
+	if rec.EventCounts() != nil {
+		t.Fatal("nil recorder reports counts")
+	}
+	if rec.MeanDecisionDepth() != 0 {
+		t.Fatal("nil recorder reports depth")
+	}
+}
+
+// samplePlatformArgs supplies one concrete argument per parameterized
+// registry entry, so the attribution identity is exercised on every
+// registered platform shape.
+var samplePlatformArgs = map[string]string{
+	"homogeneous": "4",
+	"related":     "20",
+}
+
+// TestAttributionSumsToGap is the acceptance identity: for every registered
+// platform, the attribution components must sum to makespan − MixedBound
+// within 1e-9.
+func TestAttributionSumsToGap(t *testing.T) {
+	for _, e := range core.Platforms() {
+		name := e.Name
+		if e.Param != "" {
+			arg, ok := samplePlatformArgs[e.Name]
+			if !ok {
+				t.Fatalf("no sample argument for parameterized platform %q — add one", e.Name)
+			}
+			name = e.Name + ":" + arg
+		}
+		t.Run(name, func(t *testing.T) {
+			p, err := core.NewPlatform(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, withRec := range []bool{false, true} {
+				var rec *obs.Recorder
+				if withRec {
+					rec = obs.NewRecorder()
+				}
+				d, r := run(t, p, sched.NewDMDAS(), 10, rec)
+				a, err := obs.AttributeGap(d, p, r.Worker, r.BusySec, r.Start, r.End,
+					r.MakespanSec, r.TransferSec, rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if diff := math.Abs(a.Sum() - a.GapSec); diff > 1e-9 {
+					t.Fatalf("recorder=%v: components sum to %g, gap %g (off by %g)",
+						withRec, a.Sum(), a.GapSec, diff)
+				}
+				if a.GapSec < -1e-9 {
+					t.Fatalf("recorder=%v: negative gap %g — schedule beat the bound", withRec, a.GapSec)
+				}
+				if a.CriticalClass == "" {
+					t.Fatal("no critical class named")
+				}
+			}
+		})
+	}
+}
+
+func TestAttributionRenderAndJSON(t *testing.T) {
+	p := platform.Mirage()
+	rec := obs.NewRecorder()
+	d, r := run(t, p, sched.NewDMDA(), 8, rec)
+	a, err := obs.AttributeGap(d, p, r.Worker, r.BusySec, r.Start, r.End,
+		r.MakespanSec, r.TransferSec, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Render()
+	for _, want := range []string{"gap attribution", "cp-wait", "pci-stall", "starvation", "drain", "miscast-work", "bound-slack", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatalf("attribution must marshal (no ±Inf/NaN fields): %v", err)
+	}
+	var back obs.Attribution
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.GapSec != a.GapSec || len(back.Components) != len(a.Components) {
+		t.Fatal("attribution did not round-trip through JSON")
+	}
+}
+
+func TestAttributionRejectsShortRecord(t *testing.T) {
+	p := platform.Mirage()
+	d, r := run(t, p, sched.NewDMDA(), 4, nil)
+	_, err := obs.AttributeGap(d, p, r.Worker[:1], r.BusySec, r.Start, r.End,
+		r.MakespanSec, r.TransferSec, nil)
+	if err == nil {
+		t.Fatal("truncated execution record accepted")
+	}
+}

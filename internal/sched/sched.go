@@ -78,6 +78,18 @@ type ClassRestricter interface {
 	AllowedClasses(t *graph.Task) []int
 }
 
+// CostModel is an optional Scheduler extension exposing the shape of the
+// policy's completion-time objective, so decision tracing (internal/obs via
+// the simulator) records the same terms the policy actually weighed. A
+// policy that does not implement it is traced with the full dmda-level
+// estimate (transfer included).
+type CostModel interface {
+	// UsesTransfer reports whether estimated transfer time enters the
+	// completion-time objective (the dm* data-aware family) or is ignored
+	// (dmda-nocomm).
+	UsesTransfer() bool
+}
+
 // Gater is an optional Scheduler extension: a scheduler implementing it can
 // hold a queued task back even when its worker is idle. Exact static-schedule
 // injection uses this to enforce the planned per-worker execution order —
@@ -137,6 +149,9 @@ func NewDMDASAvgPrio() Scheduler {
 
 func (s *dm) Name() string  { return s.name }
 func (s *dm) Ordered() bool { return s.sorted }
+
+// UsesTransfer exposes the data-awareness of the objective (sched.CostModel).
+func (s *dm) UsesTransfer() bool { return s.useComm }
 
 func (s *dm) Init(d *graph.DAG, p *platform.Platform, seed int64) {
 	if !s.sorted {

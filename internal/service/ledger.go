@@ -1,0 +1,119 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simulator"
+)
+
+// The run ledger is the service's flight recorder: a bounded in-memory
+// store of recent simulate evaluations, each under a stable ID, keeping the
+// full simulator result (and, for recorded runs, the obs event stream) so
+// the trace and gap-attribution endpoints can reconstruct *why* a schedule
+// looked the way it did after the fact. Capacity is a ring: the oldest
+// entry is dropped when a new one would exceed it.
+
+// RunEntry is one ledgered evaluation.
+type RunEntry struct {
+	ID        string
+	CreatedAt time.Time
+	Request   SimulateRequest
+	Response  *SimulateResponse
+	Result    *simulator.Result
+	Recorder  *obs.Recorder // nil unless the request asked for decision recording
+}
+
+// RunSummary is the list-view projection of a ledger entry.
+type RunSummary struct {
+	ID          string  `json:"id"`
+	CreatedAt   string  `json:"created_at"` // RFC 3339, UTC
+	Platform    string  `json:"platform"`
+	Scheduler   string  `json:"scheduler"`
+	Algorithm   string  `json:"algorithm"`
+	Tiles       int     `json:"tiles"`
+	MakespanSec float64 `json:"makespan_sec"`
+	Efficiency  float64 `json:"efficiency"`
+	Recorded    bool    `json:"recorded"`
+	Events      int     `json:"events,omitempty"`
+}
+
+// Ledger is a concurrency-safe bounded run store.
+type Ledger struct {
+	mu      sync.Mutex
+	cap     int
+	seq     uint64
+	entries []*RunEntry // oldest first
+}
+
+// NewLedger returns a ledger holding at most capacity runs (minimum 1).
+func NewLedger(capacity int) *Ledger {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ledger{cap: capacity}
+}
+
+// Add stores a run and returns its assigned ID.
+func (l *Ledger) Add(e *RunEntry) string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.ID = fmt.Sprintf("run-%06d", l.seq)
+	l.entries = append(l.entries, e)
+	if len(l.entries) > l.cap {
+		// Drop the oldest; shift rather than reslice so the backing array
+		// does not pin evicted results (and their recorders) alive.
+		copy(l.entries, l.entries[1:])
+		l.entries[len(l.entries)-1] = nil
+		l.entries = l.entries[:len(l.entries)-1]
+	}
+	return e.ID
+}
+
+// Get returns the entry with the given ID, or false.
+func (l *Ledger) Get(id string) (*RunEntry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.entries {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// List returns summaries of all resident runs, newest first.
+func (l *Ledger) List() []RunSummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]RunSummary, 0, len(l.entries))
+	for i := len(l.entries) - 1; i >= 0; i-- {
+		out = append(out, summarize(l.entries[i]))
+	}
+	return out
+}
+
+// Len returns the number of resident runs.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+func summarize(e *RunEntry) RunSummary {
+	return RunSummary{
+		ID:          e.ID,
+		CreatedAt:   e.CreatedAt.UTC().Format(time.RFC3339),
+		Platform:    e.Request.Platform,
+		Scheduler:   e.Response.Scheduler,
+		Algorithm:   e.Response.Algorithm,
+		Tiles:       e.Request.Tiles,
+		MakespanSec: e.Response.MakespanSec,
+		Efficiency:  e.Response.Efficiency,
+		Recorded:    e.Recorder != nil,
+		Events:      e.Recorder.Events(),
+	}
+}

@@ -176,3 +176,7 @@ func fmtFloat(v float64) string {
 
 // DefBuckets are the request-latency histogram bounds in seconds.
 var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// DepthBuckets are the decision-depth histogram bounds: candidate workers
+// weighed per scheduling decision (platforms top out at a few dozen workers).
+var DepthBuckets = []float64{1, 2, 4, 8, 12, 16, 24, 32, 64}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// Run-ledger endpoints: every computed (non-cache-hit) simulation is
+// ledgered, so the service can answer not only "how fast was it" but "why" —
+// gap attribution against the mixed bound on the detail view, and the full
+// execution trace (with per-decision candidate costs when the run was
+// recorded) on the trace view.
+
+func notFound(err error) error { return &apiError{status: http.StatusNotFound, err: err} }
+
+// RunDetail is the full view of one ledgered run.
+type RunDetail struct {
+	RunSummary
+	Request           SimulateRequest   `json:"request"`
+	Response          *SimulateResponse `json:"response"`
+	EventCounts       map[string]int    `json:"event_counts,omitempty"`
+	MeanDecisionDepth float64           `json:"mean_decision_depth,omitempty"`
+	Attribution       *obs.Attribution  `json:"gap_attribution"`
+}
+
+func (s *Server) handleRunList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ledger.List(), false)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.ledger.Get(id)
+	if !ok {
+		writeErr(w, notFound(fmt.Errorf("service: run %q not in the ledger (bounded to %d entries)", id, s.cfg.LedgerSize)))
+		return
+	}
+	d, p, err := s.rebuild(e)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res := e.Result
+	attr, err := obs.AttributeGap(d, p, res.Worker, res.BusySec, res.Start, res.End,
+		res.MakespanSec, res.TransferSec, e.Recorder)
+	if err != nil {
+		writeErr(w, fmt.Errorf("service: gap attribution for %s: %w", id, err))
+		return
+	}
+	detail := &RunDetail{
+		RunSummary:  summarize(e),
+		Request:     e.Request,
+		Response:    e.Response,
+		Attribution: attr,
+	}
+	if e.Recorder != nil {
+		detail.EventCounts = e.Recorder.EventCounts()
+		detail.MeanDecisionDepth = e.Recorder.MeanDecisionDepth()
+	}
+	writeJSON(w, detail, false)
+}
+
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.ledger.Get(id)
+	if !ok {
+		writeErr(w, notFound(fmt.Errorf("service: run %q not in the ledger (bounded to %d entries)", id, s.cfg.LedgerSize)))
+		return
+	}
+	d, p, err := s.rebuild(e)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var labels []string
+	for _, c := range p.Classes {
+		for i := 0; i < c.Count; i++ {
+			labels = append(labels, fmt.Sprintf("%s%d", c.Name, i))
+		}
+	}
+	g := trace.FromSimulation(d, p.Workers(), labels, e.Result)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "chrome":
+		data, err := g.ChromeTraceWithDecisions(d, e.Result, e.Recorder)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case "paje":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, g.Paje())
+	case "gantt":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, g.ASCII(100, nil))
+	default:
+		writeErr(w, badRequest(fmt.Errorf("service: unknown trace format %q (chrome | paje | gantt)", format)))
+	}
+}
+
+// rebuild reconstructs the DAG and platform a ledgered run executed on; both
+// come from registries, so reconstruction is deterministic and cheap relative
+// to storing them per entry.
+func (s *Server) rebuild(e *RunEntry) (d *graph.DAG, p *platform.Platform, err error) {
+	p, err = core.NewPlatform(e.Request.Platform)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: rebuilding run platform: %w", err)
+	}
+	d, err = core.DAGByAlgorithm(e.Request.Algorithm, e.Request.Tiles)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: rebuilding run DAG: %w", err)
+	}
+	return d, p, nil
+}

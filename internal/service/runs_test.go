@@ -1,0 +1,149 @@
+package service
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+func getOK(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return resp
+}
+
+// TestRunLedgerEndpoints is the run-ledger acceptance path: a recorded
+// simulation becomes inspectable as a summary list entry, a gap-attributed
+// detail view, and a loadable Chrome trace.
+func TestRunLedgerEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Platform: "mirage", Scheduler: "dmda", Tiles: 8, Seed: 1, Record: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("response missing X-Request-ID")
+	}
+	sim := decodeBody[SimulateResponse](t, resp)
+	if sim.RunID == "" {
+		t.Fatal("computed simulation did not return a run_id")
+	}
+
+	list := decodeBody[[]RunSummary](t, getOK(t, ts.URL+"/v1/runs"))
+	if len(list) != 1 || list[0].ID != sim.RunID {
+		t.Fatalf("run list %+v, want the one ledgered run %s", list, sim.RunID)
+	}
+	if !list[0].Recorded || list[0].Events == 0 {
+		t.Fatalf("run %s should be recorded with events: %+v", sim.RunID, list[0])
+	}
+
+	detail := decodeBody[RunDetail](t, getOK(t, ts.URL+"/v1/runs/"+sim.RunID))
+	if detail.Attribution == nil {
+		t.Fatal("run detail missing gap attribution")
+	}
+	a := detail.Attribution
+	if diff := math.Abs(a.Sum() - a.GapSec); diff > 1e-9 {
+		t.Fatalf("attribution components sum to %g, gap %g (off by %g)", a.Sum(), a.GapSec, diff)
+	}
+	if detail.EventCounts["decision"] == 0 || detail.MeanDecisionDepth <= 0 {
+		t.Fatalf("recorded run detail missing decision events: %+v", detail.EventCounts)
+	}
+
+	// The chrome trace must load as a trace-event document covering every
+	// task of the DAG.
+	tresp := getOK(t, ts.URL+"/v1/runs/"+sim.RunID+"/trace?format=chrome")
+	data, err := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := tresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("chrome trace Content-Type %q", ct)
+	}
+	g, err := trace.ParseChromeTrace(data)
+	if err != nil {
+		t.Fatalf("chrome trace endpoint emitted an unloadable document: %v", err)
+	}
+	if want := len(graph.Cholesky(8).Tasks); len(g.Spans) != want {
+		t.Fatalf("chrome trace has %d execution spans, want %d", len(g.Spans), want)
+	}
+
+	for _, format := range []string{"paje", "gantt"} {
+		fr := getOK(t, ts.URL+"/v1/runs/"+sim.RunID+"/trace?format="+format)
+		body, _ := io.ReadAll(fr.Body)
+		fr.Body.Close()
+		if len(body) == 0 {
+			t.Fatalf("%s trace is empty", format)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/runs/" + sim.RunID + "/trace?format=bogus"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus format: %d, want 400", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/runs/run-999999"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run: %d, want 404", resp.StatusCode)
+	}
+
+	if v := s.Metrics().CounterValue("cholserved_sim_events_total", Labels{"type": "decision"}); v <= 0 {
+		t.Fatalf("cholserved_sim_events_total{type=decision} = %v, want > 0", v)
+	}
+}
+
+// TestRunLedgerBounded verifies eviction: the ledger keeps only the newest
+// LedgerSize runs, and cache hits do not mint new entries.
+func TestRunLedgerBounded(t *testing.T) {
+	s, ts := newTestServer(t, Config{LedgerSize: 2})
+	var ids []string
+	for _, tiles := range []int{4, 5, 6} {
+		resp := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+			Platform: "mirage", Scheduler: "dmda", Tiles: tiles, Seed: 1,
+		})
+		ids = append(ids, decodeBody[SimulateResponse](t, resp).RunID)
+	}
+	if s.Ledger().Len() != 2 {
+		t.Fatalf("ledger holds %d runs, want 2", s.Ledger().Len())
+	}
+	if _, ok := s.Ledger().Get(ids[0]); ok {
+		t.Fatalf("oldest run %s should have been evicted", ids[0])
+	}
+	if _, ok := s.Ledger().Get(ids[2]); !ok {
+		t.Fatalf("newest run %s missing", ids[2])
+	}
+
+	// A repeat of the last request hits the cache: same run_id, no new entry.
+	resp := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Platform: "mirage", Scheduler: "dmda", Tiles: 6, Seed: 1,
+	})
+	if got := decodeBody[SimulateResponse](t, resp).RunID; got != ids[2] {
+		t.Fatalf("cache hit returned run_id %s, want %s", got, ids[2])
+	}
+	if s.Ledger().Len() != 2 {
+		t.Fatalf("cache hit grew the ledger to %d", s.Ledger().Len())
+	}
+
+	// Unrecorded runs are ledgered too, flagged as such.
+	summaries := s.Ledger().List()
+	for _, sm := range summaries {
+		if sm.Recorded || sm.Events != 0 {
+			t.Fatalf("unrecorded run summarized as recorded: %+v", sm)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/simulator"
 	"repro/internal/sweep"
@@ -46,6 +48,13 @@ type Config struct {
 	QueueDepth int
 	// RequestTimeout is the per-request evaluation deadline (default 30s).
 	RequestTimeout time.Duration
+	// LedgerSize bounds the run ledger: how many recent evaluations stay
+	// inspectable through /v1/runs (default 64).
+	LedgerSize int
+	// Logger receives one structured record per request (with request ID,
+	// status and latency). Nil discards records; request IDs are still
+	// assigned and echoed in X-Request-ID.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +70,12 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.LedgerSize <= 0 {
+		c.LedgerSize = 64
+	}
+	if c.Logger == nil {
+		c.Logger = discardLogger()
+	}
 	return c
 }
 
@@ -71,6 +86,7 @@ type Server struct {
 	flight  flightGroup
 	pool    *Pool
 	metrics *Metrics
+	ledger  *Ledger
 	mux     *http.ServeMux
 }
 
@@ -83,9 +99,12 @@ func New(cfg Config) *Server {
 	}
 	s.cache = NewLRU(s.cfg.CacheSize)
 	s.pool = NewPool(s.cfg.Workers, s.cfg.QueueDepth)
+	s.ledger = NewLedger(s.cfg.LedgerSize)
 
 	s.metrics.GaugeFunc("cholserved_cache_entries", "Entries resident in the result cache.",
 		func() float64 { return float64(s.cache.Len()) })
+	s.metrics.GaugeFunc("cholserved_ledger_runs", "Evaluations resident in the run ledger.",
+		func() float64 { return float64(s.ledger.Len()) })
 	s.metrics.GaugeFunc("cholserved_queue_depth", "Admitted requests waiting for a worker slot.",
 		func() float64 { return float64(s.pool.QueueDepth()) })
 	s.metrics.GaugeFunc("cholserved_active_workers", "Evaluations currently holding a worker slot.",
@@ -98,6 +117,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("/v1/experiments/{id}", s.handleExperiment))
 	s.mux.HandleFunc("GET /v1/platforms", s.instrument("/v1/platforms", s.handlePlatforms))
 	s.mux.HandleFunc("GET /v1/schedulers", s.instrument("/v1/schedulers", s.handleSchedulers))
+	s.mux.HandleFunc("GET /v1/runs", s.instrument("/v1/runs", s.handleRunList))
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.instrument("/v1/runs/{id}", s.handleRun))
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.instrument("/v1/runs/{id}/trace", s.handleRunTrace))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -114,8 +136,12 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the mounted routes.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the mounted routes wrapped in the request-logging
+// middleware (request IDs + one slog record per request).
+func (s *Server) Handler() http.Handler { return withLogging(s.cfg.Logger, s.mux) }
+
+// Ledger exposes the run ledger (tests assert entries directly).
+func (s *Server) Ledger() *Ledger { return s.ledger }
 
 // Metrics exposes the registry (tests scrape it directly).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -129,11 +155,18 @@ func (s *Server) Cache() *LRU { return s.cache }
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // instrument wraps a handler with the per-request timeout, the latency
@@ -308,6 +341,11 @@ type SimulateRequest struct {
 	Seed         int64  `json:"seed,omitempty"`
 	Overhead     bool   `json:"overhead,omitempty"`
 	WorkStealing bool   `json:"work_stealing,omitempty"`
+	// Record attaches the obs event recorder: the run's scheduling decisions
+	// (with every candidate's completion-time terms), transfers, evictions
+	// and idle intervals become inspectable through /v1/runs/{id}. Recording
+	// never changes the schedule.
+	Record bool `json:"record,omitempty"`
 }
 
 // SimulateResponse summarizes the run against the mixed bound.
@@ -326,6 +364,10 @@ type SimulateResponse struct {
 	Evictions     int     `json:"evictions"`
 	Writebacks    int     `json:"writebacks"`
 	StallSec      float64 `json:"stall_sec"`
+	// RunID names the ledger entry of the evaluation that produced this
+	// response. Cache hits replay the ID assigned when the run was computed;
+	// the entry itself may have aged out of the bounded ledger by then.
+	RunID string `json:"run_id,omitempty"`
 }
 
 func (r SimulateRequest) normalize() (SimulateRequest, error) {
@@ -344,7 +386,8 @@ func (r SimulateRequest) normalize() (SimulateRequest, error) {
 func (r SimulateRequest) key(fp string) string {
 	return requestKey("simulate", fp, r.Scheduler, r.Algorithm,
 		strconv.Itoa(r.Tiles), strconv.FormatInt(r.Seed, 10),
-		strconv.FormatBool(r.Overhead), strconv.FormatBool(r.WorkStealing))
+		strconv.FormatBool(r.Overhead), strconv.FormatBool(r.WorkStealing),
+		strconv.FormatBool(r.Record))
 }
 
 // simulateOnce resolves and runs one simulation request (the shared compute
@@ -365,13 +408,30 @@ func (s *Server) simulateOnce(ctx context.Context, req SimulateRequest, p *platf
 	if err != nil {
 		return nil, badRequest(err)
 	}
+	var rec *obs.Recorder
+	if req.Record {
+		rec = obs.NewRecorder()
+	}
 	rep, err := core.SimulateDAG(ctx, d, fl, p, sch, simulator.Options{
 		Seed: req.Seed, Overhead: req.Overhead, WorkStealing: req.WorkStealing,
+		Recorder: rec,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &SimulateResponse{
+	if rec != nil {
+		for typ, n := range rec.EventCounts() {
+			s.metrics.CounterAdd("cholserved_sim_events_total",
+				"Simulator events captured by the obs recorder, by type.",
+				Labels{"type": typ}, float64(n))
+		}
+		for _, dec := range rec.Decisions {
+			s.metrics.Observe("cholserved_decision_depth",
+				"Candidate workers weighed per scheduling decision.",
+				nil, DepthBuckets, float64(dec.CandLen))
+		}
+	}
+	resp := &SimulateResponse{
 		Platform:      req.Platform,
 		Scheduler:     rep.Scheduler,
 		Algorithm:     req.Algorithm,
@@ -386,7 +446,15 @@ func (s *Server) simulateOnce(ctx context.Context, req SimulateRequest, p *platf
 		Evictions:     rep.Result.Evictions,
 		Writebacks:    rep.Result.Writebacks,
 		StallSec:      rep.Result.StallSec,
-	}, nil
+	}
+	resp.RunID = s.ledger.Add(&RunEntry{
+		CreatedAt: time.Now(),
+		Request:   req,
+		Response:  resp,
+		Result:    rep.Result,
+		Recorder:  rec,
+	})
+	return resp, nil
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {

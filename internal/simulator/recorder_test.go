@@ -1,0 +1,77 @@
+package simulator
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// TestRecorderDoesNotPerturbSchedule is the observability contract: running
+// with the obs recorder attached must produce a bit-identical schedule to
+// running without it, for every policy family the decision capture touches.
+func TestRecorderDoesNotPerturbSchedule(t *testing.T) {
+	p := platform.Mirage()
+	d := graph.Cholesky(16)
+	builders := map[string]func() sched.Scheduler{
+		"dmda":        func() sched.Scheduler { return sched.NewDMDA() },
+		"dmdas":       func() sched.Scheduler { return sched.NewDMDAS() },
+		"dmdar":       func() sched.Scheduler { return sched.NewDMDAR() },
+		"dmda-nocomm": func() sched.Scheduler { return sched.NewDMDANoComm() },
+		"random":      func() sched.Scheduler { return sched.NewRandom() },
+		"greedy":      func() sched.Scheduler { return sched.NewGreedy() },
+	}
+	for name, mk := range builders {
+		t.Run(name, func(t *testing.T) {
+			plain, err := Run(d, p, mk(), Options{Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := obs.NewRecorder()
+			traced, err := Run(d, p, mk(), Options{Seed: 42, Recorder: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.MakespanSec != traced.MakespanSec {
+				t.Fatalf("makespan changed: %v vs %v", plain.MakespanSec, traced.MakespanSec)
+			}
+			for id := range d.Tasks {
+				if plain.Worker[id] != traced.Worker[id] {
+					t.Fatalf("task %d moved from worker %d to %d under recording",
+						id, plain.Worker[id], traced.Worker[id])
+				}
+				if plain.Start[id] != traced.Start[id] || plain.End[id] != traced.End[id] {
+					t.Fatalf("task %d timing changed under recording: [%v,%v] vs [%v,%v]",
+						id, plain.Start[id], plain.End[id], traced.Start[id], traced.End[id])
+				}
+			}
+			if rec.Events() == 0 {
+				t.Fatal("recorder attached but captured nothing")
+			}
+		})
+	}
+}
+
+// TestRecorderReuseAcrossRuns exercises the Reset/steady-state contract: a
+// reused recorder must capture the same event counts on a repeated run.
+func TestRecorderReuseAcrossRuns(t *testing.T) {
+	p := platform.Mirage()
+	d := graph.Cholesky(8)
+	rec := obs.NewRecorder()
+	if _, err := Run(d, p, sched.NewDMDA(), Options{Seed: 7, Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	first := rec.EventCounts()
+	rec.Reset()
+	if _, err := Run(d, p, sched.NewDMDA(), Options{Seed: 7, Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	second := rec.EventCounts()
+	for k, v := range first {
+		if second[k] != v {
+			t.Fatalf("event counts drifted on reuse: %s %d vs %d", k, v, second[k])
+		}
+	}
+}

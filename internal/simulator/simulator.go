@@ -34,6 +34,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 )
@@ -51,6 +52,11 @@ type Options struct {
 	// are honoured via sched.ClassRestricter; static injections
 	// (sched.Gater implementations) are never stolen from.
 	WorkStealing bool
+	// Recorder, when non-nil, captures task-ready, scheduling-decision
+	// (with every candidate's completion-time terms), transfer, eviction
+	// and worker-idle events as the run unfolds. Recording never changes
+	// the schedule; nil keeps the event loop allocation-free.
+	Recorder *obs.Recorder
 }
 
 // Result is the outcome of one simulated execution.
@@ -214,6 +220,8 @@ type state struct {
 	ordered bool
 	gater   sched.Gater
 	restr   sched.ClassRestricter
+	costm   sched.CostModel
+	rec     *obs.Recorder
 	hop     float64 // per-tile PCI hop time
 	nNodes  int
 	nTiles  int
@@ -331,6 +339,8 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 	st.ordered = s.Ordered()
 	st.gater, _ = s.(sched.Gater)
 	st.restr, _ = s.(sched.ClassRestricter)
+	st.costm, _ = s.(sched.CostModel)
+	st.rec = opt.Recorder
 
 	// Index every footprint tile densely, and record each task's footprint
 	// as tile indices. All tiles start valid on the host node.
@@ -533,6 +543,7 @@ func (st *state) evictIfNeeded(node int) {
 			return
 		}
 		lb := victim * st.nNodes
+		wroteBack := false
 		if st.locCount[victim] == 1 && st.loc[lb+node] {
 			if st.p.Bus.Enabled {
 				// Sole copy: write back to the host before dropping.
@@ -541,6 +552,12 @@ func (st *state) evictIfNeeded(node int) {
 				st.res.TransferSec += st.hop
 				st.res.TransferCount++
 				st.res.Writebacks++
+				wroteBack = true
+				if st.rec != nil {
+					st.rec.Transfers = append(st.rec.Transfers, obs.Transfer{
+						StartSec: start, EndSec: start + st.hop, Tile: int32(victim),
+						From: int32(node), To: 0, Writeback: true})
+				}
 			}
 			st.loc[lb] = true // the host holds the surviving copy
 			st.locCount[victim]++
@@ -551,7 +568,52 @@ func (st *state) evictIfNeeded(node int) {
 		}
 		st.removeResident(node, victim)
 		st.res.Evictions++
+		if st.rec != nil {
+			st.rec.Evictions = append(st.rec.Evictions, obs.Eviction{
+				TimeSec: st.now, Node: int32(node), Tile: int32(victim), Writeback: wroteBack})
+		}
 	}
+}
+
+// recordDecision captures the scheduling decision for t: the chosen worker
+// plus every candidate's estimated-completion-time terms, computed from the
+// same pre-prefetch state the scheduler's Assign just observed. Read-only —
+// the schedule is bit-identical with recording on or off.
+func (st *state) recordDecision(t *graph.Task, chosen int) {
+	rec := st.rec
+	rec.Readies = append(rec.Readies, obs.Ready{TimeSec: st.now, Task: int32(t.ID)})
+	useComm := true // unknown policies: record the full dmda-level estimate
+	if st.costm != nil {
+		useComm = st.costm.UsesTransfer()
+	}
+	var allowedCls []int
+	if st.restr != nil {
+		allowedCls = st.restr.AllowedClasses(t)
+	}
+	off := int32(len(rec.Candidates))
+	for w := 0; w < st.p.Workers(); w++ {
+		class := st.p.WorkerClass(w)
+		c := obs.Candidate{Worker: int32(w), Class: int32(class), Chosen: w == chosen}
+		if exec := st.ExecTime(w, t); math.IsInf(exec, 1) {
+			c.Infeasible = true
+		} else {
+			c.ExecSec = exec
+			c.TransferSec = st.TransferEstimate(w, t)
+			c.QueueWaitSec = math.Max(st.estFree[w], st.now) - st.now
+			c.ECTSec = st.now + c.QueueWaitSec + exec
+			if useComm {
+				c.ECTSec += c.TransferSec
+			}
+		}
+		if allowedCls != nil && !containsInt(allowedCls, class) {
+			c.HintExcluded = true
+		}
+		rec.Candidates = append(rec.Candidates, c)
+	}
+	rec.Decisions = append(rec.Decisions, obs.Decision{
+		TimeSec: st.now, Task: int32(t.ID), Kind: t.Kind, Worker: int32(chosen),
+		CandOff: off, CandLen: int32(len(rec.Candidates)) - off,
+	})
 }
 
 // assign routes a freshly ready task through the scheduler to a worker queue
@@ -560,6 +622,9 @@ func (st *state) assign(t *graph.Task) {
 	w := st.s.Assign(st, t)
 	if w < 0 || w >= st.p.Workers() {
 		panic(fmt.Sprintf("simulator: scheduler assigned task %s to invalid worker %d", t.Name(), w))
+	}
+	if st.rec != nil {
+		st.recordDecision(t, w)
 	}
 	st.pinFootprint(t, st.p.MemoryNode(w), 1)
 	ready := st.prefetch(t, w)
@@ -610,6 +675,10 @@ func (st *state) prefetch(t *graph.Task, w int) float64 {
 			st.linkFree[src] = avail
 			st.res.TransferSec += st.hop
 			st.res.TransferCount++
+			if st.rec != nil {
+				st.rec.Transfers = append(st.rec.Transfers, obs.Transfer{
+					StartSec: start, EndSec: avail, Tile: int32(ti), From: int32(src), To: 0})
+			}
 		} else if st.loc[base] {
 			// Host → device over the target device's link.
 			start := math.Max(st.now, st.linkFree[node])
@@ -617,6 +686,10 @@ func (st *state) prefetch(t *graph.Task, w int) float64 {
 			st.linkFree[node] = avail
 			st.res.TransferSec += st.hop
 			st.res.TransferCount++
+			if st.rec != nil {
+				st.rec.Transfers = append(st.rec.Transfers, obs.Transfer{
+					StartSec: start, EndSec: avail, Tile: int32(ti), From: 0, To: int32(node)})
+			}
 		} else {
 			// Device → host → device: two hops on two links.
 			src := st.sourceNode(ti)
@@ -630,6 +703,11 @@ func (st *state) prefetch(t *graph.Task, w int) float64 {
 			st.res.TransferCount += 2
 			st.loc[base] = true // the host keeps the staged copy
 			st.locCount[ti]++
+			if st.rec != nil {
+				st.rec.Transfers = append(st.rec.Transfers,
+					obs.Transfer{StartSec: s1, EndSec: e1, Tile: int32(ti), From: int32(src), To: 0},
+					obs.Transfer{StartSec: s2, EndSec: avail, Tile: int32(ti), From: 0, To: int32(node)})
+			}
 		}
 		st.loc[base+node] = true
 		st.locCount[ti]++
@@ -736,6 +814,14 @@ func (st *state) tryStartAll(events *eventHeap) {
 			avail := math.Max(st.now, st.workerFree[w])
 			start := math.Max(avail, st.dataReady[t.ID])
 			st.res.StallSec += start - avail
+			if st.rec != nil && start > st.workerFree[w] {
+				// The interval since the worker's previous completion (or
+				// the run start) was idle; its tail beyond avail was a data
+				// stall.
+				st.rec.Idles = append(st.rec.Idles, obs.Idle{
+					Worker: int32(w), FromSec: st.workerFree[w], ToSec: start,
+					StallSec: start - avail})
+			}
 			exec := st.ExecTime(w, t)
 			if st.opt.Overhead {
 				exec = st.jittered(exec, t.ID) + st.p.Overhead.PerTaskSec

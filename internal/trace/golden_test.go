@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current behaviour")
+
+// The golden files pin the byte-exact exporter output for the fixed P=8
+// dmda run on Mirage. They fail on any observable change to the simulator's
+// schedule, the recorder's event stream, or the exporters' encoding —
+// regenerate consciously with -update (mirroring internal/check).
+
+func goldenRun(t *testing.T) (*graph.DAG, *simulator.Result, *obs.Recorder, *Gantt) {
+	t.Helper()
+	p := platform.Mirage()
+	d := graph.Cholesky(8)
+	rec := obs.NewRecorder()
+	r, err := simulator.Run(d, p, sched.NewDMDA(), simulator.Options{Seed: 1, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, r, rec, FromSimulation(d, p.Workers(), labels(p), r)
+}
+
+func checkGolden(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(data))
+		return
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(golden, data) {
+		t.Fatalf("%s differs from golden output — simulator or exporter behaviour changed", path)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	_, _, _, g := goldenRun(t)
+	data, err := g.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "testdata/chrome_p8_dmda.golden.json", data)
+}
+
+func TestChromeTraceWithDecisionsGolden(t *testing.T) {
+	d, r, rec, g := goldenRun(t)
+	data, err := g.ChromeTraceWithDecisions(d, r, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "testdata/chrome_decisions_p8_dmda.golden.json", data)
+
+	// The decorated trace must stay loadable by the plain parser: decision
+	// instants, flow arrows and link lanes are skipped, execution spans kept.
+	back, err := ParseChromeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != len(g.Spans) {
+		t.Fatalf("parsed %d spans from decorated trace, want %d", len(back.Spans), len(g.Spans))
+	}
+}
+
+func TestPajeGolden(t *testing.T) {
+	_, _, _, g := goldenRun(t)
+	checkGolden(t, "testdata/paje_p8_dmda.golden.trace", []byte(g.Paje()))
+}

@@ -24,10 +24,15 @@ type ProfilePoint struct {
 }
 
 // ReadyProfile samples the ready/running counts at `samples` uniform points
-// across the makespan of a simulated execution.
+// across the makespan of a simulated execution. Fewer than two samples are
+// clamped to two (one point per makespan endpoint): the timestamp formula
+// divides by samples−1, and a single sample would yield 0/0 → NaN.
 func ReadyProfile(d *graph.DAG, r *simulator.Result, samples int) []ProfilePoint {
 	if samples <= 0 {
 		samples = 100
+	}
+	if samples < 2 {
+		samples = 2
 	}
 	out := make([]ProfilePoint, 0, samples)
 	for s := 0; s < samples; s++ {

@@ -1,0 +1,27 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestReadyProfileSingleSample is the regression for the samples==1 case:
+// the timestamp formula divides by samples−1, which used to produce 0/0 →
+// NaN timestamps. The count is clamped to two points instead.
+func TestReadyProfileSingleSample(t *testing.T) {
+	d, _, r := simulate(t, sched.NewDMDA())
+	pr := ReadyProfile(d, r, 1)
+	if len(pr) != 2 {
+		t.Fatalf("samples=1 returned %d points, want clamp to 2", len(pr))
+	}
+	for i, p := range pr {
+		if math.IsNaN(p.Time) || math.IsInf(p.Time, 0) {
+			t.Fatalf("point %d has non-finite time %v", i, p.Time)
+		}
+	}
+	if pr[0].Time != 0 || pr[1].Time != r.MakespanSec {
+		t.Fatalf("clamped profile spans [%v, %v], want [0, %v]", pr[0].Time, pr[1].Time, r.MakespanSec)
+	}
+}
