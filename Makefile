@@ -1,4 +1,4 @@
-.PHONY: build test verify bench bench-pinned serve
+.PHONY: build test lint verify bench bench-pinned serve
 
 build:
 	go build ./...
@@ -6,7 +6,15 @@ build:
 test:
 	go test ./...
 
-# Tier-1 gate (ROADMAP.md): build + vet + race-enabled tests + cholbench smoke.
+# chollint: the repo's domain-specific static-analysis suite (determinism,
+# hot-path allocation, context and recorder plumbing — see internal/analysis).
+# Also runnable through the stock vet driver:
+#   go build -o bin/chollint ./cmd/chollint && go vet -vettool=$$PWD/bin/chollint ./...
+lint:
+	go run ./cmd/chollint ./...
+
+# Tier-1 gate (ROADMAP.md): build + vet + chollint + race-enabled tests +
+# cholbench smoke.
 verify:
 	./scripts/verify.sh
 

@@ -175,7 +175,9 @@ func main() {
 			last = res
 		})
 		for id := range d.Tasks {
-			if last.Worker[id] != plain.Worker[id] || last.Start[id] != plain.Start[id] {
+			// Bit-equality is the point: recording must not perturb the
+			// schedule by even one ulp.
+			if last.Worker[id] != plain.Worker[id] || last.Start[id] != plain.Start[id] { //chollint:floateq
 				fatal(fmt.Errorf("cholbench: recording perturbed the P=%d/%s schedule at task %d", c.p, c.sched, id))
 			}
 		}

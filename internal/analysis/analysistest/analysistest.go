@@ -1,0 +1,157 @@
+// Package analysistest runs a chollint analyzer over a testdata package and
+// checks its diagnostics against `// want` comments, mirroring the
+// golang.org/x/tools analysistest convention:
+//
+//	for k := range m { // want `range over map`
+//
+// Each string after `want` (Go-quoted or backquoted) is a regexp that must
+// match exactly one diagnostic on that line; diagnostics and expectations
+// must match one-to-one.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Run loads ./testdata/src/<pkgRel> (relative to the calling test's
+// directory) and applies the analyzer, reporting unmet expectations and
+// unexpected diagnostics through t.
+func Run(t *testing.T, a *analysis.Analyzer, pkgRel string) {
+	t.Helper()
+	pattern := "./" + filepath.ToSlash(filepath.Join("testdata", "src", pkgRel))
+	pkgs, err := load.Packages([]string{pattern})
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading %s: got %d packages, want 1", pattern, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := posKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		if !consumeWant(wants[key], d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", key.file, key.line, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func consumeWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, pkg *load.Package) map[posKey][]*want {
+	t.Helper()
+	out := map[posKey][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey{filepath.Base(pos.Filename), pos.Line}
+				for _, pat := range parseWantPatterns(c.Text[idx+len("want "):]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", key.file, key.line, pat, err)
+					}
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseWantPatterns extracts the quoted/backquoted regexps after "want".
+func parseWantPatterns(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			// Find the closing quote, honoring escapes, then Unquote.
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return out
+			}
+			q, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return out
+			}
+			out = append(out, q)
+			s = s[end+1:]
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// Fprint is a debugging helper: the rendered diagnostics of one run.
+func Fprint(diags []analysis.Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		fmt.Fprintln(&sb, d)
+	}
+	return sb.String()
+}

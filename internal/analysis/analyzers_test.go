@@ -1,0 +1,52 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDetranged(t *testing.T) {
+	analysistest.Run(t, analysis.Detranged, "detranged/internal/simulator")
+}
+
+// TestDetrangedOutsideCore checks the deterministic-core gate: the same
+// order-sensitive loop shape draws no diagnostic outside the core packages.
+func TestDetrangedOutsideCore(t *testing.T) {
+	analysistest.Run(t, analysis.Detranged, "detranged/notcore")
+}
+
+func TestNoclock(t *testing.T) {
+	analysistest.Run(t, analysis.Noclock, "noclock/internal/sched")
+}
+
+func TestHotpathalloc(t *testing.T) {
+	analysistest.Run(t, analysis.Hotpathalloc, "hotpathalloc/hot")
+}
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysis.Ctxflow, "ctxflow/flow")
+}
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, analysis.Floateq, "floateq/feq")
+}
+
+func TestRecnil(t *testing.T) {
+	analysistest.Run(t, analysis.Recnil, "recnil/use")
+}
+
+func TestByName(t *testing.T) {
+	all, err := analysis.ByName("")
+	if err != nil || len(all) != 6 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 6", len(all), err)
+	}
+	two, err := analysis.ByName("detranged, floateq")
+	if err != nil || len(two) != 2 || two[0].Name != "detranged" || two[1].Name != "floateq" {
+		t.Fatalf("ByName(\"detranged, floateq\") = %v, err %v", two, err)
+	}
+	if _, err := analysis.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(\"nosuch\") succeeded; want error")
+	}
+}

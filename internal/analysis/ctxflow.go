@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow catches context-plumbing gaps: a function that already has a
+// context.Context in scope (a ctx parameter, or an *http.Request whose
+// Context method is the handler idiom) must thread it to its callees, not
+// mint a fresh root with context.Background()/context.TODO(). A fresh root
+// silently detaches the callee from cancellation — exactly the pre-PR-1 bug
+// where HTTP deadlines never reached the simulator event loop, so a hung
+// sweep outlived its request.
+//
+// Deliberate detachment (a shutdown routine that must outlive the request
+// that triggered it) is annotated //chollint:ctx.
+var Ctxflow = &Analyzer{
+	Name:     "ctxflow",
+	Doc:      "forbids context.Background/TODO where a live context is in scope",
+	Suppress: "ctx",
+	Run:      runCtxflow,
+}
+
+var ctxRootFuncs = map[string]bool{"Background": true, "TODO": true}
+
+func runCtxflow(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			src := contextSource(pass, fd.Type)
+			if src == "" {
+				continue
+			}
+			checkCtxBody(pass, fd.Name.Name, src, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkCtxBody walks a function body (including nested literals, which
+// capture the enclosing context) flagging fresh context roots.
+func checkCtxBody(pass *Pass, fname, src string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := isPkgFunc(pass.TypesInfo, call, "context", ctxRootFuncs); ok {
+			pass.Reportf(call.Pos(),
+				"context.%s in %s, which already has %s in scope: pass it (or a context derived from it) so cancellation propagates",
+				name, fname, src)
+		}
+		return true
+	})
+}
+
+// contextSource returns a description of the live context available to a
+// function with this signature, or "" if none: a non-blank context.Context
+// parameter, or an *http.Request parameter (r.Context()).
+func contextSource(pass *Pass, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, f := range ft.Params.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		if isNamedType(t, "context", "Context") {
+			if name := paramName(f); name != "" {
+				return name
+			}
+		}
+		if p, ok := t.(*types.Pointer); ok && isNamedType(p.Elem(), "net/http", "Request") {
+			if name := paramName(f); name != "" {
+				return name + ".Context()"
+			}
+		}
+	}
+	return ""
+}
+
+func paramName(f *ast.Field) string {
+	for _, n := range f.Names {
+		if n.Name != "_" {
+			return n.Name
+		}
+	}
+	return ""
+}
+
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

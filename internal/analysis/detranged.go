@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detranged flags `range` over a map inside the deterministic core. Go
+// randomizes map iteration order per run, so any map-range whose body is
+// order-sensitive makes schedules, bounds, or error selection differ
+// between two runs of the same seed — exactly what the golden-digest tests
+// exist to forbid, caught here at vet time instead.
+//
+// A loop body is accepted without annotation when it is provably
+// order-insensitive:
+//
+//   - it only collects keys into a slice for later sorting
+//     (`ks = append(ks, k)` — the sortedKeys idiom);
+//   - it only writes through the key (`other[k] = v`, `delete(other, k)`):
+//     map keys are distinct, so per-key effects commute;
+//   - it only accumulates with commutative integer ops (`n++`, `n += v`,
+//     bitwise or/and/xor) — float accumulation is NOT exempt, because
+//     float addition does not associate and the rounding would depend on
+//     iteration order;
+//   - it only tracks an extremum (`if best < v { best = v }`) or sets a
+//     flag to a constant.
+//
+// Anything else needs sorted-key iteration or an explicit
+// `//chollint:ordered` escape with a justification.
+var Detranged = &Analyzer{
+	Name:     "detranged",
+	Doc:      "forbids order-sensitive map iteration in the deterministic core",
+	Suppress: "ordered",
+	Run:      runDetranged,
+}
+
+func runDetranged(pass *Pass) error {
+	if !isDeterministicCore(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitiveBody(pass, rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s in deterministic-core package %s: iteration order is randomized per run; iterate sorted keys, or annotate //chollint:ordered with a justification",
+				render(pass.Fset, rs.X), pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// orderInsensitiveBody reports whether every statement of the range body is
+// one of the recognized commuting forms described on Detranged.
+func orderInsensitiveBody(pass *Pass, rs *ast.RangeStmt) bool {
+	key, _ := rs.Key.(*ast.Ident)
+	for _, s := range rs.Body.List {
+		if !commutingStmt(pass, s, key) {
+			return false
+		}
+	}
+	return true
+}
+
+func commutingStmt(pass *Pass, s ast.Stmt, key *ast.Ident) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return commutingAssign(pass, s, key)
+	case *ast.IncDecStmt:
+		// x++ adds the same constant once per element: the final value is
+		// independent of visit order for every numeric type.
+		return isNumeric(pass, s.X)
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		// delete(other, anything): deletions of a key set commute.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			return false
+		}
+		if isExtremumUpdate(pass, s) {
+			return true
+		}
+		for _, b := range s.Body.List {
+			if !commutingStmt(pass, b, key) {
+				return false
+			}
+		}
+		switch e := s.Else.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			for _, b := range e.List {
+				if !commutingStmt(pass, b, key) {
+					return false
+				}
+			}
+		case *ast.IfStmt:
+			return commutingStmt(pass, e, key)
+		default:
+			return false
+		}
+		return true
+	case *ast.BlockStmt:
+		for _, b := range s.List {
+			if !commutingStmt(pass, b, key) {
+				return false
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	}
+	return false
+}
+
+func commutingAssign(pass *Pass, s *ast.AssignStmt, key *ast.Ident) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// ks = append(ks, k): the collect-keys idiom (sorted afterwards).
+		if call, ok := rhs.(*ast.CallExpr); ok && isAppendToSelf(pass, lhs, call) {
+			if len(call.Args) == 2 && key != nil && isIdent(call.Args[1], key) {
+				return true
+			}
+			return false
+		}
+		// other[k] = v: per-key writes commute (map keys are distinct).
+		if idx, ok := lhs.(*ast.IndexExpr); ok && key != nil && isIdent(idx.Index, key) {
+			return true
+		}
+		// flag = <constant>: idempotent, commutes.
+		if pass.TypesInfo.Types[rhs].Value != nil || isBoolLit(rhs) {
+			return true
+		}
+		return false
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// other[k] op= v commutes per-key regardless of element type.
+		if idx, ok := lhs.(*ast.IndexExpr); ok && key != nil && isIdent(idx.Index, key) {
+			return true
+		}
+		// Scalar accumulation commutes only over integers: float rounding
+		// depends on summation order.
+		return isInteger(pass, lhs)
+	}
+	return false
+}
+
+// isExtremumUpdate matches `if x < e { x = e }` (any strict/loose ordering):
+// a max/min fold, order-insensitive even for floats.
+func isExtremumUpdate(pass *Pass, s *ast.IfStmt) bool {
+	cmp, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	asg, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	x := render(pass.Fset, asg.Lhs[0])
+	e := render(pass.Fset, asg.Rhs[0])
+	cx := render(pass.Fset, cmp.X)
+	cy := render(pass.Fset, cmp.Y)
+	return (cx == x && cy == e) || (cx == e && cy == x)
+}
+
+func isAppendToSelf(pass *Pass, lhs ast.Expr, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return len(call.Args) >= 1 && render(pass.Fset, call.Args[0]) == render(pass.Fset, lhs)
+}
+
+func isIdent(e ast.Expr, id *ast.Ident) bool {
+	x, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && x.Name == id.Name
+}
+
+func isBoolLit(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && (id.Name == "true" || id.Name == "false")
+}
+
+func isNumeric(pass *Pass, e ast.Expr) bool {
+	b, ok := pass.TypesInfo.TypeOf(e).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+func isInteger(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

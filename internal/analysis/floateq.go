@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Floateq flags == and != between floating-point values. Makespans and
+// bounds are sums of thousands of float64 kernel timings; two arithmetically
+// equal quantities computed along different paths differ in the last ulp,
+// so exact comparison is either a latent bug or an exactness claim that
+// belongs next to a tolerance. internal/check owns the tolerance helpers
+// (and the golden-digest tests assert bit-equality on purpose), so that
+// package and _test.go files are exempt.
+//
+// Comparison against a constant zero is exempt: `den == 0` before a
+// division and `hop == 0` sentinels test an exact representable value by
+// design, and flagging them would bury the real signal (two computed
+// quantities compared for equality). Other legitimate exact comparisons —
+// tie-breaking on identical stored values in a sort comparator, a
+// bit-equality assertion in a determinism harness — are annotated
+// //chollint:floateq.
+var Floateq = &Analyzer{
+	Name:     "floateq",
+	Doc:      "flags exact ==/!= on floats outside the tolerance helpers",
+	Suppress: "floateq",
+	Run:      runFloateq,
+}
+
+func runFloateq(pass *Pass) error {
+	if path := pass.Pkg.Path(); path == "internal/check" || strings.HasSuffix(path, "/internal/check") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo.TypeOf(be.X)) || !isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+				return true
+			}
+			if isConstZero(pass, be.X) || isConstZero(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"exact float comparison %s %s %s: use the tolerance helpers in internal/check (or annotate //chollint:floateq if bit-exactness is intended)",
+				render(pass.Fset, be.X), be.Op, render(pass.Fset, be.Y))
+			return true
+		})
+	}
+	return nil
+}
+
+// isConstZero reports whether the expression is a compile-time constant
+// equal to zero (0, 0.0, a zero-valued named constant).
+func isConstZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	f := constant.ToFloat(tv.Value)
+	if f.Kind() != constant.Float {
+		return false
+	}
+	v, _ := constant.Float64Val(f)
+	return v == 0 //chollint:floateq — exact constant test
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

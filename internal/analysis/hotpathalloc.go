@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpathalloc flags per-call allocation in functions annotated
+// `//chol:hotpath` — the simulator event loop, the LP pivot kernel, and the
+// other functions whose allocs/op are pinned by cmd/cholbench. The PR2
+// rewrite got these paths to amortized-zero allocation; this analyzer keeps
+// regressions (a stray fmt.Sprintf in a debug branch, a closure handed to
+// sort.Search, an unpreallocated append) from landing in the first place
+// rather than being caught by a benchmark diff after the fact.
+//
+// Flagged constructs:
+//
+//   - function literals (closures capture and usually escape);
+//   - slice/map composite literals, &T{...}, make, new;
+//   - append whose destination is a bare local declared without capacity —
+//     appends to struct fields or to make(_, _, cap)/[:0] locals are the
+//     amortized-reuse idiom and stay exempt;
+//   - any fmt.* call;
+//   - arguments boxed into interface parameters;
+//   - conversions to interfaces and string<->[]byte/[]rune conversions;
+//   - string concatenation.
+//
+// A deliberate slow-path line inside a hot function (error formatting on a
+// branch that aborts the run) is annotated //chollint:alloc.
+var Hotpathalloc = &Analyzer{
+	Name:     "hotpathalloc",
+	Doc:      "flags per-call allocation inside //chol:hotpath functions",
+	Suppress: "alloc",
+	Run:      runHotpathalloc,
+}
+
+// HotpathDirective is the doc-comment directive marking a function whose
+// allocs/op are pinned by the benchmark suite.
+const HotpathDirective = "chol:hotpath"
+
+func runHotpathalloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcDirective(fd.Doc, HotpathDirective) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// nonEscapingClosureCallees lists pkgPath.Func callees whose closure argument
+// provably does not escape (verified against the gc escape analysis): the
+// closure stays on the stack, so passing one is allocation-free.
+var nonEscapingClosureCallees = map[string]map[string]bool{
+	"sort": {"Search": true},
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	prealloc := preallocatedSlices(pass, fd)
+	stackClosures := nonEscapingClosureArgs(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if stackClosures[n] {
+				return true // stack-allocated; still check its body
+			}
+			pass.Reportf(n.Pos(), "function literal in hot path %s: closures capture and typically allocate per call", fd.Name.Name)
+			return false // inner allocations are subsumed by the closure report
+		case *ast.UnaryExpr:
+			if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+				pass.Reportf(n.Pos(), "&%s{...} in hot path %s allocates per call", typeLabel(pass, cl), fd.Name.Name)
+				return false
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in hot path %s allocates per call; hoist to a reused buffer", fd.Name.Name)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in hot path %s allocates per call; hoist to a reused map", fd.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass.TypesInfo.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "string concatenation in hot path %s allocates per call", fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n, prealloc)
+		}
+		return true
+	})
+}
+
+// nonEscapingClosureArgs collects function literals passed directly to a
+// callee in nonEscapingClosureCallees.
+func nonEscapingClosureArgs(pass *Pass, fd *ast.FuncDecl) map[*ast.FuncLit]bool {
+	out := map[*ast.FuncLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || !nonEscapingClosureCallees[fn.Pkg().Path()][fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+				out[fl] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool) {
+	info := pass.TypesInfo
+
+	// Conversions.
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		if types.IsInterface(dst.Underlying()) && src != nil && !types.IsInterface(src.Underlying()) {
+			pass.Reportf(call.Pos(), "conversion to interface %s in hot path %s boxes its operand (allocates)", dst, fd.Name.Name)
+		} else if isStringByteConv(dst, src) {
+			pass.Reportf(call.Pos(), "%s conversion in hot path %s copies and allocates per call", dst, fd.Name.Name)
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make in hot path %s allocates per call; hoist to setup or reuse a buffer", fd.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new in hot path %s allocates per call", fd.Name.Name)
+			case "append":
+				checkHotAppend(pass, fd, call, prealloc)
+			}
+			return
+		}
+	}
+
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path %s allocates (interface boxing + formatting) per call", fn.Name(), fd.Name.Name)
+		return
+	}
+
+	// Interface boxing at ordinary call sites.
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice: no boxing
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if isPointerShaped(at) {
+			continue // stored directly in the interface word: no allocation
+		}
+		pass.Reportf(arg.Pos(), "argument %s boxed into interface parameter in hot path %s (may allocate per call)",
+			render(pass.Fset, arg), fd.Name.Name)
+	}
+}
+
+// checkHotAppend flags append whose destination cannot be shown to reuse
+// capacity. Destinations rooted at a selector (struct field, e.g.
+// st.rec.Transfers) or an index of one follow the amortized-reuse idiom and
+// pass; bare locals pass only when declared with explicit capacity.
+func checkHotAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := ast.Unparen(call.Args[0])
+	for {
+		if idx, ok := dst.(*ast.IndexExpr); ok {
+			dst = ast.Unparen(idx.X)
+			continue
+		}
+		break
+	}
+	switch dst := dst.(type) {
+	case *ast.SelectorExpr:
+		return // field: capacity amortizes across calls
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[dst]
+		if obj == nil || prealloc[obj] || isParamOrGlobal(pass, fd, obj) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"append to %s in hot path %s may reallocate per call: preallocate with make(_, _, cap) or reslice a reused buffer to [:0]",
+			dst.Name, fd.Name.Name)
+	}
+}
+
+// preallocatedSlices collects local variables initialized with an explicit
+// capacity (3-arg make) or by reslicing an existing buffer ([:0]).
+func preallocatedSlices(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			switch rhs := ast.Unparen(asg.Rhs[i]).(type) {
+			case *ast.CallExpr:
+				if f, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok {
+					if b, ok := pass.TypesInfo.Uses[f].(*types.Builtin); ok && b.Name() == "make" && len(rhs.Args) == 3 {
+						out[obj] = true
+					}
+				}
+			case *ast.SliceExpr:
+				out[obj] = true // x[:0] reuse idiom
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isParamOrGlobal(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	if obj.Parent() == pass.Pkg.Scope() {
+		return true
+	}
+	for _, fl := range []*ast.FieldList{fd.Recv, fd.Type.Params, fd.Type.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if pass.TypesInfo.Defs[name] == obj {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func typeLabel(pass *Pass, cl *ast.CompositeLit) string {
+	if cl.Type != nil {
+		return render(pass.Fset, cl.Type)
+	}
+	return "composite"
+}
+
+// isPointerShaped reports whether values of t fit the interface data word
+// without an allocation: pointers, channels, maps, funcs, unsafe.Pointer.
+// (The runtime stores exactly the pointer-shaped kinds inline; everything
+// else — including word-sized integers — heap-allocates on conversion,
+// small-int interning aside.)
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringByteConv reports string([]byte), string([]rune), []byte(string),
+// []rune(string) — all copying conversions.
+func isStringByteConv(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}

@@ -1,0 +1,155 @@
+// Package load type-checks Go packages for chollint without any dependency
+// outside the standard library. Package discovery and dependency export
+// data both come from the go command (`go list -deps -export`), so loading
+// works offline, hits the build cache, and never compiles anything the
+// regular build would not.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+type listJSON struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// Packages loads every package matched by the go list patterns. The
+// matched packages are parsed and type-checked from source; their
+// dependencies are imported from the build cache's export data.
+func Packages(patterns []string) ([]*Package, error) {
+	targets, err := goList(append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(append([]string{"-deps", "-export", "-json=ImportPath,Export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, d := range deps {
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := TypeCheck(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = t.Dir
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// ExportLookup is the export-data resolver handed to the gc importer: it
+// maps an import path as written in source to a reader over compiler
+// export data.
+type ExportLookup func(path string) (io.ReadCloser, error)
+
+// Importer builds a caching gc-export-data importer over a lookup.
+func Importer(fset *token.FileSet, lookup ExportLookup) types.Importer {
+	return importer.ForCompiler(fset, "gc", importer.Lookup(lookup))
+}
+
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return Importer(fset, func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// TypeCheck parses the given files and type-checks them as one package,
+// resolving imports through imp. Hard type errors abort: chollint analyzes
+// only code that already compiles.
+func TypeCheck(fset *token.FileSet, importPath string, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return &Package{ImportPath: importPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func goList(args []string) ([]listJSON, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var out []listJSON
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listJSON
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

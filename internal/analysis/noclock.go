@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Noclock bans wall-clock reads and process-global randomness in the
+// deterministic core. The simulator's only clock is simulated time
+// (state.Now); the only legitimate randomness is a *rand.Rand seeded from
+// Options.Seed. A stray time.Now or package-level rand.Intn silently breaks
+// run-to-run reproducibility — the property every golden digest, the
+// SimGrid-fidelity argument, and the gap-attribution arithmetic depend on.
+//
+// Seeded construction (rand.New, rand.NewSource, rand.NewZipf) is allowed;
+// the process-global convenience functions and Seed are not. Wall-clock
+// reads in _test.go files (benchmarks) are exempt. Genuinely wall-clock
+// code (none exists in the core today) can annotate //chollint:realtime.
+var Noclock = &Analyzer{
+	Name:     "noclock",
+	Doc:      "bans wall-clock reads and unseeded randomness in the deterministic core",
+	Suppress: "realtime",
+	Run:      runNoclock,
+}
+
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// Package-level math/rand functions drawing from the process-global
+// (OS-seeded since Go 1.20) source. Constructors taking an explicit seed or
+// source are deliberately absent.
+var bannedRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+// math/rand/v2 renames; every top-level draw is unseeded by design.
+var bannedRandV2Funcs = map[string]bool{
+	"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "N": true,
+}
+
+func runNoclock(pass *Pass) error {
+	if !isDeterministicCore(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := isPkgFunc(pass.TypesInfo, call, "time", bannedTimeFuncs); ok {
+				pass.Reportf(call.Pos(),
+					"time.%s in deterministic-core package %s: simulated time only (state.Now); wall-clock reads make runs non-reproducible",
+					name, pass.Pkg.Name())
+			}
+			if name, ok := isPkgFunc(pass.TypesInfo, call, "math/rand", bannedRandFuncs); ok {
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the process-global source in deterministic-core package %s: use a *rand.Rand seeded from Options.Seed",
+					name, pass.Pkg.Name())
+			}
+			if name, ok := isPkgFunc(pass.TypesInfo, call, "math/rand/v2", bannedRandV2Funcs); ok {
+				pass.Reportf(call.Pos(),
+					"rand/v2.%s is unseedable in deterministic-core package %s: use math/rand's rand.New(rand.NewSource(seed))",
+					name, pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Recnil enforces the observability subsystem's off-switch contract: a nil
+// *obs.Recorder disables recording, so every field append and non-nil-safe
+// method call on a recorder must sit behind the nil fast-path check. The
+// simulator relies on this both for correctness (a nil recorder would panic
+// at the first recorded event) and for performance — the guard is what
+// keeps candidate structs from even being built when tracing is off, which
+// is how the PR2 allocs/op numbers survive with instrumentation compiled
+// in.
+//
+// Recognized guards, checked syntactically against the receiver expression
+// (e.g. "st.rec"):
+//
+//   - an enclosing `if st.rec != nil { ... }` (possibly &&-conjoined);
+//   - an earlier `if rec == nil { return }` in an enclosing block;
+//   - a local assignment from obs.NewRecorder() / &obs.Recorder{} in the
+//     same function (provably non-nil).
+//
+// Methods documented nil-safe (they begin with their own nil fast-path:
+// Events, EventCounts, MeanDecisionDepth) are exempt, as are the Recorder's
+// own method bodies. A site where non-nilness is known non-locally can
+// annotate //chollint:unguarded.
+var Recnil = &Analyzer{
+	Name:     "recnil",
+	Doc:      "requires the nil fast-path check around *obs.Recorder uses",
+	Suppress: "unguarded",
+	Run:      runRecnil,
+}
+
+// nilSafeRecorderMethods begin with their own `if r == nil` fast path.
+var nilSafeRecorderMethods = map[string]bool{
+	"Events":            true,
+	"EventCounts":       true,
+	"MeanDecisionDepth": true,
+}
+
+func runRecnil(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && isRecorderType(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)) {
+				continue // the Recorder's own methods define the contract
+			}
+			checkRecorderUses(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkRecorderUses(pass *Pass, fd *ast.FuncDecl) {
+	nonNil := locallyConstructedRecorders(pass, fd.Body)
+	var stack []ast.Node
+	stack = append(stack, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			checkRecorderSelector(pass, fd, sel, stack, nonNil)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func checkRecorderSelector(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr, stack []ast.Node, nonNil map[string]bool) {
+	if !isRecorderPtr(pass.TypesInfo.TypeOf(sel.X)) {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return // qualified identifier (obs.NewRecorder), not a selection
+	}
+	kind := "field"
+	switch selection.Kind() {
+	case types.MethodVal, types.MethodExpr:
+		if nilSafeRecorderMethods[sel.Sel.Name] {
+			return
+		}
+		kind = "method"
+	}
+	recv := render(pass.Fset, sel.X)
+	if nonNil[recv] || guardedNonNil(pass, recv, sel, stack) {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"%s %s.%s used without the recorder nil fast-path: wrap in `if %s != nil { ... }` (a nil *obs.Recorder is the documented off switch)",
+		kind, recv, sel.Sel.Name, recv)
+}
+
+// guardedNonNil reports whether the use site is dominated by a syntactic
+// nil check of recv: an enclosing `if recv != nil` then-branch, or an
+// earlier terminating `if recv == nil { return }` in an enclosing block.
+func guardedNonNil(pass *Pass, recv string, use ast.Node, stack []ast.Node) bool {
+	child := use
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			// Inside the then-branch of `if recv != nil && ...`.
+			if child == ast.Node(n.Body) && condAsserts(pass, n.Cond, recv, token.NEQ) {
+				return true
+			}
+		case *ast.BlockStmt:
+			for _, s := range n.List {
+				if s == child {
+					break
+				}
+				ifs, ok := s.(*ast.IfStmt)
+				if ok && condAsserts(pass, ifs.Cond, recv, token.EQL) && terminates(ifs.Body) {
+					return true
+				}
+			}
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// condAsserts reports whether cond contains `recv <op> nil` as the whole
+// condition or as a conjunct (op NEQ, under &&) / disjunct (op EQL, under
+// ||) — the forms under which the comparison is guaranteed to have held on
+// the relevant branch.
+func condAsserts(pass *Pass, cond ast.Expr, recv string, op token.Token) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if (op == token.NEQ && be.Op == token.LAND) || (op == token.EQL && be.Op == token.LOR) {
+		return condAsserts(pass, be.X, recv, op) || condAsserts(pass, be.Y, recv, op)
+	}
+	if be.Op != op {
+		return false
+	}
+	x, y := render(pass.Fset, be.X), render(pass.Fset, be.Y)
+	return (x == recv && y == "nil") || (y == recv && x == "nil")
+}
+
+// terminates reports whether a block's final statement leaves the enclosing
+// scope (return, continue, break, goto, or panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// locallyConstructedRecorders collects receiver renderings assigned from a
+// provably non-nil constructor in this function body.
+func locallyConstructedRecorders(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i := range asg.Lhs {
+			if nonNilRecorderExpr(pass, asg.Rhs[i]) {
+				out[render(pass.Fset, asg.Lhs[i])] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func nonNilRecorderExpr(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := calleeFunc(pass.TypesInfo, e)
+		return fn != nil && fn.Name() == "NewRecorder" && fn.Pkg() != nil && fn.Pkg().Name() == "obs"
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		cl, ok := e.X.(*ast.CompositeLit)
+		return ok && isRecorderType(pass.TypesInfo.TypeOf(cl))
+	}
+	return false
+}
+
+func isRecorderPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && isRecorderType(p.Elem())
+}
+
+// isRecorderType matches the obs.Recorder named type (by package name, so
+// the analyzer's testdata fixtures can declare their own obs package).
+func isRecorderType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Recorder" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}

@@ -1,0 +1,52 @@
+// Package flow exercises ctxflow: fresh context roots where a live context
+// is already in scope.
+package flow
+
+import (
+	"context"
+	"net/http"
+)
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+func freshRoot(ctx context.Context) error {
+	return run(context.Background()) // want `context.Background in freshRoot, which already has ctx in scope`
+}
+
+func freshTODO(ctx context.Context) error {
+	return run(context.TODO()) // want `context.TODO in freshTODO, which already has ctx in scope`
+}
+
+func threaded(ctx context.Context) error {
+	return run(ctx) // correct plumbing
+}
+
+func derived(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx) // deriving is correct too
+	defer cancel()
+	return run(sub)
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	_ = run(context.Background()) // want `context.Background in handler, which already has r.Context\(\) in scope`
+	_ = run(r.Context())
+}
+
+func noContextHere() error {
+	return run(context.Background()) // fine: nothing in scope to thread
+}
+
+func blankParam(_ context.Context) error {
+	return run(context.Background()) // fine: the context is unnamed, nothing usable in scope
+}
+
+func inClosure(ctx context.Context) func() error {
+	return func() error {
+		return run(context.Background()) // want `context.Background in inClosure`
+	}
+}
+
+func deliberateDetach(ctx context.Context) error {
+	// Shutdown work must outlive the triggering request.
+	return run(context.Background()) //chollint:ctx detaches on purpose
+}

@@ -1,0 +1,93 @@
+// Package simulator is a detranged fixture: its import path ends in
+// internal/simulator, so it sits inside the deterministic core.
+package simulator
+
+import "sort"
+
+func orderSensitive(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want `range over map m in deterministic-core package simulator`
+		out = append(out, v)
+	}
+	return out
+}
+
+func sortedKeysIdiom(m map[int]float64) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m { // collect-keys: sorted afterwards, order-insensitive
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+func perKeyWrites(src, dst map[int]float64) {
+	for k, v := range src { // per-key writes commute
+		dst[k] = v * 2
+	}
+}
+
+func perKeyDelete(src, dst map[int]bool) {
+	for k := range src { // deletions commute
+		delete(dst, k)
+	}
+}
+
+func integerAccumulation(m map[string]int) int {
+	n := 0
+	for _, v := range m { // integer += commutes exactly
+		n += v
+	}
+	return n
+}
+
+func counting(m map[string]int) int {
+	n := 0
+	for range m { // counting commutes
+		n++
+	}
+	return n
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `range over map m`
+		sum += v // float rounding depends on summation order
+	}
+	return sum
+}
+
+func extremum(m map[int]float64) float64 {
+	best := 0.0
+	for _, v := range m { // max fold: order-insensitive
+		if best < v {
+			best = v
+		}
+	}
+	return best
+}
+
+func flagSet(m map[int]bool) bool {
+	hit := false
+	for range m { // constant flag set: idempotent
+		hit = true
+	}
+	return hit
+}
+
+func escapedJustified(m map[int]float64) float64 {
+	sum := 0.0
+	//chollint:ordered summation feeds a digest that tolerates reordering here
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func sliceRangeFine(xs []float64) float64 {
+	sum := 0.0
+	for _, v := range xs { // slices iterate in order; not a map
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,11 @@
+// Package notcore is outside the deterministic core: detranged must stay
+// silent here even on an order-sensitive map range.
+package notcore
+
+func OrderSensitiveButOutsideCore(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m { // no diagnostic: package path is not core
+		out = append(out, v)
+	}
+	return out
+}

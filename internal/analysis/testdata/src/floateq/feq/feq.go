@@ -1,0 +1,43 @@
+// Package feq exercises floateq: exact ==/!= between floats.
+package feq
+
+const zeroGFlops = 0.0
+
+func computedEquality(a, b float64) bool {
+	return a == b // want `exact float comparison a == b`
+}
+
+func computedInequality(a, b float64) bool {
+	return a != b // want `exact float comparison a != b`
+}
+
+func exactZeroGuardFine(den float64) float64 {
+	if den == 0 { // constant-zero sentinel: exempt by design
+		return 0
+	}
+	return 1 / den
+}
+
+func namedZeroConstFine(x float64) bool {
+	return x == zeroGFlops // still a compile-time zero
+}
+
+func nonZeroConstFlagged(x float64) bool {
+	return x == 1.5 // want `exact float comparison x == 1.5`
+}
+
+func intComparisonFine(a, b int) bool {
+	return a == b // integers compare exactly
+}
+
+func orderingFine(a, b float64) bool {
+	return a < b // only == and != are flagged
+}
+
+func float32Flagged(a, b float32) bool {
+	return a == b // want `exact float comparison a == b`
+}
+
+func tieBreakEscaped(a, b float64) bool {
+	return a != b //chollint:floateq tie-break on identical stored slots
+}

@@ -1,0 +1,163 @@
+// Package hot exercises hotpathalloc: per-call allocation inside
+// //chol:hotpath-annotated functions, and the directive parsing itself.
+package hot
+
+import (
+	"fmt"
+	"sort"
+)
+
+type stats struct {
+	marks []float64
+	buf   []int
+}
+
+func sink(v any)         { _ = v }
+func sinkV(vs ...any)    { _ = vs }
+func sinkPtr(p *stats)   { _ = p }
+func sinkInts(xs []int)  { _ = xs }
+func helper(n int) []int { return make([]int, n) } // unannotated: allowed to allocate
+
+//chol:hotpath
+func makeFlagged(n int) []int {
+	return make([]int, n) // want `make in hot path makeFlagged allocates per call`
+}
+
+//chol:hotpath
+func newFlagged() *stats {
+	return new(stats) // want `new in hot path newFlagged allocates per call`
+}
+
+//chol:hotpath
+func ptrLitFlagged() *stats {
+	return &stats{} // want `in hot path ptrLitFlagged allocates per call`
+}
+
+//chol:hotpath
+func sliceLitFlagged() []int {
+	return []int{1, 2} // want `slice literal in hot path sliceLitFlagged allocates per call`
+}
+
+//chol:hotpath
+func mapLitFlagged() map[int]bool {
+	return map[int]bool{} // want `map literal in hot path mapLitFlagged allocates per call`
+}
+
+//chol:hotpath
+func structValueFine() stats {
+	return stats{} // a struct value is not a heap allocation
+}
+
+//chol:hotpath
+func concatFlagged(a, b string) string {
+	return a + b // want `string concatenation in hot path concatFlagged allocates per call`
+}
+
+//chol:hotpath
+func fmtFlagged(n int) {
+	fmt.Println(n) // want `fmt.Println in hot path fmtFlagged allocates`
+}
+
+//chol:hotpath
+func closureFlagged(xs []int) int {
+	f := func(i int) int { return xs[i] } // want `function literal in hot path closureFlagged`
+	return f(0)
+}
+
+//chol:hotpath
+func sortSearchClosureFine(xs []int, v int) int {
+	// sort.Search's predicate provably does not escape: stack-allocated.
+	return sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+}
+
+//chol:hotpath
+func appendBareLocalFlagged(n int) int {
+	var xs []int
+	for i := 0; i < n; i++ {
+		xs = append(xs, i) // want `append to xs in hot path appendBareLocalFlagged may reallocate`
+	}
+	return len(xs)
+}
+
+//chol:hotpath
+func appendToFieldFine(s *stats, t float64) {
+	s.marks = append(s.marks, t) // field capacity amortizes across calls
+}
+
+//chol:hotpath
+func appendPreallocatedFine(n int) int {
+	xs := make([]int, 0, 64) // want `make in hot path appendPreallocatedFine`
+	for i := 0; i < n; i++ {
+		xs = append(xs, i) // destination has explicit capacity: exempt
+	}
+	return len(xs)
+}
+
+//chol:hotpath
+func appendResliceFine(s *stats, n int) int {
+	buf := s.buf[:0] // the reuse idiom
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	s.buf = buf
+	return len(buf)
+}
+
+//chol:hotpath
+func appendToParamFine(xs []int, v int) []int {
+	return append(xs, v) // caller owns the capacity policy
+}
+
+//chol:hotpath
+func boxingFlagged(n int) {
+	sink(n) // want `argument n boxed into interface parameter in hot path boxingFlagged`
+}
+
+//chol:hotpath
+func boxingPointerFine(p *stats) {
+	sink(p) // pointer-shaped: stored directly in the interface word
+}
+
+//chol:hotpath
+func variadicForwardFine(vs []any) {
+	sinkV(vs...) // forwarding an existing slice: no boxing, no new backing array
+}
+
+//chol:hotpath
+func plainCallsFine(p *stats, xs []int) {
+	sinkPtr(p)    // concrete parameter types never box
+	sinkInts(xs)  // slices pass by header
+	_ = helper(1) // callee allocation is the callee's business (annotate it if hot)
+}
+
+//chol:hotpath
+func stringConvFlagged(bs []byte) string {
+	return string(bs) // want `string conversion in hot path stringConvFlagged copies and allocates`
+}
+
+//chol:hotpath
+func ifaceConvFlagged(n int) any {
+	return any(n) // want `conversion to interface`
+}
+
+//chol:hotpath with trailing prose after the directive still counts
+func directiveWithProse(n int) []int {
+	return make([]int, n) // want `make in hot path directiveWithProse`
+}
+
+// chol:hotpath — the space after // makes this prose, not a directive
+func spacedNotADirective(n int) []int {
+	return make([]int, n) // unannotated: no diagnostic
+}
+
+//chol:hotpathology is a different word entirely, not this directive
+func suffixedNotADirective(n int) []int {
+	return make([]int, n) // unannotated: no diagnostic
+}
+
+//chol:hotpath
+func deliberateSlowPath(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("hot: %v", err)) //chollint:alloc abort path
+	}
+}

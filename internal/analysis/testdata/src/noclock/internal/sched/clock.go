@@ -1,0 +1,40 @@
+// Package sched is a noclock fixture inside the deterministic core.
+package sched
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func wallClock() float64 {
+	t0 := time.Now() // want `time.Now in deterministic-core package sched`
+	defer func() {
+		_ = time.Since(t0) // want `time.Since in deterministic-core package sched`
+	}()
+	time.Sleep(time.Millisecond) // want `time.Sleep in deterministic-core package sched`
+	return float64(t0.Unix())
+}
+
+func globalRand() float64 {
+	x := rand.Float64() // want `rand.Float64 draws from the process-global source`
+	n := rand.Intn(10)  // want `rand.Intn draws from the process-global source`
+	return x + float64(n)
+}
+
+func globalRandV2() int {
+	return randv2.IntN(10) // want `rand/v2.IntN is unseedable`
+}
+
+func seededRandFine(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // seeded constructors are allowed
+	return rng.Float64()                  // method on a seeded *rand.Rand, not the global
+}
+
+func durationArithmeticFine(d time.Duration) time.Duration {
+	return d * 2 // using the time package's types is fine; only clock reads are banned
+}
+
+func escapedWallClock() time.Time {
+	return time.Now() //chollint:realtime progress logging, excluded from digests
+}

@@ -1,0 +1,22 @@
+// Package obs mirrors the real observability recorder's shape for the recnil
+// fixtures: a nil *Recorder is the documented off switch.
+package obs
+
+// Recorder accumulates trace events; nil disables recording.
+type Recorder struct {
+	Marks []float64
+}
+
+// NewRecorder returns an enabled recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Events is nil-safe by contract.
+func (r *Recorder) Events() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Marks)
+}
+
+// Mark records one event. NOT nil-safe: callers hold the fast-path check.
+func (r *Recorder) Mark(t float64) { r.Marks = append(r.Marks, t) }

@@ -1,0 +1,72 @@
+// Package use exercises recnil: *obs.Recorder uses must sit behind the nil
+// fast-path check.
+package use
+
+import "repro/internal/analysis/testdata/src/recnil/obs"
+
+type state struct {
+	rec *obs.Recorder
+	now float64
+}
+
+func unguardedField(st *state) {
+	st.rec.Marks = nil // want `field st.rec.Marks used without the recorder nil fast-path`
+}
+
+func unguardedAppend(st *state) {
+	st.rec.Marks = append(st.rec.Marks, st.now) // want `field st.rec.Marks used` `field st.rec.Marks used`
+}
+
+func unguardedMethod(st *state) {
+	st.rec.Mark(st.now) // want `method st.rec.Mark used without the recorder nil fast-path`
+}
+
+func nilSafeMethodFine(st *state) int {
+	return st.rec.Events() // Events carries its own nil fast path
+}
+
+func guarded(st *state) {
+	if st.rec != nil {
+		st.rec.Marks = nil
+		st.rec.Mark(st.now)
+	}
+}
+
+func guardedConjoined(st *state) {
+	if st.rec != nil && st.now > 0 {
+		st.rec.Mark(st.now)
+	}
+}
+
+func elseBranchNotGuarded(st *state) {
+	if st.rec != nil {
+		st.rec.Mark(st.now)
+	} else {
+		st.rec.Marks = nil // want `field st.rec.Marks used without the recorder nil fast-path`
+	}
+}
+
+func earlyReturnGuard(st *state) {
+	rec := st.rec
+	if rec == nil {
+		return
+	}
+	rec.Mark(st.now)
+	rec.Marks = nil
+}
+
+func locallyConstructed(now float64) int {
+	rec := obs.NewRecorder() // provably non-nil
+	rec.Mark(now)
+	return rec.Events()
+}
+
+func locallyConstructedLiteral(now float64) *obs.Recorder {
+	rec := &obs.Recorder{}
+	rec.Mark(now)
+	return rec
+}
+
+func knownNonNilElsewhere(st *state) {
+	st.rec.Mark(st.now) //chollint:unguarded caller checked; see run() precondition
+}

@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/simulator"
+)
+
+// TestPublicAPICancellationPropagates proves the context threads from the
+// public core API all the way into the simulator event loop and the CP
+// branch-and-bound — the plumbing the ctxflow analyzer front-runs: a
+// context.Background() minted anywhere along this path would make these
+// calls run to completion instead of failing with context.Canceled.
+func TestPublicAPICancellationPropagates(t *testing.T) {
+	p := platform.Mirage()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	s, err := core.NewScheduler("dmda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Simulate(ctx, 16, p, s, simulator.Options{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("core.Simulate with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := core.OptimizeSchedule(ctx, 8, p, 50); !errors.Is(err, context.Canceled) {
+		t.Errorf("core.OptimizeSchedule with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}

@@ -222,7 +222,8 @@ func (s *solver) dfs(maxFinish float64) {
 	// Candidates: top-Beam ready tasks by (bottom level, then ID).
 	cands := append([]int{}, s.ready...)
 	sort.Slice(cands, func(a, b int) bool {
-		if s.blFast[cands[a]] != s.blFast[cands[b]] {
+		// Tie-break on the exact stored bottom levels, then task ID.
+		if s.blFast[cands[a]] != s.blFast[cands[b]] { //chollint:floateq
 			return s.blFast[cands[a]] > s.blFast[cands[b]]
 		}
 		return cands[a] < cands[b]
@@ -361,7 +362,8 @@ func replayComm(d *graph.DAG, p *platform.Platform, plan *sched.StaticSchedule, 
 	for w := range queues {
 		ids := queues[w].ids
 		sort.SliceStable(ids, func(a, b int) bool {
-			if plan.Start[ids[a]] != plan.Start[ids[b]] {
+			// Tie-break on the exact stored plan times, then task ID.
+			if plan.Start[ids[a]] != plan.Start[ids[b]] { //chollint:floateq
 				return plan.Start[ids[a]] < plan.Start[ids[b]]
 			}
 			return ids[a] < ids[b]

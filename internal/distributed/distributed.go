@@ -140,7 +140,8 @@ type evHeap []event
 
 func (h evHeap) Len() int { return len(h) }
 func (h evHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
+	// Tie-break on the exact stored times, then the sequence number.
+	if h[i].time != h[j].time { //chollint:floateq
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq

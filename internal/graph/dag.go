@@ -123,8 +123,11 @@ type DAG struct {
 	aggCounts map[Kind]int
 }
 
+// aggregates returns the cached kind census, computing it on first use.
+//
+//chol:hotpath queried per bound LP row and per scheduler init; steady state must not rescan
 func (d *DAG) aggregates() ([]Kind, map[Kind]int) {
-	d.aggOnce.Do(func() {
+	d.aggOnce.Do(func() { //chollint:alloc one-time census build, amortized across all queries
 		counts := make(map[Kind]int, NumKinds)
 		for _, t := range d.Tasks {
 			counts[t.Kind]++

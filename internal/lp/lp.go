@@ -96,6 +96,88 @@ type Solution struct {
 
 const eps = 1e-9
 
+// tableau is the dense simplex working set: m rows of total+1 columns each
+// (RHS in the last slot) carved from one backing array, plus the current
+// basis. pivot and iterate are the LP kernels of the bound computations —
+// every branch-and-bound node in SolveInteger re-enters them — and run
+// allocation-free over this preallocated state.
+type tableau struct {
+	t     [][]float64
+	basis []int
+	m     int // constraint rows
+	total int // structural + slack + artificial columns (RHS lives at t[i][total])
+}
+
+// pivot performs Gauss–Jordan elimination on pivot element (pr, pc) and on
+// the cost row, then installs pc into the basis.
+//
+//chol:hotpath dense elimination kernel; allocs/op pinned by cmd/cholbench bounds/*
+func (tb *tableau) pivot(pr, pc int, cost []float64) {
+	// Row-local slices let the compiler drop bounds checks in the three
+	// elimination loops; the arithmetic and its order are unchanged.
+	prow := tb.t[pr]
+	pv := prow[pc]
+	for j := range prow {
+		prow[j] /= pv
+	}
+	for i := range tb.t {
+		if i == pr {
+			continue
+		}
+		ri := tb.t[i]
+		f := ri[pc]
+		if f == 0 {
+			continue
+		}
+		for j := range ri {
+			ri[j] -= f * prow[j]
+		}
+	}
+	f := cost[pc]
+	if f != 0 {
+		for j := range cost {
+			cost[j] -= f * prow[j]
+		}
+	}
+	tb.basis[pr] = pc
+}
+
+// iterate runs the simplex on the given cost row restricted to columns
+// [0, limit). Returns false if unbounded.
+//
+//chol:hotpath simplex iteration loop; allocs/op pinned by cmd/cholbench bounds/*
+func (tb *tableau) iterate(cost []float64, limit int) bool {
+	for iter := 0; iter < 100000; iter++ {
+		// Bland: entering = smallest index with negative reduced cost.
+		pc := -1
+		for j := 0; j < limit; j++ {
+			if cost[j] < -eps {
+				pc = j
+				break
+			}
+		}
+		if pc == -1 {
+			return true // optimal
+		}
+		// Ratio test with Bland tie-breaking.
+		pr, best := -1, math.Inf(1)
+		for i := 0; i < tb.m; i++ {
+			ti := tb.t[i]
+			if ti[pc] > eps {
+				ratio := ti[tb.total] / ti[pc]
+				if ratio < best-eps || (ratio < best+eps && (pr == -1 || tb.basis[i] < tb.basis[pr])) {
+					best, pr = ratio, i
+				}
+			}
+		}
+		if pr == -1 {
+			return false // unbounded
+		}
+		tb.pivot(pr, pc, cost)
+	}
+	return true // iteration cap: treat as converged (should not happen with Bland)
+}
+
 // Solve minimizes the problem with a two-phase dense simplex.
 func Solve(p *Problem) *Solution {
 	n := len(p.C)
@@ -178,69 +260,7 @@ func Solve(p *Problem) *Solution {
 		}
 	}
 
-	pivot := func(pr, pc int, cost []float64) {
-		// Row-local slices let the compiler drop bounds checks in the three
-		// elimination loops; the arithmetic and its order are unchanged.
-		prow := t[pr]
-		pv := prow[pc]
-		for j := range prow {
-			prow[j] /= pv
-		}
-		for i := range t {
-			if i == pr {
-				continue
-			}
-			ri := t[i]
-			f := ri[pc]
-			if f == 0 {
-				continue
-			}
-			for j := range ri {
-				ri[j] -= f * prow[j]
-			}
-		}
-		f := cost[pc]
-		if f != 0 {
-			for j := range cost {
-				cost[j] -= f * prow[j]
-			}
-		}
-		basis[pr] = pc
-	}
-
-	// iterate runs the simplex on the given cost row restricted to columns
-	// [0, limit). Returns false if unbounded.
-	iterate := func(cost []float64, limit int) bool {
-		for iter := 0; iter < 100000; iter++ {
-			// Bland: entering = smallest index with negative reduced cost.
-			pc := -1
-			for j := 0; j < limit; j++ {
-				if cost[j] < -eps {
-					pc = j
-					break
-				}
-			}
-			if pc == -1 {
-				return true // optimal
-			}
-			// Ratio test with Bland tie-breaking.
-			pr, best := -1, math.Inf(1)
-			for i := 0; i < m; i++ {
-				ti := t[i]
-				if ti[pc] > eps {
-					ratio := ti[total] / ti[pc]
-					if ratio < best-eps || (ratio < best+eps && (pr == -1 || basis[i] < basis[pr])) {
-						best, pr = ratio, i
-					}
-				}
-			}
-			if pr == -1 {
-				return false // unbounded
-			}
-			pivot(pr, pc, cost)
-		}
-		return true // iteration cap: treat as converged (should not happen with Bland)
-	}
+	tb := &tableau{t: t, basis: basis, m: m, total: total}
 
 	// Phase 1: minimize sum of artificials.
 	if nArt > 0 {
@@ -256,7 +276,7 @@ func Solve(p *Problem) *Solution {
 				}
 			}
 		}
-		if !iterate(w, total) {
+		if !tb.iterate(w, total) {
 			return &Solution{Status: Infeasible} // phase 1 can't be unbounded; be safe
 		}
 		if -w[total] > 1e-7 { // w row stores −value in RHS slot after elimination
@@ -268,7 +288,7 @@ func Solve(p *Problem) *Solution {
 				moved := false
 				for j := 0; j < n+nSlack; j++ {
 					if math.Abs(t[i][j]) > eps {
-						pivot(i, j, w)
+						tb.pivot(i, j, w)
 						moved = true
 						break
 					}
@@ -294,7 +314,7 @@ func Solve(p *Problem) *Solution {
 			}
 		}
 	}
-	if !iterate(cost, n+nSlack) {
+	if !tb.iterate(cost, n+nSlack) {
 		return &Solution{Status: Unbounded}
 	}
 

@@ -71,7 +71,9 @@ func LineChartSVG(t *stats.Table) string {
 		minX = math.Min(minX, x)
 		maxX = math.Max(maxX, x)
 	}
-	if minX == maxX {
+	// Degenerate single-point range: both sides are the same stored value,
+	// so exact equality is the intended test.
+	if minX == maxX { //chollint:floateq
 		maxX = minX + 1
 	}
 	plotW := float64(chartW - marginL - marginR)
@@ -149,7 +151,8 @@ func formatTick(v float64) string {
 	if v >= 1000 {
 		return fmt.Sprintf("%.0f,%03.0f", math.Floor(v/1000), math.Mod(v, 1000))
 	}
-	if v == math.Trunc(v) {
+	// Exact integrality test: Trunc(v) is bit-equal to v iff v is integral.
+	if v == math.Trunc(v) { //chollint:floateq
 		return fmt.Sprintf("%.0f", v)
 	}
 	return fmt.Sprintf("%.1f", v)

@@ -188,26 +188,28 @@ func (s *dm) AllowedClasses(t *graph.Task) []int {
 	return s.allow(t)
 }
 
-func (s *dm) allowed(t *graph.Task) map[int]bool {
-	if s.allow == nil {
-		return nil
+// containsClass reports whether class c is in the (at most a few entries
+// long) allowed-class list. A linear scan beats building a set: Assign runs
+// once per task, and the map it used to build here was the last per-task
+// allocation on the hinted schedulers' hot path (caught by hotpathalloc).
+func containsClass(classes []int, c int) bool {
+	for _, x := range classes {
+		if x == c {
+			return true
+		}
 	}
-	classes := s.allow(t)
-	if classes == nil {
-		return nil
-	}
-	m := make(map[int]bool, len(classes))
-	for _, c := range classes {
-		m[c] = true
-	}
-	return m
+	return false
 }
 
+// Assign picks the worker minimizing estimated completion time (the dmda
+// rule, paper §V-B).
+//
+//chol:hotpath one call per task; allocs/op pinned by cmd/cholbench sim/*
 func (s *dm) Assign(v View, t *graph.Task) int {
-	allowed := s.allowed(t)
+	allowed := s.AllowedClasses(t)
 	best, bestECT := -1, math.Inf(1)
 	for w := 0; w < v.Workers(); w++ {
-		if allowed != nil && !allowed[v.WorkerClass(w)] {
+		if allowed != nil && !containsClass(allowed, v.WorkerClass(w)) {
 			continue
 		}
 		exec := v.ExecTime(w, t)
@@ -230,7 +232,7 @@ func (s *dm) Assign(v View, t *graph.Task) int {
 				return w
 			}
 		}
-		panic(fmt.Sprintf("sched: task %s runnable nowhere", t.Name()))
+		panic(fmt.Sprintf("sched: task %s runnable nowhere", t.Name())) //chollint:alloc abort path
 	}
 	return best
 }

@@ -66,8 +66,9 @@ func (s *staticSched) Init(d *graph.DAG, p *platform.Platform, seed int64) {
 	if len(s.plan.Worker) != len(d.Tasks) {
 		panic("sched: static schedule does not match DAG")
 	}
-	// Per-worker planned sequences, for exact-order gating.
-	perWorker := map[int][]int{}
+	// Per-worker planned sequences, for exact-order gating. Indexed by
+	// worker (not a map) so traversal order is deterministic.
+	perWorker := make([][]int, p.Workers())
 	for id, w := range s.plan.Worker {
 		perWorker[w] = append(perWorker[w], id)
 	}
@@ -77,7 +78,9 @@ func (s *staticSched) Init(d *graph.DAG, p *platform.Platform, seed int64) {
 	}
 	for _, ids := range perWorker {
 		sort.SliceStable(ids, func(a, b int) bool {
-			if s.plan.Start[ids[a]] != s.plan.Start[ids[b]] {
+			// Tie-break on the exact stored plan times: both sides are the
+			// same float64 slots, so bit-equality is the intended test.
+			if s.plan.Start[ids[a]] != s.plan.Start[ids[b]] { //chollint:floateq
 				return s.plan.Start[ids[a]] < s.plan.Start[ids[b]]
 			}
 			return ids[a] < ids[b]

@@ -1,0 +1,46 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// TestStaticInitDeterministicPrev initializes the same static schedule
+// repeatedly — with every planned start time collapsed to zero so the order
+// tie-break carries all the weight — and checks the derived per-worker
+// predecessor chains come out identical each time. Init used to group the
+// planned tasks by worker in a map; indexing by worker keeps the whole
+// derivation order-independent of the runtime's map seed.
+func TestStaticInitDeterministicPrev(t *testing.T) {
+	p := platform.Mirage()
+	d := graph.Cholesky(4)
+	plan, err := HEFT(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plan.Start {
+		plan.Start[i] = 0 // force every comparison through the seq tie-break
+	}
+	var want []int
+	for i := 0; i < 50; i++ {
+		s := plan.Scheduler("static").(*staticSched)
+		s.Init(d, p, 0)
+		if i == 0 {
+			want = append([]int(nil), s.prev...)
+			// With all starts equal the planned order on each worker must
+			// degrade to ascending task ID: every chain edge goes up.
+			for id, prev := range want {
+				if prev >= id {
+					t.Fatalf("task %d follows %d on its worker; ties must break on ascending ID", id, prev)
+				}
+			}
+			continue
+		}
+		if !reflect.DeepEqual(s.prev, want) {
+			t.Fatalf("iteration %d: prev chains %v differ from first iteration's %v", i, s.prev, want)
+		}
+	}
+}

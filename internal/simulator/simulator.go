@@ -96,6 +96,7 @@ type wqueue struct {
 func (q *wqueue) size() int            { return len(q.items) - q.head }
 func (q *wqueue) at(i int) *queueEntry { return &q.items[q.head+i] }
 
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (q *wqueue) popFront() queueEntry {
 	e := q.items[q.head]
 	q.items[q.head] = queueEntry{}
@@ -107,11 +108,14 @@ func (q *wqueue) popFront() queueEntry {
 	return e
 }
 
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (q *wqueue) pushBack(e queueEntry) { q.items = append(q.items, e) }
 
 // insert places e at position pos (relative to the head). When dead slots
 // exist before the head it shifts the short prefix left into them, which is
 // the cheap direction for the common high-priority-near-head insert.
+//
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (q *wqueue) insert(pos int, e queueEntry) {
 	if pos == q.size() {
 		q.pushBack(e)
@@ -128,6 +132,7 @@ func (q *wqueue) insert(pos int, e queueEntry) {
 	q.items[pos] = e
 }
 
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (q *wqueue) remove(pos int) queueEntry {
 	i := q.head + pos
 	e := q.items[i]
@@ -149,7 +154,9 @@ type event struct {
 }
 
 func eventLess(a, b event) bool {
-	if a.time != b.time {
+	// Tie-break on the exact stored times; equal keys fall through to the
+	// deterministic sequence number.
+	if a.time != b.time { //chollint:floateq
 		return a.time < b.time
 	}
 	return a.seq < b.seq
@@ -160,6 +167,7 @@ func eventLess(a, b event) bool {
 // single largest per-event allocation source before the performance pass.
 type eventHeap []event
 
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (h *eventHeap) push(e event) {
 	s := append(*h, e)
 	i := len(s) - 1
@@ -174,6 +182,7 @@ func (h *eventHeap) push(e event) {
 	*h = s
 }
 
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (h *eventHeap) pop() event {
 	s := *h
 	top := s[0]
@@ -265,6 +274,8 @@ func (st *state) ExecTime(w int, t *graph.Task) float64 {
 
 // TransferEstimate sums one PCI hop per missing tile (two for GPU↔GPU),
 // ignoring link contention — the same estimation level StarPU's dmda uses.
+//
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (st *state) TransferEstimate(w int, t *graph.Task) float64 {
 	if !st.p.Bus.Enabled {
 		return 0
@@ -468,6 +479,8 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 }
 
 // addResident records tile ti on node with a fresh LRU stamp.
+//
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (st *state) addResident(node, ti int) {
 	st.lastUse[node*st.nTiles+ti] = st.seq
 	st.seq++
@@ -475,6 +488,8 @@ func (st *state) addResident(node, ti int) {
 }
 
 // removeResident drops tile ti from node's residency set.
+//
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (st *state) removeResident(node, ti int) {
 	st.lastUse[node*st.nTiles+ti] = -1
 	rs := st.residentTiles[node]
@@ -489,6 +504,8 @@ func (st *state) removeResident(node, ti int) {
 
 // pinFootprint pins (or unpins, delta −1) a task's tiles on a memory node so
 // the LRU eviction cannot drop data a queued task depends on.
+//
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (st *state) pinFootprint(t *graph.Task, node, delta int) {
 	if node == 0 {
 		return
@@ -504,6 +521,8 @@ func (st *state) pinFootprint(t *graph.Task, node, delta int) {
 
 // addCopy records a resident tile on an accelerator node and evicts LRU
 // tiles if the node is over capacity.
+//
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (st *state) addCopy(node, ti int) {
 	if node == 0 {
 		return
@@ -522,6 +541,8 @@ func (st *state) addCopy(node, ti int) {
 // writing back dirty copies (sole valid copy on this node) to the host over
 // the node's PCI link. If everything resident is pinned, the node
 // over-subscribes silently (the workload genuinely needs more memory).
+//
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (st *state) evictIfNeeded(node int) {
 	capTiles := st.capacity[node]
 	if capTiles == 0 {
@@ -579,8 +600,13 @@ func (st *state) evictIfNeeded(node int) {
 // plus every candidate's estimated-completion-time terms, computed from the
 // same pre-prefetch state the scheduler's Assign just observed. Read-only —
 // the schedule is bit-identical with recording on or off.
+//
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (st *state) recordDecision(t *graph.Task, chosen int) {
 	rec := st.rec
+	if rec == nil {
+		return
+	}
 	rec.Readies = append(rec.Readies, obs.Ready{TimeSec: st.now, Task: int32(t.ID)})
 	useComm := true // unknown policies: record the full dmda-level estimate
 	if st.costm != nil {
@@ -618,10 +644,12 @@ func (st *state) recordDecision(t *graph.Task, chosen int) {
 
 // assign routes a freshly ready task through the scheduler to a worker queue
 // and prefetches its missing tiles to that worker's memory node.
+//
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (st *state) assign(t *graph.Task) {
 	w := st.s.Assign(st, t)
 	if w < 0 || w >= st.p.Workers() {
-		panic(fmt.Sprintf("simulator: scheduler assigned task %s to invalid worker %d", t.Name(), w))
+		panic(fmt.Sprintf("simulator: scheduler assigned task %s to invalid worker %d", t.Name(), w)) //chollint:alloc abort path
 	}
 	if st.rec != nil {
 		st.recordDecision(t, w)
@@ -647,6 +675,8 @@ func (st *state) assign(t *graph.Task) {
 
 // prefetch schedules the PCI hops bringing t's tiles to worker w's node and
 // returns the time at which all data is available there.
+//
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (st *state) prefetch(t *graph.Task, w int) float64 {
 	node := st.p.MemoryNode(w)
 	ready := st.now
@@ -724,6 +754,8 @@ func (st *state) completed(id int) bool { return st.doneTask[id] }
 
 // sourceNode picks the transfer source deterministically: the host if it has
 // a valid copy, else the lowest-numbered holding node.
+//
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (st *state) sourceNode(ti int) int {
 	base := ti * st.nNodes
 	for node := 0; node < st.nNodes; node++ {
@@ -736,6 +768,8 @@ func (st *state) sourceNode(ti int) int {
 
 // trySteal moves a queued task from the most-loaded victim to idle worker w.
 // Returns true if a task was migrated (and its data re-prefetched).
+//
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (st *state) trySteal(w int) bool {
 	class := st.p.WorkerClass(w)
 	// Victim: the worker with the longest queue holding a stealable task.
@@ -789,6 +823,8 @@ func containsInt(s []int, v int) bool {
 // so rescanning it cannot start anything. Gating breaks the invariant (a
 // completion elsewhere can unblock a held queue head) and stealing needs a
 // global view, so both fall back to the full scan.
+//
+//chol:hotpath per-event kernel; allocs/op pinned by cmd/cholbench sim/*
 func (st *state) tryStartAll(events *eventHeap) {
 	scanAll := st.gater != nil || st.opt.WorkStealing
 	if st.opt.WorkStealing && st.gater == nil {
@@ -864,7 +900,9 @@ func Validate(d *graph.DAG, p *platform.Platform, r *Result) error {
 	if len(r.Start) != n || len(r.End) != n || len(r.Worker) != n {
 		return fmt.Errorf("simulator: result arrays have wrong length")
 	}
-	perWorker := map[int][][2]float64{}
+	// Indexed by worker (not a map): with several invalid workers the
+	// *first* reported overlap must not depend on map iteration order.
+	perWorker := make([][][2]float64, p.Workers())
 	for _, t := range d.Tasks {
 		id := t.ID
 		w := r.Worker[id]
@@ -886,6 +924,9 @@ func Validate(d *graph.DAG, p *platform.Platform, r *Result) error {
 		perWorker[w] = append(perWorker[w], [2]float64{r.Start[id], r.End[id]})
 	}
 	for w, ivs := range perWorker {
+		if len(ivs) == 0 {
+			continue
+		}
 		sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
 		for i := 1; i < len(ivs); i++ {
 			if ivs[i][0] < ivs[i-1][1]-1e-9 {

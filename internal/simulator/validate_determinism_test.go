@@ -1,0 +1,46 @@
+package simulator
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// TestValidateDeterministicErrorSelection builds a schedule with overlapping
+// intervals on several workers at once and checks Validate reports the same
+// worker every time — the lowest-numbered offender. The per-worker interval
+// groups used to live in a map, so with multiple offenders the reported
+// worker followed map iteration order and differed run to run.
+func TestValidateDeterministicErrorSelection(t *testing.T) {
+	p := platform.Mirage()
+	// Six independent tasks: the pairs on workers 7, 2 and 5 all overlap.
+	tasks := make([]*graph.Task, 6)
+	for i := range tasks {
+		tasks[i] = &graph.Task{ID: i, Kind: graph.GEMM}
+	}
+	d := &graph.DAG{Tasks: tasks}
+	r := &Result{
+		Start:  []float64{0, 1, 0, 1, 0, 1},
+		End:    []float64{2, 3, 2, 3, 2, 3},
+		Worker: []int{7, 7, 2, 2, 5, 5},
+	}
+	var want string
+	for i := 0; i < 100; i++ {
+		err := Validate(d, p, r)
+		if err == nil {
+			t.Fatal("overlapping schedule passed Validate")
+		}
+		if i == 0 {
+			want = err.Error()
+			if !strings.Contains(want, "worker 2") {
+				t.Fatalf("expected the lowest-numbered offender (worker 2) reported first, got %q", want)
+			}
+			continue
+		}
+		if got := err.Error(); got != want {
+			t.Fatalf("iteration %d: error %q differs from first iteration's %q", i, got, want)
+		}
+	}
+}
