@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/benchio"
 	"repro/internal/bounds"
+	"repro/internal/cpsolve"
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/obs"
@@ -203,6 +204,44 @@ func main() {
 			fatal(fmt.Errorf("cholbench: bound %s P=%d produced non-positive makespan", c.name, c.p))
 		}
 		r = r.WithMetric("bound_gflops", last.GFlops(flops))
+		suite.Add(r)
+		progress(r)
+	}
+
+	// CP branch-and-bound: node throughput and incumbent quality at a fixed
+	// budget across worker counts. The search is deterministic in the worker
+	// count, so makespan_at_budget must agree across the workers=… variants
+	// of a size — only nodes_per_sec may move. On a single-core host
+	// (GOMAXPROCS=1) the workers only interleave, so expect flat throughput
+	// there; the scaling story needs real cores.
+	cpCases := []struct{ p, budget, workers, iters int }{
+		{p: 8, budget: 20000, workers: 1, iters: 5},
+		{p: 8, budget: 20000, workers: 4, iters: 5},
+		{p: 8, budget: 20000, workers: 8, iters: 5},
+		{p: 16, budget: 20000, workers: 1, iters: 3},
+		{p: 16, budget: 20000, workers: 4, iters: 3},
+		{p: 16, budget: 20000, workers: 8, iters: 3},
+	}
+	if *smoke {
+		cpCases = []struct{ p, budget, workers, iters int }{
+			{p: 8, budget: 5000, workers: 4, iters: 2},
+		}
+	}
+	for _, c := range cpCases {
+		d := graph.Cholesky(c.p)
+		var last *cpsolve.Result
+		r := benchio.Measure(fmt.Sprintf("cpsolve/P=%d/workers=%d", c.p, c.workers), c.iters, func() {
+			res, err := cpsolve.Solve(d, pf, cpsolve.Options{NodeBudget: c.budget, Beam: 3, Workers: c.workers})
+			if err != nil {
+				fatal(err)
+			}
+			last = res
+		})
+		if last.Makespan <= 0 {
+			fatal(fmt.Errorf("cholbench: cpsolve P=%d/workers=%d produced non-positive makespan", c.p, c.workers))
+		}
+		r = r.WithMetric("nodes_per_sec", float64(last.Nodes)/(r.NsPerOp/1e9)).
+			WithMetric("makespan_at_budget", last.Makespan)
 		suite.Add(r)
 		progress(r)
 	}

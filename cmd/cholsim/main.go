@@ -27,21 +27,22 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list the registered platforms and schedulers")
-		tiles    = flag.Int("tiles", 8, "matrix size in tiles of 960")
-		algo     = flag.String("algo", "cholesky", "cholesky | lu | qr (lu/qr use the extended Mirage model)")
-		platName = flag.String("platform", "mirage", core.PlatformUsage()+" (cholesky only; lu/qr pick automatically)")
-		platFile = flag.String("platform-file", "", "JSON platform description (overrides -platform)")
-		schedNm  = flag.String("sched", "dmdas", core.SchedulerUsage())
-		seed     = flag.Int64("seed", 42, "RNG seed")
-		overhead = flag.Bool("overhead", false, "apply the runtime-overhead + jitter model (actual-mode substitute)")
-		traceFmt = flag.String("trace", "", "render the execution trace: ascii | svg | chrome (Trace Event JSON) | paje (ViTE)")
-		traceDec = flag.Bool("trace-decisions", false, "record scheduling decisions; -trace chrome then embeds per-candidate ECT terms and decision→span flow arrows")
-		explain  = flag.Bool("explain", false, "compare the schedule's per-class kernel placement with the mixed bound's LP optimum")
-		gap      = flag.Bool("explain-gap", false, "decompose makespan − mixed bound into named components (idle ramp, PCI stalls, starvation, drain, miscast work)")
-		gapJSON  = flag.Bool("explain-gap-json", false, "like -explain-gap but emit the attribution as JSON")
-		cp       = flag.Bool("cp", false, "also search a CP-style optimized static schedule and inject it")
-		cpBudget = flag.Int("cp-budget", 100000, "CP search node budget")
+		list      = flag.Bool("list", false, "list the registered platforms and schedulers")
+		tiles     = flag.Int("tiles", 8, "matrix size in tiles of 960")
+		algo      = flag.String("algo", "cholesky", "cholesky | lu | qr (lu/qr use the extended Mirage model)")
+		platName  = flag.String("platform", "mirage", core.PlatformUsage()+" (cholesky only; lu/qr pick automatically)")
+		platFile  = flag.String("platform-file", "", "JSON platform description (overrides -platform)")
+		schedNm   = flag.String("sched", "dmdas", core.SchedulerUsage())
+		seed      = flag.Int64("seed", 42, "RNG seed")
+		overhead  = flag.Bool("overhead", false, "apply the runtime-overhead + jitter model (actual-mode substitute)")
+		traceFmt  = flag.String("trace", "", "render the execution trace: ascii | svg | chrome (Trace Event JSON) | paje (ViTE)")
+		traceDec  = flag.Bool("trace-decisions", false, "record scheduling decisions; -trace chrome then embeds per-candidate ECT terms and decision→span flow arrows")
+		explain   = flag.Bool("explain", false, "compare the schedule's per-class kernel placement with the mixed bound's LP optimum")
+		gap       = flag.Bool("explain-gap", false, "decompose makespan − mixed bound into named components (idle ramp, PCI stalls, starvation, drain, miscast work)")
+		gapJSON   = flag.Bool("explain-gap-json", false, "like -explain-gap but emit the attribution as JSON")
+		cp        = flag.Bool("cp", false, "also search a CP-style optimized static schedule and inject it")
+		cpBudget  = flag.Int("cp-budget", 100000, "CP search node budget")
+		cpWorkers = flag.Int("cp-workers", 1, "CP search worker goroutines (any value returns the identical schedule)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -157,7 +158,7 @@ func main() {
 	}
 
 	if *cp {
-		r, err := core.OptimizeDAG(ctx, d, p, *cpBudget)
+		r, err := core.OptimizeDAG(ctx, d, p, *cpBudget, *cpWorkers)
 		if err != nil {
 			fatal(err)
 		}

@@ -8,13 +8,17 @@
 //	cholsolve -n 512 -nb 64 -workers 8
 //	cholsolve -matrix laplace -n 400 -nb 40 -policy priority
 //	cholsolve -matrix hilbert -n 64 -nb 16       # ill-conditioned stress
+//	cholsolve -n 512 -nb 64 -cp-hints -cp-workers 4   # CP-derived priorities
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	gort "runtime"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/matrix"
@@ -33,6 +37,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "matrix generator seed")
 		showTr  = flag.Bool("trace", false, "print the ASCII Gantt of the real execution")
 		solve   = flag.Bool("solve", false, "also solve A·x = b for a random b after factorizing")
+
+		cpHints   = flag.Bool("cp-hints", false, "derive the Priority-policy task order from a CP branch-and-bound schedule (forces -policy priority)")
+		cpBudget  = flag.Int("cp-budget", 50000, "CP search node budget for -cp-hints")
+		cpWorkers = flag.Int("cp-workers", 1, "CP search worker goroutines for -cp-hints (any value yields identical hints)")
 	)
 	flag.Parse()
 
@@ -75,7 +83,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := runtime.Factor(tl, runtime.Options{Workers: *workers, Policy: pol, Seed: *seed})
+	// CP-derived static hints: search a near-optimal schedule of the tile DAG
+	// on a homogeneous model of the worker pool, then feed its start order to
+	// the Priority policy (earlier planned start = higher priority) — the
+	// paper's static-schedule injection, applied to the real runtime.
+	var prios []float64
+	if *cpHints {
+		pol = runtime.Priority
+		w := *workers
+		if w <= 0 {
+			w = gort.GOMAXPROCS(0)
+		}
+		r, err := core.OptimizeSchedule(context.Background(), tl.P, platform.Homogeneous(w), *cpBudget, *cpWorkers)
+		if err != nil {
+			fatal(err)
+		}
+		prios = make([]float64, len(r.Schedule.Start))
+		for id, st := range r.Schedule.Start {
+			prios[id] = r.Makespan - st
+		}
+		fmt.Printf("cp hints      %d nodes (%d workers), exhausted=%v, model makespan %.4f s\n",
+			r.Nodes, *cpWorkers, r.Exhausted, r.Makespan)
+	}
+
+	res, err := runtime.Factor(tl, runtime.Options{Workers: *workers, Policy: pol, Seed: *seed, Priorities: prios})
 	if err != nil {
 		fatal(err)
 	}

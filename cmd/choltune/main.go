@@ -8,9 +8,11 @@
 //	choltune -n 15360
 //	choltune -n 23040 -candidates 240,480,960,1920
 //	choltune -n 15360 -platform-file mynode.json -ref-nb 960
+//	choltune -n 15360 -cp -cp-budget 50000 -workers 4   # CP headroom at the best nb
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,8 @@ import (
 	"strings"
 
 	"repro/internal/autotune"
+	"repro/internal/core"
+	"repro/internal/kernels"
 	"repro/internal/platform"
 )
 
@@ -28,6 +32,9 @@ func main() {
 		platFile = flag.String("platform-file", "", "JSON platform description (default: Mirage)")
 		refNB    = flag.Int("ref-nb", platform.TileNB, "tile size the platform model was calibrated at")
 		seed     = flag.Int64("seed", 42, "jitter seed")
+		cp       = flag.Bool("cp", false, "after the sweep, search a CP static schedule at the best nb to report remaining static headroom")
+		cpBudget = flag.Int("cp-budget", 100000, "CP search node budget")
+		workers  = flag.Int("workers", 1, "CP search worker goroutines (any value returns the identical schedule)")
 	)
 	flag.Parse()
 
@@ -69,6 +76,25 @@ func main() {
 		fmt.Printf("%8d %8d %12.1f %12.4f%s\n", pt.NB, pt.Tiles, pt.GFlops, pt.Makespan, marker)
 	}
 	fmt.Printf("\nbest tile size: nb=%d (%.1f GFLOP/s)\n", best.NB, best.GFlops)
+
+	// Optional CP refinement: how much a near-optimal static schedule could
+	// still buy at the chosen granularity, in the CP model. The solver cost
+	// grows with the tile count, so very fine partitions are refused.
+	if *cp {
+		const cpMaxTiles = 32
+		if best.Tiles > cpMaxTiles {
+			fatal(fmt.Errorf("-cp supports up to %d tiles, best nb gives %d: pass -candidates with coarser sizes", cpMaxTiles, best.Tiles))
+		}
+		scaled := autotune.ScalePlatform(p, *refNB, best.NB)
+		r, err := core.OptimizeSchedule(context.Background(), best.Tiles, scaled, *cpBudget, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nCP refinement at nb=%d (P=%d, %d workers): %d nodes, exhausted=%v\n",
+			best.NB, best.Tiles, *workers, r.Nodes, r.Exhausted)
+		fmt.Printf("CP model makespan %.4f s (%.1f GFLOP/s in the comm-oblivious model)\n",
+			r.Makespan, platform.GFlops(kernels.CholeskyFlops(*n), r.Makespan))
+	}
 }
 
 func fatal(err error) {

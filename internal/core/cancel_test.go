@@ -27,7 +27,7 @@ func TestPublicAPICancellationPropagates(t *testing.T) {
 	if _, err := core.Simulate(ctx, 16, p, s, simulator.Options{Seed: 1}); !errors.Is(err, context.Canceled) {
 		t.Errorf("core.Simulate with cancelled ctx: err = %v, want context.Canceled", err)
 	}
-	if _, err := core.OptimizeSchedule(ctx, 8, p, 50); !errors.Is(err, context.Canceled) {
+	if _, err := core.OptimizeSchedule(ctx, 8, p, 50, 4); !errors.Is(err, context.Canceled) {
 		t.Errorf("core.OptimizeSchedule with cancelled ctx: err = %v, want context.Canceled", err)
 	}
 }

@@ -123,14 +123,16 @@ func BoundsFor(nTiles int, p *platform.Platform) (bounds.All, error) {
 
 // OptimizeSchedule searches for a near-optimal static schedule of a tiled
 // Cholesky (the CP experiment) and returns it with its model makespan.
-// Cancelling ctx aborts the branch-and-bound search.
-func OptimizeSchedule(ctx context.Context, nTiles int, p *platform.Platform, nodeBudget int) (*cpsolve.Result, error) {
-	return OptimizeDAG(ctx, graph.Cholesky(nTiles), p, nodeBudget)
+// Cancelling ctx aborts the branch-and-bound search. workers is the number
+// of goroutines exploring the search tree (≤ 1 searches on the calling
+// goroutine); the result is bit-identical for every value.
+func OptimizeSchedule(ctx context.Context, nTiles int, p *platform.Platform, nodeBudget, workers int) (*cpsolve.Result, error) {
+	return OptimizeDAG(ctx, graph.Cholesky(nTiles), p, nodeBudget, workers)
 }
 
 // OptimizeDAG is OptimizeSchedule for an arbitrary factorization DAG.
-func OptimizeDAG(ctx context.Context, d *graph.DAG, p *platform.Platform, nodeBudget int) (*cpsolve.Result, error) {
-	return cpsolve.SolveContext(ctx, d, p, cpsolve.Options{NodeBudget: nodeBudget, Beam: 3})
+func OptimizeDAG(ctx context.Context, d *graph.DAG, p *platform.Platform, nodeBudget, workers int) (*cpsolve.Result, error) {
+	return cpsolve.SolveContext(ctx, d, p, cpsolve.Options{NodeBudget: nodeBudget, Beam: 3, Workers: workers})
 }
 
 // RunExperiment regenerates one paper artifact by ID (see

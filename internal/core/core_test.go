@@ -102,7 +102,7 @@ func TestBoundsFor(t *testing.T) {
 
 func TestOptimizeSchedule(t *testing.T) {
 	p, _ := PlatformByName("mirage-nocomm")
-	r, err := OptimizeSchedule(context.Background(), 4, p, 5000)
+	r, err := OptimizeSchedule(context.Background(), 4, p, 5000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestSimulateDAGLU(t *testing.T) {
 func TestOptimizeDAGQR(t *testing.T) {
 	d, _ := DAGByAlgorithm("qr", 3)
 	p, _ := PlatformForAlgorithm("qr", true)
-	r, err := OptimizeDAG(context.Background(), d, p, 3000)
+	r, err := OptimizeDAG(context.Background(), d, p, 3000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

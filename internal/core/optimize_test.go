@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpsolve"
+	"repro/internal/graph"
+)
+
+// paramSamples provides a concrete argument for each parameterized platform
+// entry, so the property below really covers every registered platform. A
+// new parameterized registration must add a sample here — the test fails
+// with a build instruction otherwise.
+var paramSamples = map[string]string{
+	"homogeneous": "4",
+	"related":     "20",
+}
+
+func optimizeDigest(r *cpsolve.Result) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	f := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	i := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	f(r.Makespan)
+	i(r.Nodes)
+	if r.Exhausted {
+		i(1)
+	} else {
+		i(0)
+	}
+	f(r.Schedule.EstMakespan)
+	for id := range r.Schedule.Worker {
+		i(r.Schedule.Worker[id])
+		f(r.Schedule.Start[id])
+	}
+	return h.Sum64()
+}
+
+// TestOptimizeDeterministicAcrossWorkersAllPlatforms asserts, for every
+// platform in the registry, that OptimizeDAG with Workers=1 and Workers=8
+// produce byte-identical Results (schedule, makespan, node count, Exhausted
+// — compared as FNV-64a digests of the exact bit patterns).
+func TestOptimizeDeterministicAcrossWorkersAllPlatforms(t *testing.T) {
+	d := graph.Cholesky(4)
+	for _, e := range core.Platforms() {
+		name := e.Name
+		// registry_test.go registers throwaway zz-test-* entries into the
+		// shared registry; the property covers the product platforms.
+		if strings.HasPrefix(name, "zz-test-") {
+			continue
+		}
+		if e.Param != "" {
+			arg, ok := paramSamples[e.Name]
+			if !ok {
+				t.Fatalf("registered platform %q has no sample argument: add one to paramSamples", e.Display())
+			}
+			name = e.Name + ":" + arg
+		}
+		p, err := core.NewPlatform(name)
+		if err != nil {
+			t.Fatalf("platform %s: %v", name, err)
+		}
+		serial, err := core.OptimizeDAG(context.Background(), d, p, 4000, 1)
+		if err != nil {
+			t.Fatalf("platform %s workers=1: %v", name, err)
+		}
+		parallel, err := core.OptimizeDAG(context.Background(), d, p, 4000, 8)
+		if err != nil {
+			t.Fatalf("platform %s workers=8: %v", name, err)
+		}
+		if sd, pd := optimizeDigest(serial), optimizeDigest(parallel); sd != pd {
+			t.Errorf("platform %s: Workers=1 digest %016x != Workers=8 digest %016x (mk %v vs %v, nodes %d vs %d)",
+				name, sd, pd, serial.Makespan, parallel.Makespan, serial.Nodes, parallel.Nodes)
+		}
+	}
+}

@@ -12,6 +12,14 @@
 // optimality — this search is budgeted (by node count, for determinism) and
 // returns the best *feasible* schedule found plus whether the search space
 // (of active schedules) was exhausted.
+//
+// The search is a deterministic parallel branch-and-bound (see parallel.go):
+// a sequential split phase partitions the tree into disjoint subtrees, which
+// a bounded worker pool explores speculatively against a snapshot of the
+// shared incumbent; an in-order commit step validates each speculation and
+// deterministically re-runs the rare stale ones, so the returned Result —
+// schedule, makespan, Nodes, Exhausted — is bit-identical for every value of
+// Options.Workers, including the serial path.
 package cpsolve
 
 import (
@@ -43,26 +51,57 @@ type Options struct {
 	// successor by one PCI-hop time. Zero keeps the paper's published
 	// communication-oblivious CP model.
 	CommHopSec float64
+	// Workers is the number of goroutines exploring subtrees concurrently.
+	// Values ≤ 1 run the same partitioned search on the calling goroutine.
+	// The Result is bit-identical for every value of Workers.
+	Workers int
 }
 
 // Result of a search.
 type Result struct {
-	Schedule  *sched.StaticSchedule
-	Makespan  float64
-	Nodes     int
-	Exhausted bool // search space fully explored within budget
+	Schedule *sched.StaticSchedule
+	Makespan float64
+	Nodes    int
+	// Exhausted reports that the search space (of active schedules) was
+	// fully explored: no subtree was cut short by the node budget or by
+	// cancellation.
+	Exhausted bool
 }
 
-type solver struct {
-	d      *graph.DAG
-	p      *platform.Platform
-	opt    Options
-	ctx    context.Context
-	blFast []float64 // bottom levels under fastest times (pruning + order)
+// pruneEps is the slack under the incumbent a branch must beat to be
+// explored: float noise from summing task times differs in the last ulps
+// between equivalent schedules, and pruning on exact >= would make the
+// search order sensitive to it.
+const pruneEps = 1e-12
 
-	classes    []int       // usable class indices
-	classExec  [][]float64 // per class, exec time per kind (+Inf unsupported)
-	workerOf   [][]int     // workers per class
+// prob holds the immutable, shareable description of one search: the DAG,
+// the platform, and every table precomputed from them. Worker solvers all
+// point at the same prob.
+type prob struct {
+	d   *graph.DAG
+	p   *platform.Platform
+	opt Options
+
+	blFast []float64 // bottom levels under fastest times (pruning + order)
+	tail   []float64 // blFast minus the task's own fastest time
+
+	classes    []int       // usable platform class indices
+	classExec  [][]float64 // per internal class, exec time per kind (+Inf unsupported)
+	classOrder [][]int     // per kind, internal classes sorted by exec time
+	workerOf   [][]int     // per internal class, its workers
+	workerCi   []int       // per worker, its internal class index
+	nTasks     int
+
+	baseIndeg []int
+	roots     []int
+}
+
+// solver is one worker's mutable search state. Everything here is reset and
+// replayed per subtree, so a solver can be reused across any number of runs.
+type solver struct {
+	pr  *prob
+	ctx context.Context
+
 	workerFree []float64
 	finish     []float64
 	worker     []int
@@ -72,10 +111,15 @@ type solver struct {
 	bestWorker []int
 	bestStart  []float64
 	bestMk     float64
+	improved   bool
 
-	nodes     int
-	exhausted bool
+	nodes     int // nodes visited in the current run
+	budget    int // node cap for the current run
+	cut       bool
 	cancelled bool
+
+	cands  [][]int     // per depth, top-Beam candidate scratch
+	depsIn [][]float64 // per depth, per-class max predecessor finish (comm model)
 }
 
 // Solve searches for a low-makespan static schedule of d on p.
@@ -88,8 +132,9 @@ func Solve(d *graph.DAG, p *platform.Platform, opt Options) (*Result, error) {
 // a few hundred nodes expand in well under a millisecond.
 const cancelCheckStride = 256
 
-// SolveContext is Solve with cancellation: the branch-and-bound unwinds and
-// returns ctx's error (dropping any incumbent) once the context is done.
+// SolveContext is Solve with cancellation: the branch-and-bound unwinds —
+// including every worker goroutine — and returns ctx's error (dropping any
+// incumbent) once the context is done.
 func SolveContext(ctx context.Context, d *graph.DAG, p *platform.Platform, opt Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("cpsolve: search cancelled: %w", err)
@@ -106,44 +151,16 @@ func SolveContext(ctx context.Context, d *graph.DAG, p *platform.Platform, opt O
 	if opt.Beam <= 0 {
 		opt.Beam = 2
 	}
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
 	bl, err := d.BottomLevels(func(t *graph.Task) float64 {
 		return p.FastestTime(t.Kind)
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	s := &solver{
-		d: d, p: p, opt: opt, ctx: ctx, blFast: bl,
-		workerFree: make([]float64, p.Workers()),
-		finish:     make([]float64, len(d.Tasks)),
-		worker:     make([]int, len(d.Tasks)),
-		indeg:      make([]int, len(d.Tasks)),
-		bestMk:     math.Inf(1),
-		exhausted:  true,
-	}
-	for i := range s.finish {
-		s.finish[i] = -1
-		s.worker[i] = -1
-	}
-	for r := range p.Classes {
-		if p.Classes[r].Count == 0 {
-			continue
-		}
-		s.classes = append(s.classes, r)
-		exec := make([]float64, graph.NumKinds)
-		for k := graph.Kind(0); k < graph.NumKinds; k++ {
-			exec[k] = p.Time(r, k)
-		}
-		s.classExec = append(s.classExec, exec)
-		s.workerOf = append(s.workerOf, p.ClassWorkers(r))
-	}
-	for _, t := range d.Tasks {
-		s.indeg[t.ID] = len(t.Pred)
-		if s.indeg[t.ID] == 0 {
-			s.ready = append(s.ready, t.ID)
-		}
-	}
+	pr := newProb(d, p, opt, bl)
 
 	// Warm start.
 	warm := opt.WarmStart
@@ -160,37 +177,171 @@ func SolveContext(ctx context.Context, d *graph.DAG, p *platform.Platform, opt O
 	if err != nil {
 		return nil, err
 	}
-	s.bestWorker = append([]int{}, warm.Worker...)
-	s.bestStart = ws
-	s.bestMk = wm
+	g := newIncumbent(pr)
+	g.mk = wm
+	copy(g.worker, warm.Worker)
+	copy(g.start, ws)
+	g.publishMin(wm)
 
-	s.dfs(0)
-	if s.cancelled {
-		return nil, fmt.Errorf("cpsolve: search cancelled after %d nodes: %w", s.nodes, ctx.Err())
-	}
-
-	start := make([]float64, len(d.Tasks))
-	copy(start, s.bestStart)
-	return &Result{
-		Schedule: &sched.StaticSchedule{
-			Worker:      append([]int{}, s.bestWorker...),
-			Start:       start,
-			EstMakespan: s.bestMk,
-		},
-		Makespan:  s.bestMk,
-		Nodes:     s.nodes,
-		Exhausted: s.exhausted && s.nodes <= s.opt.NodeBudget,
-	}, nil
+	return solveParallel(ctx, pr, g)
 }
 
-// dfs explores scheduling decisions; maxFinish is the latest committed end.
-func (s *solver) dfs(maxFinish float64) {
+func newProb(d *graph.DAG, p *platform.Platform, opt Options, bl []float64) *prob {
+	pr := &prob{d: d, p: p, opt: opt, blFast: bl, nTasks: len(d.Tasks)}
+	classIdxOf := make([]int, len(p.Classes))
+	for i := range classIdxOf {
+		classIdxOf[i] = -1
+	}
+	for r := range p.Classes {
+		if p.Classes[r].Count == 0 {
+			continue
+		}
+		classIdxOf[r] = len(pr.classes)
+		pr.classes = append(pr.classes, r)
+		exec := make([]float64, graph.NumKinds)
+		for k := graph.Kind(0); k < graph.NumKinds; k++ {
+			exec[k] = p.Time(r, k)
+		}
+		pr.classExec = append(pr.classExec, exec)
+		pr.workerOf = append(pr.workerOf, p.ClassWorkers(r))
+	}
+	pr.workerCi = make([]int, p.Workers())
+	for w := range pr.workerCi {
+		pr.workerCi[w] = classIdxOf[p.WorkerClass(w)]
+	}
+	pr.classOrder = make([][]int, graph.NumKinds)
+	for k := graph.Kind(0); k < graph.NumKinds; k++ {
+		order := make([]int, len(pr.classes))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ea, eb := pr.classExec[order[a]][k], pr.classExec[order[b]][k]
+			// Tie-break on the class index so the branch order is a total
+			// order (sort.Slice is unstable).
+			if ea != eb { //chollint:floateq
+				return ea < eb
+			}
+			return order[a] < order[b]
+		})
+		pr.classOrder[k] = order
+	}
+	pr.tail = make([]float64, pr.nTasks)
+	pr.baseIndeg = make([]int, pr.nTasks)
+	for _, t := range d.Tasks {
+		pr.tail[t.ID] = bl[t.ID] - p.FastestTime(t.Kind)
+		pr.baseIndeg[t.ID] = len(t.Pred)
+		if len(t.Pred) == 0 {
+			pr.roots = append(pr.roots, t.ID)
+		}
+	}
+	return pr
+}
+
+// newSolver allocates one worker's search state, including the per-depth
+// scratch that keeps node expansion allocation-free.
+func newSolver(pr *prob, ctx context.Context) *solver {
+	s := &solver{
+		pr:         pr,
+		ctx:        ctx,
+		workerFree: make([]float64, pr.p.Workers()),
+		finish:     make([]float64, pr.nTasks),
+		worker:     make([]int, pr.nTasks),
+		indeg:      make([]int, pr.nTasks),
+		ready:      make([]int, 0, pr.nTasks),
+		bestWorker: make([]int, pr.nTasks),
+		bestStart:  make([]float64, pr.nTasks),
+		bestMk:     math.Inf(1),
+		cands:      make([][]int, pr.nTasks+1),
+	}
+	for i := range s.cands {
+		// Beam+1 so the insertion step can append before truncating.
+		s.cands[i] = make([]int, 0, pr.opt.Beam+1)
+	}
+	if pr.opt.CommHopSec > 0 {
+		s.depsIn = make([][]float64, pr.nTasks+1)
+		for i := range s.depsIn {
+			s.depsIn[i] = make([]float64, len(pr.classes))
+		}
+	}
+	return s
+}
+
+// reset returns the solver to the empty schedule.
+func (s *solver) reset() {
+	for i := range s.finish {
+		s.finish[i] = -1
+		s.worker[i] = -1
+	}
+	copy(s.indeg, s.pr.baseIndeg)
+	s.ready = s.ready[:0]
+	s.ready = append(s.ready, s.pr.roots...)
+	for i := range s.workerFree {
+		s.workerFree[i] = 0
+	}
+}
+
+// replayPath re-commits a subtree's decision path onto a freshly reset
+// solver and returns the latest committed finish time. Paths are produced by
+// the split phase from the same branch rule dfs uses, so no pruning or
+// feasibility checks are re-applied.
+func (s *solver) replayPath(path []step) float64 {
+	maxFinish := 0.0
+	for _, st := range path {
+		id, ci := int(st.task), int(st.class)
+		t := s.pr.d.Tasks[id]
+		exec := s.pr.classExec[ci][t.Kind]
+		df := s.depsFinishOn(id, ci)
+		w, wf := s.earliestFree(ci)
+		start := wf
+		if df > start {
+			start = df
+		}
+		end := start + exec
+		s.worker[id] = w
+		s.finish[id] = end
+		s.workerFree[w] = end
+		s.removeReady(id)
+		for _, succ := range t.Succ {
+			s.indeg[succ]--
+			if s.indeg[succ] == 0 {
+				s.ready = append(s.ready, succ)
+			}
+		}
+		if end > maxFinish {
+			maxFinish = end
+		}
+	}
+	return maxFinish
+}
+
+// earliestFree returns the earliest-free worker of internal class ci
+// (workers of a class are identical, so the earliest one is canonical).
+//
+//chol:hotpath
+func (s *solver) earliestFree(ci int) (int, float64) {
+	w, wf := -1, math.Inf(1)
+	for _, cw := range s.pr.workerOf[ci] {
+		if s.workerFree[cw] < wf {
+			wf, w = s.workerFree[cw], cw
+		}
+	}
+	return w, wf
+}
+
+// dfs explores scheduling decisions below the current state; depth is the
+// number of committed tasks and maxFinish the latest committed end. The
+// current run's node budget and incumbent are in the solver fields.
+//
+//chol:hotpath
+func (s *solver) dfs(depth int, maxFinish float64) {
+	if s.nodes >= s.budget {
+		s.cut = true
+		return
+	}
 	s.nodes++
 	if s.nodes%cancelCheckStride == 0 && s.ctx.Err() != nil {
 		s.cancelled = true
-	}
-	if s.cancelled || s.nodes > s.opt.NodeBudget {
-		s.exhausted = false
 		return
 	}
 	if len(s.ready) == 0 {
@@ -198,10 +349,11 @@ func (s *solver) dfs(maxFinish float64) {
 		// DAGs): record incumbent.
 		if maxFinish < s.bestMk {
 			s.bestMk = maxFinish
+			s.improved = true
 			copy(s.bestWorker, s.worker)
-			for id, t := range s.d.Tasks {
-				cls := s.p.WorkerClass(s.worker[id])
-				s.bestStart[id] = s.finish[id] - s.p.Time(cls, t.Kind)
+			for id, t := range s.pr.d.Tasks {
+				ci := s.pr.workerCi[s.worker[id]]
+				s.bestStart[id] = s.finish[id] - s.pr.classExec[ci][t.Kind]
 			}
 		}
 		return
@@ -211,53 +363,40 @@ func (s *solver) dfs(maxFinish float64) {
 	lb := maxFinish
 	for _, id := range s.ready {
 		est := s.depsFinish(id)
-		if est+s.blFast[id] > lb {
-			lb = est + s.blFast[id]
+		if est+s.pr.blFast[id] > lb {
+			lb = est + s.pr.blFast[id]
 		}
 	}
-	if lb >= s.bestMk-1e-12 {
+	if lb >= s.bestMk-pruneEps {
 		return
 	}
 
-	// Candidates: top-Beam ready tasks by (bottom level, then ID).
-	cands := append([]int{}, s.ready...)
-	sort.Slice(cands, func(a, b int) bool {
-		// Tie-break on the exact stored bottom levels, then task ID.
-		if s.blFast[cands[a]] != s.blFast[cands[b]] { //chollint:floateq
-			return s.blFast[cands[a]] > s.blFast[cands[b]]
-		}
-		return cands[a] < cands[b]
-	})
-	if len(cands) > s.opt.Beam {
-		cands = cands[:s.opt.Beam]
-	}
-
+	cands := s.selectCands(depth)
+	hop := s.pr.opt.CommHopSec
 	for _, id := range cands {
-		t := s.d.Tasks[id]
-		// Class order: fastest execution first.
-		order := make([]int, len(s.classes))
-		for i := range order {
-			order[i] = i
+		t := s.pr.d.Tasks[id]
+		df0 := 0.0
+		if hop > 0 {
+			s.depsPrep(depth, id)
+		} else {
+			df0 = s.depsFinish(id)
 		}
-		sort.Slice(order, func(a, b int) bool {
-			return s.classExec[order[a]][t.Kind] < s.classExec[order[b]][t.Kind]
-		})
-		for _, ci := range order {
-			exec := s.classExec[ci][t.Kind]
+		for _, ci := range s.pr.classOrder[t.Kind] {
+			exec := s.pr.classExec[ci][t.Kind]
 			if math.IsInf(exec, 1) {
-				continue
+				break // classOrder sorts unsupported classes last
 			}
-			df := s.depsFinishOn(id, s.classes[ci])
-			// Earliest-free worker of the class (workers are identical).
-			w, wf := -1, math.Inf(1)
-			for _, cw := range s.workerOf[ci] {
-				if s.workerFree[cw] < wf {
-					wf, w = s.workerFree[cw], cw
-				}
+			df := df0
+			if hop > 0 {
+				df = s.depsOn(depth, ci)
 			}
-			start := math.Max(df, wf)
+			w, wf := s.earliestFree(ci)
+			start := wf
+			if df > start {
+				start = df
+			}
 			end := start + exec
-			if end+s.tailAfter(id) >= s.bestMk-1e-12 {
+			if end+s.tailAfter(id) >= s.bestMk-pruneEps {
 				continue // this placement cannot beat the incumbent
 			}
 
@@ -267,45 +406,87 @@ func (s *solver) dfs(maxFinish float64) {
 			prevFree := s.workerFree[w]
 			s.workerFree[w] = end
 			s.removeReady(id)
-			var woken []int
 			for _, succ := range t.Succ {
 				s.indeg[succ]--
 				if s.indeg[succ] == 0 {
 					s.ready = append(s.ready, succ)
-					woken = append(woken, succ)
 				}
 			}
 
-			s.dfs(math.Max(maxFinish, end))
-
-			// Undo.
-			for _, succ := range t.Succ {
-				s.indeg[succ]++
+			mf := maxFinish
+			if end > mf {
+				mf = end
 			}
-			for _, wk := range woken {
-				s.removeReady(wk)
+			s.dfs(depth+1, mf)
+
+			// Undo. A successor whose indeg is still 0 was woken by this
+			// commit and leaves the ready set again.
+			for _, succ := range t.Succ {
+				if s.indeg[succ] == 0 {
+					s.removeReady(succ)
+				}
+				s.indeg[succ]++
 			}
 			s.ready = append(s.ready, id)
 			s.workerFree[w] = prevFree
 			s.finish[id] = -1
 			s.worker[id] = -1
 
-			if s.cancelled || s.nodes > s.opt.NodeBudget {
+			if s.cancelled || s.cut {
 				return
 			}
 		}
 	}
 }
 
-// tailAfter returns the critical path length strictly below task id (its
-// bottom level minus its own fastest time).
-func (s *solver) tailAfter(id int) float64 {
-	return s.blFast[id] - s.p.FastestTime(s.d.Tasks[id].Kind)
+// selectCands writes the top-Beam ready tasks by (bottom level desc, then
+// ID) into the depth's reusable candidate buffer — an insertion sort over a
+// bounded prefix, replacing the per-node slice copy + sort.Slice closure the
+// serial solver used.
+//
+//chol:hotpath
+func (s *solver) selectCands(depth int) []int {
+	beam := s.pr.opt.Beam
+	out := s.cands[depth][:0]
+	for _, id := range s.ready {
+		if len(out) == beam && !s.candBefore(id, out[beam-1]) {
+			continue
+		}
+		out = append(out, id)
+		for j := len(out) - 1; j > 0 && s.candBefore(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+		if len(out) > beam {
+			out = out[:beam]
+		}
+	}
+	return out
 }
 
+// candBefore is the branch-priority total order: higher bottom level first,
+// ties broken by task ID.
+//
+//chol:hotpath
+func (s *solver) candBefore(a, b int) bool {
+	// Tie-break on the exact stored bottom levels, then task ID.
+	if s.pr.blFast[a] != s.pr.blFast[b] { //chollint:floateq
+		return s.pr.blFast[a] > s.pr.blFast[b]
+	}
+	return a < b
+}
+
+// tailAfter returns the critical path length strictly below task id (its
+// bottom level minus its own fastest time), precomputed at setup.
+//
+//chol:hotpath
+func (s *solver) tailAfter(id int) float64 {
+	return s.pr.tail[id]
+}
+
+//chol:hotpath
 func (s *solver) depsFinish(id int) float64 {
 	m := 0.0
-	for _, pr := range s.d.Tasks[id].Pred {
+	for _, pr := range s.pr.d.Tasks[id].Pred {
 		if s.finish[pr] > m {
 			m = s.finish[pr]
 		}
@@ -313,18 +494,54 @@ func (s *solver) depsFinish(id int) float64 {
 	return m
 }
 
-// depsFinishOn is depsFinish with the partial data-awareness extension: a
-// predecessor scheduled on a different resource class delays the successor
-// by one PCI hop.
-func (s *solver) depsFinishOn(id, class int) float64 {
-	if s.opt.CommHopSec == 0 {
+// depsPrep memoizes, for one candidate at one depth, the maximum predecessor
+// finish per resource class. depsOn then answers the per-class earliest
+// start in O(classes) instead of re-walking the predecessor list per class.
+// The memo is valid for the whole class loop because committed finishes are
+// immutable while the candidate's placements are enumerated.
+//
+//chol:hotpath
+func (s *solver) depsPrep(depth, id int) {
+	row := s.depsIn[depth]
+	for c := range row {
+		row[c] = 0
+	}
+	for _, pr := range s.pr.d.Tasks[id].Pred {
+		ci := s.pr.workerCi[s.worker[pr]]
+		if s.finish[pr] > row[ci] {
+			row[ci] = s.finish[pr]
+		}
+	}
+}
+
+// depsOn is the memoized depsFinishOn: the earliest dependency-ready time on
+// internal class ci, charging one PCI hop to class-crossing dependencies.
+// Finishes are strictly positive, so zero rows mean "no predecessor there".
+//
+//chol:hotpath
+func (s *solver) depsOn(depth, ci int) float64 {
+	hop := s.pr.opt.CommHopSec
+	row := s.depsIn[depth]
+	m := row[ci]
+	for c, f := range row {
+		if c != ci && f > 0 && f+hop > m {
+			m = f + hop
+		}
+	}
+	return m
+}
+
+// depsFinishOn is the unmemoized per-class earliest start, used off the hot
+// path (path replay and the split phase).
+func (s *solver) depsFinishOn(id, ci int) float64 {
+	if s.pr.opt.CommHopSec == 0 {
 		return s.depsFinish(id)
 	}
 	m := 0.0
-	for _, pr := range s.d.Tasks[id].Pred {
+	for _, pr := range s.pr.d.Tasks[id].Pred {
 		f := s.finish[pr]
-		if s.p.WorkerClass(s.worker[pr]) != class {
-			f += s.opt.CommHopSec
+		if s.pr.workerCi[s.worker[pr]] != ci {
+			f += s.pr.opt.CommHopSec
 		}
 		if f > m {
 			m = f
@@ -333,6 +550,7 @@ func (s *solver) depsFinishOn(id, class int) float64 {
 	return m
 }
 
+//chol:hotpath
 func (s *solver) removeReady(id int) {
 	for i, v := range s.ready {
 		if v == id {

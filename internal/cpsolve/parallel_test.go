@@ -1,0 +1,203 @@
+package cpsolve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// resultDigest folds every observable field of a Result into one FNV-64a
+// hash (same style as internal/simulator's determinism tests): float fields
+// enter as their exact bit patterns, so two digests match only if the
+// results are byte-identical.
+func resultDigest(r *Result) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	f := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	i := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	f(r.Makespan)
+	i(r.Nodes)
+	if r.Exhausted {
+		i(1)
+	} else {
+		i(0)
+	}
+	f(r.Schedule.EstMakespan)
+	for id := range r.Schedule.Worker {
+		i(r.Schedule.Worker[id])
+		f(r.Schedule.Start[id])
+	}
+	return h.Sum64()
+}
+
+// TestParallelBitIdenticalAcrossWorkers is the core determinism property:
+// for every platform shape, DAG size, budget regime (budget-bound and
+// exhaustive), and comm model, the Result must be byte-identical for any
+// Workers value — the parallel search is a speculative execution of the
+// sequential semantics, not a different search.
+func TestParallelBitIdenticalAcrossWorkers(t *testing.T) {
+	platforms := map[string]*platform.Platform{
+		"mirage":        platform.Mirage(),
+		"mirage-nocomm": platform.WithoutCommunication(platform.Mirage()),
+		"homogeneous:4": platform.Homogeneous(4),
+		"related:20":    platform.Related(platform.Mirage(), 20),
+	}
+	cases := []struct {
+		tiles  int
+		budget int
+		beam   int
+		hop    float64
+	}{
+		{tiles: 4, budget: 3000, beam: 2, hop: 0},     // budget-bound
+		{tiles: 4, budget: 3000, beam: 3, hop: 5e-4},  // budget-bound, comm-aware
+		{tiles: 2, budget: 200000, beam: 2, hop: 0},   // exhaustive
+		{tiles: 5, budget: 12000, beam: 2, hop: 1e-3}, // deeper tree
+	}
+	for name, p := range platforms {
+		for _, c := range cases {
+			d := graph.Cholesky(c.tiles)
+			var ref *Result
+			var refDigest uint64
+			for _, workers := range []int{1, 2, 3, 8} {
+				r, err := Solve(d, p, Options{
+					NodeBudget: c.budget, Beam: c.beam, CommHopSec: c.hop, Workers: workers,
+				})
+				if err != nil {
+					t.Fatalf("%s P=%d budget=%d workers=%d: %v", name, c.tiles, c.budget, workers, err)
+				}
+				dg := resultDigest(r)
+				if ref == nil {
+					ref, refDigest = r, dg
+					continue
+				}
+				if dg != refDigest {
+					t.Errorf("%s P=%d budget=%d hop=%g: workers=%d digest %016x != workers=1 digest %016x (mk %v vs %v, nodes %d vs %d, exhausted %v vs %v)",
+						name, c.tiles, c.budget, c.hop, workers, dg, refDigest,
+						r.Makespan, ref.Makespan, r.Nodes, ref.Nodes, r.Exhausted, ref.Exhausted)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCancellationUnwindsWorkers proves that cancelling a parallel
+// search returns context.Canceled promptly and that every worker goroutine
+// unwinds (SolveContext joins the pool before returning).
+func TestParallelCancellationUnwindsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	d := graph.Cholesky(10)
+	p := platform.WithoutCommunication(platform.Mirage())
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := SolveContext(ctx, d, p, Options{NodeBudget: 1 << 30, Workers: 8})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("expected context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parallel search did not unwind within 5s of cancellation")
+	}
+	// All 8 workers must be gone: poll briefly (the runtime reuses exiting
+	// goroutines lazily) and require the count to settle at the baseline.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestExhaustedBoundary pins the tightened Exhausted semantics: a search
+// that fully explores the space while stopping exactly at its budget still
+// proves exhaustion, and one node less must report the space as cut.
+//
+// Beam 1 on Cholesky(4) keeps the whole tree inside the sequential split
+// phase (the frontier grows by at most one per expansion, far below the
+// split target), where "stops exactly at the budget" is a well-defined
+// boundary: the exploration node count is budget-independent until the
+// budget cuts it. Smaller DAGs are no use here — their HEFT warm start is
+// CP-optimal, so the proof finishes in one node.
+func TestExhaustedBoundary(t *testing.T) {
+	d := graph.Cholesky(4)
+	p := platform.WithoutCommunication(platform.Mirage())
+	full, err := Solve(d, p, Options{NodeBudget: 1 << 24, Beam: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Exhausted {
+		t.Fatalf("ample budget should exhaust Cholesky(4), explored %d nodes", full.Nodes)
+	}
+	if full.Nodes < 2 {
+		t.Fatalf("degenerate full exploration (%d nodes): the boundary below would test the budget default, not the cut", full.Nodes)
+	}
+
+	exact, err := Solve(d, p, Options{NodeBudget: full.Nodes, Beam: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Exhausted {
+		t.Fatalf("budget exactly at the full exploration size (%d) must still prove exhaustion", full.Nodes)
+	}
+	if resultDigest(exact) != resultDigest(full) {
+		t.Fatalf("exact-budget run diverged from ample-budget run")
+	}
+
+	// One node less: the search stops exactly at its budget with the space
+	// only pruned, not proven — the old `exhausted && nodes <= budget`
+	// formula could claim exhaustion here.
+	cut, err := Solve(d, p, Options{NodeBudget: full.Nodes - 1, Beam: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Exhausted {
+		t.Fatalf("budget %d (< full exploration %d) claims exhaustion it did not prove", full.Nodes-1, full.Nodes)
+	}
+	if cut.Nodes != full.Nodes-1 {
+		t.Fatalf("cut run explored %d nodes, want exactly the budget %d", cut.Nodes, full.Nodes-1)
+	}
+}
+
+// TestNodesNeverExceedBudget pins the accounting side of the Exhausted fix:
+// the reported node count stays within the budget (the old solver could
+// report budget+1).
+func TestNodesNeverExceedBudget(t *testing.T) {
+	d := graph.Cholesky(6)
+	p := platform.Mirage()
+	for _, budget := range []int{1, 50, 777, 5000} {
+		for _, workers := range []int{1, 4} {
+			r, err := Solve(d, p, Options{NodeBudget: budget, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Nodes > budget {
+				t.Fatalf("budget=%d workers=%d: reported %d nodes", budget, workers, r.Nodes)
+			}
+		}
+	}
+}

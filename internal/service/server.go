@@ -112,6 +112,7 @@ func New(cfg Config) *Server {
 
 	s.mux.HandleFunc("POST /v1/bounds", s.instrument("/v1/bounds", s.handleBounds))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/optimize", s.instrument("/v1/optimize", s.handleOptimize))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /v1/experiments", s.instrument("/v1/experiments", s.handleExperimentList))
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("/v1/experiments/{id}", s.handleExperiment))
@@ -475,6 +476,127 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	v, hit, err := s.cached(r.Context(), "/v1/simulate", req.key(platformFingerprint(p)), func() (any, error) {
 		return s.simulateOnce(r.Context(), req, p)
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, v, hit)
+}
+
+// ---------------------------------------------------------------------------
+// /v1/optimize
+
+// OptimizeRequest asks the CP branch-and-bound for a near-optimal static
+// schedule of a factorization DAG on a registered platform — the service
+// view of the paper's CP experiment.
+type OptimizeRequest struct {
+	Platform  string `json:"platform"`
+	Algorithm string `json:"algorithm,omitempty"` // cholesky (default) | lu | qr
+	Tiles     int    `json:"tiles"`
+	// NodeBudget caps the branch-and-bound expansion (default 50000; the
+	// service clamps requests above 2000000 so one call cannot monopolize a
+	// worker slot for the whole request timeout).
+	NodeBudget int `json:"node_budget,omitempty"`
+	// Workers is the number of goroutines exploring the search tree (default
+	// 1, capped at 16). The search is deterministic: every Workers value
+	// returns the bit-identical Result, so Workers only buys wall-clock.
+	Workers int `json:"workers,omitempty"`
+}
+
+// OptimizeResponse reports the best static schedule found within the budget.
+type OptimizeResponse struct {
+	Platform    string  `json:"platform"`
+	Algorithm   string  `json:"algorithm"`
+	Tiles       int     `json:"tiles"`
+	MatrixSize  int     `json:"matrix_size"`
+	MakespanSec float64 `json:"makespan_sec"`
+	GFlops      float64 `json:"gflops"`
+	// Nodes is the number of search-tree nodes expanded; Exhausted reports
+	// whether the search proved optimality (explored or pruned the whole
+	// space) rather than stopping at the budget.
+	Nodes     int  `json:"nodes"`
+	Exhausted bool `json:"exhausted"`
+}
+
+func (r OptimizeRequest) normalize() (OptimizeRequest, error) {
+	if r.Algorithm == "" {
+		r.Algorithm = "cholesky"
+	}
+	// The CP search is exponential in the task count; 32 tiles (~6.5k tasks)
+	// is already far beyond what a request-scoped budget explores usefully.
+	if r.Tiles < 1 || r.Tiles > 32 {
+		return r, fmt.Errorf("service: tiles must be in [1, 32], got %d", r.Tiles)
+	}
+	if r.NodeBudget < 0 {
+		return r, fmt.Errorf("service: node_budget must be >= 0, got %d", r.NodeBudget)
+	}
+	if r.NodeBudget == 0 {
+		r.NodeBudget = 50000
+	}
+	if r.NodeBudget > 2000000 {
+		r.NodeBudget = 2000000
+	}
+	if r.Workers < 0 {
+		return r, fmt.Errorf("service: workers must be >= 0, got %d", r.Workers)
+	}
+	if r.Workers == 0 {
+		r.Workers = 1
+	}
+	if r.Workers > 16 {
+		r.Workers = 16
+	}
+	return r, nil
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[OptimizeRequest](r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	req, err = req.normalize()
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	p, err := core.NewPlatform(req.Platform)
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	// Workers is deliberately NOT part of the cache key: the search result is
+	// bit-identical for every worker count (a determinism property pinned by
+	// the cpsolve and core test suites), so a hit computed at workers=1 is
+	// exactly the answer a workers=8 request would have produced.
+	key := requestKey("optimize", platformFingerprint(p), req.Algorithm,
+		strconv.Itoa(req.Tiles), strconv.Itoa(req.NodeBudget))
+	v, hit, err := s.cached(r.Context(), "/v1/optimize", key, func() (any, error) {
+		d, err := core.DAGByAlgorithm(req.Algorithm, req.Tiles)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		if err := p.Validate(d.Kinds()); err != nil {
+			return nil, badRequest(fmt.Errorf("service: platform %q cannot run %s: %w", req.Platform, req.Algorithm, err))
+		}
+		fl, err := core.FlopsByAlgorithm(req.Algorithm, req.Tiles*platform.TileNB)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		res, err := core.OptimizeDAG(r.Context(), d, p, req.NodeBudget, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return &OptimizeResponse{
+			Platform:    req.Platform,
+			Algorithm:   req.Algorithm,
+			Tiles:       req.Tiles,
+			MatrixSize:  req.Tiles * platform.TileNB,
+			MakespanSec: res.Makespan,
+			GFlops:      platform.GFlops(fl, res.Makespan),
+			Nodes:       res.Nodes,
+			Exhausted:   res.Exhausted,
+		}, nil
 	})
 	if err != nil {
 		writeErr(w, err)

@@ -415,6 +415,95 @@ func TestQueueFullReturns503(t *testing.T) {
 	}
 }
 
+func TestOptimizeEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := OptimizeRequest{Platform: "mirage", Tiles: 4, NodeBudget: 3000, Workers: 1}
+
+	resp := postJSON(t, ts.URL+"/v1/optimize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if h := resp.Header.Get("X-Cache"); h != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", h)
+	}
+	r1 := decodeBody[OptimizeResponse](t, resp)
+	if r1.MakespanSec <= 0 || r1.GFlops <= 0 || r1.Nodes < 1 {
+		t.Fatalf("implausible optimize report: %+v", r1)
+	}
+
+	// Workers is excluded from the cache key on purpose: the search result is
+	// bit-identical for every worker count, so a workers=8 request must be
+	// served from the entry the workers=1 request computed.
+	req.Workers = 8
+	resp2 := postJSON(t, ts.URL+"/v1/optimize", req)
+	if h := resp2.Header.Get("X-Cache"); h != "hit" {
+		t.Fatalf("workers=8 X-Cache = %q, want hit (workers must not split the cache)", h)
+	}
+	r2 := decodeBody[OptimizeResponse](t, resp2)
+	if r1.MakespanSec != r2.MakespanSec || r1.Nodes != r2.Nodes || r1.Exhausted != r2.Exhausted {
+		t.Fatalf("cached optimize differs: %+v vs %+v", r1, r2)
+	}
+
+	// A different node budget is a different key.
+	req.NodeBudget = 4000
+	resp3 := postJSON(t, ts.URL+"/v1/optimize", req)
+	if h := resp3.Header.Get("X-Cache"); h != "miss" {
+		t.Fatalf("changed-budget X-Cache = %q, want miss", h)
+	}
+	resp3.Body.Close()
+}
+
+func TestOptimizeBadInputs(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []OptimizeRequest{
+		{Platform: "no-such", Tiles: 4},
+		{Platform: "mirage", Tiles: 0},
+		{Platform: "mirage", Tiles: 64},
+		{Platform: "mirage", Tiles: 4, NodeBudget: -1},
+		{Platform: "mirage", Tiles: 4, Workers: -2},
+		{Platform: "mirage", Algorithm: "no-such", Tiles: 4},
+	}
+	for _, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/optimize", c)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400", c, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestOptimizeSheds503(t *testing.T) {
+	// Same saturation recipe as TestQueueFullReturns503, but the shed request
+	// is an optimize: the CP search path must go through the same admission
+	// pool as the simulations, not around it.
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RequestTimeout: 2 * time.Second})
+	fire := func(seed int64) {
+		body, _ := json.Marshal(SimulateRequest{Platform: "mirage", Scheduler: "dmdas", Tiles: 128, Seed: seed})
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	go fire(0)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.pool.Active() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	go fire(1)
+	for s.pool.QueueDepth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.pool.Active() == 0 || s.pool.QueueDepth() == 0 {
+		t.Skip("slow requests finished before the queue filled; cannot exercise shedding")
+	}
+	resp := postJSON(t, ts.URL+"/v1/optimize",
+		OptimizeRequest{Platform: "mirage", Tiles: 8, NodeBudget: 100000, Workers: 4})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+}
+
 func TestRequestKeyStability(t *testing.T) {
 	p1, _ := core.NewPlatform("mirage")
 	p2, _ := core.NewPlatform("mirage")

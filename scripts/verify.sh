@@ -7,6 +7,10 @@ go vet ./...
 # chollint: domain-specific analyzers (internal/analysis) enforcing the
 # determinism, hot-path-allocation, and plumbing invariants statically.
 go run ./cmd/chollint ./...
+# Race-enabled tests: the -race run is load-bearing for the parallel CP
+# search (internal/cpsolve parallel_test.go, internal/core optimize_test.go)
+# — it is what proves the shared-incumbent/claim-counter synchronization
+# sound while the determinism digests prove the results identical.
 go test -race ./...
 # Benchmark harness smoke: a fixed-iteration subset of the pinned suite
 # (<60s) proving the hot paths still run end to end. Writes nothing.
