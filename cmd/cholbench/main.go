@@ -76,7 +76,7 @@ func fullBoundCases() []boundCase {
 
 func main() {
 	smoke := flag.Bool("smoke", false, "reduced <60s suite: run, sanity-check, write nothing")
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
 	baselineFrom := flag.String("baseline-from", "", "previous suite JSON whose results become this run's embedded baseline")
 	note := flag.String("note", "", "free-form note stored in the suite")
 	gobench := flag.Bool("gobench", false, "also print results in Go benchmark text format (for benchstat)")
@@ -202,6 +202,75 @@ func main() {
 		})
 		if last.MakespanSec <= 0 {
 			fatal(fmt.Errorf("cholbench: bound %s P=%d produced non-positive makespan", c.name, c.p))
+		}
+		r = r.WithMetric("bound_gflops", last.GFlops(flops))
+		suite.Add(r)
+		progress(r)
+	}
+
+	// Mixed-tile pipeline: the HeSP-style variable-tile-size DAG through the
+	// event loop and the per-(kind, size) bound LPs. These pin the cost of the
+	// size-parametrised cost model — the grouped ILP has more variables than
+	// the per-kind one, and the simulator prices every task through
+	// CostModel.Time instead of a flat table.
+	mixedSimCases := []struct {
+		p, fromK, factor int
+		sched            string
+		iters            int
+	}{
+		{p: 16, fromK: 8, factor: 2, sched: "dmdas", iters: 10},
+		{p: 16, fromK: 8, factor: 2, sched: "partition:0.5", iters: 10},
+		{p: 32, fromK: 24, factor: 2, sched: "dmdas", iters: 3},
+	}
+	mixedBoundCases := []boundCase{
+		{p: 16, name: "area-int", iters: 10, run: bounds.AreaInt},
+		{p: 16, name: "mixed-int", iters: 10, run: bounds.MixedInt},
+	}
+	if *smoke {
+		mixedSimCases = mixedSimCases[:1]
+		mixedSimCases[0].iters = 3
+		mixedBoundCases = []boundCase{
+			{p: 16, name: "mixed-int", iters: 3, run: bounds.MixedInt},
+		}
+	}
+	pfm := platform.MirageExtended()
+	pfm.Model = platform.ModelScaled // price sub-reference tiles by scaling
+	for _, c := range mixedSimCases {
+		d := graph.CholeskySplit(c.p, c.fromK, c.factor, pfm.DefaultNB())
+		flops := kernels.CholeskyFlops(c.p * pfm.DefaultNB())
+		var last *simulator.Result
+		r := benchio.Measure(fmt.Sprintf("sim-mixed-tile/P=%d/%d@%d/%s", c.p, c.factor, c.fromK, c.sched), c.iters, func() {
+			s, err := core.NewScheduler(c.sched)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := simulator.Run(d, pfm, s, simulator.Options{Seed: 42})
+			if err != nil {
+				fatal(err)
+			}
+			last = res
+		})
+		if last.MakespanSec <= 0 {
+			fatal(fmt.Errorf("cholbench: sim-mixed-tile P=%d/%s produced non-positive makespan", c.p, c.sched))
+		}
+		r = r.WithMetric("sim_gflops", last.GFlops(flops)).
+			WithMetric("tasks_per_sec", float64(len(d.Tasks))/(r.NsPerOp/1e9))
+		suite.Add(r)
+		progress(r)
+	}
+	for _, c := range mixedBoundCases {
+		d := graph.CholeskySplit(c.p, c.p/2, 2, pfm.DefaultNB())
+		flops := kernels.CholeskyFlops(c.p * pfm.DefaultNB())
+		var last bounds.Result
+		r := benchio.Measure(fmt.Sprintf("bounds-mixed-tile/%s/P=%d", c.name, c.p), c.iters, func() {
+			b, err := c.run(d, pfm)
+			if err != nil {
+				fatal(err)
+			}
+			last = b
+		})
+		if last.MakespanSec <= 0 {
+			fatal(fmt.Errorf("cholbench: bound %s mixed P=%d produced non-positive makespan", c.name, c.p))
 		}
 		r = r.WithMetric("bound_gflops", last.GFlops(flops))
 		suite.Add(r)

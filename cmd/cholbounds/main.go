@@ -17,7 +17,9 @@ import (
 	"strings"
 
 	"repro/internal/bounds"
+	"repro/internal/cliflags"
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/platform"
 	"repro/internal/stats"
 )
@@ -27,7 +29,8 @@ func main() {
 		algo     = flag.String("algo", "cholesky", "cholesky | lu | qr")
 		platFile = flag.String("platform-file", "", "JSON platform description (default: Mirage family)")
 		sizes    = flag.String("sizes", "2,4,8,12,16,20,24,28,32", "comma-separated tile counts")
-		nb       = flag.Int("nb", platform.TileNB, "tile size")
+		nb       = cliflags.NB(flag.CommandLine, platform.TileNB, "the bounded kernels")
+		nbSplit  = cliflags.NBSplit(flag.CommandLine)
 		csvOut   = flag.String("csv", "", "write the table as CSV to this file")
 	)
 	flag.Parse()
@@ -52,6 +55,24 @@ func main() {
 		ns = append(ns, n)
 	}
 
+	var split cliflags.Split
+	if *nbSplit != "" {
+		if *algo != "cholesky" {
+			fatal(fmt.Errorf("-nb-split applies to -algo cholesky only (got %q)", *algo))
+		}
+		var err error
+		if split, err = cliflags.ParseSplit(*nbSplit); err != nil {
+			fatal(err)
+		}
+		for _, n := range ns {
+			if err := split.Check(n, *nb); err != nil {
+				fatal(err)
+			}
+		}
+		// Sub-reference tiles are priced by scaling the reference tables.
+		p.Model = platform.ModelScaled
+	}
+
 	tbl := &stats.Table{
 		Title:  fmt.Sprintf("Performance upper bounds — %s on %s (GFLOP/s)", *algo, p.Name),
 		XLabel: "tiles",
@@ -62,8 +83,11 @@ func main() {
 	}
 	var cp, area, mixed, peak []float64
 	for _, n := range ns {
-		d, err := core.DAGByAlgorithm(*algo, n)
-		if err != nil {
+		var d *graph.DAG
+		var err error
+		if *nbSplit != "" {
+			d = graph.CholeskySplit(n, split.FromK, split.Factor, *nb)
+		} else if d, err = core.DAGByAlgorithm(*algo, n); err != nil {
 			fatal(err)
 		}
 		f, err := core.FlopsByAlgorithm(*algo, n**nb)

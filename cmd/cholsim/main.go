@@ -17,8 +17,11 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/autotune"
 	"repro/internal/bounds"
+	"repro/internal/cliflags"
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/simulator"
@@ -43,6 +46,9 @@ func main() {
 		cp        = flag.Bool("cp", false, "also search a CP-style optimized static schedule and inject it")
 		cpBudget  = flag.Int("cp-budget", 100000, "CP search node budget")
 		cpWorkers = flag.Int("cp-workers", 1, "CP search worker goroutines (any value returns the identical schedule)")
+		nb        = cliflags.NB(flag.CommandLine, platform.TileNB,
+			"the simulated kernels (≠ the platform's reference size rescales the model; cholesky only)")
+		nbSplit = cliflags.NBSplit(flag.CommandLine)
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -76,11 +82,35 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	d, err := core.DAGByAlgorithm(*algo, *tiles)
-	if err != nil {
+	refNB := p.DefaultNB()
+	if *nb != refNB || *nbSplit != "" {
+		if *algo != "cholesky" {
+			fatal(fmt.Errorf("-nb/-nb-split apply to -algo cholesky only (got %q)", *algo))
+		}
+	}
+	if *nb <= 0 {
+		fatal(fmt.Errorf("-nb %d must be positive", *nb))
+	}
+	if *nb != refNB {
+		p = autotune.ScalePlatform(p, refNB, *nb)
+	}
+	var d *graph.DAG
+	if *nbSplit != "" {
+		sp, err := cliflags.ParseSplit(*nbSplit)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sp.Check(*tiles, *nb); err != nil {
+			fatal(err)
+		}
+		// Fine tiles are priced by scaling the (possibly rescaled) reference
+		// tables down to nb/factor.
+		p.Model = platform.ModelScaled
+		d = graph.CholeskySplit(*tiles, sp.FromK, sp.Factor, *nb)
+	} else if d, err = core.DAGByAlgorithm(*algo, *tiles); err != nil {
 		fatal(err)
 	}
-	fl, err := core.FlopsByAlgorithm(*algo, *tiles*platform.TileNB)
+	fl, err := core.FlopsByAlgorithm(*algo, *tiles**nb)
 	if err != nil {
 		fatal(err)
 	}
@@ -92,8 +122,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("algo=%s platform=%s sched=%s tiles=%d (N=%d)\n",
-		*algo, p.Name, rep.Scheduler, *tiles, *tiles*platform.TileNB)
+	fmt.Printf("algo=%s platform=%s sched=%s tiles=%d (N=%d, nb=%d%s)\n",
+		*algo, p.Name, rep.Scheduler, *tiles, *tiles**nb, *nb, splitLabel(*nbSplit))
 	fmt.Printf("makespan      %.6f s\n", rep.MakespanSec)
 	fmt.Printf("performance   %.2f GFLOP/s\n", rep.GFlops)
 	fmt.Printf("mixed bound   %.2f GFLOP/s\n", rep.BoundGFlops)
@@ -172,6 +202,13 @@ func main() {
 		fmt.Printf("CP injected in sim  %.6f s (%.2f GFLOP/s, %.1f %% of bound)\n",
 			inj.MakespanSec, inj.GFlops, 100*inj.Efficiency)
 	}
+}
+
+func splitLabel(s string) string {
+	if s == "" {
+		return ""
+	}
+	return ", split " + s
 }
 
 func fatal(err error) {

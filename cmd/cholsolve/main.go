@@ -18,6 +18,7 @@ import (
 	"os"
 	gort "runtime"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/kernels"
@@ -30,7 +31,7 @@ import (
 func main() {
 	var (
 		n       = flag.Int("n", 512, "matrix dimension")
-		nb      = flag.Int("nb", 64, "tile size (must divide n)")
+		nb      = cliflags.NB(flag.CommandLine, 64, "the runtime tiles (must divide -n)")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		policy  = flag.String("policy", "priority", "fifo | priority | random | random-per-worker | stealing-deques")
 		kind    = flag.String("matrix", "rand", "rand | laplace | hilbert")

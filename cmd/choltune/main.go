@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/autotune"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/kernels"
 	"repro/internal/platform"
@@ -31,6 +32,7 @@ func main() {
 		cands    = flag.String("candidates", "", "comma-separated tile sizes (default: divisors-based set)")
 		platFile = flag.String("platform-file", "", "JSON platform description (default: Mirage)")
 		refNB    = flag.Int("ref-nb", platform.TileNB, "tile size the platform model was calibrated at")
+		splits   = flag.String("splits", "", "comma-separated F@K mixed-tile specs to sweep at the best uniform nb (e.g. 2@7,2@8; see cholsim -nb-split)")
 		seed     = flag.Int64("seed", 42, "jitter seed")
 		cp       = flag.Bool("cp", false, "after the sweep, search a CP static schedule at the best nb to report remaining static headroom")
 		cpBudget = flag.Int("cp-budget", 100000, "CP search node budget")
@@ -76,6 +78,49 @@ func main() {
 		fmt.Printf("%8d %8d %12.1f %12.4f%s\n", pt.NB, pt.Tiles, pt.GFlops, pt.Makespan, marker)
 	}
 	fmt.Printf("\nbest tile size: nb=%d (%.1f GFLOP/s)\n", best.NB, best.GFlops)
+
+	// Optional mixed-tile dimension: refine the trailing panels at the best
+	// uniform nb and report whether any split beats it.
+	if *splits != "" {
+		var specs [][2]int
+		for _, s := range strings.Split(*splits, ",") {
+			sp, err := cliflags.ParseSplit(strings.TrimSpace(s))
+			if err != nil {
+				fatal(err)
+			}
+			specs = append(specs, [2]int{sp.Factor, sp.FromK})
+		}
+		pts, err := autotune.SweepSplits(*n, best.NB, specs, p, *refNB, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if len(pts) == 0 {
+			fatal(fmt.Errorf("no -splits spec fits nb=%d with %d tiles", best.NB, best.Tiles))
+		}
+		fmt.Printf("\nmixed-tile sweep at nb=%d:\n\n", best.NB)
+		fmt.Printf("%8s %8s %12s %12s\n", "split", "fine-nb", "GFLOP/s", "makespan(s)")
+		bestSplit := pts[0]
+		for _, pt := range pts {
+			if pt.GFlops > bestSplit.GFlops {
+				bestSplit = pt
+			}
+		}
+		for _, pt := range pts {
+			marker := ""
+			if pt == bestSplit {
+				marker = "   <- best split"
+			}
+			fmt.Printf("%5d@%-2d %8d %12.1f %12.4f%s\n",
+				pt.Factor, pt.FromK, pt.NB/pt.Factor, pt.GFlops, pt.Makespan, marker)
+		}
+		if bestSplit.GFlops > best.GFlops {
+			fmt.Printf("\nmixed tiles win: %d@%d reaches %.1f GFLOP/s vs %.1f uniform (%+.1f%%)\n",
+				bestSplit.Factor, bestSplit.FromK, bestSplit.GFlops, best.GFlops,
+				100*(bestSplit.GFlops/best.GFlops-1))
+		} else {
+			fmt.Printf("\nuniform nb=%d stays best (%.1f GFLOP/s)\n", best.NB, best.GFlops)
+		}
+	}
 
 	// Optional CP refinement: how much a near-optimal static schedule could
 	// still buy at the chosen granularity, in the CP model. The solver cost

@@ -16,7 +16,6 @@ package autotune
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"repro/internal/graph"
@@ -26,42 +25,35 @@ import (
 	"repro/internal/simulator"
 )
 
-// Efficiency models the sustained-throughput penalty of small tiles: full
-// efficiency at and above refNB, dropping smoothly below (a tile of 1/4 the
-// reference size runs at ≈70 % efficiency, matching typical BLAS curves).
-func Efficiency(nb, refNB int) float64 {
-	if nb >= refNB {
-		return 1
-	}
-	r := float64(nb) / float64(refNB)
-	return 0.55 + 0.45*math.Sqrt(r)
-}
+// Efficiency models the sustained-throughput penalty of small tiles. The
+// curve now lives in platform.Efficiency (shared with the ScaledModel cost
+// model); this delegate remains for the package's historical API.
+func Efficiency(nb, refNB int) float64 { return platform.Efficiency(nb, refNB) }
 
 // ScalePlatform derives a platform model for tile size nb from a reference
 // model calibrated at refNB: each kernel time is scaled by its flop ratio
-// divided by the efficiency factor; tile bytes shrink quadratically.
+// divided by the efficiency factor; tile bytes shrink quadratically. It is a
+// materialized view of platform.ScaledModel — the per-kernel times equal
+// ScaledModel.Time(class, kind, nb) bit-for-bit — kept because the sweep
+// wants a standalone fixed-nb platform per candidate.
 func ScalePlatform(ref *platform.Platform, refNB, nb int) *platform.Platform {
 	p := ref.Clone()
 	p.Name = fmt.Sprintf("%s-nb%d", ref.Name, nb)
-	eff := Efficiency(nb, refNB)
-	ratio := map[graph.Kind]float64{
-		graph.POTRF: kernels.PotrfFlops(nb) / kernels.PotrfFlops(refNB),
-		graph.TRSM:  kernels.TrsmFlops(nb) / kernels.TrsmFlops(refNB),
-		graph.SYRK:  kernels.SyrkFlops(nb) / kernels.SyrkFlops(refNB),
-		graph.GEMM:  kernels.GemmFlops(nb) / kernels.GemmFlops(refNB),
-	}
+	m := platform.NewScaledModel(ref, refNB)
+	isCholesky := map[graph.Kind]bool{graph.POTRF: true, graph.TRSM: true, graph.SYRK: true, graph.GEMM: true}
 	for ci := range p.Classes {
 		times := map[graph.Kind]float64{}
-		for k, t := range p.Classes[ci].Times {
-			r, ok := ratio[k]
-			if !ok {
+		for k := range p.Classes[ci].Times {
+			if !isCholesky[k] {
 				continue // non-Cholesky kernels are not retuned
 			}
-			times[k] = t * r / eff
+			times[k] = m.Time(ci, k, nb)
 		}
 		p.Classes[ci].Times = times
+		p.Classes[ci].TimesByNB = nil
 	}
 	p.TileBytes = float64(nb) * float64(nb) * 8
+	p.RefNB = nb
 	return p
 }
 
@@ -101,6 +93,54 @@ func Sweep(n int, candidates []int, ref *platform.Platform, refNB int, seed int6
 		return nil, fmt.Errorf("autotune: no candidate tile size divides N=%d", n)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].NB < out[j].NB })
+	return out, nil
+}
+
+// SplitPoint is one mixed-tile sweep sample: the N×N matrix at coarse tile
+// size NB with the trailing panels from FromK on refined Factor× per side
+// (graph.CholeskySplit).
+type SplitPoint struct {
+	NB       int
+	Tiles    int
+	Factor   int
+	FromK    int
+	GFlops   float64
+	Makespan float64
+}
+
+// SweepSplits evaluates mixed-tile candidates under the same conditions as
+// Sweep (dmdas, runtime-overhead model on): for each (factor, fromK) spec the
+// coarse grid runs at tile size nb and the trailing submatrix is refined.
+// Specs whose factor does not divide nb or whose panel exceeds the tile
+// count are skipped. Samples return in the input spec order.
+func SweepSplits(n, nb int, specs [][2]int, ref *platform.Platform, refNB int, seed int64) ([]SplitPoint, error) {
+	if nb <= 0 || n%nb != 0 {
+		return nil, fmt.Errorf("autotune: coarse tile size %d does not divide N=%d", nb, n)
+	}
+	tiles := n / nb
+	p := ScalePlatform(ref, refNB, nb)
+	p.Model = platform.ModelScaled // price the fine tiles by scaling
+	var out []SplitPoint
+	for _, spec := range specs {
+		factor, fromK := spec[0], spec[1]
+		if factor < 2 || nb%factor != 0 || fromK < 0 || fromK > tiles {
+			continue
+		}
+		d := graph.CholeskySplit(tiles, fromK, factor, nb)
+		r, err := simulator.Run(d, p, sched.NewDMDAS(),
+			simulator.Options{Seed: seed, Overhead: true})
+		if err != nil {
+			return nil, fmt.Errorf("autotune split %d@%d: %w", factor, fromK, err)
+		}
+		out = append(out, SplitPoint{
+			NB:       nb,
+			Tiles:    tiles,
+			Factor:   factor,
+			FromK:    fromK,
+			GFlops:   platform.GFlops(kernels.CholeskyFlops(n), r.MakespanSec),
+			Makespan: r.MakespanSec,
+		})
+	}
 	return out, nil
 }
 

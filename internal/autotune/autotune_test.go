@@ -41,6 +41,30 @@ func TestScalePlatformReferenceIdentity(t *testing.T) {
 	}
 }
 
+// TestScalePlatformMatchesScaledModel pins ScalePlatform as a materialized
+// view of platform.ScaledModel: every per-kernel time of the scaled platform
+// must equal ScaledModel.Time bit-for-bit (compared as Float64bits, not
+// within a tolerance), for every class and a spread of tile sizes.
+func TestScalePlatformMatchesScaledModel(t *testing.T) {
+	ref := platform.Mirage()
+	m := platform.NewScaledModel(ref, platform.TileNB)
+	for _, nb := range []int{120, 240, 480, 960, 1920} {
+		p := ScalePlatform(ref, platform.TileNB, nb)
+		for _, k := range graph.CholeskyKinds {
+			for c := range p.Classes {
+				got := p.Time(c, k)
+				want := m.Time(c, k, nb)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("nb=%d class=%d %v: ScalePlatform %v != ScaledModel %v", nb, c, k, got, want)
+				}
+			}
+		}
+		if p.RefNB != nb {
+			t.Fatalf("nb=%d: scaled platform RefNB = %d", nb, p.RefNB)
+		}
+	}
+}
+
 func TestScalePlatformSmallerTilesFasterKernels(t *testing.T) {
 	ref := platform.Mirage()
 	p := ScalePlatform(ref, platform.TileNB, 480)
@@ -80,6 +104,28 @@ func TestSweepFindsInteriorOptimum(t *testing.T) {
 	}
 	if nb7680.GFlops >= best.GFlops {
 		t.Fatal("serial single tile cannot be optimal")
+	}
+}
+
+func TestSweepSplitsSkipsBadSpecs(t *testing.T) {
+	pts, err := SweepSplits(7680, 960, [][2]int{{2, 4}, {2, 6}, {7, 3}, {2, 99}},
+		platform.Mirage(), platform.TileNB, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points, want 2 (7∤960 and fromK=99 must be skipped)", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.NB != 960 || pt.Tiles != 8 || pt.Factor != 2 {
+			t.Fatalf("bad point %+v", pt)
+		}
+		if pt.Makespan <= 0 || pt.GFlops <= 0 {
+			t.Fatalf("degenerate sample %+v", pt)
+		}
+	}
+	if _, err := SweepSplits(7680, 7, nil, platform.Mirage(), platform.TileNB, 42); err == nil {
+		t.Fatal("non-dividing coarse nb must error")
 	}
 }
 

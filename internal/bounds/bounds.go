@@ -40,13 +40,52 @@ func (r Result) GFlops(flops float64) float64 {
 	return platform.GFlops(flops, r.MakespanSec)
 }
 
-// buildAreaLP constructs the area-bound linear program. Variable layout:
-// n_rt for each class r and kind t (row-major), then the makespan l last.
-func buildAreaLP(d *graph.DAG, p *platform.Platform) (*lp.Problem, []graph.Kind, int) {
+// group is one LP variable family: tasks of one kind at one tile size. For
+// uniform DAGs (every Task.NB zero) the groups are exactly d.Kinds() and the
+// LP below is coefficient-for-coefficient the flat per-kind formulation.
+type group struct {
+	Kind graph.Kind
+	NB   int
+}
+
+// dagGroups enumerates the (kind, nb) pairs present in the DAG, ordered by
+// size first (coarse nb = 0 groups leading, in d.Kinds() order) then kind, so
+// uniform DAGs reduce to the historical per-kind variable layout.
+func dagGroups(d *graph.DAG) ([]group, []float64) {
 	kinds := d.Kinds()
-	counts := d.CountByKind()
+	nbs := d.NBs()
+	count := make(map[group]float64, len(kinds)*len(nbs))
+	for _, t := range d.Tasks {
+		count[group{t.Kind, t.NB}]++
+	}
+	gs := make([]group, 0, len(kinds)*len(nbs))
+	cs := make([]float64, 0, len(kinds)*len(nbs))
+	for _, nb := range nbs {
+		for _, k := range kinds {
+			if c := count[group{k, nb}]; c > 0 {
+				gs = append(gs, group{k, nb})
+				cs = append(cs, c)
+			}
+		}
+	}
+	return gs, cs
+}
+
+// runnableNB reports whether class r can execute kind at tile size nb — the
+// size-aware counterpart of Class.CanRun, and identical to it at nb = 0 for
+// the factorization kinds (conversion kinds are priced by the cost model, not
+// the kernel tables).
+func runnableNB(p *platform.Platform, r int, kind graph.Kind, nb int) bool {
+	return !math.IsInf(p.TimeNB(r, kind, nb), 1)
+}
+
+// buildAreaLP constructs the area-bound linear program. Variable layout:
+// n_rg for each class r and (kind, size) group g (row-major), then the
+// makespan l last.
+func buildAreaLP(d *graph.DAG, p *platform.Platform) (*lp.Problem, []group, int) {
+	groups, counts := dagGroups(d)
 	R := len(p.Classes)
-	T := len(kinds)
+	T := len(groups)
 	nv := R*T + 1
 	lVar := R * T
 
@@ -56,19 +95,19 @@ func buildAreaLP(d *graph.DAG, p *platform.Platform) (*lp.Problem, []graph.Kind,
 
 	v := func(r, t int) int { return r*T + t }
 
-	// Each kind fully assigned; unrunnable or empty classes pinned to zero.
-	for ti, k := range kinds {
+	// Each group fully assigned; unrunnable or empty classes pinned to zero.
+	for gi, g := range groups {
 		row := make([]float64, nv)
 		for r := 0; r < R; r++ {
-			if p.Classes[r].Count > 0 && p.Classes[r].CanRun(k) {
-				row[v(r, ti)] = 1
+			if p.Classes[r].Count > 0 && runnableNB(p, r, g.Kind, g.NB) {
+				row[v(r, gi)] = 1
 			} else {
 				zero := make([]float64, nv)
-				zero[v(r, ti)] = 1
+				zero[v(r, gi)] = 1
 				prob.AddConstraint(zero, lp.EQ, 0)
 			}
 		}
-		prob.AddConstraint(row, lp.EQ, float64(counts[k]))
+		prob.AddConstraint(row, lp.EQ, counts[gi])
 	}
 	// Work per class fits in l × M_r.
 	for r := 0; r < R; r++ {
@@ -76,18 +115,18 @@ func buildAreaLP(d *graph.DAG, p *platform.Platform) (*lp.Problem, []graph.Kind,
 			continue
 		}
 		row := make([]float64, nv)
-		for ti, k := range kinds {
-			if p.Classes[r].CanRun(k) {
-				row[v(r, ti)] = p.Time(r, k)
+		for gi, g := range groups {
+			if runnableNB(p, r, g.Kind, g.NB) {
+				row[v(r, gi)] = p.TimeNB(r, g.Kind, g.NB)
 			}
 		}
 		row[lVar] = -float64(p.Classes[r].Count)
 		prob.AddConstraint(row, lp.LE, 0)
 	}
-	return prob, kinds, lVar
+	return prob, groups, lVar
 }
 
-func solveBound(name string, prob *lp.Problem, kinds []graph.Kind, lVar int,
+func solveBound(name string, prob *lp.Problem, groups []group, lVar int,
 	p *platform.Platform, integer bool) (Result, error) {
 
 	var sol *lp.Solution
@@ -115,12 +154,14 @@ func solveBound(name string, prob *lp.Problem, kinds []graph.Kind, lVar int,
 	if sol.Status != lp.Optimal {
 		return Result{}, fmt.Errorf("bounds: %s LP is %v", name, sol.Status)
 	}
-	T := len(kinds)
+	// The witness is aggregated over tile sizes: Assignment stays per-kind so
+	// existing consumers (reports, plots) are size-agnostic.
+	T := len(groups)
 	asg := map[int]map[graph.Kind]float64{}
 	for r := 0; r*T < lVar; r++ {
 		asg[r] = map[graph.Kind]float64{}
-		for ti, k := range kinds {
-			asg[r][k] = sol.X[r*T+ti]
+		for gi, g := range groups {
+			asg[r][g.Kind] += sol.X[r*T+gi]
 		}
 	}
 	return Result{Name: name, MakespanSec: sol.X[lVar], Assignment: asg}, nil
@@ -158,39 +199,62 @@ var chainSpecs = map[string]chainSpec{
 }
 
 // addDiagonalChain appends the mixed-bound constraint: the diagonal chain —
-// every diagonal-kind task, plus p−1 of each companion kind at their fastest
-// times — is a path of the DAG, so its sequential length bounds the
-// makespan. For Cholesky:
+// every diagonal-kind task, plus one of each companion kind between
+// consecutive diagonal tasks at their fastest times — is a path of the DAG,
+// so its sequential length bounds the makespan. For uniform Cholesky:
 //
 //	Σ_r n_rP·T_rP + (p−1)·T*_TRSM + (p−1)·T*_SYRK ≤ l
+//
+// Mixed-tile DAGs keep the chain property (the split refinement relinks the
+// fine diagonal onto the coarse one through SPLIT tasks), with diagonal tasks
+// in several size groups; companions are charged at the fastest time over
+// the sizes present — sound because each chain leg contains at least one
+// companion of *some* size.
 func addDiagonalChain(prob *lp.Problem, d *graph.DAG, p *platform.Platform,
-	kinds []graph.Kind, lVar int) error {
+	groups []group, lVar int) error {
 
 	spec, ok := chainSpecs[d.Algorithm]
 	if !ok {
 		return fmt.Errorf("bounds: no diagonal-chain spec for algorithm %q; use Area instead", d.Algorithm)
 	}
-	ti := -1
-	for i, k := range kinds {
-		if k == spec.Diagonal {
-			ti = i
+	T := len(groups)
+	row := make([]float64, lVar+1)
+	diagCount := 0.0
+	counts := d.CountByKind()
+	found := false
+	for gi, g := range groups {
+		if g.Kind != spec.Diagonal {
+			continue
+		}
+		found = true
+		for r := range p.Classes {
+			if runnableNB(p, r, g.Kind, g.NB) {
+				row[r*T+gi] = p.TimeNB(r, g.Kind, g.NB)
+			}
 		}
 	}
-	if ti == -1 {
+	if !found {
 		return fmt.Errorf("bounds: DAG has no %v tasks; cannot apply the %s chain", spec.Diagonal, d.Algorithm)
 	}
-	T := len(kinds)
-	row := make([]float64, lVar+1)
-	for r := range p.Classes {
-		if p.Classes[r].CanRun(spec.Diagonal) {
-			row[r*T+ti] = p.Time(r, spec.Diagonal)
-		}
-	}
+	diagCount = float64(counts[spec.Diagonal])
 	row[lVar] = -1
 	fixed := 0.0
-	if d.P > 1 {
+	if diagCount > 1 {
 		for _, c := range spec.Companions {
-			fixed += float64(d.P-1) * p.FastestTime(c)
+			// Fastest execution over the tile sizes this kind appears at.
+			best := math.Inf(1)
+			for _, g := range groups {
+				if g.Kind != c {
+					continue
+				}
+				if t := p.FastestTimeNB(c, g.NB); t < best {
+					best = t
+				}
+			}
+			if math.IsInf(best, 1) {
+				best = p.FastestTime(c)
+			}
+			fixed += (diagCount - 1) * best
 		}
 	}
 	prob.AddConstraint(row, lp.LE, -fixed)
@@ -222,7 +286,7 @@ func MixedInt(d *graph.DAG, p *platform.Platform) (Result, error) {
 // each task is weighted by its fastest execution time over the platform.
 func CriticalPath(d *graph.DAG, p *platform.Platform) (Result, error) {
 	cp, _, err := d.CriticalPath(func(t *graph.Task) float64 {
-		return p.FastestTime(t.Kind)
+		return p.FastestTimeNB(t.Kind, t.NB)
 	})
 	if err != nil {
 		return Result{}, err

@@ -49,24 +49,6 @@ func Factorize(a *matrix.Dense, nb, workers int) (*matrix.Dense, float64, error)
 	return l, matrix.CholeskyResidual(a, l), nil
 }
 
-// PlatformByName builds a registered platform model.
-//
-// Deprecated: it is a thin wrapper over NewPlatform, kept so pre-registry
-// callers keep compiling; use NewPlatform (and RegisterPlatform to add
-// models) instead.
-func PlatformByName(name string) (*platform.Platform, error) {
-	return NewPlatform(name)
-}
-
-// SchedulerByName builds a registered scheduling policy.
-//
-// Deprecated: it is a thin wrapper over NewScheduler, kept so pre-registry
-// callers keep compiling; use NewScheduler (and RegisterScheduler to add
-// policies) instead.
-func SchedulerByName(name string) (sched.Scheduler, error) {
-	return NewScheduler(name)
-}
-
 // SimulationReport bundles one simulated run with its bound context.
 type SimulationReport struct {
 	Tiles       int

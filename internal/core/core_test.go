@@ -31,11 +31,12 @@ func TestFactorizeBadTileSize(t *testing.T) {
 	}
 }
 
-func TestPlatformByName(t *testing.T) {
+func TestNewPlatform(t *testing.T) {
 	for name, workers := range map[string]int{
-		"mirage": 12, "mirage-nocomm": 12, "homogeneous:9": 9, "related:20": 12,
+		"mirage": 12, "mirage-nocomm": 12, "mirage-extended": 12,
+		"homogeneous:9": 9, "related:20": 12,
 	} {
-		p, err := PlatformByName(name)
+		p, err := NewPlatform(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -44,19 +45,19 @@ func TestPlatformByName(t *testing.T) {
 		}
 	}
 	for _, bad := range []string{"nope", "homogeneous:x", "homogeneous:-1", "related:0", "related:x"} {
-		if _, err := PlatformByName(bad); err == nil {
+		if _, err := NewPlatform(bad); err == nil {
 			t.Fatalf("%s: expected error", bad)
 		}
 	}
-	p, _ := PlatformByName("mirage-nocomm")
+	p, _ := NewPlatform("mirage-nocomm")
 	if p.Bus.Enabled {
 		t.Fatal("nocomm platform has bus enabled")
 	}
 }
 
-func TestSchedulerByName(t *testing.T) {
-	for _, name := range []string{"random", "greedy", "dmda", "dmdas", "dmda-nocomm", "trsm-cpu:6", "gemm-syrk-gpu"} {
-		s, err := SchedulerByName(name)
+func TestNewScheduler(t *testing.T) {
+	for _, name := range []string{"random", "greedy", "dmda", "dmdas", "dmda-nocomm", "trsm-cpu:6", "gemm-syrk-gpu", "partition:0.5"} {
+		s, err := NewScheduler(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -64,16 +65,16 @@ func TestSchedulerByName(t *testing.T) {
 			t.Fatalf("%s: nil scheduler", name)
 		}
 	}
-	for _, bad := range []string{"nope", "trsm-cpu:x", "trsm-cpu:0"} {
-		if _, err := SchedulerByName(bad); err == nil {
+	for _, bad := range []string{"nope", "trsm-cpu:x", "trsm-cpu:0", "partition:x", "partition:1.5", "partition:-0.1", "partition:NaN"} {
+		if _, err := NewScheduler(bad); err == nil {
 			t.Fatalf("%s: expected error", bad)
 		}
 	}
 }
 
 func TestSimulateReport(t *testing.T) {
-	p, _ := PlatformByName("mirage-nocomm")
-	s, _ := SchedulerByName("dmdas")
+	p, _ := NewPlatform("mirage-nocomm")
+	s, _ := NewScheduler("dmdas")
 	rep, err := Simulate(context.Background(), 8, p, s, simulator.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +91,7 @@ func TestSimulateReport(t *testing.T) {
 }
 
 func TestBoundsFor(t *testing.T) {
-	p, _ := PlatformByName("mirage")
+	p, _ := NewPlatform("mirage")
 	all, err := BoundsFor(8, p)
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +102,7 @@ func TestBoundsFor(t *testing.T) {
 }
 
 func TestOptimizeSchedule(t *testing.T) {
-	p, _ := PlatformByName("mirage-nocomm")
+	p, _ := NewPlatform("mirage-nocomm")
 	r, err := OptimizeSchedule(context.Background(), 4, p, 5000, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +222,7 @@ func TestSimulateDAGLU(t *testing.T) {
 	d, _ := DAGByAlgorithm("lu", 6)
 	fl, _ := FlopsByAlgorithm("lu", 6*960)
 	p, _ := PlatformForAlgorithm("lu", true)
-	s, _ := SchedulerByName("dmdas")
+	s, _ := NewScheduler("dmdas")
 	rep, err := SimulateDAG(context.Background(), d, fl, p, s, simulator.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/simulator"
+)
+
+// scheduleDigest folds the schedule-defining fields of a simulator Result
+// into one FNV-64a word over the exact float bit patterns, so "equal" below
+// means bit-identical, not approximately equal.
+func scheduleDigest(r *simulator.Result) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	f := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	f(r.MakespanSec)
+	for _, w := range r.Worker {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(w)))
+		h.Write(buf[:])
+	}
+	for _, v := range r.Start {
+		f(v)
+	}
+	for _, v := range r.End {
+		f(v)
+	}
+	return h.Sum64()
+}
+
+// TestUniformNBScheduleIdentity is the redesign's core compatibility
+// property: on every registered platform, a Cholesky DAG whose tasks carry
+// an explicit Task.NB equal to the platform's reference size — including the
+// degenerate CholeskySplit DAG — schedules bit-identically to the legacy
+// NB = 0 DAG. The size-parametrised cost model must be invisible at the
+// reference size.
+func TestUniformNBScheduleIdentity(t *testing.T) {
+	const tiles = 8
+	for _, e := range core.Platforms() {
+		name := e.Name
+		if strings.HasPrefix(name, "zz-test-") {
+			continue
+		}
+		if e.Param != "" {
+			arg, ok := paramSamples[e.Name]
+			if !ok {
+				t.Fatalf("registered platform %q has no sample argument: add one to paramSamples", e.Display())
+			}
+			name = e.Name + ":" + arg
+		}
+		t.Run(name, func(t *testing.T) {
+			p, err := core.NewPlatform(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := core.NewScheduler("dmdas")
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := simulator.Run(graph.Cholesky(tiles), p, s, simulator.Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := scheduleDigest(base)
+
+			nb := p.DefaultNB()
+			pinned := graph.Cholesky(tiles)
+			for i := range pinned.Tasks {
+				pinned.Tasks[i].NB = nb
+			}
+			for _, tc := range []struct {
+				label string
+				d     *graph.DAG
+			}{
+				{"explicit-nb", pinned},
+				{"degenerate-split", graph.CholeskySplit(tiles, tiles, 2, nb)},
+			} {
+				s2, err := core.NewScheduler("dmdas")
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := simulator.Run(tc.d, p, s2, simulator.Options{Seed: 1})
+				if err != nil {
+					t.Fatalf("%s: %v", tc.label, err)
+				}
+				if got := scheduleDigest(r); got != want {
+					t.Errorf("%s: digest %016x, want %016x (schedule changed at the reference tile size)",
+						tc.label, got, want)
+				}
+			}
+		})
+	}
+}

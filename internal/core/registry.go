@@ -201,6 +201,11 @@ func init() {
 		},
 	})
 	RegisterPlatform(PlatformEntry{
+		Name:        "mirage-extended",
+		Description: "Mirage with timing entries for all factorization kernels",
+		Build:       func(string) (*platform.Platform, error) { return platform.MirageExtended(), nil },
+	})
+	RegisterPlatform(PlatformEntry{
 		Name: "homogeneous", Param: "N",
 		Description: "N identical CPU cores",
 		Build: func(arg string) (*platform.Platform, error) {
@@ -237,6 +242,17 @@ func init() {
 	simple("dmda-nocomm", "dmda ignoring transfer estimates", func() sched.Scheduler { return sched.NewDMDANoComm() })
 	simple("gemm-syrk-gpu", "dmdas + GEMM/SYRK forced on GPUs", func() sched.Scheduler {
 		return sched.NewDMDASWithHints("gemm-syrk-gpu", sched.GemmSyrkOnGPU())
+	})
+	RegisterScheduler(SchedulerEntry{
+		Name: "partition", Param: "G",
+		Description: "dmdas + per-panel GPU-proportion partitioning for mixed-tile DAGs",
+		Build: func(arg string) (sched.Scheduler, error) {
+			g, err := strconv.ParseFloat(arg, 64)
+			if err != nil || !(g >= 0 && g <= 1) {
+				return nil, fmt.Errorf("core: bad GPU proportion in %q (want a number in [0, 1])", "partition:"+arg)
+			}
+			return sched.NewPartition(g), nil
+		},
 	})
 	RegisterScheduler(SchedulerEntry{
 		Name: "trsm-cpu", Param: "K",

@@ -29,7 +29,7 @@ func builtins[E interface{ Display() string }](entries []E) []string {
 // backs cholsim -list, the /v1/platforms endpoint, and every "unknown
 // platform" error, so a drift here is user-visible in three places.
 func TestPlatformsGolden(t *testing.T) {
-	want := []string{"homogeneous:N", "mirage", "mirage-nocomm", "related:K"}
+	want := []string{"homogeneous:N", "mirage", "mirage-extended", "mirage-nocomm", "related:K"}
 	got := builtins(Platforms())
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("Platforms() = %v, want %v", got, want)
@@ -45,7 +45,7 @@ func TestPlatformsGolden(t *testing.T) {
 }
 
 func TestSchedulersGolden(t *testing.T) {
-	want := []string{"dmda", "dmda-nocomm", "dmdar", "dmdas", "gemm-syrk-gpu", "greedy", "random", "trsm-cpu:K"}
+	want := []string{"dmda", "dmda-nocomm", "dmdar", "dmdas", "gemm-syrk-gpu", "greedy", "partition:G", "random", "trsm-cpu:K"}
 	got := builtins(Schedulers())
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("Schedulers() = %v, want %v", got, want)

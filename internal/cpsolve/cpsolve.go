@@ -86,8 +86,17 @@ type prob struct {
 	tail   []float64 // blFast minus the task's own fastest time
 
 	classes    []int       // usable platform class indices
-	classExec  [][]float64 // per internal class, exec time per kind (+Inf unsupported)
-	classOrder [][]int     // per kind, internal classes sorted by exec time
+	classExec  [][]float64 // per internal class, exec time per cost group (+Inf unsupported)
+	classOrder [][]int     // per cost group, internal classes sorted by exec time
+
+	// Cost groups are the distinct (kind, nb) pairs the cost model must
+	// price: groups 0..NumKinds−1 are the nb = 0 base groups (uniform DAGs
+	// index nothing else, keeping their tables bit-identical to the
+	// per-kind layout), and each additional tile size present in the DAG
+	// appends one group per occurring kind.
+	taskGroup []int32
+	groupKind []graph.Kind
+	groupNB   []int
 	workerOf   [][]int     // per internal class, its workers
 	workerCi   []int       // per worker, its internal class index
 	nTasks     int
@@ -155,7 +164,7 @@ func SolveContext(ctx context.Context, d *graph.DAG, p *platform.Platform, opt O
 		opt.Workers = 1
 	}
 	bl, err := d.BottomLevels(func(t *graph.Task) float64 {
-		return p.FastestTime(t.Kind)
+		return p.FastestTimeNB(t.Kind, t.NB)
 	})
 	if err != nil {
 		return nil, err
@@ -186,8 +195,55 @@ func SolveContext(ctx context.Context, d *graph.DAG, p *platform.Platform, opt O
 	return solveParallel(ctx, pr, g)
 }
 
+// buildGroups assigns every task its (kind, nb) cost group. The first
+// NumKinds groups are the nb = 0 base groups; further tile sizes present in
+// the DAG append one group per occurring kind, in (nb, kind) order.
+func (pr *prob) buildGroups() {
+	pr.groupKind = make([]graph.Kind, graph.NumKinds)
+	pr.groupNB = make([]int, graph.NumKinds)
+	for k := graph.Kind(0); k < graph.NumKinds; k++ {
+		pr.groupKind[k] = k
+	}
+	pr.taskGroup = make([]int32, len(pr.d.Tasks))
+	nbs := pr.d.NBs()
+	if len(nbs) == 1 && nbs[0] == 0 {
+		for _, t := range pr.d.Tasks {
+			pr.taskGroup[t.ID] = int32(t.Kind)
+		}
+		return
+	}
+	groupOf := make(map[[2]int]int, 2*graph.NumKinds)
+	present := make(map[[2]int]bool, 2*graph.NumKinds)
+	for _, t := range pr.d.Tasks {
+		if t.NB != 0 {
+			present[[2]int{t.NB, int(t.Kind)}] = true
+		}
+	}
+	for _, nb := range nbs {
+		if nb == 0 {
+			continue
+		}
+		for k := graph.Kind(0); k < graph.NumKinds; k++ {
+			if !present[[2]int{nb, int(k)}] {
+				continue
+			}
+			groupOf[[2]int{nb, int(k)}] = len(pr.groupKind)
+			pr.groupKind = append(pr.groupKind, k)
+			pr.groupNB = append(pr.groupNB, nb)
+		}
+	}
+	for _, t := range pr.d.Tasks {
+		if t.NB == 0 {
+			pr.taskGroup[t.ID] = int32(t.Kind)
+		} else {
+			pr.taskGroup[t.ID] = int32(groupOf[[2]int{t.NB, int(t.Kind)}])
+		}
+	}
+}
+
 func newProb(d *graph.DAG, p *platform.Platform, opt Options, bl []float64) *prob {
 	pr := &prob{d: d, p: p, opt: opt, blFast: bl, nTasks: len(d.Tasks)}
+	pr.buildGroups()
 	classIdxOf := make([]int, len(p.Classes))
 	for i := range classIdxOf {
 		classIdxOf[i] = -1
@@ -198,9 +254,9 @@ func newProb(d *graph.DAG, p *platform.Platform, opt Options, bl []float64) *pro
 		}
 		classIdxOf[r] = len(pr.classes)
 		pr.classes = append(pr.classes, r)
-		exec := make([]float64, graph.NumKinds)
-		for k := graph.Kind(0); k < graph.NumKinds; k++ {
-			exec[k] = p.Time(r, k)
+		exec := make([]float64, len(pr.groupKind))
+		for g := range exec {
+			exec[g] = p.TimeNB(r, pr.groupKind[g], pr.groupNB[g])
 		}
 		pr.classExec = append(pr.classExec, exec)
 		pr.workerOf = append(pr.workerOf, p.ClassWorkers(r))
@@ -209,14 +265,14 @@ func newProb(d *graph.DAG, p *platform.Platform, opt Options, bl []float64) *pro
 	for w := range pr.workerCi {
 		pr.workerCi[w] = classIdxOf[p.WorkerClass(w)]
 	}
-	pr.classOrder = make([][]int, graph.NumKinds)
-	for k := graph.Kind(0); k < graph.NumKinds; k++ {
+	pr.classOrder = make([][]int, len(pr.groupKind))
+	for g := range pr.classOrder {
 		order := make([]int, len(pr.classes))
 		for i := range order {
 			order[i] = i
 		}
 		sort.Slice(order, func(a, b int) bool {
-			ea, eb := pr.classExec[order[a]][k], pr.classExec[order[b]][k]
+			ea, eb := pr.classExec[order[a]][g], pr.classExec[order[b]][g]
 			// Tie-break on the class index so the branch order is a total
 			// order (sort.Slice is unstable).
 			if ea != eb { //chollint:floateq
@@ -224,12 +280,12 @@ func newProb(d *graph.DAG, p *platform.Platform, opt Options, bl []float64) *pro
 			}
 			return order[a] < order[b]
 		})
-		pr.classOrder[k] = order
+		pr.classOrder[g] = order
 	}
 	pr.tail = make([]float64, pr.nTasks)
 	pr.baseIndeg = make([]int, pr.nTasks)
 	for _, t := range d.Tasks {
-		pr.tail[t.ID] = bl[t.ID] - p.FastestTime(t.Kind)
+		pr.tail[t.ID] = bl[t.ID] - p.FastestTimeNB(t.Kind, t.NB)
 		pr.baseIndeg[t.ID] = len(t.Pred)
 		if len(t.Pred) == 0 {
 			pr.roots = append(pr.roots, t.ID)
@@ -290,7 +346,7 @@ func (s *solver) replayPath(path []step) float64 {
 	for _, st := range path {
 		id, ci := int(st.task), int(st.class)
 		t := s.pr.d.Tasks[id]
-		exec := s.pr.classExec[ci][t.Kind]
+		exec := s.pr.classExec[ci][s.pr.taskGroup[id]]
 		df := s.depsFinishOn(id, ci)
 		w, wf := s.earliestFree(ci)
 		start := wf
@@ -351,9 +407,9 @@ func (s *solver) dfs(depth int, maxFinish float64) {
 			s.bestMk = maxFinish
 			s.improved = true
 			copy(s.bestWorker, s.worker)
-			for id, t := range s.pr.d.Tasks {
+			for id := range s.pr.d.Tasks {
 				ci := s.pr.workerCi[s.worker[id]]
-				s.bestStart[id] = s.finish[id] - s.pr.classExec[ci][t.Kind]
+				s.bestStart[id] = s.finish[id] - s.pr.classExec[ci][s.pr.taskGroup[id]]
 			}
 		}
 		return
@@ -381,8 +437,8 @@ func (s *solver) dfs(depth int, maxFinish float64) {
 		} else {
 			df0 = s.depsFinish(id)
 		}
-		for _, ci := range s.pr.classOrder[t.Kind] {
-			exec := s.pr.classExec[ci][t.Kind]
+		for _, ci := range s.pr.classOrder[s.pr.taskGroup[id]] {
+			exec := s.pr.classExec[ci][s.pr.taskGroup[id]]
 			if math.IsInf(exec, 1) {
 				break // classOrder sorts unsupported classes last
 			}
@@ -618,7 +674,7 @@ func replayComm(d *graph.DAG, p *platform.Platform, plan *sched.StaticSchedule, 
 					break
 				}
 				st := math.Max(free[w], dep)
-				en := st + p.Time(p.WorkerClass(w), t.Kind)
+				en := st + p.TimeNB(p.WorkerClass(w), t.Kind, t.NB)
 				start[id], finish[id] = st, en
 				done[id] = true
 				free[w] = en

@@ -105,9 +105,9 @@ func (g *incumbent) publishMin(mk float64) {
 func (g *incumbent) commitSolution(pr *prob, worker []int, finish []float64, mk float64) {
 	g.mk = mk
 	copy(g.worker, worker)
-	for id, t := range pr.d.Tasks {
+	for id := range pr.d.Tasks {
 		ci := pr.workerCi[worker[id]]
-		g.start[id] = finish[id] - pr.classExec[ci][t.Kind]
+		g.start[id] = finish[id] - pr.classExec[ci][pr.taskGroup[id]]
 	}
 	g.publishMin(mk)
 }
@@ -198,9 +198,8 @@ func (s *solver) split(g *incumbent) *splitState {
 		}
 		cands := s.selectCands(0)
 		for _, id := range cands {
-			t := s.pr.d.Tasks[id]
-			for _, ci := range s.pr.classOrder[t.Kind] {
-				exec := s.pr.classExec[ci][t.Kind]
+			for _, ci := range s.pr.classOrder[s.pr.taskGroup[id]] {
+				exec := s.pr.classExec[ci][s.pr.taskGroup[id]]
 				if math.IsInf(exec, 1) {
 					break
 				}

@@ -33,10 +33,21 @@ const (
 	TSMQR
 	TRSV     // triangular solve on a vector chunk (the Ly=b / Lᵀx=y pipeline)
 	GEMV     // matrix-vector update on a vector chunk
+	SPLIT    // tile-size conversion: repack one tile into finer subtiles
+	MERGE    // tile-size conversion: repack finer subtiles into one tile
 	NumKinds // sentinel: number of kernel kinds
 )
 
-var kindNames = [NumKinds]string{"POTRF", "TRSM", "SYRK", "GEMM", "GETRF", "GEQRT", "ORMQR", "TSQRT", "TSMQR", "TRSV", "GEMV"}
+var kindNames = [NumKinds]string{"POTRF", "TRSM", "SYRK", "GEMM", "GETRF", "GEQRT", "ORMQR", "TSQRT", "TSMQR", "TRSV", "GEMV", "SPLIT", "MERGE"}
+
+// ConversionKinds lists the tile-size conversion pseudo-kernels introduced by
+// the mixed-tile-size Cholesky builder (CholeskySplit). They move data rather
+// than compute, so platform timing tables never list them; their cost comes
+// from the platform cost model's repacking rate.
+var ConversionKinds = []Kind{SPLIT, MERGE}
+
+// IsConversion reports whether k is a tile-size conversion pseudo-kernel.
+func (k Kind) IsConversion() bool { return k == SPLIT || k == MERGE }
 
 // String returns the LAPACK-style kernel name.
 func (k Kind) String() string {
@@ -84,6 +95,12 @@ type Task struct {
 	Footprint []TileRef
 	Succ      []int // successor task IDs
 	Pred      []int // predecessor task IDs
+	// NB is the tile size (in matrix elements) the task operates on. Zero —
+	// the value for every task of the uniform builders — means the platform's
+	// reference tile size; mixed-tile-size builders set it explicitly. For
+	// conversion tasks (SPLIT/MERGE) it is the size of the tile being
+	// converted, i.e. the coarse side.
+	NB int
 }
 
 // Name renders the task in the paper's Figure-1 naming scheme
@@ -112,6 +129,12 @@ type DAG struct {
 	Algorithm string // "cholesky", "lu", "qr"
 	P         int    // tile count per dimension
 	Tasks     []*Task
+
+	// TileNB maps a tile coordinate to its size in elements for mixed-tile-
+	// size DAGs; nil (the uniform builders) or a missing entry means the
+	// platform reference size. Consumers must not range over the map in
+	// deterministic code — look tiles up by coordinate instead.
+	TileNB map[[2]int]int
 
 	// Aggregates over Tasks (kind census) are computed once on first use:
 	// the bound LPs and schedulers query them per call, and rescanning a
@@ -156,6 +179,31 @@ func (d *DAG) CountByKind() map[Kind]int {
 		c[k] = n
 	}
 	return c
+}
+
+// TileSize returns the size in elements of tile (i, j), or 0 if the tile is
+// at the platform reference size (always the case for uniform DAGs).
+func (d *DAG) TileSize(i, j int) int {
+	if d.TileNB == nil {
+		return 0
+	}
+	return d.TileNB[[2]int{i, j}]
+}
+
+// NBs returns the distinct Task.NB values present, in ascending order. A
+// uniform DAG yields [0]; mixed-tile DAGs yield the sizes the cost model must
+// price.
+func (d *DAG) NBs() []int {
+	seen := make(map[int]bool, 4)
+	for _, t := range d.Tasks {
+		seen[t.NB] = true
+	}
+	nbs := make([]int, 0, len(seen))
+	for nb := range seen {
+		nbs = append(nbs, nb)
+	}
+	sort.Ints(nbs)
+	return nbs
 }
 
 // Roots returns the IDs of tasks with no predecessors.

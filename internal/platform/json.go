@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
 
 	"repro/internal/graph"
 )
@@ -30,12 +31,35 @@ import (
 //
 // Kernel times are keyed by kernel name (POTRF, TRSM, SYRK, GEMM, GETRF,
 // GEQRT, ORMQR, TSQRT, TSMQR).
+//
+// Schema v2 ("version": 2) adds the size-parametrised cost model: a top-level
+// "ref_nb" (tile size the "times" tables were calibrated at) and "cost_model"
+// ("table" or "scaled"), plus optional per-class "times_by_nb" tables keyed
+// by tile size:
+//
+//	{
+//	  "version": 2,
+//	  "name": "my-node",
+//	  "ref_nb": 960,
+//	  "cost_model": "scaled",
+//	  "classes": [
+//	    {"name": "cpu", "count": 16,
+//	     "times": {"GEMM": 0.18},
+//	     "times_by_nb": {"480": {"GEMM": 0.024}}},
+//	    ...
+//	  ],
+//	  ...
+//	}
+//
+// Unversioned (v1) files are the fixed-nb format above and load with the
+// TableModel defaults; v1 platforms also marshal back to the exact v1 bytes.
 
 type jsonClass struct {
-	Name        string             `json:"name"`
-	Count       int                `json:"count"`
-	Times       map[string]float64 `json:"times"`
-	MemoryBytes float64            `json:"memory_bytes,omitempty"`
+	Name        string                        `json:"name"`
+	Count       int                           `json:"count"`
+	Times       map[string]float64            `json:"times"`
+	TimesByNB   map[string]map[string]float64 `json:"times_by_nb,omitempty"`
+	MemoryBytes float64                       `json:"memory_bytes,omitempty"`
 }
 
 type jsonBus struct {
@@ -50,11 +74,27 @@ type jsonOverhead struct {
 }
 
 type jsonPlatform struct {
+	Version   int          `json:"version,omitempty"`
 	Name      string       `json:"name"`
 	Classes   []jsonClass  `json:"classes"`
 	Bus       jsonBus      `json:"bus"`
 	TileBytes float64      `json:"tile_bytes"`
 	Overhead  jsonOverhead `json:"overhead"`
+	RefNB     int          `json:"ref_nb,omitempty"`
+	CostModel string       `json:"cost_model,omitempty"`
+}
+
+// isV2 reports whether the platform uses any schema-v2 feature.
+func (p *Platform) isV2() bool {
+	if p.RefNB != 0 || p.Model != "" {
+		return true
+	}
+	for i := range p.Classes {
+		if len(p.Classes[i].TimesByNB) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // kindByName maps kernel names to kinds.
@@ -75,10 +115,25 @@ func (p *Platform) MarshalJSON() ([]byte, error) {
 		TileBytes: p.TileBytes,
 		Overhead:  jsonOverhead{p.Overhead.PerTaskSec, p.Overhead.JitterFrac},
 	}
+	if p.isV2() {
+		jp.Version = 2
+		jp.RefNB = p.RefNB
+		jp.CostModel = p.Model
+	}
 	for _, c := range p.Classes {
 		jc := jsonClass{Name: c.Name, Count: c.Count, Times: map[string]float64{}, MemoryBytes: c.MemoryBytes}
 		for k, t := range c.Times {
 			jc.Times[k.String()] = t
+		}
+		for nb, times := range c.TimesByNB {
+			if jc.TimesByNB == nil {
+				jc.TimesByNB = map[string]map[string]float64{}
+			}
+			m := map[string]float64{}
+			for k, t := range times {
+				m[k.String()] = t
+			}
+			jc.TimesByNB[strconv.Itoa(nb)] = m
 		}
 		jp.Classes = append(jp.Classes, jc)
 	}
@@ -91,10 +146,26 @@ func (p *Platform) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &jp); err != nil {
 		return err
 	}
+	switch jp.Version {
+	case 0, 1: // unversioned/v1: fixed-nb tables only
+		if jp.RefNB != 0 || jp.CostModel != "" {
+			return fmt.Errorf("platform: ref_nb/cost_model require \"version\": 2")
+		}
+	case 2:
+	default:
+		return fmt.Errorf("platform: unsupported schema version %d", jp.Version)
+	}
+	switch jp.CostModel {
+	case "", ModelTable, ModelScaled:
+	default:
+		return fmt.Errorf("platform: unknown cost_model %q", jp.CostModel)
+	}
 	p.Name = jp.Name
 	p.Bus = Bus{Enabled: jp.Bus.Enabled, BandwidthBps: jp.Bus.BandwidthBps, LatencySec: jp.Bus.LatencySec}
 	p.TileBytes = jp.TileBytes
 	p.Overhead = Overhead{PerTaskSec: jp.Overhead.PerTaskSec, JitterFrac: jp.Overhead.JitterFrac}
+	p.RefNB = jp.RefNB
+	p.Model = jp.CostModel
 	p.Classes = nil
 	for _, jc := range jp.Classes {
 		c := Class{Name: jc.Name, Count: jc.Count, Times: map[graph.Kind]float64{}, MemoryBytes: jc.MemoryBytes}
@@ -104,6 +175,27 @@ func (p *Platform) UnmarshalJSON(data []byte) error {
 				return fmt.Errorf("platform: unknown kernel %q in class %q", name, jc.Name)
 			}
 			c.Times[k] = t
+		}
+		if len(jc.TimesByNB) > 0 && jp.Version < 2 {
+			return fmt.Errorf("platform: times_by_nb in class %q requires \"version\": 2", jc.Name)
+		}
+		for nbStr, times := range jc.TimesByNB {
+			nb, err := strconv.Atoi(nbStr)
+			if err != nil || nb <= 0 {
+				return fmt.Errorf("platform: bad tile size %q in class %q", nbStr, jc.Name)
+			}
+			m := map[graph.Kind]float64{}
+			for name, t := range times {
+				k, ok := kindByName(name)
+				if !ok {
+					return fmt.Errorf("platform: unknown kernel %q in class %q", name, jc.Name)
+				}
+				m[k] = t
+			}
+			if c.TimesByNB == nil {
+				c.TimesByNB = map[int]map[graph.Kind]float64{}
+			}
+			c.TimesByNB[nb] = m
 		}
 		p.Classes = append(p.Classes, c)
 	}

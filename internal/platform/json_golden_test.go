@@ -1,0 +1,125 @@
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the JSON schema golden files")
+
+// goldenV2Platform is a platform exercising every schema-v2 feature: a
+// calibration size, an explicit cost model, and per-size table overrides.
+func goldenV2Platform() *Platform {
+	p := Mirage()
+	p.Name = "mirage-v2"
+	p.RefNB = 960
+	p.Model = ModelScaled
+	p.Classes[0].TimesByNB = map[int]map[graph.Kind]float64{
+		480: {graph.GEMM: 0.024, graph.POTRF: 0.009},
+	}
+	p.Classes[1].TimesByNB = map[int]map[graph.Kind]float64{
+		480: {graph.GEMM: 0.0011},
+	}
+	return p
+}
+
+// TestJSONSchemaGoldens pins the on-disk bytes of both schema versions: a v1
+// (unversioned) file and a v2 file must load and re-marshal byte-exactly, so
+// platform files in the wild never get rewritten by a round trip through the
+// tools. Regenerate with `go test ./internal/platform -run JSONSchemaGoldens
+// -update` after a deliberate format change.
+func TestJSONSchemaGoldens(t *testing.T) {
+	cases := []struct {
+		file string
+		p    *Platform
+	}{
+		{"golden_v1.json", Mirage()},
+		{"golden_v2.json", goldenV2Platform()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.file)
+			want, err := json.Marshal(tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, want, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			disk, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(disk, want) {
+				t.Fatalf("%s drifted from the in-code model (run with -update after a deliberate schema change)", tc.file)
+			}
+			// Byte-exact round trip: load the golden, marshal it again.
+			loaded, err := LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := json.Marshal(loaded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(disk, again) {
+				t.Fatalf("%s round trip not byte-exact:\n disk: %s\n back: %s", tc.file, disk, again)
+			}
+		})
+	}
+}
+
+// TestJSONVersionGating pins the schema negotiation: v1 files must not smuggle
+// in v2 fields, v2 metadata survives a round trip, and unknown versions or
+// cost models are rejected.
+func TestJSONVersionGating(t *testing.T) {
+	if _, err := unmarshalPlatform(`{"name":"x","classes":[],"version":3}`); err == nil {
+		t.Fatal("version 3 accepted")
+	}
+	if _, err := unmarshalPlatform(`{"name":"x","classes":[],"ref_nb":960}`); err == nil {
+		t.Fatal("ref_nb without version 2 accepted")
+	}
+	if _, err := unmarshalPlatform(`{"name":"x","classes":[],"version":2,"cost_model":"magic"}`); err == nil {
+		t.Fatal("unknown cost_model accepted")
+	}
+	if _, err := unmarshalPlatform(`{"name":"x","version":2,"classes":[{"name":"c","count":1,"times":{},"times_by_nb":{"zero":{}}}]}`); err == nil {
+		t.Fatal("non-numeric tile size key accepted")
+	}
+	if _, err := unmarshalPlatform(`{"name":"x","classes":[{"name":"c","count":1,"times":{},"times_by_nb":{"480":{}}}]}`); err == nil {
+		t.Fatal("times_by_nb without version 2 accepted")
+	}
+	p, err := unmarshalPlatform(`{"name":"x","version":2,"ref_nb":480,"cost_model":"scaled","classes":[]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RefNB != 480 || p.Model != ModelScaled || p.DefaultNB() != 480 {
+		t.Fatalf("v2 metadata lost: RefNB=%d Model=%q", p.RefNB, p.Model)
+	}
+	// A v1 platform must stay v1 on the wire: no version key in its output.
+	data, err := json.Marshal(Mirage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"version"`)) {
+		t.Fatal("v1 platform marshals a version key")
+	}
+}
+
+func unmarshalPlatform(s string) (*Platform, error) {
+	p := &Platform{}
+	if err := json.Unmarshal([]byte(s), p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -21,7 +21,12 @@ import (
 type Class struct {
 	Name  string
 	Count int
-	Times map[graph.Kind]float64 // seconds per kernel execution
+	Times map[graph.Kind]float64 // seconds per kernel execution at RefNB
+	// TimesByNB holds calibrated per-kernel times at tile sizes other than
+	// the reference (schema v2 platform files). The cost model consults an
+	// exact-size table before falling back to the model's size scaling; nil
+	// for platforms calibrated at a single tile size.
+	TimesByNB map[int]map[graph.Kind]float64
 	// MemoryBytes caps the device memory of each worker of an accelerator
 	// class (0 = unlimited). The host (class 0) is always unlimited. The
 	// simulator evicts least-recently-used tiles, with a write-back transfer
@@ -68,8 +73,23 @@ type Platform struct {
 	Name      string
 	Classes   []Class
 	Bus       Bus
-	TileBytes float64 // bytes per tile moved over the bus
+	TileBytes float64 // bytes per tile moved over the bus, at the reference size
 	Overhead  Overhead
+	// RefNB is the tile size (elements per side) the Times tables were
+	// calibrated at; 0 means the package default, TileNB.
+	RefNB int
+	// Model selects the cost model generalizing the tables to other tile
+	// sizes: ModelTable (the zero value) prices only calibrated sizes,
+	// ModelScaled extrapolates by flop ratio and efficiency. See CostModel.
+	Model string
+}
+
+// DefaultNB returns the reference tile size the timing tables refer to.
+func (p *Platform) DefaultNB() int {
+	if p.RefNB > 0 {
+		return p.RefNB
+	}
+	return TileNB
 }
 
 // Validate checks the model is usable for a set of kernel kinds: positive
@@ -86,11 +106,26 @@ func (p *Platform) Validate(kinds []graph.Kind) error {
 				return fmt.Errorf("platform: class %q kernel %v has non-positive time %g", c.Name, k, t)
 			}
 		}
+		for nb, times := range c.TimesByNB {
+			if nb <= 0 {
+				return fmt.Errorf("platform: class %q has timing table for non-positive nb %d", c.Name, nb)
+			}
+			for k, t := range times {
+				if t <= 0 {
+					return fmt.Errorf("platform: class %q kernel %v@%d has non-positive time %g", c.Name, k, nb, t)
+				}
+			}
+		}
 	}
 	if total == 0 {
 		return fmt.Errorf("platform: no workers")
 	}
 	for _, k := range kinds {
+		if k.IsConversion() {
+			// SPLIT/MERGE are priced by the cost model's repacking rate, not
+			// the calibrated tables; they are always runnable on the host.
+			continue
+		}
 		ok := false
 		for i := range p.Classes {
 			if p.Classes[i].Count > 0 && p.Classes[i].CanRun(k) {
@@ -293,6 +328,16 @@ func (p *Platform) Clone() *Platform {
 		nc.Times = make(map[graph.Kind]float64, len(c.Times))
 		for k, v := range c.Times {
 			nc.Times[k] = v
+		}
+		if c.TimesByNB != nil {
+			nc.TimesByNB = make(map[int]map[graph.Kind]float64, len(c.TimesByNB))
+			for nb, times := range c.TimesByNB {
+				tm := make(map[graph.Kind]float64, len(times))
+				for k, v := range times {
+					tm[k] = v
+				}
+				nc.TimesByNB[nb] = tm
+			}
 		}
 		q.Classes[i] = nc
 	}

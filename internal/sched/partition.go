@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// Partition scheduling: a size-class-aware policy for the mixed-tile-size
+// DAGs of graph.CholeskySplit, following the per-iteration split of the
+// Heterogeneous-Solvers codes: at every panel k a gpuProportion fraction of
+// the trailing rows — the ones farthest below the diagonal, where the
+// coarse-tile BLAS-3 updates concentrate — is carved off for the GPUs,
+// recomputed panel by panel as the trailing matrix shrinks
+// (blockCountGPU = ceil((blockCount−1−k)·gpuProportion)). Fine (sub-
+// reference) tiles and SPLIT/MERGE repacking always go to the CPUs: small
+// kernels cannot amortize accelerator offload, which is the HeSP premise the
+// mixed-tile builder exists to exploit.
+//
+// Within its class restriction every task still flows through the dmdas
+// completion-time objective, so the knob partitions *placement freedom*, not
+// the dynamic schedule itself.
+
+// PartitionHint builds the per-task class restriction described above for
+// gpuProportion g ∈ [0, 1]. Tasks keep all classes (nil) when the rule has
+// nothing to say (POTRF, single-class platforms, uniform rows above the cut).
+func PartitionHint(d *graph.DAG, p *platform.Platform, g float64) AllowFunc {
+	nClasses := len(p.Classes)
+	cpu := []int{0}
+	accel := make([]int, 0, nClasses-1)
+	for c := 1; c < nClasses; c++ {
+		if p.Classes[c].Count > 0 {
+			accel = append(accel, c)
+		}
+	}
+	// Reference size: the coarse tiles of a mixed DAG (every Task.NB of the
+	// uniform builders is 0, which also counts as coarse).
+	coarse := 0
+	for _, t := range d.Tasks {
+		if t.NB > coarse {
+			coarse = t.NB
+		}
+	}
+	// One past the last row of the fine index space: split DAGs store fine
+	// tasks at global coordinates ≥ d.P, contiguously.
+	fineLimit := d.P
+	for _, t := range d.Tasks {
+		if t.I+1 > fineLimit {
+			fineLimit = t.I + 1
+		}
+		if t.J+1 > fineLimit {
+			fineLimit = t.J + 1
+		}
+	}
+	allowed := make([][]int, len(d.Tasks))
+	for _, t := range d.Tasks {
+		if len(accel) == 0 {
+			break
+		}
+		switch {
+		case t.Kind.IsConversion():
+			allowed[t.ID] = cpu
+		case t.NB != 0 && t.NB < coarse:
+			allowed[t.ID] = cpu
+		case t.Kind == graph.TRSM || t.Kind == graph.SYRK || t.Kind == graph.GEMM:
+			// Row index of the tile the task updates and the last row of its
+			// index space: coarse tasks live in [0, d.P), fine tasks in
+			// [d.P, fineLimit) with their own row arithmetic.
+			row := t.I
+			if t.Kind == graph.SYRK {
+				row = t.J
+			}
+			last := d.P - 1
+			if row >= d.P {
+				last = fineLimit - 1
+			}
+			panelRows := last - t.K // rows i ∈ (k, last]
+			if panelRows <= 0 {
+				break
+			}
+			gpuRows := int(math.Ceil(float64(panelRows) * g))
+			if last-row < gpuRows {
+				allowed[t.ID] = accel
+			} else {
+				allowed[t.ID] = cpu
+			}
+		}
+	}
+	return func(t *graph.Task) []int { return allowed[t.ID] }
+}
+
+type partition struct {
+	dm
+	g float64
+}
+
+// NewPartition returns the partition-aware policy with the given
+// gpuProportion knob (the SNIPPETS exemplar uses 0.45–0.6).
+func NewPartition(g float64) Scheduler {
+	if g < 0 || g > 1 || math.IsNaN(g) {
+		panic(fmt.Sprintf("sched: partition proportion %g outside [0, 1]", g))
+	}
+	return &partition{dm: dm{name: fmt.Sprintf("partition:%g", g), sorted: true, useComm: true}, g: g}
+}
+
+func (s *partition) Init(d *graph.DAG, p *platform.Platform, seed int64) {
+	s.dm.allow = PartitionHint(d, p, s.g)
+	s.dm.Init(d, p, seed)
+}

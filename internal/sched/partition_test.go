@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+func TestPartitionHintClasses(t *testing.T) {
+	p := platform.MirageExtended()
+	nb := p.DefaultNB()
+	d := graph.CholeskySplit(8, 4, 2, nb)
+	allow := PartitionHint(d, p, 1.0) // every trailing row below the panel → GPUs
+
+	for _, task := range d.Tasks {
+		classes := allow(task)
+		switch {
+		case task.Kind.IsConversion():
+			if len(classes) != 1 || classes[0] != 0 {
+				t.Fatalf("%s allowed on %v, conversions must be CPU-only", task.Name(), classes)
+			}
+		case task.NB != 0 && task.NB < nb:
+			if len(classes) != 1 || classes[0] != 0 {
+				t.Fatalf("%s (fine) allowed on %v, want CPU-only", task.Name(), classes)
+			}
+		case task.Kind == graph.GEMM && task.I < d.P:
+			// g = 1: every coarse GEMM row strictly below its panel is GPU.
+			if len(classes) != 1 || classes[0] != 1 {
+				t.Fatalf("coarse %s allowed on %v, want GPU-only at g=1", task.Name(), classes)
+			}
+		case task.Kind == graph.POTRF:
+			if classes != nil {
+				t.Fatalf("%s restricted to %v, POTRF must stay free", task.Name(), classes)
+			}
+		}
+	}
+
+	// g = 0 sends every restricted BLAS-3 task to the CPUs instead.
+	allow0 := PartitionHint(d, p, 0)
+	for _, task := range d.Tasks {
+		if task.Kind == graph.GEMM {
+			if classes := allow0(task); len(classes) != 1 || classes[0] != 0 {
+				t.Fatalf("g=0: %s allowed on %v, want CPU-only", task.Name(), classes)
+			}
+		}
+	}
+}
+
+func TestPartitionHintSingleClassIsFree(t *testing.T) {
+	p := platform.Homogeneous(4)
+	d := graph.CholeskySplit(4, 2, 2, 960)
+	allow := PartitionHint(d, p, 0.5)
+	for _, task := range d.Tasks {
+		if classes := allow(task); classes != nil {
+			t.Fatalf("%s restricted to %v on a single-class platform", task.Name(), classes)
+		}
+	}
+}
+
+func TestNewPartitionValidation(t *testing.T) {
+	if got := NewPartition(0.45).Name(); got != "partition:0.45" {
+		t.Fatalf("name %q", got)
+	}
+	for _, bad := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPartition(%g) did not panic", bad)
+				}
+			}()
+			NewPartition(bad)
+		}()
+	}
+}

@@ -159,13 +159,15 @@ func (s *dm) Init(d *graph.DAG, p *platform.Platform, seed int64) {
 	}
 	// dmdas priorities: bottom level with the fastest execution time of each
 	// task among the resource types (paper, Section V-A); the avgPrio
-	// variant uses platform-average times (classic HEFT).
-	weight := p.FastestTime
+	// variant uses platform-average times (classic HEFT). Weights go through
+	// the size-aware cost model (identical to the fixed-nb times for
+	// uniform-tile DAGs, where Task.NB is 0).
+	weight := p.FastestTimeNB
 	if s.avgPrio {
-		weight = p.AverageTime
+		weight = p.AverageTimeNB
 	}
 	bl, err := d.BottomLevels(func(t *graph.Task) float64 {
-		return weight(t.Kind)
+		return weight(t.Kind, t.NB)
 	})
 	if err != nil {
 		panic(fmt.Sprintf("sched: %v", err))

@@ -136,7 +136,7 @@ func (s *orderSched) Priority(t *graph.Task) float64 { return -s.plan.Start[t.ID
 // It serves as the CP solver's warm start, as in the paper.
 func HEFT(d *graph.DAG, p *platform.Platform) (*StaticSchedule, error) {
 	bl, err := d.BottomLevels(func(t *graph.Task) float64 {
-		return p.AverageTime(t.Kind)
+		return p.AverageTimeNB(t.Kind, t.NB)
 	})
 	if err != nil {
 		return nil, err
@@ -169,7 +169,7 @@ func HEFT(d *graph.DAG, p *platform.Platform) (*StaticSchedule, error) {
 		}
 		bestW, bestEFT := -1, math.Inf(1)
 		for w := 0; w < nW; w++ {
-			exec := p.Time(p.WorkerClass(w), t.Kind)
+			exec := p.TimeNB(p.WorkerClass(w), t.Kind, t.NB)
 			if math.IsInf(exec, 1) {
 				continue
 			}
@@ -182,7 +182,7 @@ func HEFT(d *graph.DAG, p *platform.Platform) (*StaticSchedule, error) {
 			return nil, fmt.Errorf("sched: task %s runnable nowhere", t.Name())
 		}
 		worker[id] = bestW
-		start[id] = bestEFT - p.Time(p.WorkerClass(bestW), t.Kind)
+		start[id] = bestEFT - p.TimeNB(p.WorkerClass(bestW), t.Kind, t.NB)
 		finish[id] = bestEFT
 		workerFree[bestW] = bestEFT
 		scheduled[id] = true

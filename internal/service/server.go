@@ -28,9 +28,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/bounds"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/simulator"
@@ -340,6 +343,12 @@ type SimulateRequest struct {
 	Algorithm    string `json:"algorithm,omitempty"` // cholesky (default) | lu | qr
 	Tiles        int    `json:"tiles"`
 	Seed         int64  `json:"seed,omitempty"`
+	// NB is the tile size in elements (0 = the platform's reference size);
+	// a different size rescales the model, cholesky only. NBSplit, when
+	// non-empty, is a cholsim-style "F@K" spec building a HeSP mixed-tile
+	// DAG: from coarse panel K on, trailing tiles split F× per side.
+	NB           int    `json:"nb,omitempty"`
+	NBSplit      string `json:"nb_split,omitempty"`
 	Overhead     bool   `json:"overhead,omitempty"`
 	WorkStealing bool   `json:"work_stealing,omitempty"`
 	// Record attaches the obs event recorder: the run's scheduling decisions
@@ -381,12 +390,24 @@ func (r SimulateRequest) normalize() (SimulateRequest, error) {
 	if r.Scheduler == "" {
 		return r, fmt.Errorf("service: scheduler is required")
 	}
+	if r.NB < 0 {
+		return r, fmt.Errorf("service: nb must be non-negative, got %d", r.NB)
+	}
+	if (r.NB != 0 || r.NBSplit != "") && r.Algorithm != "cholesky" {
+		return r, fmt.Errorf("service: nb/nb_split apply to algorithm cholesky only, got %q", r.Algorithm)
+	}
+	if r.NBSplit != "" {
+		if _, err := cliflags.ParseSplit(r.NBSplit); err != nil {
+			return r, fmt.Errorf("service: bad nb_split: %w", err)
+		}
+	}
 	return r, nil
 }
 
 func (r SimulateRequest) key(fp string) string {
 	return requestKey("simulate", fp, r.Scheduler, r.Algorithm,
 		strconv.Itoa(r.Tiles), strconv.FormatInt(r.Seed, 10),
+		strconv.Itoa(r.NB), r.NBSplit,
 		strconv.FormatBool(r.Overhead), strconv.FormatBool(r.WorkStealing),
 		strconv.FormatBool(r.Record))
 }
@@ -398,14 +419,31 @@ func (s *Server) simulateOnce(ctx context.Context, req SimulateRequest, p *platf
 	if err != nil {
 		return nil, badRequest(err)
 	}
-	d, err := core.DAGByAlgorithm(req.Algorithm, req.Tiles)
-	if err != nil {
+	nb := req.NB
+	if nb == 0 {
+		nb = p.DefaultNB()
+	}
+	if nb != p.DefaultNB() {
+		p = autotune.ScalePlatform(p, p.DefaultNB(), nb)
+	}
+	var d *graph.DAG
+	if req.NBSplit != "" {
+		sp, err := cliflags.ParseSplit(req.NBSplit)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		if err := sp.Check(req.Tiles, nb); err != nil {
+			return nil, badRequest(err)
+		}
+		p.Model = platform.ModelScaled // price the fine tiles by scaling
+		d = graph.CholeskySplit(req.Tiles, sp.FromK, sp.Factor, nb)
+	} else if d, err = core.DAGByAlgorithm(req.Algorithm, req.Tiles); err != nil {
 		return nil, badRequest(err)
 	}
 	if err := p.Validate(d.Kinds()); err != nil {
 		return nil, badRequest(fmt.Errorf("service: platform %q cannot run %s: %w", req.Platform, req.Algorithm, err))
 	}
-	fl, err := core.FlopsByAlgorithm(req.Algorithm, req.Tiles*platform.TileNB)
+	fl, err := core.FlopsByAlgorithm(req.Algorithm, req.Tiles*nb)
 	if err != nil {
 		return nil, badRequest(err)
 	}
@@ -437,7 +475,7 @@ func (s *Server) simulateOnce(ctx context.Context, req SimulateRequest, p *platf
 		Scheduler:     rep.Scheduler,
 		Algorithm:     req.Algorithm,
 		Tiles:         req.Tiles,
-		MatrixSize:    req.Tiles * platform.TileNB,
+		MatrixSize:    req.Tiles * nb,
 		MakespanSec:   rep.MakespanSec,
 		GFlops:        rep.GFlops,
 		BoundGFlops:   rep.BoundGFlops,

@@ -231,9 +231,16 @@ type state struct {
 	restr   sched.ClassRestricter
 	costm   sched.CostModel
 	rec     *obs.Recorder
-	hop     float64 // per-tile PCI hop time
 	nNodes  int
 	nTiles  int
+	nTasks  int
+
+	// Size-aware costs, resolved once from the platform cost model so the
+	// event loop never re-prices a task or tile: taskExec[class*nTasks+id]
+	// is the execution time of task id on that class, tileHop[ti] the PCI
+	// hop time of tile ti (uniform tiles share the legacy TileBytes hop).
+	taskExec []float64
+	tileHop  []float64
 
 	// Tile state, dense-indexed. Tiles are numbered in first-appearance
 	// order over the tasks' footprints; footTiles/footOff give each task's
@@ -269,7 +276,7 @@ func (st *state) QueueEnd(w int) float64 {
 	return st.estFree[w]
 }
 func (st *state) ExecTime(w int, t *graph.Task) float64 {
-	return st.p.Time(st.p.WorkerClass(w), t.Kind)
+	return st.taskExec[st.p.WorkerClass(w)*st.nTasks+t.ID]
 }
 
 // TransferEstimate sums one PCI hop per missing tile (two for GPU↔GPU),
@@ -288,9 +295,9 @@ func (st *state) TransferEstimate(w int, t *graph.Task) float64 {
 			continue
 		}
 		if node == 0 || st.loc[base] {
-			total += st.hop
+			total += st.tileHop[ti]
 		} else {
-			total += 2 * st.hop
+			total += 2 * st.tileHop[ti]
 		}
 	}
 	return total
@@ -335,7 +342,7 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 		linkFree:    make([]float64, nNodes),
 		workerDirty: make([]bool, nW),
 		nNodes:      nNodes,
-		hop:         p.Bus.TransferTime(p.TileBytes),
+		nTasks:      n,
 		res: &Result{
 			Start:   make([]float64, n),
 			End:     make([]float64, n),
@@ -362,6 +369,13 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 	st.footTiles = make([]int32, totalRefs)
 	st.footOff = make([]int32, n+1)
 	tileIdx := make(map[[2]int]int32, totalRefs/4+1)
+	// Per-tile PCI hop times, resolved through the cost model from each
+	// tile's actual bytes. Tiles at the reference size reuse the legacy
+	// TileBytes hop value, so uniform-tile runs are bit-identical to the
+	// fixed-nb simulator.
+	cm := p.CostModel()
+	defHop := p.Bus.TransferTime(p.TileBytes)
+	st.tileHop = make([]float64, 0, totalRefs/4+1)
 	off := 0
 	for _, t := range d.Tasks {
 		st.footOff[t.ID] = int32(off)
@@ -371,6 +385,11 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 			if !ok {
 				ti = int32(len(tileIdx))
 				tileIdx[key] = ti
+				if nb := d.TileSize(ref.I, ref.J); nb > 0 {
+					st.tileHop = append(st.tileHop, cm.TransferTime(float64(nb)*float64(nb)*8))
+				} else {
+					st.tileHop = append(st.tileHop, defHop)
+				}
 			}
 			st.footTiles[off] = ti
 			off++
@@ -378,6 +397,14 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 	}
 	st.footOff[n] = int32(off)
 	st.nTiles = len(tileIdx)
+	// Per-task, per-class execution times under the cost model. For NB = 0
+	// tasks the model returns the calibrated table entry itself.
+	st.taskExec = make([]float64, len(p.Classes)*n)
+	for ci := range p.Classes {
+		for _, t := range d.Tasks {
+			st.taskExec[ci*n+t.ID] = cm.Time(ci, t.Kind, t.NB)
+		}
+	}
 	st.loc = make([]bool, st.nTiles*nNodes)
 	st.locCount = make([]int32, st.nTiles)
 	for ti := 0; ti < st.nTiles; ti++ {
@@ -568,15 +595,16 @@ func (st *state) evictIfNeeded(node int) {
 		if st.locCount[victim] == 1 && st.loc[lb+node] {
 			if st.p.Bus.Enabled {
 				// Sole copy: write back to the host before dropping.
+				hop := st.tileHop[victim]
 				start := math.Max(st.now, st.linkFree[node])
-				st.linkFree[node] = start + st.hop
-				st.res.TransferSec += st.hop
+				st.linkFree[node] = start + hop
+				st.res.TransferSec += hop
 				st.res.TransferCount++
 				st.res.Writebacks++
 				wroteBack = true
 				if st.rec != nil {
 					st.rec.Transfers = append(st.rec.Transfers, obs.Transfer{
-						StartSec: start, EndSec: start + st.hop, Tile: int32(victim),
+						StartSec: start, EndSec: start + hop, Tile: int32(victim),
 						From: int32(node), To: 0, Writeback: true})
 				}
 			}
@@ -696,14 +724,15 @@ func (st *state) prefetch(t *graph.Task, w int) float64 {
 			st.addCopy(node, ti)
 			continue
 		}
+		hop := st.tileHop[ti]
 		var avail float64
 		if node == 0 {
 			// Device → host over the source device's link.
 			src := st.sourceNode(ti)
 			start := math.Max(st.now, st.linkFree[src])
-			avail = start + st.hop
+			avail = start + hop
 			st.linkFree[src] = avail
-			st.res.TransferSec += st.hop
+			st.res.TransferSec += hop
 			st.res.TransferCount++
 			if st.rec != nil {
 				st.rec.Transfers = append(st.rec.Transfers, obs.Transfer{
@@ -712,9 +741,9 @@ func (st *state) prefetch(t *graph.Task, w int) float64 {
 		} else if st.loc[base] {
 			// Host → device over the target device's link.
 			start := math.Max(st.now, st.linkFree[node])
-			avail = start + st.hop
+			avail = start + hop
 			st.linkFree[node] = avail
-			st.res.TransferSec += st.hop
+			st.res.TransferSec += hop
 			st.res.TransferCount++
 			if st.rec != nil {
 				st.rec.Transfers = append(st.rec.Transfers, obs.Transfer{
@@ -724,12 +753,12 @@ func (st *state) prefetch(t *graph.Task, w int) float64 {
 			// Device → host → device: two hops on two links.
 			src := st.sourceNode(ti)
 			s1 := math.Max(st.now, st.linkFree[src])
-			e1 := s1 + st.hop
+			e1 := s1 + hop
 			st.linkFree[src] = e1
 			s2 := math.Max(e1, st.linkFree[node])
-			avail = s2 + st.hop
+			avail = s2 + hop
 			st.linkFree[node] = avail
-			st.res.TransferSec += 2 * st.hop
+			st.res.TransferSec += 2 * hop
 			st.res.TransferCount += 2
 			st.loc[base] = true // the host keeps the staged copy
 			st.locCount[ti]++
@@ -909,7 +938,7 @@ func Validate(d *graph.DAG, p *platform.Platform, r *Result) error {
 		if w < 0 || w >= p.Workers() {
 			return fmt.Errorf("simulator: task %s on invalid worker %d", t.Name(), w)
 		}
-		if math.IsInf(p.Time(p.WorkerClass(w), t.Kind), 1) {
+		if math.IsInf(p.TimeNB(p.WorkerClass(w), t.Kind, t.NB), 1) {
 			return fmt.Errorf("simulator: task %s ran on incapable worker %d", t.Name(), w)
 		}
 		if r.End[id] < r.Start[id] {
