@@ -24,7 +24,7 @@ bench:
 # Full pinned benchmark suite (see "Benchmarking & perf trajectory" in
 # README.md). Compare against a previous PR's file with -baseline-from.
 bench-pinned:
-	go run ./cmd/cholbench -out BENCH_PR6.json -baseline-from BENCH_PR5.json
+	go run ./cmd/cholbench -out BENCH_PR7.json -baseline-from BENCH_PR6.json
 
 serve:
 	go run ./cmd/cholserved

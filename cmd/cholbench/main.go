@@ -11,7 +11,11 @@
 //   - the same event loop with the obs event recorder attached (sim-recorded/*),
 //     pinning the cost of decision tracing against the nil-recorder fast path;
 //   - the AreaInt / MixedInt bound ILPs at P ∈ {32, 64, 128};
-//   - one end-to-end sweep (sizes × schedulers on the parallel sweep pool).
+//   - one end-to-end sweep (sizes × schedulers on the parallel sweep pool);
+//   - the batched replay paths (sweep/multi-seed/*, sweep/delta/*): N-seed
+//     sweeps through internal/replay versus the serial loop, and delta
+//     re-simulation of a knob sweep versus from-scratch runs — with
+//     bit-identical digests enforced in passing.
 //
 // Usage:
 //
@@ -22,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +38,8 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/sched"
 	"repro/internal/simulator"
 	"repro/internal/sweep"
 
@@ -357,6 +364,171 @@ func main() {
 	})
 	suite.Add(r)
 	progress(r)
+
+	// Batched replay (PR7): multi-seed sweeps through internal/replay. Each
+	// case's workload is N seeds of one configuration; serial loops the plain
+	// event loop, batch=N routes through replay.Seeds — shared preparation,
+	// pooled arenas, and (with the jitter model off and a seed-invariant
+	// scheduler) one simulation answering all N seeds with clones. The
+	// harness enforces the replay contract in passing: batched digests must
+	// equal serial digests bit for bit.
+	{
+		const p = 16
+		ctx := context.Background()
+		d := graph.Cholesky(p)
+		rpool := &replay.Pool{}
+		seedsOf := func(n int) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = int64(i + 1)
+			}
+			return out
+		}
+		runSerial := func(seeds []int64, opt simulator.Options) []*simulator.Result {
+			out := make([]*simulator.Result, len(seeds))
+			for i, sd := range seeds {
+				o := opt
+				o.Seed = sd
+				res, err := simulator.Run(d, pf, sched.NewDMDAS(), o)
+				if err != nil {
+					fatal(err)
+				}
+				out[i] = res
+			}
+			return out
+		}
+		runBatched := func(seeds []int64, opt simulator.Options) []*simulator.Result {
+			rs, err := replay.Seeds(ctx, d, pf,
+				func() sched.Scheduler { return sched.NewDMDAS() }, seeds, opt, 0, rpool)
+			if err != nil {
+				fatal(err)
+			}
+			return rs
+		}
+		checkDigests := func(name string, got, want []*simulator.Result) {
+			for i := range want {
+				if replay.Digest(got[i]) != replay.Digest(want[i]) {
+					fatal(fmt.Errorf("cholbench: %s seed %d diverged from serial", name, i))
+				}
+			}
+		}
+
+		nBig, iterSerial, iterBatch := 32, 3, 3
+		if *smoke {
+			nBig, iterSerial, iterBatch = 8, 2, 2
+		}
+		serialRef := runSerial(seedsOf(nBig), simulator.Options{})
+		rSerial := benchio.Measure(fmt.Sprintf("sweep/multi-seed/serial/n=%d", nBig), iterSerial, func() {
+			runSerial(seedsOf(nBig), simulator.Options{})
+		})
+		rSerial = rSerial.WithMetric("seeds_per_sec", float64(nBig)/(rSerial.NsPerOp/1e9))
+		suite.Add(rSerial)
+		progress(rSerial)
+
+		batchSizes := []int{1, 8, nBig}
+		if nBig == 8 { // smoke: n=8 is already the big case
+			batchSizes = []int{1, nBig}
+		}
+		for _, n := range batchSizes {
+			var got []*simulator.Result
+			r := benchio.Measure(fmt.Sprintf("sweep/multi-seed/batch=%d", n), iterBatch, func() {
+				got = runBatched(seedsOf(n), simulator.Options{})
+			})
+			checkDigests(fmt.Sprintf("batch=%d", n), got, serialRef[:n])
+			r = r.WithMetric("seeds_per_sec", float64(n)/(r.NsPerOp/1e9))
+			if n == nBig {
+				speedup := rSerial.NsPerOp / r.NsPerOp
+				r = r.WithMetric("speedup_vs_serial", speedup)
+				// dmdas is seed-invariant and jitter is off, so the batch is
+				// one simulation plus clones — 3x over serial is the floor
+				// the suite pins (measured ~20x; see BENCH_PR7.json).
+				if !*smoke && speedup < 3 {
+					fatal(fmt.Errorf("cholbench: multi-seed batch=%d speedup %.2fx, want >= 3x", n, speedup))
+				}
+			}
+			suite.Add(r)
+			progress(r)
+		}
+
+		// With overhead+jitter on, every seed genuinely simulates; the batch
+		// only buys shared preparation and arena reuse. The measured ratio is
+		// documented, not gated.
+		nJit := 8
+		if *smoke {
+			nJit = 4
+		}
+		jitOpt := simulator.Options{Overhead: true}
+		jitRef := runSerial(seedsOf(nJit), jitOpt)
+		rJitSerial := benchio.Measure(fmt.Sprintf("sweep/multi-seed-jitter/serial/n=%d", nJit), iterSerial, func() {
+			runSerial(seedsOf(nJit), jitOpt)
+		})
+		suite.Add(rJitSerial)
+		progress(rJitSerial)
+		var gotJit []*simulator.Result
+		rJit := benchio.Measure(fmt.Sprintf("sweep/multi-seed-jitter/batch=%d", nJit), iterBatch, func() {
+			gotJit = runBatched(seedsOf(nJit), jitOpt)
+		})
+		checkDigests("jitter batch", gotJit, jitRef)
+		rJit = rJit.WithMetric("speedup_vs_serial", rJitSerial.NsPerOp/rJit.NsPerOp)
+		suite.Add(rJit)
+		progress(rJit)
+
+		// Delta replay: sweeping a late split-point knob — BLAS-3 updates of
+		// trailing panels k >= k0 pinned to the CPUs — against from-scratch
+		// resimulation of every variant. The knob's affected tasks become
+		// ready late, so the checkpointed prefix covers most of the run.
+		ks := []int{10, 11, 12, 13, 14, 15}
+		iterDelta := 3
+		if *smoke {
+			ks = []int{12, 14}
+			iterDelta = 2
+		}
+		panelHint := func(k0 int) func() sched.Scheduler {
+			return func() sched.Scheduler {
+				return sched.NewDMDASWithHints(fmt.Sprintf("dmdas+panel(k0=%d)", k0),
+					func(t *graph.Task) []int {
+						if t.K >= k0 && (t.Kind == graph.TRSM || t.Kind == graph.SYRK || t.Kind == graph.GEMM) {
+							return []int{0}
+						}
+						return nil
+					})
+			}
+		}
+		deltaOpt := simulator.Options{Seed: 42}
+		scratchRef := make([]*simulator.Result, len(ks))
+		rScratch := benchio.Measure("sweep/delta/scratch", iterDelta, func() {
+			for i, k0 := range ks {
+				res, err := simulator.Run(d, pf, panelHint(k0)(), deltaOpt)
+				if err != nil {
+					fatal(err)
+				}
+				scratchRef[i] = res
+			}
+		})
+		rScratch = rScratch.WithMetric("variants", float64(len(ks)))
+		suite.Add(rScratch)
+		progress(rScratch)
+
+		base, err := replay.Record(ctx, d, pf, sched.NewDMDAS(), deltaOpt, 0)
+		if err != nil {
+			fatal(err)
+		}
+		gotDelta := make([]*simulator.Result, len(ks))
+		rDelta := benchio.Measure("sweep/delta/replay", iterDelta, func() {
+			for i, k0 := range ks {
+				res, err := base.Delta(ctx, panelHint(k0), deltaOpt, replay.PanelKnob(k0), rpool)
+				if err != nil {
+					fatal(err)
+				}
+				gotDelta[i] = res
+			}
+		})
+		checkDigests("delta", gotDelta, scratchRef)
+		rDelta = rDelta.WithMetric("variants", float64(len(ks))).
+			WithMetric("speedup_vs_scratch", rScratch.NsPerOp/rDelta.NsPerOp)
+		suite.Add(rDelta)
+		progress(rDelta)
+	}
 
 	if *gobench {
 		fmt.Print(benchio.FormatGoBench(suite.Results))

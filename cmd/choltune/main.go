@@ -34,6 +34,8 @@ func main() {
 		refNB    = flag.Int("ref-nb", platform.TileNB, "tile size the platform model was calibrated at")
 		splits   = flag.String("splits", "", "comma-separated F@K mixed-tile specs to sweep at the best uniform nb (e.g. 2@7,2@8; see cholsim -nb-split)")
 		seed     = flag.Int64("seed", 42, "jitter seed")
+		runs     = flag.Int("runs", 1, "jitter seeds per candidate (seed, seed+1, ...); reports mean ± σ")
+		batch    = flag.Bool("batch", true, "run the per-candidate seed replications through the batched replay engine (bit-identical results)")
 		cp       = flag.Bool("cp", false, "after the sweep, search a CP static schedule at the best nb to report remaining static headroom")
 		cpBudget = flag.Int("cp-budget", 100000, "CP search node budget")
 		workers  = flag.Int("workers", 1, "CP search worker goroutines (any value returns the identical schedule)")
@@ -63,19 +65,26 @@ func main() {
 		candidates = append(candidates, *n)
 	}
 
-	points, err := autotune.Sweep(*n, candidates, p, *refNB, *seed)
+	if *runs < 1 {
+		fatal(fmt.Errorf("-runs must be >= 1, got %d", *runs))
+	}
+	seeds := make([]int64, *runs)
+	for i := range seeds {
+		seeds[i] = *seed + int64(i)
+	}
+	points, err := autotune.SweepSeeds(context.Background(), *n, candidates, p, *refNB, seeds, *batch)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("tile-size sweep for N=%d on %s (dmdas, overhead model):\n\n", *n, p.Name)
-	fmt.Printf("%8s %8s %12s %12s\n", "nb", "tiles", "GFLOP/s", "makespan(s)")
+	fmt.Printf("tile-size sweep for N=%d on %s (dmdas, overhead model, %d seed(s)):\n\n", *n, p.Name, *runs)
+	fmt.Printf("%8s %8s %12s %10s %12s\n", "nb", "tiles", "GFLOP/s", "σ", "makespan(s)")
 	best := autotune.Best(points)
 	for _, pt := range points {
 		marker := ""
 		if pt.NB == best.NB {
 			marker = "   <- best"
 		}
-		fmt.Printf("%8d %8d %12.1f %12.4f%s\n", pt.NB, pt.Tiles, pt.GFlops, pt.Makespan, marker)
+		fmt.Printf("%8d %8d %12.1f %10.2f %12.4f%s\n", pt.NB, pt.Tiles, pt.GFlops, pt.Sigma, pt.Makespan, marker)
 	}
 	fmt.Printf("\nbest tile size: nb=%d (%.1f GFLOP/s)\n", best.NB, best.GFlops)
 

@@ -15,14 +15,17 @@
 package autotune
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/platform"
+	"repro/internal/replay"
 	"repro/internal/sched"
 	"repro/internal/simulator"
+	"repro/internal/stats"
 )
 
 // Efficiency models the sustained-throughput penalty of small tiles. The
@@ -57,11 +60,14 @@ func ScalePlatform(ref *platform.Platform, refNB, nb int) *platform.Platform {
 	return p
 }
 
-// Point is one sweep sample.
+// Point is one sweep sample. GFlops and Makespan are means over the swept
+// seeds (a single value for one seed); Sigma is the GFLOP/s standard
+// deviation, zero for single-seed sweeps.
 type Point struct {
 	NB       int
 	Tiles    int // matrix partitioned into Tiles×Tiles
 	GFlops   float64
+	Sigma    float64
 	Makespan float64
 }
 
@@ -69,6 +75,22 @@ type Point struct {
 // candidate tile size (N must be divisible by each) under dmdas with the
 // runtime-overhead model on, and returns the samples sorted by nb.
 func Sweep(n int, candidates []int, ref *platform.Platform, refNB int, seed int64) ([]Point, error) {
+	return SweepSeeds(context.Background(), n, candidates, ref, refNB, []int64{seed}, false)
+}
+
+// SweepSeeds is Sweep over several jitter seeds: each candidate's GFlops,
+// Makespan and Sigma are the mean ± σ (of GFLOP/s) across the seeds. With
+// batch set, the per-candidate seed replications run through the batched
+// replay engine — shared DAG/platform preparation, pooled arenas, and a
+// single simulation when the seed provably cannot matter — with per-seed
+// Results bit-identical to the serial loop either way.
+func SweepSeeds(ctx context.Context, n int, candidates []int, ref *platform.Platform,
+	refNB int, seeds []int64, batch bool) ([]Point, error) {
+
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("autotune: no seeds")
+	}
+	pool := &replay.Pool{}
 	var out []Point
 	for _, nb := range candidates {
 		if nb <= 0 || n%nb != 0 {
@@ -77,16 +99,38 @@ func Sweep(n int, candidates []int, ref *platform.Platform, refNB int, seed int6
 		tiles := n / nb
 		p := ScalePlatform(ref, refNB, nb)
 		d := graph.Cholesky(tiles)
-		r, err := simulator.Run(d, p, sched.NewDMDAS(),
-			simulator.Options{Seed: seed, Overhead: true})
-		if err != nil {
-			return nil, fmt.Errorf("autotune nb=%d: %w", nb, err)
+		opt := simulator.Options{Overhead: true}
+		var results []*simulator.Result
+		if batch {
+			rs, err := replay.Seeds(ctx, d, p,
+				func() sched.Scheduler { return sched.NewDMDAS() }, seeds, opt, 0, pool)
+			if err != nil {
+				return nil, fmt.Errorf("autotune nb=%d: %w", nb, err)
+			}
+			results = rs
+		} else {
+			for _, seed := range seeds {
+				o := opt
+				o.Seed = seed
+				r, err := simulator.RunContext(ctx, d, p, sched.NewDMDAS(), o)
+				if err != nil {
+					return nil, fmt.Errorf("autotune nb=%d: %w", nb, err)
+				}
+				results = append(results, r)
+			}
+		}
+		gf := make([]float64, len(results))
+		ms := make([]float64, len(results))
+		for i, r := range results {
+			gf[i] = platform.GFlops(kernels.CholeskyFlops(n), r.MakespanSec)
+			ms[i] = r.MakespanSec
 		}
 		out = append(out, Point{
 			NB:       nb,
 			Tiles:    tiles,
-			GFlops:   platform.GFlops(kernels.CholeskyFlops(n), r.MakespanSec),
-			Makespan: r.MakespanSec,
+			GFlops:   stats.Mean(gf),
+			Sigma:    stats.StdDev(gf),
+			Makespan: stats.Mean(ms),
 		})
 	}
 	if len(out) == 0 {

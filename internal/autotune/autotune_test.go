@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -145,5 +146,32 @@ func TestDivisors(t *testing.T) {
 		if d[i] != v {
 			t.Fatalf("divisors %v, want %v", d, want)
 		}
+	}
+}
+
+// TestSweepSeedsBatchMatchesSerial: the batched replay path is a pure
+// throughput knob — every sample (mean, σ, makespan) must equal the serial
+// per-seed loop bit for bit.
+func TestSweepSeedsBatchMatchesSerial(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	cands := []int{480, 960, 1920}
+	serial, err := SweepSeeds(context.Background(), 3840, cands, platform.Mirage(), platform.TileNB, seeds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := SweepSeeds(context.Background(), 3840, cands, platform.Mirage(), platform.TileNB, seeds, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(batched) {
+		t.Fatalf("serial %d points, batched %d", len(serial), len(batched))
+	}
+	for i := range serial {
+		if serial[i] != batched[i] {
+			t.Errorf("point %d: serial %+v, batched %+v", i, serial[i], batched[i])
+		}
+	}
+	if _, err := SweepSeeds(context.Background(), 3840, cands, platform.Mirage(), platform.TileNB, nil, true); err == nil {
+		t.Fatal("empty seed list must error")
 	}
 }

@@ -48,6 +48,11 @@ type Config struct {
 	RealWorkers int
 	// Seed is the base RNG seed.
 	Seed int64
+	// Batch routes the repeated-seed simulations through internal/replay's
+	// batched engine (shared preparation, arena reuse, seed deduplication).
+	// Results are bit-identical to the serial loop — the equivalence suite
+	// in internal/replay enforces it — so this is purely a throughput knob.
+	Batch bool
 }
 
 // Ctx returns the experiment's context, defaulting to context.Background().
@@ -74,6 +79,7 @@ func Default() Config {
 		RealNB:      64,
 		RealWorkers: 0, // GOMAXPROCS
 		Seed:        42,
+		Batch:       true,
 	}
 }
 
@@ -89,5 +95,6 @@ func Quick() Config {
 		RealNB:      32,
 		RealWorkers: 4,
 		Seed:        42,
+		Batch:       true,
 	}
 }

@@ -164,10 +164,8 @@ func WorkStealing(cfg Config) (*stats.Table, error) {
 		var vals, sigs []float64
 		for _, n := range cfg.Sizes {
 			d := graph.Cholesky(n)
-			m, s, err := repeated(cfg, func(seed int64) (float64, error) {
-				return simGFlops(cfg.Ctx(), d, p, v.mk(), cfg.NB,
-					simulator.Options{Seed: seed, WorkStealing: v.steal})
-			})
+			m, s, err := repeatedSim(cfg, d, p, v.mk,
+				simulator.Options{WorkStealing: v.steal})
 			if err != nil {
 				return nil, err
 			}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/platform"
+	"repro/internal/replay"
 	"repro/internal/sched"
 	"repro/internal/simulator"
 	"repro/internal/stats"
@@ -39,6 +40,36 @@ func repeated(cfg Config, fn func(seed int64) (float64, error)) (mean, sigma flo
 			return 0, 0, err
 		}
 		vals = append(vals, v)
+	}
+	return stats.Mean(vals), stats.StdDev(vals), nil
+}
+
+// repeatedSim is repeated specialized to simulations of one (DAG, platform,
+// scheduler) configuration over cfg.Runs consecutive seeds. With cfg.Batch
+// set the seeds go through the batched replay engine — shared preparation,
+// pooled arenas, and a single simulation when the seed provably cannot
+// matter — with bit-identical per-seed Results either way.
+func repeatedSim(cfg Config, d *graph.DAG, p *platform.Platform,
+	mk func() sched.Scheduler, opt simulator.Options) (mean, sigma float64, err error) {
+
+	if !cfg.Batch {
+		return repeated(cfg, func(seed int64) (float64, error) {
+			o := opt
+			o.Seed = seed
+			return simGFlops(cfg.Ctx(), d, p, mk(), cfg.NB, o)
+		})
+	}
+	seeds := make([]int64, cfg.Runs)
+	for r := range seeds {
+		seeds[r] = cfg.Seed + int64(r)
+	}
+	rs, err := replay.Seeds(cfg.Ctx(), d, p, mk, seeds, opt, 0, nil)
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiments: %w", err)
+	}
+	vals := make([]float64, len(rs))
+	for i, r := range rs {
+		vals[i] = r.GFlops(flops(d.P, cfg.NB))
 	}
 	return stats.Mean(vals), stats.StdDev(vals), nil
 }
@@ -76,10 +107,7 @@ func sweepSchedulers(cfg Config, tbl *stats.Table,
 			d := graph.Cholesky(n)
 			p := platformFor(n)
 			if overhead {
-				m, s, err := repeated(cfg, func(seed int64) (float64, error) {
-					return simGFlops(ctx, d, p, mk(), cfg.NB,
-						simulator.Options{Seed: seed, Overhead: true})
-				})
+				m, s, err := repeatedSim(cfg, d, p, mk, simulator.Options{Overhead: true})
 				if err != nil {
 					return fmt.Errorf("%s n=%d: %w", name, n, err)
 				}
@@ -88,9 +116,7 @@ func sweepSchedulers(cfg Config, tbl *stats.Table,
 			} else if name == "random" {
 				// The paper: "results are deterministic for all schedulers
 				// except random", which averages 10 seeds in simulation too.
-				m, s, err := repeated(cfg, func(seed int64) (float64, error) {
-					return simGFlops(ctx, d, p, mk(), cfg.NB, simulator.Options{Seed: seed})
-				})
+				m, s, err := repeatedSim(cfg, d, p, mk, simulator.Options{})
 				if err != nil {
 					return fmt.Errorf("%s n=%d: %w", name, n, err)
 				}

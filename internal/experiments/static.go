@@ -166,10 +166,9 @@ func Fig11(cfg Config) (*stats.Table, error) {
 	for _, n := range cfg.Sizes {
 		d := graph.Cholesky(n)
 		p := platform.Mirage()
-		m, s, err := repeated(cfg, func(seed int64) (float64, error) {
-			return simGFlops(cfg.Ctx(), d, p, sched.NewDMDAS(), cfg.NB,
-				simulator.Options{Seed: seed, Overhead: true})
-		})
+		m, s, err := repeatedSim(cfg, d, p,
+			func() sched.Scheduler { return sched.NewDMDAS() },
+			simulator.Options{Overhead: true})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,208 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+// panelHint forces the BLAS-3 updates of trailing panels k ≥ k0 onto the
+// CPUs — a Donfack-style split-point knob whose affected tasks become ready
+// late, i.e. the delta-friendly sweep shape.
+func panelHint(k0 int) func() sched.Scheduler {
+	return func() sched.Scheduler {
+		return sched.NewDMDASWithHints(fmt.Sprintf("dmdas+panel(k0=%d)", k0),
+			func(t *graph.Task) []int {
+				if t.K >= k0 && (t.Kind == graph.TRSM || t.Kind == graph.SYRK || t.Kind == graph.GEMM) {
+					return []int{0}
+				}
+				return nil
+			})
+	}
+}
+
+// TestDeltaMatchesScratchSweep runs the two registered knob families over
+// their whole parameter range and checks every variant against a
+// from-scratch simulation — covering the clone path (no affected decision),
+// the resume path (late divergence) and the scratch fallback (divergence
+// before the first checkpoint).
+func TestDeltaMatchesScratchSweep(t *testing.T) {
+	const P = 10
+	d, p := graph.Cholesky(P), platform.Mirage()
+	ctx := context.Background()
+	pool := &Pool{}
+
+	base, err := Record(ctx, d, p, sched.NewDMDAS(), simulator.Options{Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseDigest := Digest(base.Rec.Result)
+
+	t.Run("panel-hint", func(t *testing.T) {
+		for k0 := 0; k0 <= P; k0++ {
+			mk := panelHint(k0)
+			opt := simulator.Options{Seed: 1}
+			got, err := base.Delta(ctx, mk, opt, PanelKnob(k0), pool)
+			if err != nil {
+				t.Fatalf("k0=%d: %v", k0, err)
+			}
+			want, err := simulator.Run(d, p, mk(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Digest(got) != Digest(want) {
+				t.Errorf("k0=%d: delta digest %016x, scratch %016x", k0, Digest(got), Digest(want))
+			}
+		}
+	})
+	t.Run("trsm-threshold", func(t *testing.T) {
+		for k := 1; k <= P+1; k++ {
+			mk := func() sched.Scheduler { return sched.NewTriangleTRSM(k) }
+			opt := simulator.Options{Seed: 1}
+			got, err := base.Delta(ctx, mk, opt, TrsmKnob(k, P+1), pool)
+			if err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+			want, err := simulator.Run(d, p, mk(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Digest(got) != Digest(want) {
+				t.Errorf("k=%d: delta digest %016x, scratch %016x", k, Digest(got), Digest(want))
+			}
+		}
+	})
+	t.Run("seed-knob", func(t *testing.T) {
+		for _, seed := range []int64{1, 2, 99} {
+			opt := simulator.Options{Seed: seed}
+			got, err := base.Delta(ctx, func() sched.Scheduler { return sched.NewDMDAS() }, opt, SeedKnob(), pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := simulator.Run(d, p, sched.NewDMDAS(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Digest(got) != Digest(want) {
+				t.Errorf("seed=%d: delta digest %016x, scratch %016x", seed, Digest(got), Digest(want))
+			}
+		}
+	})
+	if Digest(base.Rec.Result) != baseDigest {
+		t.Fatalf("delta queries mutated the base recording")
+	}
+}
+
+// TestDeltaConservativeFallbacks: variants the resume shortcut cannot prove
+// safe must still come back correct (from scratch) — impure schedulers,
+// option changes, jittered seed changes.
+func TestDeltaConservativeFallbacks(t *testing.T) {
+	d, p := graph.Cholesky(8), platform.Mirage()
+	ctx := context.Background()
+	base, err := Record(ctx, d, p, sched.NewDMDAS(), simulator.Options{Seed: 1, Overhead: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mk   func() sched.Scheduler
+		opt  simulator.Options
+		knob Knob
+	}{
+		{"jittered-seed-change", func() sched.Scheduler { return sched.NewDMDAS() },
+			simulator.Options{Seed: 2, Overhead: true}, SeedKnob()},
+		{"impure-scheduler", func() sched.Scheduler { return sched.NewDMDAR() },
+			simulator.Options{Seed: 1, Overhead: true}, FullKnob()},
+		{"random-scheduler", func() sched.Scheduler { return sched.NewRandom() },
+			simulator.Options{Seed: 5, Overhead: true}, FullKnob()},
+		{"option-change", func() sched.Scheduler { return sched.NewDMDAS() },
+			simulator.Options{Seed: 1}, SeedKnob()},
+		{"stealing-toggle", func() sched.Scheduler { return sched.NewDMDAS() },
+			simulator.Options{Seed: 1, Overhead: true, WorkStealing: true}, FullKnob()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := base.Delta(ctx, tc.mk, tc.opt, tc.knob, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := simulator.Run(d, p, tc.mk(), tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Digest(got) != Digest(want) {
+				t.Errorf("delta digest %016x, scratch %016x", Digest(got), Digest(want))
+			}
+		})
+	}
+}
+
+// FuzzDeltaReplay is the delta contract under random knobs: whatever single
+// knob separates variant from base — seed, TRSM threshold, panel split point
+// — suffix resimulation must equal from-scratch simulation bit for bit.
+func FuzzDeltaReplay(f *testing.F) {
+	// First-decision-divergent (panel knob 0 constrains everything).
+	f.Add(uint8(5), uint8(2), uint8(0), uint8(0), int64(1), int64(1), false)
+	// No divergence at all (equal TRSM thresholds).
+	f.Add(uint8(5), uint8(1), uint8(2), uint8(2), int64(1), int64(1), false)
+	// No affected task exists (threshold beyond the matrix).
+	f.Add(uint8(2), uint8(1), uint8(200), uint8(200), int64(3), int64(3), false)
+	// Seed-only change, jitter off → pure clone.
+	f.Add(uint8(4), uint8(0), uint8(0), uint8(0), int64(1), int64(9), false)
+	// Seed-only change with jitter on → scratch fallback.
+	f.Add(uint8(4), uint8(0), uint8(0), uint8(0), int64(1), int64(9), true)
+	// Mid-run divergence (late panel split on a bigger matrix).
+	f.Add(uint8(7), uint8(2), uint8(0), uint8(6), int64(2), int64(2), false)
+	f.Fuzz(func(t *testing.T, pU, kindU, k1U, k2U uint8, seed1, seed2 int64, overhead bool) {
+		P := 3 + int(pU%6) // 3..8 tiles
+		d, pf := graph.Cholesky(P), platform.Mirage()
+		ctx := context.Background()
+		baseOpt := simulator.Options{Seed: seed1, Overhead: overhead}
+		varOpt := simulator.Options{Seed: seed2, Overhead: overhead}
+
+		var baseSched sched.Scheduler
+		var mkVariant func() sched.Scheduler
+		var knob Knob
+		switch kindU % 3 {
+		case 0: // seed knob
+			baseSched = sched.NewDMDAS()
+			mkVariant = func() sched.Scheduler { return sched.NewDMDAS() }
+			knob = SeedKnob()
+		case 1: // TRSM triangle threshold
+			k1 := 1 + int(k1U)%(P+2)
+			k2 := 1 + int(k2U)%(P+2)
+			baseSched = sched.NewTriangleTRSM(k1)
+			mkVariant = func() sched.Scheduler { return sched.NewTriangleTRSM(k2) }
+			knob = TrsmKnob(k1, k2)
+			varOpt.Seed = seed1
+		case 2: // panel split point (base unhinted)
+			k0 := int(k2U) % (P + 1)
+			baseSched = sched.NewDMDAS()
+			mkVariant = panelHint(k0)
+			knob = PanelKnob(k0)
+			varOpt.Seed = seed1
+		}
+		stride := 1 + int(k1U%13)
+		base, err := Record(ctx, d, pf, baseSched, baseOpt, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := base.Delta(ctx, mkVariant, varOpt, knob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := simulator.Run(d, pf, mkVariant(), varOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Digest(got) != Digest(want) {
+			t.Fatalf("P=%d kind=%d: delta digest %016x, scratch %016x",
+				P, kindU%3, Digest(got), Digest(want))
+		}
+	})
+}

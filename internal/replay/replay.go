@@ -1,0 +1,229 @@
+// Package replay multiplies sweep throughput by exploiting the simulator's
+// determinism. Three mechanisms compose, each bit-identical to the serial
+// event loop by construction (they reuse the same loop) and by enforcement
+// (the equivalence suite in this package digests every path against
+// simulator.RunContext):
+//
+//   - batched multi-seed replay: jobs sharing a (DAG, platform) share one
+//     simulator.Prep — the DAG census, dependency counts and cost tables are
+//     derived once per pair instead of once per run. When the scheduler
+//     declares seed invariance and the jitter model is off, all seeds of one
+//     configuration collapse to a single simulation whose Result is cloned
+//     per seed (the decisions genuinely cannot differ);
+//   - delta replay (delta.go): sweep jobs differing in one knob resume from
+//     a checkpoint of the base run just before the first decision the knob
+//     can affect, resimulating only the suffix;
+//   - arena reuse: per-run dense state is pooled and recycled across jobs,
+//     so a thousand-job sweep allocates per-run state a handful of times.
+//
+// Correctness contract: replay is valid only if it is digest-identical to
+// serial (see Digest); approximate equality is a bug, not a tolerance.
+package replay
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+	"repro/internal/sweep"
+)
+
+// Digest folds every observable field of a Result into one FNV-64a value —
+// the equality the replay contract is stated in. Two Results are "the same
+// schedule" iff their digests match bit for bit.
+func Digest(r *simulator.Result) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	f := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	i := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	f(r.MakespanSec)
+	f(r.TransferSec)
+	i(r.TransferCount)
+	i(r.Evictions)
+	i(r.Writebacks)
+	f(r.StallSec)
+	for id := range r.Start {
+		f(r.Start[id])
+		f(r.End[id])
+		i(r.Worker[id])
+	}
+	for w := range r.BusySec {
+		f(r.BusySec[w])
+		f(r.IdleSec[w])
+	}
+	return h.Sum64()
+}
+
+// Pool recycles simulator arenas across sweep jobs. Safe for concurrent use;
+// the zero value is ready. Arenas returned after failed or cancelled runs
+// are fine to reuse — every run fully resets the arena before touching it.
+type Pool struct {
+	mu   sync.Mutex
+	free []*simulator.Arena
+}
+
+// Get returns a pooled arena, or a fresh one when the pool is empty.
+func (p *Pool) Get() *simulator.Arena {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		a := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return a
+	}
+	return &simulator.Arena{}
+}
+
+// Put returns an arena to the pool.
+func (p *Pool) Put(a *simulator.Arena) {
+	if a == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, a)
+	p.mu.Unlock()
+}
+
+// Job is one simulation of a batch. Sched constructs a fresh scheduler per
+// invocation — instances are stateful across Init/Assign and must not be
+// shared between runs. For deduplication the constructed scheduler's Name()
+// must identify its whole policy configuration (the sched.SeedInvariant
+// contract); every registered scheduler does.
+type Job struct {
+	D     *graph.DAG
+	P     *platform.Platform
+	Sched func() sched.Scheduler
+	Opt   simulator.Options
+}
+
+// jitterActive reports whether the run's execution times depend on the seed
+// through the overhead/jitter model.
+func jitterActive(p *platform.Platform, opt simulator.Options) bool {
+	return opt.Overhead && p.Overhead.JitterFrac != 0
+}
+
+type laneKey struct {
+	pp       *simulator.Prep
+	sched    string
+	overhead bool
+	stealing bool
+}
+
+// Run executes the jobs with up to `workers` concurrent lanes and returns
+// their Results in job order, each bit-identical to what
+// simulator.RunContext would produce for that job. Jobs sharing a
+// (DAG, platform) pair (by pointer) share one preparation; jobs that can
+// provably not differ — same prep, same scheduler name, same options modulo
+// a seed the run never consumes — run once and are answered with clones.
+// A nil pool uses a private one scoped to this call.
+func Run(ctx context.Context, jobs []Job, workers int, pool *Pool) ([]*simulator.Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	if pool == nil {
+		pool = &Pool{}
+	}
+	type pairKey struct {
+		d *graph.DAG
+		p *platform.Platform
+	}
+	preps := make(map[pairKey]*simulator.Prep)
+	prepOf := make([]*simulator.Prep, len(jobs))
+	for i := range jobs {
+		k := pairKey{jobs[i].D, jobs[i].P}
+		pp, ok := preps[k]
+		if !ok {
+			var err error
+			pp, err = simulator.Prepare(jobs[i].D, jobs[i].P)
+			if err != nil {
+				return nil, fmt.Errorf("replay: job %d: %w", i, err)
+			}
+			preps[k] = pp
+		}
+		prepOf[i] = pp
+	}
+	// Lane plan: rep[i] is the index of the job whose simulation answers job
+	// i. A job is its own representative unless an earlier job is provably
+	// seed-equivalent.
+	rep := make([]int, len(jobs))
+	seen := make(map[laneKey]int)
+	var lanes []int
+	for i := range jobs {
+		rep[i] = i
+		opt := jobs[i].Opt
+		if opt.Recorder != nil || jitterActive(jobs[i].P, opt) {
+			lanes = append(lanes, i)
+			continue
+		}
+		s := jobs[i].Sched()
+		if !sched.IsSeedInvariant(s) {
+			lanes = append(lanes, i)
+			continue
+		}
+		k := laneKey{pp: prepOf[i], sched: s.Name(), overhead: opt.Overhead, stealing: opt.WorkStealing}
+		if first, dup := seen[k]; dup {
+			rep[i] = first
+			continue
+		}
+		seen[k] = i
+		lanes = append(lanes, i)
+	}
+	laneResults, err := sweep.MapContext(ctx, lanes, workers, func(i int) (*simulator.Result, error) {
+		a := pool.Get()
+		r, runErr := prepOf[i].Run(ctx, jobs[i].Sched(), jobs[i].Opt, a)
+		pool.Put(a)
+		return r, runErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*simulator.Result, len(jobs))
+	for li, i := range lanes {
+		results[i] = laneResults[li]
+	}
+	for i := range jobs {
+		if rep[i] != i {
+			results[i] = results[rep[i]].Clone()
+		}
+	}
+	return results, nil
+}
+
+// Seeds runs one (DAG, platform, scheduler, options) configuration across
+// the given seeds and returns per-seed Results in seed order, bit-identical
+// to looping simulator.RunContext over the seeds. A single seed takes the
+// serial path directly — no batching machinery, no extra allocations.
+func Seeds(ctx context.Context, d *graph.DAG, p *platform.Platform, mk func() sched.Scheduler, seeds []int64, opt simulator.Options, workers int, pool *Pool) ([]*simulator.Result, error) {
+	if len(seeds) == 0 {
+		return nil, nil
+	}
+	if len(seeds) == 1 {
+		opt.Seed = seeds[0]
+		r, err := simulator.RunContext(ctx, d, p, mk(), opt)
+		if err != nil {
+			return nil, err
+		}
+		return []*simulator.Result{r}, nil
+	}
+	jobs := make([]Job, len(seeds))
+	for i, s := range seeds {
+		o := opt
+		o.Seed = s
+		jobs[i] = Job{D: d, P: p, Sched: mk, Opt: o}
+	}
+	return Run(ctx, jobs, workers, pool)
+}

@@ -36,6 +36,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/sched"
 	"repro/internal/simulator"
 	"repro/internal/sweep"
 )
@@ -91,6 +93,9 @@ type Server struct {
 	metrics *Metrics
 	ledger  *Ledger
 	mux     *http.ServeMux
+	// replayPool recycles simulator arenas across batched sweep cells and
+	// across requests (replay.Pool is concurrency-safe; zero value ready).
+	replayPool replay.Pool
 }
 
 // New builds a Server with its routes mounted.
@@ -656,6 +661,12 @@ type SweepRequest struct {
 	Tiles      []int    `json:"tiles"`
 	Algorithm  string   `json:"algorithm,omitempty"`
 	Seed       int64    `json:"seed,omitempty"`
+	// Batch routes the sweep's cache misses through the batched replay
+	// engine: cells sharing a tile count share one simulator preparation and
+	// one mixed-bound solve, and per-run simulator state is recycled from a
+	// server-wide arena pool. Cell responses are bit-identical to the
+	// serial path (modulo run_id) — purely a throughput knob.
+	Batch bool `json:"batch,omitempty"`
 }
 
 // SweepResponse is the row-major result grid: Results[i][j] is tiles[i]
@@ -702,6 +713,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// a standalone /v1/simulate.
 	var flat []*SimulateResponse
 	err = s.pool.Do(ctx, func() error {
+		if req.Batch {
+			var berr error
+			flat, berr = s.sweepBatched(ctx, req, p, fp)
+			return berr
+		}
 		var ferr error
 		flat, ferr = sweep.MapContext(ctx, cells, s.cfg.Workers, func(c cell) (*SimulateResponse, error) {
 			cr := SimulateRequest{
@@ -741,6 +757,138 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = flat[i*len(req.Schedulers) : (i+1)*len(req.Schedulers)]
 	}
 	writeJSON(w, resp, false)
+}
+
+// sweepBatched computes a sweep's cache misses through the batched replay
+// engine: cells sharing a tile count share one simulator preparation, DAG
+// and mixed-bound solve, and per-run simulator state is recycled from the
+// server's arena pool. Each cell's response is bit-identical to what the
+// serial path would produce (modulo run_id) — the internal/replay
+// equivalence suite enforces the contract. Singleflight is deliberately
+// skipped on this path: the batch already deduplicates within the request,
+// and a concurrent identical sweep racing past the cache at worst recomputes
+// a cell; it cannot produce a different answer.
+func (s *Server) sweepBatched(ctx context.Context, req SweepRequest, p *platform.Platform, fp string) ([]*SimulateResponse, error) {
+	// Resolve every scheduler name up front — replay.Job factories cannot
+	// return errors, and a bad name should fail the whole request as 400.
+	insts := make([]sched.Scheduler, len(req.Schedulers))
+	for i, name := range req.Schedulers {
+		inst, err := core.NewScheduler(name)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		insts[i] = inst
+	}
+	nCols := len(req.Schedulers)
+	flat := make([]*SimulateResponse, len(req.Tiles)*nCols)
+
+	// One group per distinct tile count: the DAG, flop total and mixed bound
+	// are shared by all that tile count's cells instead of recomputed per cell.
+	type group struct {
+		d     *graph.DAG
+		flops float64
+		bound float64 // mixed-bound GFLOP/s ceiling
+		nb    int
+	}
+	groups := make(map[int]*group)
+	type miss struct {
+		idx  int // position in flat
+		creq SimulateRequest
+		key  string
+		g    *group
+		si   int
+	}
+	var misses []miss
+	for ti, tiles := range req.Tiles {
+		for si := range req.Schedulers {
+			cr := SimulateRequest{
+				Platform: req.Platform, Scheduler: req.Schedulers[si],
+				Algorithm: req.Algorithm, Tiles: tiles, Seed: req.Seed,
+			}
+			cr, err := cr.normalize()
+			if err != nil {
+				return nil, badRequest(err)
+			}
+			key := cr.key(fp)
+			if v, ok := s.cache.Get(key); ok {
+				s.metrics.CounterAdd("cholserved_cache_hits_total",
+					"Requests served from the result cache.", Labels{"endpoint": "/v1/sweep"}, 1)
+				flat[ti*nCols+si] = v.(*SimulateResponse)
+				continue
+			}
+			s.metrics.CounterAdd("cholserved_cache_misses_total",
+				"Requests that had to compute their result.", Labels{"endpoint": "/v1/sweep"}, 1)
+			g, ok := groups[tiles]
+			if !ok {
+				d, err := core.DAGByAlgorithm(cr.Algorithm, tiles)
+				if err != nil {
+					return nil, badRequest(err)
+				}
+				if err := p.Validate(d.Kinds()); err != nil {
+					return nil, badRequest(fmt.Errorf("service: platform %q cannot run %s: %w", req.Platform, cr.Algorithm, err))
+				}
+				nb := p.DefaultNB()
+				fl, err := core.FlopsByAlgorithm(cr.Algorithm, tiles*nb)
+				if err != nil {
+					return nil, badRequest(err)
+				}
+				m, err := bounds.MixedInt(d, p)
+				if err != nil {
+					return nil, err
+				}
+				g = &group{d: d, flops: fl, bound: m.GFlops(fl), nb: nb}
+				groups[tiles] = g
+			}
+			misses = append(misses, miss{idx: ti*nCols + si, creq: cr, key: key, g: g, si: si})
+		}
+	}
+	jobs := make([]replay.Job, len(misses))
+	for i, m := range misses {
+		name := req.Schedulers[m.si]
+		jobs[i] = replay.Job{
+			D: m.g.d, P: p,
+			Sched: func() sched.Scheduler { inst, _ := core.NewScheduler(name); return inst },
+			Opt:   simulator.Options{Seed: m.creq.Seed},
+		}
+	}
+	rs, err := replay.Run(ctx, jobs, s.cfg.Workers, &s.replayPool)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range misses {
+		r := rs[i]
+		if err := simulator.Validate(m.g.d, p, r); err != nil {
+			return nil, fmt.Errorf("core: simulator produced an invalid schedule: %w", err)
+		}
+		gf := r.GFlops(m.g.flops)
+		resp := &SimulateResponse{
+			Platform:      req.Platform,
+			Scheduler:     insts[m.si].Name(),
+			Algorithm:     m.creq.Algorithm,
+			Tiles:         m.creq.Tiles,
+			MatrixSize:    m.creq.Tiles * m.g.nb,
+			MakespanSec:   r.MakespanSec,
+			GFlops:        gf,
+			BoundGFlops:   m.g.bound,
+			TransferSec:   r.TransferSec,
+			TransferCount: r.TransferCount,
+			Evictions:     r.Evictions,
+			Writebacks:    r.Writebacks,
+			StallSec:      r.StallSec,
+		}
+		if resp.BoundGFlops > 0 {
+			resp.Efficiency = gf / resp.BoundGFlops
+		}
+		resp.RunID = s.ledger.Add(&RunEntry{
+			CreatedAt: time.Now(),
+			Request:   m.creq,
+			Response:  resp,
+			Result:    r,
+		})
+		s.cache.Put(m.key, resp)
+		flat[m.idx] = resp
+	}
+	return flat, nil
 }
 
 // ---------------------------------------------------------------------------

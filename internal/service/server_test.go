@@ -223,6 +223,72 @@ func TestSweepEndpoint(t *testing.T) {
 	}
 }
 
+// TestSweepBatchedMatchesSerial: batch:true is a throughput knob, not a
+// semantics knob — every cell of a batched sweep must equal the serial
+// sweep's cell field for field, modulo run_id (each path logs its own
+// ledger entry). Two separate servers so neither sweep sees a warm cache.
+func TestSweepBatchedMatchesSerial(t *testing.T) {
+	req := SweepRequest{
+		Platform:   "mirage",
+		Schedulers: []string{"dmda", "dmdas", "random"},
+		Tiles:      []int{4, 6, 8},
+		Seed:       7,
+	}
+	grids := map[bool]SweepResponse{}
+	for _, batch := range []bool{false, true} {
+		_, ts := newTestServer(t, Config{})
+		r := req
+		r.Batch = batch
+		resp := postJSON(t, ts.URL+"/v1/sweep", r)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch=%v: status %d", batch, resp.StatusCode)
+		}
+		grids[batch] = decodeBody[SweepResponse](t, resp)
+	}
+	serial, batched := grids[false], grids[true]
+	if len(serial.Results) != len(req.Tiles) || len(batched.Results) != len(req.Tiles) {
+		t.Fatalf("grid shapes: serial %d rows, batched %d", len(serial.Results), len(batched.Results))
+	}
+	for i := range serial.Results {
+		for j := range serial.Results[i] {
+			a, b := *serial.Results[i][j], *batched.Results[i][j]
+			a.RunID, b.RunID = "", ""
+			if a != b {
+				t.Errorf("cell [%d][%d]: serial %+v, batched %+v", i, j, a, b)
+			}
+		}
+	}
+
+	// A batched sweep on a warm cache is all hits — and still correct.
+	_, ts := newTestServer(t, Config{})
+	r := req
+	resp := postJSON(t, ts.URL+"/v1/sweep", r)
+	resp.Body.Close()
+	r.Batch = true
+	resp = postJSON(t, ts.URL+"/v1/sweep", r)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm batched sweep: status %d", resp.StatusCode)
+	}
+	warm := decodeBody[SweepResponse](t, resp)
+	for i := range warm.Results {
+		for j := range warm.Results[i] {
+			a, b := *serial.Results[i][j], *warm.Results[i][j]
+			a.RunID, b.RunID = "", ""
+			if a != b {
+				t.Errorf("warm cell [%d][%d]: want %+v, got %+v", i, j, a, b)
+			}
+		}
+	}
+
+	// An unknown scheduler fails the whole batched request as 400.
+	r = SweepRequest{Platform: "mirage", Schedulers: []string{"nope"}, Tiles: []int{4}, Batch: true}
+	resp = postJSON(t, ts.URL+"/v1/sweep", r)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown scheduler in batched sweep: status %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestExperimentEndpoints(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 

@@ -1,0 +1,123 @@
+package simulator
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// TestSnapshotRestoreExact proves restore is lossless: restoring any
+// snapshot into a freshly reset arena and re-snapshotting reproduces every
+// field — tile locations, LRU stamps and residency order, pins, worker
+// queues (tasks, priorities, sequence numbers), event heap, dependency
+// counts and the partial Result — bit for bit.
+func TestSnapshotRestoreExact(t *testing.T) {
+	d, p := graph.Cholesky(8), platform.Mirage()
+	pp, err := Prepare(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := pp.RunRecorded(context.Background(), sched.NewDMDAS(), Options{Seed: 3}, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Snaps) < 3 {
+		t.Fatalf("expected several snapshots, got %d", len(rec.Snaps))
+	}
+	for i, sn := range rec.Snaps {
+		var a Arena
+		st := &a.st
+		s := sched.NewDMDAS()
+		st.reset(pp, s, rec.Opt)
+		s.Init(pp.d, pp.p, rec.Opt.Seed)
+		st.restore(sn)
+		st.snapshot()
+		got := st.snaps[len(st.snaps)-1]
+		if !reflect.DeepEqual(got, sn) {
+			// Report the first differing field by name for debuggability.
+			gv, wv := reflect.ValueOf(*got), reflect.ValueOf(*sn)
+			for f := 0; f < gv.NumField(); f++ {
+				if !reflect.DeepEqual(gv.Field(f).Interface(), wv.Field(f).Interface()) {
+					t.Errorf("snapshot %d: field %s not restored exactly", i, gv.Type().Field(f).Name)
+				}
+			}
+			if !t.Failed() {
+				t.Errorf("snapshot %d: restore roundtrip differs", i)
+			}
+		}
+	}
+}
+
+// TestResumeFromEverySnapshot checks the suffix property: resuming the same
+// configuration from any checkpoint finishes with a Result bit-identical to
+// the uninterrupted run.
+func TestResumeFromEverySnapshot(t *testing.T) {
+	d, p := graph.Cholesky(8), platform.Mirage()
+	for _, opt := range []Options{{Seed: 1}, {Seed: 5, Overhead: true}, {Seed: 2, WorkStealing: true}} {
+		pp, err := Prepare(d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := pp.RunRecorded(context.Background(), sched.NewDMDAS(), opt, 11, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := resultHash(rec.Result)
+		var a Arena // reuse one arena across resumes: reset must fully rebind it
+		for i, sn := range rec.Snaps {
+			r, err := pp.Resume(context.Background(), sched.NewDMDAS(), opt, sn, &a)
+			if err != nil {
+				t.Fatalf("opt %+v snapshot %d: %v", opt, i, err)
+			}
+			if resultHash(r) != want {
+				t.Errorf("opt %+v: resume from snapshot %d (done=%d) digest %016x, full run %016x",
+					opt, i, sn.Done, resultHash(r), want)
+			}
+		}
+	}
+}
+
+// TestRecordedRunMatchesPlain pins that checkpointing is observation only:
+// RunRecorded's Result equals Run's, its decision trace covers every task
+// exactly once, and snapshots arrive on the stride boundaries.
+func TestRecordedRunMatchesPlain(t *testing.T) {
+	d, p := graph.Cholesky(8), platform.Mirage()
+	opt := Options{Seed: 9}
+	plain, err := Run(d, p, sched.NewDMDAS(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Prepare(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := pp.RunRecorded(context.Background(), sched.NewDMDAS(), opt, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultHash(rec.Result) != resultHash(plain) {
+		t.Errorf("recorded run digest %016x, plain %016x", resultHash(rec.Result), resultHash(plain))
+	}
+	if len(rec.Decisions) != len(d.Tasks) {
+		t.Fatalf("decision trace has %d entries, want %d", len(rec.Decisions), len(d.Tasks))
+	}
+	seen := make(map[int32]bool, len(rec.Decisions))
+	for _, id := range rec.Decisions {
+		if seen[id] {
+			t.Fatalf("task %d assigned twice in decision trace", id)
+		}
+		seen[id] = true
+	}
+	for i, sn := range rec.Snaps {
+		if sn.Done%rec.Stride != 0 {
+			t.Errorf("snapshot %d at done=%d, stride %d", i, sn.Done, rec.Stride)
+		}
+		if i > 0 && sn.Done <= rec.Snaps[i-1].Done {
+			t.Errorf("snapshots out of order at %d", i)
+		}
+	}
+}

@@ -209,7 +209,39 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// Prep is the immutable per-(DAG, platform) precomputation shared by every
+// run of that pair: validation, the dense footprint-tile indexing, the
+// per-(class, task) execution-time table, the per-tile PCI hop times, the
+// initial dependency counts and the node capacities. One Prep may back any
+// number of concurrent runs — nothing in it is mutated after Prepare — which
+// is what lets internal/replay advance a whole batch of seeds or sweep cells
+// without re-deriving the census and cost tables per lane.
+type Prep struct {
+	d *graph.DAG
+	p *platform.Platform
+
+	nNodes int
+	nTiles int
+	nTasks int
+
+	footTiles []int32
+	footOff   []int32
+	taskExec  []float64 // [class*nTasks + id]
+	tileHop   []float64 // per tile
+	capacity  []int     // per node, in tiles; 0 = unlimited
+}
+
+// DAG returns the task graph the preparation was built for.
+func (pp *Prep) DAG() *graph.DAG { return pp.d }
+
+// Platform returns the platform model the preparation was built for.
+func (pp *Prep) Platform() *platform.Platform { return pp.p }
+
+// Tiles returns the number of distinct footprint tiles of the DAG.
+func (pp *Prep) Tiles() int { return pp.nTiles }
+
 type state struct {
+	pp  *Prep
 	d   *graph.DAG
 	p   *platform.Platform
 	s   sched.Scheduler
@@ -239,12 +271,14 @@ type state struct {
 	// event loop never re-prices a task or tile: taskExec[class*nTasks+id]
 	// is the execution time of task id on that class, tileHop[ti] the PCI
 	// hop time of tile ti (uniform tiles share the legacy TileBytes hop).
+	// Shared read-only with the Prep that produced them.
 	taskExec []float64
 	tileHop  []float64
 
 	// Tile state, dense-indexed. Tiles are numbered in first-appearance
 	// order over the tasks' footprints; footTiles/footOff give each task's
-	// footprint as tile indices, parallel to Task.Footprint.
+	// footprint as tile indices, parallel to Task.Footprint (shared
+	// read-only with the Prep).
 	footTiles   []int32
 	footOff     []int32
 	loc         []bool  // [tile*nNodes + node]: node holds a valid copy
@@ -254,12 +288,36 @@ type state struct {
 	// Device memory manager (StarPU-style LRU with write-back): per node,
 	// the resident tiles with last-use stamps and pin counts (tiles needed
 	// by tasks assigned-but-not-finished on that node cannot be evicted).
-	capacity      []int     // per node, in tiles; 0 = unlimited
+	capacity      []int     // shared read-only with the Prep
 	lastUse       []int     // [node*nTiles + tile]: residency stamp, −1 = absent
 	pins          []int32   // [node*nTiles + tile]
 	residentTiles [][]int32 // per node: tile indices currently resident
 
+	// Event-loop ownership, so a run can be checkpointed and resumed.
+	indeg  []int32
+	events eventHeap
+	done   int
+
+	// Decision accounting for delta replay: decisions counts scheduler
+	// Assign calls; decTrace, when non-nil (recording runs), stores the
+	// assigned task IDs in decision order; snapEvery > 0 takes a Snapshot
+	// every snapEvery completion events.
+	decisions int
+	decTrace  []int32
+	snapEvery int
+	snaps     []*Snapshot
+
 	res *Result
+}
+
+// Arena owns the recyclable mutable state of one simulation lane. A zero
+// Arena is ready to use; passing the same Arena to successive runs reuses
+// its dense arrays, queue rings and event heap instead of reallocating them
+// — the per-run state cost of a long sweep amortizes to the Result alone.
+// An Arena must not be shared by concurrent runs (pool one per goroutine,
+// e.g. via replay.Pool).
+type Arena struct {
+	st state
 }
 
 // footprint returns task t's tile indices, parallel to t.Footprint.
@@ -318,47 +376,50 @@ const cancelCheckStride = 32
 
 // RunContext is Run with cancellation: the event loop polls ctx every few
 // events and abandons the simulation with ctx's error once it is done.
+//
+// It is exactly Prepare followed by Prep.Run with a throwaway arena, so the
+// serial path and the batched replay paths share one event loop by
+// construction — bit-identical Results are a structural property, re-checked
+// by internal/replay's equivalence suite rather than established by it.
 func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched.Scheduler, opt Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("simulator: run cancelled: %w", err)
 	}
-	if err := p.Validate(d.Kinds()); err != nil {
+	// One allocation for preparation and per-run state together: the serial
+	// path must cost no more than the pre-Prep/Arena-split event loop did.
+	var run struct {
+		pp Prep
+		a  Arena
+	}
+	if err := prepareInto(&run.pp, d, p); err != nil {
 		return nil, err
+	}
+	return run.pp.Run(ctx, s, opt, &run.a)
+}
+
+// Prepare validates the DAG/platform pair and builds the immutable shared
+// tables every run of that pair needs: dense footprint-tile indexing,
+// per-tile PCI hop times, the per-(class, task) execution-time table, the
+// initial dependency counts and the device capacities.
+func Prepare(d *graph.DAG, p *platform.Platform) (*Prep, error) {
+	pp := &Prep{}
+	if err := prepareInto(pp, d, p); err != nil {
+		return nil, err
+	}
+	return pp, nil
+}
+
+// prepareInto is Prepare writing into caller-provided storage, so the serial
+// path can co-allocate the Prep with its Arena.
+func prepareInto(pp *Prep, d *graph.DAG, p *platform.Platform) error {
+	if err := p.Validate(d.Kinds()); err != nil {
+		return err
 	}
 	if err := d.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	n := len(d.Tasks)
-	nW := p.Workers()
-	nNodes := p.MemoryNodes()
-	st := &state{
-		d: d, p: p, s: s, opt: opt,
-		queues:      make([]wqueue, nW),
-		executing:   make([]bool, nW),
-		workerFree:  make([]float64, nW),
-		estFree:     make([]float64, nW),
-		dataReady:   make([]float64, n),
-		doneTask:    make([]bool, n),
-		linkFree:    make([]float64, nNodes),
-		workerDirty: make([]bool, nW),
-		nNodes:      nNodes,
-		nTasks:      n,
-		res: &Result{
-			Start:   make([]float64, n),
-			End:     make([]float64, n),
-			Worker:  make([]int, n),
-			BusySec: make([]float64, nW),
-			IdleSec: make([]float64, nW),
-		},
-	}
-	for i := range st.res.Worker {
-		st.res.Worker[i] = -1
-	}
-	st.ordered = s.Ordered()
-	st.gater, _ = s.(sched.Gater)
-	st.restr, _ = s.(sched.ClassRestricter)
-	st.costm, _ = s.(sched.CostModel)
-	st.rec = opt.Recorder
+	*pp = Prep{d: d, p: p, nNodes: p.MemoryNodes(), nTasks: n}
 
 	// Index every footprint tile densely, and record each task's footprint
 	// as tile indices. All tiles start valid on the host node.
@@ -366,8 +427,8 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 	for _, t := range d.Tasks {
 		totalRefs += len(t.Footprint)
 	}
-	st.footTiles = make([]int32, totalRefs)
-	st.footOff = make([]int32, n+1)
+	pp.footTiles = make([]int32, totalRefs)
+	pp.footOff = make([]int32, n+1)
 	tileIdx := make(map[[2]int]int32, totalRefs/4+1)
 	// Per-tile PCI hop times, resolved through the cost model from each
 	// tile's actual bytes. Tiles at the reference size reuse the legacy
@@ -375,10 +436,10 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 	// fixed-nb simulator.
 	cm := p.CostModel()
 	defHop := p.Bus.TransferTime(p.TileBytes)
-	st.tileHop = make([]float64, 0, totalRefs/4+1)
+	pp.tileHop = make([]float64, 0, totalRefs/4+1)
 	off := 0
 	for _, t := range d.Tasks {
-		st.footOff[t.ID] = int32(off)
+		pp.footOff[t.ID] = int32(off)
 		for _, ref := range t.Footprint {
 			key := [2]int{ref.I, ref.J}
 			ti, ok := tileIdx[key]
@@ -386,77 +447,205 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 				ti = int32(len(tileIdx))
 				tileIdx[key] = ti
 				if nb := d.TileSize(ref.I, ref.J); nb > 0 {
-					st.tileHop = append(st.tileHop, cm.TransferTime(float64(nb)*float64(nb)*8))
+					pp.tileHop = append(pp.tileHop, cm.TransferTime(float64(nb)*float64(nb)*8))
 				} else {
-					st.tileHop = append(st.tileHop, defHop)
+					pp.tileHop = append(pp.tileHop, defHop)
 				}
 			}
-			st.footTiles[off] = ti
+			pp.footTiles[off] = ti
 			off++
 		}
 	}
-	st.footOff[n] = int32(off)
-	st.nTiles = len(tileIdx)
+	pp.footOff[n] = int32(off)
+	pp.nTiles = len(tileIdx)
 	// Per-task, per-class execution times under the cost model. For NB = 0
 	// tasks the model returns the calibrated table entry itself.
-	st.taskExec = make([]float64, len(p.Classes)*n)
+	pp.taskExec = make([]float64, len(p.Classes)*n)
 	for ci := range p.Classes {
 		for _, t := range d.Tasks {
-			st.taskExec[ci*n+t.ID] = cm.Time(ci, t.Kind, t.NB)
+			pp.taskExec[ci*n+t.ID] = cm.Time(ci, t.Kind, t.NB)
 		}
 	}
-	st.loc = make([]bool, st.nTiles*nNodes)
-	st.locCount = make([]int32, st.nTiles)
-	for ti := 0; ti < st.nTiles; ti++ {
+	pp.capacity = make([]int, pp.nNodes)
+	for node := 0; node < pp.nNodes; node++ {
+		pp.capacity[node] = p.NodeCapacityTiles(node)
+	}
+	return nil
+}
+
+// Run simulates the prepared DAG/platform pair under the given scheduler,
+// recycling a's per-run state (a nil arena uses a temporary one). The
+// scheduler's Init is called here; one scheduler instance must not be shared
+// by concurrent runs.
+func (pp *Prep) Run(ctx context.Context, s sched.Scheduler, opt Options, a *Arena) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("simulator: run cancelled: %w", err)
+	}
+	if a == nil {
+		a = &Arena{}
+	}
+	st := &a.st
+	st.reset(pp, s, opt)
+	s.Init(pp.d, pp.p, opt.Seed)
+	st.start()
+	return st.loop(ctx)
+}
+
+// resetF64 returns s resized to n and zeroed, reusing its backing array.
+func resetF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resetBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func resetI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// reset rebinds the arena state to a (prep, scheduler, options) run, reusing
+// every dense array whose capacity suffices. Only the Result is freshly
+// allocated — it escapes to the caller and outlives the arena.
+func (st *state) reset(pp *Prep, s sched.Scheduler, opt Options) {
+	n, nW, nNodes := pp.nTasks, pp.p.Workers(), pp.nNodes
+	st.pp = pp
+	st.d, st.p = pp.d, pp.p
+	st.s, st.opt = s, opt
+	st.now = 0
+	st.seq = 0
+	st.done = 0
+	st.decisions = 0
+	st.decTrace = nil
+	st.snapEvery = 0
+	st.snaps = nil
+	st.ordered = s.Ordered()
+	st.gater, _ = s.(sched.Gater)
+	st.restr, _ = s.(sched.ClassRestricter)
+	st.costm, _ = s.(sched.CostModel)
+	st.rec = opt.Recorder
+	st.nNodes, st.nTiles, st.nTasks = nNodes, pp.nTiles, n
+	st.footTiles, st.footOff = pp.footTiles, pp.footOff
+	st.taskExec, st.tileHop = pp.taskExec, pp.tileHop
+	st.capacity = pp.capacity
+
+	if cap(st.queues) < nW {
+		st.queues = make([]wqueue, nW)
+	}
+	st.queues = st.queues[:nW]
+	for i := range st.queues {
+		st.queues[i].head = 0
+		if st.queues[i].items != nil {
+			st.queues[i].items = st.queues[i].items[:0]
+		}
+	}
+	st.executing = resetBools(st.executing, nW)
+	st.workerFree = resetF64(st.workerFree, nW)
+	st.estFree = resetF64(st.estFree, nW)
+	st.workerDirty = resetBools(st.workerDirty, nW)
+	st.dataReady = resetF64(st.dataReady, n)
+	st.doneTask = resetBools(st.doneTask, n)
+	st.linkFree = resetF64(st.linkFree, nNodes)
+
+	st.loc = resetBools(st.loc, pp.nTiles*nNodes)
+	st.locCount = resetI32(st.locCount, pp.nTiles)
+	for ti := 0; ti < pp.nTiles; ti++ {
 		st.loc[ti*nNodes] = true // host copy
 		st.locCount[ti] = 1
 	}
-
-	// Device memory manager state.
-	st.capacity = make([]int, nNodes)
-	st.lastUse = make([]int, nNodes*st.nTiles)
-	st.pins = make([]int32, nNodes*st.nTiles)
-	st.residentTiles = make([][]int32, nNodes)
+	if cap(st.lastUse) < nNodes*pp.nTiles {
+		st.lastUse = make([]int, nNodes*pp.nTiles)
+	}
+	st.lastUse = st.lastUse[:nNodes*pp.nTiles]
 	for i := range st.lastUse {
 		st.lastUse[i] = -1
 	}
-	for node := 0; node < nNodes; node++ {
-		st.capacity[node] = p.NodeCapacityTiles(node)
+	st.pins = resetI32(st.pins, nNodes*pp.nTiles)
+	if cap(st.residentTiles) < nNodes {
+		st.residentTiles = make([][]int32, nNodes)
+	}
+	st.residentTiles = st.residentTiles[:nNodes]
+	for i := range st.residentTiles {
+		if st.residentTiles[i] != nil {
+			st.residentTiles[i] = st.residentTiles[i][:0]
+		}
 	}
 
-	s.Init(d, p, opt.Seed)
-
-	indeg := make([]int, n)
-	for _, t := range d.Tasks {
-		indeg[t.ID] = len(t.Pred)
+	st.indeg = resetI32(st.indeg, n)
+	for _, t := range pp.d.Tasks {
+		st.indeg[t.ID] = int32(len(t.Pred))
 	}
+	st.events = st.events[:0]
 
-	var events eventHeap
+	st.res = &Result{
+		Start:   make([]float64, n),
+		End:     make([]float64, n),
+		Worker:  make([]int, n),
+		BusySec: make([]float64, nW),
+		IdleSec: make([]float64, nW),
+	}
+	for i := range st.res.Worker {
+		st.res.Worker[i] = -1
+	}
+}
 
-	done := 0
-	for _, t := range d.Tasks {
-		if indeg[t.ID] == 0 {
+// start performs the root assignments and the first ready scan, seeding the
+// event heap. Resumed runs skip it — the restored snapshot already contains
+// the in-flight events.
+func (st *state) start() {
+	for _, t := range st.d.Tasks {
+		if st.indeg[t.ID] == 0 {
 			st.assign(t)
 		}
 	}
-	st.tryStartAll(&events)
+	st.tryStartAll(&st.events)
+}
 
-	for len(events) > 0 {
-		if done%cancelCheckStride == 0 {
+// loop drains the event heap to completion and finalizes the Result. It is
+// the single event loop behind the serial, batched, recorded and resumed
+// paths.
+func (st *state) loop(ctx context.Context) (*Result, error) {
+	n := st.nTasks
+	for len(st.events) > 0 {
+		if st.snapEvery > 0 && st.done%st.snapEvery == 0 {
+			st.snapshot()
+		}
+		if st.done%cancelCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("simulator: run cancelled after %d of %d tasks: %w", done, n, err)
+				return nil, fmt.Errorf("simulator: run cancelled after %d of %d tasks: %w", st.done, n, err)
 			}
 		}
-		ev := events.pop()
+		ev := st.events.pop()
 		st.now = ev.time
 		w := ev.worker
 		st.executing[w] = false
 		st.workerFree[w] = st.now
 		st.workerDirty[w] = true
 		st.doneTask[ev.task.ID] = true
-		done++
+		st.done++
 		// Invalidate: the written tile's only valid copy is on this node.
-		node := p.MemoryNode(w)
+		node := st.p.MemoryNode(w)
 		foot := st.footprint(ev.task)
 		for k, ref := range ev.task.Footprint {
 			if ref.Mode != graph.ReadWrite {
@@ -481,16 +670,16 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 		}
 		st.pinFootprint(ev.task, node, -1)
 		for _, sid := range ev.task.Succ {
-			indeg[sid]--
-			if indeg[sid] == 0 {
-				st.assign(d.Tasks[sid])
+			st.indeg[sid]--
+			if st.indeg[sid] == 0 {
+				st.assign(st.d.Tasks[sid])
 			}
 		}
-		st.tryStartAll(&events)
+		st.tryStartAll(&st.events)
 	}
 
-	if done != n {
-		return nil, fmt.Errorf("simulator: deadlock — %d of %d tasks completed", done, n)
+	if st.done != n {
+		return nil, fmt.Errorf("simulator: deadlock — %d of %d tasks completed", st.done, n)
 	}
 	mk := 0.0
 	for _, e := range st.res.End {
@@ -499,7 +688,7 @@ func RunContext(ctx context.Context, d *graph.DAG, p *platform.Platform, s sched
 		}
 	}
 	st.res.MakespanSec = mk
-	for w := 0; w < nW; w++ {
+	for w := range st.res.IdleSec {
 		st.res.IdleSec[w] = mk - st.res.BusySec[w]
 	}
 	return st.res, nil
@@ -682,6 +871,10 @@ func (st *state) assign(t *graph.Task) {
 	if st.rec != nil {
 		st.recordDecision(t, w)
 	}
+	if st.decTrace != nil {
+		st.decTrace[st.decisions] = int32(t.ID)
+	}
+	st.decisions++
 	st.pinFootprint(t, st.p.MemoryNode(w), 1)
 	ready := st.prefetch(t, w)
 	st.dataReady[t.ID] = ready

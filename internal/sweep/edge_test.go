@@ -30,6 +30,43 @@ func TestRunContextZeroJobs(t *testing.T) {
 	}
 }
 
+// TestRunContextClampsWorkersToJobs pins the worker clamp: a sweep of J jobs
+// with workers ≫ J must spawn at most J worker goroutines — the surplus
+// would sit idle on the dispatch channel for the whole sweep. Observed via
+// the goroutine count while every job is provably in flight.
+func TestRunContextClampsWorkersToJobs(t *testing.T) {
+	const jobCount = 2
+	before := runtime.NumGoroutine()
+	entered := make(chan struct{}, jobCount)
+	release := make(chan struct{})
+	jobs := make([]Job[int], jobCount)
+	for i := range jobs {
+		jobs[i] = func() (int, error) {
+			entered <- struct{}{}
+			<-release
+			return 0, nil
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(context.Background(), jobs, 64)
+		done <- err
+	}()
+	for i := 0; i < jobCount; i++ {
+		<-entered
+	}
+	// Both jobs are running, so every worker goroutine the pool will ever
+	// spawn exists right now. 64 unclamped workers would show up here.
+	during := runtime.NumGoroutine()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if extra := during - before; extra > jobCount+2 {
+		t.Fatalf("sweep of %d jobs with 64 workers ran %d extra goroutines — worker clamp lost", jobCount, extra)
+	}
+}
+
 // TestRunContextPreCancelledDeterministic: a ctx cancelled before dispatch
 // must return ctx.Err() and run zero jobs — every time, not just when the
 // dispatcher's select happens to notice cancellation before a worker's
