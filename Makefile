@@ -1,4 +1,4 @@
-.PHONY: build test lint verify bench bench-pinned serve
+.PHONY: build test lint verify bench bench-pinned smoke-live serve
 
 build:
 	go build ./...
@@ -24,7 +24,12 @@ bench:
 # Full pinned benchmark suite (see "Benchmarking & perf trajectory" in
 # README.md). Compare against a previous PR's file with -baseline-from.
 bench-pinned:
-	go run ./cmd/cholbench -out BENCH_PR7.json -baseline-from BENCH_PR6.json
+	go run ./cmd/cholbench -out BENCH_PR8.json -baseline-from BENCH_PR7.json
+
+# Live-observability smoke: cholserved up, one recorded run, SSE frames and
+# phase histograms asserted end to end (also a verify.yml step).
+smoke-live:
+	./scripts/smoke_live.sh
 
 serve:
 	go run ./cmd/cholserved

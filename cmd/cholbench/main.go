@@ -10,6 +10,10 @@
 //     dmda, dmdas and random policies;
 //   - the same event loop with the obs event recorder attached (sim-recorded/*),
 //     pinning the cost of decision tracing against the nil-recorder fast path;
+//   - the event loop with the live-progress probe attached at its default
+//     interval (sim-probed/*), pinning the frame-emission overhead against
+//     the nil-probe fast path — with bit-identical schedule digests enforced
+//     probe-on versus probe-off;
 //   - the AreaInt / MixedInt bound ILPs at P ∈ {32, 64, 128};
 //   - one end-to-end sweep (sizes × schedulers on the parallel sweep pool);
 //   - the batched replay paths (sweep/multi-seed/*, sweep/delta/*): N-seed
@@ -94,6 +98,10 @@ func main() {
 		{p: 16, sched: "dmda", iters: 20},
 		{p: 64, sched: "dmda", iters: 3},
 	}
+	probedCases := []simCase{
+		{p: 16, sched: "dmda", iters: 20},
+		{p: 64, sched: "dmda", iters: 3},
+	}
 	if *smoke {
 		simCases = []simCase{
 			{p: 16, sched: "dmda", iters: 3},
@@ -106,6 +114,7 @@ func main() {
 			{p: 32, name: "mixed-int", iters: 3, run: bounds.MixedInt},
 		}
 		recCases = []simCase{{p: 16, sched: "dmda", iters: 3}}
+		probedCases = []simCase{{p: 16, sched: "dmda", iters: 3}}
 	}
 
 	suite := benchio.NewSuite("cholbench")
@@ -127,7 +136,10 @@ func main() {
 	pf := platform.Mirage()
 
 	// Simulator hot path. DAG construction is hoisted out of the measured
-	// function: the suite targets the event loop, not the builder.
+	// function: the suite targets the event loop, not the builder. The plain
+	// timings also serve as the denominator for sim-probed/*'s
+	// overhead_vs_plain metric.
+	simNs := map[string]float64{}
 	for _, c := range simCases {
 		d := graph.Cholesky(c.p)
 		flops := kernels.CholeskyFlops(c.p * platform.TileNB)
@@ -148,6 +160,7 @@ func main() {
 		}
 		r = r.WithMetric("sim_gflops", last.GFlops(flops)).
 			WithMetric("tasks_per_sec", float64(len(d.Tasks))/(r.NsPerOp/1e9))
+		simNs[r.Name] = r.NsPerOp
 		suite.Add(r)
 		progress(r)
 	}
@@ -191,6 +204,51 @@ func main() {
 		}
 		r = r.WithMetric("events", float64(rec.Events())).
 			WithMetric("mean_decision_depth", rec.MeanDecisionDepth())
+		suite.Add(r)
+		progress(r)
+	}
+
+	// The event loop with the live-progress probe attached at its default
+	// interval (PR8). The sim/* cases pin the nil-probe fast path (probe and
+	// recorder share one disabled-cost budget: the allocs/op there must not
+	// move); these pin the enabled cost — overhead_vs_plain is the ratio
+	// against the matching sim/* case, gated at ≤1.05 for P=64. The harness
+	// also enforces the probe contract: emitting frames must not move a
+	// single task, checked as bit-identical schedule digests.
+	for _, c := range probedCases {
+		d := graph.Cholesky(c.p)
+		s, err := core.NewScheduler(c.sched)
+		if err != nil {
+			fatal(err)
+		}
+		plain, err := simulator.Run(d, pf, s, simulator.Options{Seed: 42})
+		if err != nil {
+			fatal(err)
+		}
+		var frames int64
+		probe := obs.NewProbe(0, func(obs.Frame) { frames++ })
+		var last *simulator.Result
+		r := benchio.Measure(fmt.Sprintf("sim-probed/P=%d/%s", c.p, c.sched), c.iters, func() {
+			probe.Reset()
+			s, err := core.NewScheduler(c.sched)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := simulator.Run(d, pf, s, simulator.Options{Seed: 42, Probe: probe})
+			if err != nil {
+				fatal(err)
+			}
+			last = res
+		})
+		if replay.Digest(last) != replay.Digest(plain) {
+			fatal(fmt.Errorf("cholbench: probe perturbed the P=%d/%s schedule", c.p, c.sched))
+		}
+		overhead := r.NsPerOp / simNs[fmt.Sprintf("sim/P=%d/%s", c.p, c.sched)]
+		if !*smoke && c.p == 64 && overhead > 1.05 {
+			fatal(fmt.Errorf("cholbench: sim-probed P=%d/%s overhead %.3fx over plain, want <= 1.05x", c.p, c.sched, overhead))
+		}
+		r = r.WithMetric("frames", float64(probe.Frames())).
+			WithMetric("overhead_vs_plain", overhead)
 		suite.Add(r)
 		progress(r)
 	}

@@ -6,10 +6,11 @@
 //
 //	cholserved -addr :8080 -workers 4 -queue 64 -cache 1024 -timeout 30s
 //
-// Endpoints: POST /v1/bounds, POST /v1/simulate, POST /v1/sweep,
-// GET /v1/experiments, GET /v1/experiments/{id}, GET /v1/platforms,
-// GET /v1/schedulers, GET /v1/runs, GET /v1/runs/{id},
-// GET /v1/runs/{id}/trace, GET /metrics, GET /healthz, /debug/pprof/.
+// Endpoints: POST /v1/bounds, POST /v1/simulate, POST /v1/optimize,
+// POST /v1/sweep, GET /v1/experiments, GET /v1/experiments/{id},
+// GET /v1/platforms, GET /v1/schedulers, GET /v1/runs, GET /v1/runs/{id},
+// GET /v1/runs/{id}/trace, GET /v1/runs/{id}/live (SSE progress stream),
+// GET /metrics, GET /healthz, /debug/pprof/.
 package main
 
 import (
@@ -36,6 +37,9 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth before shedding with 503")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline")
 	ledgerSize := flag.Int("ledger-size", 64, "run ledger capacity: recent evaluations inspectable via /v1/runs")
+	frameRing := flag.Int("frame-ring", 256, "per-run live progress-frame buffer (replayable SSE backlog)")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "SSE keep-alive comment interval on /v1/runs/{id}/live")
+	streamTimeout := flag.Duration("stream-timeout", 5*time.Minute, "live-stream connection lifetime (clients reconnect with Last-Event-ID)")
 	logJSON := flag.Bool("log-json", false, "emit request logs as JSON instead of logfmt-style text")
 	flag.Parse()
 
@@ -50,6 +54,9 @@ func main() {
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
 		LedgerSize:     *ledgerSize,
+		FrameRing:      *frameRing,
+		Heartbeat:      *heartbeat,
+		StreamTimeout:  *streamTimeout,
 		Logger:         slog.New(handler),
 	})
 

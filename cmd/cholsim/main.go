@@ -43,6 +43,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "compare the schedule's per-class kernel placement with the mixed bound's LP optimum")
 		gap       = flag.Bool("explain-gap", false, "decompose makespan − mixed bound into named components (idle ramp, PCI stalls, starvation, drain, miscast work)")
 		gapJSON   = flag.Bool("explain-gap-json", false, "like -explain-gap but emit the attribution as JSON")
+		progress  = flag.Bool("progress", false, "stream a live progress ticker to stderr (simulation and CP search)")
 		cp        = flag.Bool("cp", false, "also search a CP-style optimized static schedule and inject it")
 		cpBudget  = flag.Int("cp-budget", 100000, "CP search node budget")
 		cpWorkers = flag.Int("cp-workers", 1, "CP search worker goroutines (any value returns the identical schedule)")
@@ -118,7 +119,12 @@ func main() {
 	if *traceDec || *gap || *gapJSON {
 		rec = obs.NewRecorder()
 	}
-	rep, err := core.SimulateDAG(ctx, d, fl, p, s, simulator.Options{Seed: *seed, Overhead: *overhead, Recorder: rec})
+	var probe *obs.Probe
+	if *progress {
+		// ~20 ticker redraws across the run, whatever the DAG size.
+		probe = obs.NewProbe(len(d.Tasks)/20+1, obs.TickerSink(os.Stderr, "cholsim"))
+	}
+	rep, err := core.SimulateDAG(ctx, d, fl, p, s, simulator.Options{Seed: *seed, Overhead: *overhead, Recorder: rec, Probe: probe})
 	if err != nil {
 		fatal(err)
 	}
@@ -188,7 +194,11 @@ func main() {
 	}
 
 	if *cp {
-		r, err := core.OptimizeDAG(ctx, d, p, *cpBudget, *cpWorkers)
+		var cpProbe *obs.Probe
+		if *progress {
+			cpProbe = obs.NewProbe(*cpBudget/50+1, obs.TickerSink(os.Stderr, "cholsim"))
+		}
+		r, err := core.OptimizeDAGProbed(ctx, d, p, *cpBudget, *cpWorkers, cpProbe)
 		if err != nil {
 			fatal(err)
 		}

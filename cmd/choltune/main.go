@@ -23,6 +23,7 @@ import (
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -36,6 +37,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "jitter seed")
 		runs     = flag.Int("runs", 1, "jitter seeds per candidate (seed, seed+1, ...); reports mean ± σ")
 		batch    = flag.Bool("batch", true, "run the per-candidate seed replications through the batched replay engine (bit-identical results)")
+		progress = flag.Bool("progress", false, "stream a live sweep-progress ticker to stderr (one tick per evaluated candidate)")
 		cp       = flag.Bool("cp", false, "after the sweep, search a CP static schedule at the best nb to report remaining static headroom")
 		cpBudget = flag.Int("cp-budget", 100000, "CP search node budget")
 		workers  = flag.Int("workers", 1, "CP search worker goroutines (any value returns the identical schedule)")
@@ -72,7 +74,11 @@ func main() {
 	for i := range seeds {
 		seeds[i] = *seed + int64(i)
 	}
-	points, err := autotune.SweepSeeds(context.Background(), *n, candidates, p, *refNB, seeds, *batch)
+	var probe *obs.Probe
+	if *progress {
+		probe = obs.NewProbe(1, obs.TickerSink(os.Stderr, "choltune"))
+	}
+	points, err := autotune.SweepSeedsProbed(context.Background(), *n, candidates, p, *refNB, seeds, *batch, probe)
 	if err != nil {
 		fatal(err)
 	}

@@ -4,41 +4,62 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Recnil enforces the observability subsystem's off-switch contract: a nil
-// *obs.Recorder disables recording, so every field append and non-nil-safe
-// method call on a recorder must sit behind the nil fast-path check. The
-// simulator relies on this both for correctness (a nil recorder would panic
-// at the first recorded event) and for performance — the guard is what
-// keeps candidate structs from even being built when tracing is off, which
-// is how the PR2 allocs/op numbers survive with instrumentation compiled
-// in.
+// *obs.Recorder disables recording and a nil *obs.Probe disables live
+// progress frames, so every field append and non-nil-safe method call on
+// either must sit behind the nil fast-path check. The simulator relies on
+// this both for correctness (a nil recorder would panic at the first
+// recorded event; Probe.Due dereferences the probe) and for performance —
+// the guard is what keeps candidate structs and frames from even being
+// built when tracing is off, which is how the PR2 allocs/op numbers survive
+// with instrumentation compiled in.
 //
 // Recognized guards, checked syntactically against the receiver expression
-// (e.g. "st.rec"):
+// (e.g. "st.rec", "st.probe"):
 //
 //   - an enclosing `if st.rec != nil { ... }` (possibly &&-conjoined);
+//   - a use as a later conjunct of the same condition, the probe hot-path
+//     idiom `st.probe != nil && st.probe.Due(done)`;
 //   - an earlier `if rec == nil { return }` in an enclosing block;
-//   - a local assignment from obs.NewRecorder() / &obs.Recorder{} in the
-//     same function (provably non-nil).
+//   - a local assignment from obs.NewRecorder() / obs.NewProbe() /
+//     &obs.Recorder{} / &obs.Probe{} in the same function (provably
+//     non-nil).
 //
 // Methods documented nil-safe (they begin with their own nil fast-path:
-// Events, EventCounts, MeanDecisionDepth) are exempt, as are the Recorder's
-// own method bodies. A site where non-nilness is known non-locally can
+// Recorder.Events, EventCounts, EventCountsSorted, MeanDecisionDepth;
+// Probe.Enabled, Interval, Frames) are exempt, as are the obs types' own
+// method bodies. A site where non-nilness is known non-locally can
 // annotate //chollint:unguarded.
 var Recnil = &Analyzer{
 	Name:     "recnil",
-	Doc:      "requires the nil fast-path check around *obs.Recorder uses",
+	Doc:      "requires the nil fast-path check around *obs.Recorder and *obs.Probe uses",
 	Suppress: "unguarded",
 	Run:      runRecnil,
 }
 
-// nilSafeRecorderMethods begin with their own `if r == nil` fast path.
-var nilSafeRecorderMethods = map[string]bool{
-	"Events":            true,
-	"EventCounts":       true,
-	"MeanDecisionDepth": true,
+// nilSafeObsMethods begin with their own `if r == nil` fast path, per obs
+// type.
+var nilSafeObsMethods = map[string]map[string]bool{
+	"Recorder": {
+		"Events":            true,
+		"EventCounts":       true,
+		"EventCountsSorted": true,
+		"MeanDecisionDepth": true,
+	},
+	"Probe": {
+		"Enabled":  true,
+		"Interval": true,
+		"Frames":   true,
+	},
+}
+
+// obsConstructors are the provably non-nil constructors, per obs type.
+var obsConstructors = map[string]string{
+	"NewRecorder": "Recorder",
+	"NewProbe":    "Probe",
 }
 
 func runRecnil(pass *Pass) error {
@@ -51,17 +72,17 @@ func runRecnil(pass *Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if fd.Recv != nil && len(fd.Recv.List) == 1 && isRecorderType(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)) {
-				continue // the Recorder's own methods define the contract
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && obsTypeName(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)) != "" {
+				continue // the obs types' own methods define the contract
 			}
-			checkRecorderUses(pass, fd)
+			checkObsUses(pass, fd)
 		}
 	}
 	return nil
 }
 
-func checkRecorderUses(pass *Pass, fd *ast.FuncDecl) {
-	nonNil := locallyConstructedRecorders(pass, fd.Body)
+func checkObsUses(pass *Pass, fd *ast.FuncDecl) {
+	nonNil := locallyConstructedObs(pass, fd.Body)
 	var stack []ast.Node
 	stack = append(stack, fd.Body)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -70,15 +91,16 @@ func checkRecorderUses(pass *Pass, fd *ast.FuncDecl) {
 			return true
 		}
 		if sel, ok := n.(*ast.SelectorExpr); ok {
-			checkRecorderSelector(pass, fd, sel, stack, nonNil)
+			checkObsSelector(pass, fd, sel, stack, nonNil)
 		}
 		stack = append(stack, n)
 		return true
 	})
 }
 
-func checkRecorderSelector(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr, stack []ast.Node, nonNil map[string]bool) {
-	if !isRecorderPtr(pass.TypesInfo.TypeOf(sel.X)) {
+func checkObsSelector(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr, stack []ast.Node, nonNil map[string]bool) {
+	typ := obsPtrTypeName(pass.TypesInfo.TypeOf(sel.X))
+	if typ == "" {
 		return
 	}
 	selection, ok := pass.TypesInfo.Selections[sel]
@@ -88,7 +110,7 @@ func checkRecorderSelector(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr, 
 	kind := "field"
 	switch selection.Kind() {
 	case types.MethodVal, types.MethodExpr:
-		if nilSafeRecorderMethods[sel.Sel.Name] {
+		if nilSafeObsMethods[typ][sel.Sel.Name] {
 			return
 		}
 		kind = "method"
@@ -98,13 +120,15 @@ func checkRecorderSelector(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr, 
 		return
 	}
 	pass.Reportf(sel.Pos(),
-		"%s %s.%s used without the recorder nil fast-path: wrap in `if %s != nil { ... }` (a nil *obs.Recorder is the documented off switch)",
-		kind, recv, sel.Sel.Name, recv)
+		"%s %s.%s used without the %s nil fast-path: wrap in `if %s != nil { ... }` (a nil *obs.%s is the documented off switch)",
+		kind, recv, sel.Sel.Name, strings.ToLower(typ), recv, typ)
 }
 
 // guardedNonNil reports whether the use site is dominated by a syntactic
-// nil check of recv: an enclosing `if recv != nil` then-branch, or an
-// earlier terminating `if recv == nil { return }` in an enclosing block.
+// nil check of recv: an enclosing `if recv != nil` then-branch, a position
+// as a right-hand conjunct of `recv != nil && ...` (the probe hot-path
+// idiom `p != nil && p.Due(done)`), or an earlier terminating
+// `if recv == nil { return }` in an enclosing block.
 func guardedNonNil(pass *Pass, recv string, use ast.Node, stack []ast.Node) bool {
 	child := use
 	for i := len(stack) - 1; i >= 0; i-- {
@@ -112,6 +136,12 @@ func guardedNonNil(pass *Pass, recv string, use ast.Node, stack []ast.Node) bool
 		case *ast.IfStmt:
 			// Inside the then-branch of `if recv != nil && ...`.
 			if child == ast.Node(n.Body) && condAsserts(pass, n.Cond, recv, token.NEQ) {
+				return true
+			}
+		case *ast.BinaryExpr:
+			// The right conjunct of `recv != nil && <use>` only evaluates
+			// when the left asserted non-nilness (short-circuit &&).
+			if n.Op == token.LAND && child == ast.Node(n.Y) && condAsserts(pass, n.X, recv, token.NEQ) {
 				return true
 			}
 		case *ast.BlockStmt:
@@ -169,9 +199,9 @@ func terminates(b *ast.BlockStmt) bool {
 	return false
 }
 
-// locallyConstructedRecorders collects receiver renderings assigned from a
+// locallyConstructedObs collects receiver renderings assigned from a
 // provably non-nil constructor in this function body.
-func locallyConstructedRecorders(pass *Pass, body *ast.BlockStmt) map[string]bool {
+func locallyConstructedObs(pass *Pass, body *ast.BlockStmt) map[string]bool {
 	out := map[string]bool{}
 	ast.Inspect(body, func(n ast.Node) bool {
 		asg, ok := n.(*ast.AssignStmt)
@@ -179,7 +209,7 @@ func locallyConstructedRecorders(pass *Pass, body *ast.BlockStmt) map[string]boo
 			return true
 		}
 		for i := range asg.Lhs {
-			if nonNilRecorderExpr(pass, asg.Rhs[i]) {
+			if nonNilObsExpr(pass, asg.Rhs[i]) {
 				out[render(pass.Fset, asg.Lhs[i])] = true
 			}
 		}
@@ -188,36 +218,47 @@ func locallyConstructedRecorders(pass *Pass, body *ast.BlockStmt) map[string]boo
 	return out
 }
 
-func nonNilRecorderExpr(pass *Pass, e ast.Expr) bool {
+func nonNilObsExpr(pass *Pass, e ast.Expr) bool {
 	switch e := ast.Unparen(e).(type) {
 	case *ast.CallExpr:
 		fn := calleeFunc(pass.TypesInfo, e)
-		return fn != nil && fn.Name() == "NewRecorder" && fn.Pkg() != nil && fn.Pkg().Name() == "obs"
+		return fn != nil && obsConstructors[fn.Name()] != "" && fn.Pkg() != nil && fn.Pkg().Name() == "obs"
 	case *ast.UnaryExpr:
 		if e.Op != token.AND {
 			return false
 		}
 		cl, ok := e.X.(*ast.CompositeLit)
-		return ok && isRecorderType(pass.TypesInfo.TypeOf(cl))
+		return ok && obsTypeName(pass.TypesInfo.TypeOf(cl)) != ""
 	}
 	return false
 }
 
-func isRecorderPtr(t types.Type) bool {
+func obsPtrTypeName(t types.Type) string {
 	p, ok := t.(*types.Pointer)
-	return ok && isRecorderType(p.Elem())
+	if !ok {
+		return ""
+	}
+	return obsTypeName(p.Elem())
 }
 
-// isRecorderType matches the obs.Recorder named type (by package name, so
-// the analyzer's testdata fixtures can declare their own obs package).
-func isRecorderType(t types.Type) bool {
+// obsTypeName returns "Recorder" or "Probe" when t is (a pointer to) one of
+// the obs nil-fast-path types, matched by package name so the analyzer's
+// testdata fixtures can declare their own obs package. "" otherwise.
+func obsTypeName(t types.Type) string {
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}
 	n, ok := t.(*types.Named)
 	if !ok {
-		return false
+		return ""
 	}
 	obj := n.Obj()
-	return obj.Name() == "Recorder" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+	if obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Recorder", "Probe":
+		return obj.Name()
+	}
+	return ""
 }

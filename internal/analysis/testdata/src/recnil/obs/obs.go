@@ -20,3 +20,21 @@ func (r *Recorder) Events() int {
 
 // Mark records one event. NOT nil-safe: callers hold the fast-path check.
 func (r *Recorder) Mark(t float64) { r.Marks = append(r.Marks, t) }
+
+// Probe emits progress frames; nil disables live telemetry.
+type Probe struct {
+	Next int64
+}
+
+// NewProbe returns an enabled probe.
+func NewProbe(every int64) *Probe { return &Probe{Next: every} }
+
+// Enabled is nil-safe by contract.
+func (p *Probe) Enabled() bool { return p != nil }
+
+// Due reports whether a frame is owed. NOT nil-safe: the hot path pairs it
+// with the nil check in one condition.
+func (p *Probe) Due(done int64) bool { return done >= p.Next }
+
+// Emit publishes one frame. NOT nil-safe.
+func (p *Probe) Emit(done int64) { p.Next = done + 1 }

@@ -5,8 +5,9 @@ package use
 import "repro/internal/analysis/testdata/src/recnil/obs"
 
 type state struct {
-	rec *obs.Recorder
-	now float64
+	rec   *obs.Recorder
+	probe *obs.Probe
+	now   float64
 }
 
 func unguardedField(st *state) {
@@ -69,4 +70,52 @@ func locallyConstructedLiteral(now float64) *obs.Recorder {
 
 func knownNonNilElsewhere(st *state) {
 	st.rec.Mark(st.now) //chollint:unguarded caller checked; see run() precondition
+}
+
+func unguardedProbe(st *state, done int64) {
+	if st.probe.Due(done) { // want `method st.probe.Due used without the probe nil fast-path`
+		st.probe.Emit(done) // want `method st.probe.Emit used without the probe nil fast-path`
+	}
+}
+
+func probeHotPath(st *state, done int64) {
+	// The simulator event-loop idiom: nil check and Due share one condition.
+	if st.probe != nil && st.probe.Due(done) {
+		st.probe.Emit(done)
+	}
+}
+
+func probeConjunctOrder(st *state, done int64) {
+	// The use in the LEFT conjunct is not protected by the right-hand check.
+	if st.probe.Due(done) && st.probe != nil { // want `method st.probe.Due used without the probe nil fast-path`
+		st.probe.Emit(done)
+	}
+}
+
+func probeDisjunctNotGuard(st *state, done int64) {
+	// || does not guarantee the nil check held when Due evaluates.
+	if st.probe != nil || st.probe.Due(done) { // want `method st.probe.Due used without the probe nil fast-path`
+		_ = done
+	}
+}
+
+func probeNilSafeFine(st *state) bool {
+	return st.probe.Enabled() // Enabled carries its own nil fast path
+}
+
+func probeEarlyReturn(st *state, done int64) {
+	p := st.probe
+	if p == nil {
+		return
+	}
+	if p.Due(done) {
+		p.Emit(done)
+	}
+}
+
+func probeLocallyConstructed(done int64) {
+	p := obs.NewProbe(8) // provably non-nil
+	if p.Due(done) {
+		p.Emit(done)
+	}
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/replay"
 	"repro/internal/sched"
@@ -86,13 +87,21 @@ func Sweep(n int, candidates []int, ref *platform.Platform, refNB int, seed int6
 // Results bit-identical to the serial loop either way.
 func SweepSeeds(ctx context.Context, n int, candidates []int, ref *platform.Platform,
 	refNB int, seeds []int64, batch bool) ([]Point, error) {
+	return SweepSeedsProbed(ctx, n, candidates, ref, refNB, seeds, batch, nil)
+}
+
+// SweepSeedsProbed is SweepSeeds with a live progress probe: one sweep
+// frame per evaluated candidate (Done/Total in candidates) plus a Final
+// frame, feeding choltune -progress and the cholserved live stream.
+func SweepSeedsProbed(ctx context.Context, n int, candidates []int, ref *platform.Platform,
+	refNB int, seeds []int64, batch bool, probe *obs.Probe) ([]Point, error) {
 
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("autotune: no seeds")
 	}
 	pool := &replay.Pool{}
 	var out []Point
-	for _, nb := range candidates {
+	for ci, nb := range candidates {
 		if nb <= 0 || n%nb != 0 {
 			continue
 		}
@@ -132,9 +141,17 @@ func SweepSeeds(ctx context.Context, n int, candidates []int, ref *platform.Plat
 			Sigma:    stats.StdDev(gf),
 			Makespan: stats.Mean(ms),
 		})
+		if probe != nil {
+			probe.Emit(obs.Frame{Source: obs.SourceSweep,
+				Done: int64(ci + 1), Total: int64(len(candidates))})
+		}
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("autotune: no candidate tile size divides N=%d", n)
+	}
+	if probe != nil {
+		probe.Emit(obs.Frame{Source: obs.SourceSweep, Final: true,
+			Done: int64(len(candidates)), Total: int64(len(candidates))})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].NB < out[j].NB })
 	return out, nil

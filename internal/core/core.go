@@ -27,6 +27,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/runtime"
 	"repro/internal/sched"
@@ -72,7 +73,17 @@ func Simulate(ctx context.Context, nTiles int, p *platform.Platform, s sched.Sch
 // bound, using the given flop total for the GFLOP/s conversion.
 func SimulateDAG(ctx context.Context, d *graph.DAG, flops float64, p *platform.Platform,
 	s sched.Scheduler, opt simulator.Options) (*SimulationReport, error) {
+	return SimulateDAGObserved(ctx, d, flops, p, s, opt, nil)
+}
 
+// SimulateDAGObserved is SimulateDAG with phase-span observability: the
+// event-loop run and the mixed-bound solve are timed as obs.PhaseSimulate
+// and obs.PhaseBounds spans reported to spanObs (nil disables timing; the
+// simulation itself is unaffected either way, spans only watch the clock).
+func SimulateDAGObserved(ctx context.Context, d *graph.DAG, flops float64, p *platform.Platform,
+	s sched.Scheduler, opt simulator.Options, spanObs obs.SpanObserver) (*SimulationReport, error) {
+
+	sim := obs.StartSpan(obs.PhaseSimulate, spanObs)
 	r, err := simulator.RunContext(ctx, d, p, s, opt)
 	if err != nil {
 		return nil, err
@@ -80,10 +91,13 @@ func SimulateDAG(ctx context.Context, d *graph.DAG, flops float64, p *platform.P
 	if err := simulator.Validate(d, p, r); err != nil {
 		return nil, fmt.Errorf("core: simulator produced an invalid schedule: %w", err)
 	}
+	sim.End()
+	bsp := obs.StartSpan(obs.PhaseBounds, spanObs)
 	m, err := bounds.MixedInt(d, p)
 	if err != nil {
 		return nil, err
 	}
+	bsp.End()
 	rep := &SimulationReport{
 		Tiles:       d.P,
 		Scheduler:   s.Name(),
@@ -114,7 +128,15 @@ func OptimizeSchedule(ctx context.Context, nTiles int, p *platform.Platform, nod
 
 // OptimizeDAG is OptimizeSchedule for an arbitrary factorization DAG.
 func OptimizeDAG(ctx context.Context, d *graph.DAG, p *platform.Platform, nodeBudget, workers int) (*cpsolve.Result, error) {
-	return cpsolve.SolveContext(ctx, d, p, cpsolve.Options{NodeBudget: nodeBudget, Beam: 3, Workers: workers})
+	return OptimizeDAGProbed(ctx, d, p, nodeBudget, workers, nil)
+}
+
+// OptimizeDAGProbed is OptimizeDAG with a live progress probe: the search
+// emits frames (nodes expanded vs budget, incumbent trajectory, pruned
+// subtrees) from its sequential commit points, so the frame stream is
+// bit-identical for every worker count. A nil probe costs one pointer check.
+func OptimizeDAGProbed(ctx context.Context, d *graph.DAG, p *platform.Platform, nodeBudget, workers int, probe *obs.Probe) (*cpsolve.Result, error) {
+	return cpsolve.SolveContext(ctx, d, p, cpsolve.Options{NodeBudget: nodeBudget, Beam: 3, Workers: workers, Probe: probe})
 }
 
 // RunExperiment regenerates one paper artifact by ID (see

@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 )
@@ -55,6 +56,12 @@ type Options struct {
 	// Values ≤ 1 run the same partitioned search on the calling goroutine.
 	// The Result is bit-identical for every value of Workers.
 	Workers int
+	// Probe, when non-nil, receives live progress frames (nodes expanded
+	// vs budget, incumbent trajectory, budget-cut subtree count) from the
+	// sequential commit points of the search, so the frame stream is
+	// bit-identical for every value of Workers. Nil costs one pointer
+	// check. Same contract as simulator.Options.Probe.
+	Probe *obs.Probe
 }
 
 // Result of a search.

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -73,6 +74,15 @@ type incumbent struct {
 	worker []int
 	start  []float64
 	bits   atomic.Uint64 // math.Float64bits(mk), for worker snapshots
+
+	// Live-progress tap, written only from the sequential phases (split,
+	// committer), so the emitted frame stream is identical for every
+	// Options.Workers value — the same argument that makes the Result
+	// deterministic covers the telemetry.
+	probe      *obs.Probe
+	budget     int // total node budget of the search
+	splitNodes int // nodes consumed by the sequential split phase
+	lastDone   int // high-water mark of reported progress
 }
 
 func newIncumbent(pr *prob) *incumbent {
@@ -80,9 +90,48 @@ func newIncumbent(pr *prob) *incumbent {
 		mk:     math.Inf(1),
 		worker: make([]int, pr.nTasks),
 		start:  make([]float64, pr.nTasks),
+		probe:  pr.opt.Probe,
+		budget: pr.opt.NodeBudget,
 	}
 	g.bits.Store(math.Float64bits(g.mk))
 	return g
+}
+
+// emitProgress builds one cpsolve frame from the committed state. Must only
+// be called from the sequential phases, behind the probe nil fast-path.
+func (g *incumbent) emitProgress(alloc []int, cutPending []bool, final bool) {
+	p := g.probe
+	if p == nil {
+		return
+	}
+	total := g.splitNodes
+	for _, a := range alloc {
+		total += a
+	}
+	// A commit can shrink a completed subtree's alloc back to actual usage;
+	// report the high-water mark so Done never regresses.
+	if total < g.lastDone {
+		total = g.lastDone
+	}
+	g.lastDone = total
+	cut := 0
+	for _, c := range cutPending {
+		if c {
+			cut++
+		}
+	}
+	if !final && !p.Due(int64(total)) {
+		return
+	}
+	p.Emit(obs.Frame{
+		Source:       obs.SourceCPSolve,
+		Done:         int64(total),
+		Total:        int64(g.budget),
+		Final:        final,
+		Nodes:        int64(total),
+		IncumbentSec: g.mk,
+		CutSubtrees:  int64(cut),
+	})
 }
 
 // publishMin lowers the published incumbent bits to mk if it improves. The
@@ -243,6 +292,10 @@ func solveParallel(ctx context.Context, pr *prob, g *incumbent) (*Result, error)
 		cutPending[i] = true
 	}
 	rem := pr.opt.NodeBudget - sp.nodes
+	g.splitNodes = sp.nodes
+	if g.probe != nil {
+		g.emitProgress(alloc, cutPending, false)
+	}
 
 	var pool []*solver
 	for round := 0; round < maxRounds && len(pending) > 0 && rem > 0; round++ {
@@ -311,6 +364,9 @@ func solveParallel(ctx context.Context, pr *prob, g *incumbent) (*Result, error)
 		total += a
 	}
 	exhausted := !sp.cut && len(pending) == 0
+	if g.probe != nil {
+		g.emitProgress(alloc, cutPending, true)
+	}
 
 	start := make([]float64, pr.nTasks)
 	copy(start, g.start)
@@ -340,6 +396,9 @@ func commitRun(g *incumbent, rr runResult, alloc []int, cutPending []bool, i int
 		copy(g.worker, rr.worker)
 		copy(g.start, rr.start)
 		g.publishMin(rr.mk)
+	}
+	if g.probe != nil {
+		g.emitProgress(alloc, cutPending, false)
 	}
 }
 

@@ -1,0 +1,89 @@
+package cpsolve
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+// collectFrames runs one search with a probe attached and returns the
+// emitted frame stream plus the result.
+func collectFrames(t *testing.T, workers, budget int) ([]obs.Frame, *Result) {
+	t.Helper()
+	var frames []obs.Frame
+	probe := obs.NewProbe(200, func(f obs.Frame) { frames = append(frames, f.Clone()) })
+	res, err := Solve(graph.Cholesky(8), platform.Mirage(), Options{
+		NodeBudget: budget, Workers: workers, Probe: probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frames, res
+}
+
+// TestProbeFramesWorkerInvariant is the telemetry analogue of the solver's
+// determinism contract: because frames are emitted only from the sequential
+// split/commit points, the entire frame stream — not just the Result — must
+// be bit-identical for every Options.Workers value.
+func TestProbeFramesWorkerInvariant(t *testing.T) {
+	f1, r1 := collectFrames(t, 1, 4000)
+	for _, workers := range []int{2, 4, 8} {
+		fn, rn := collectFrames(t, workers, 4000)
+		if r1.Makespan != rn.Makespan || r1.Nodes != rn.Nodes {
+			t.Fatalf("result diverged at workers=%d: %v/%d vs %v/%d",
+				workers, rn.Makespan, rn.Nodes, r1.Makespan, r1.Nodes)
+		}
+		if !reflect.DeepEqual(f1, fn) {
+			t.Fatalf("frame stream diverged at workers=%d:\n1: %+v\n%d: %+v", workers, f1, workers, fn)
+		}
+	}
+}
+
+// TestProbeFrameShape pins the cpsolve frame semantics: monotone Done,
+// non-increasing incumbent, a Final frame closing the stream, and probing
+// leaving the search result untouched.
+func TestProbeFrameShape(t *testing.T) {
+	plain, err := Solve(graph.Cholesky(8), platform.Mirage(), Options{NodeBudget: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, res := collectFrames(t, 1, 4000)
+	if res.Makespan != plain.Makespan || res.Nodes != plain.Nodes {
+		t.Fatalf("probe changed the search: %v/%d vs %v/%d",
+			res.Makespan, res.Nodes, plain.Makespan, plain.Nodes)
+	}
+	if len(frames) == 0 {
+		t.Fatal("no frames emitted")
+	}
+	for i, f := range frames {
+		if f.Source != obs.SourceCPSolve {
+			t.Fatalf("frame %d source %q", i, f.Source)
+		}
+		if f.Nodes != f.Done {
+			t.Fatalf("frame %d Nodes %d != Done %d", i, f.Nodes, f.Done)
+		}
+		if f.CutSubtrees < 0 {
+			t.Fatalf("frame %d negative cut counter", i)
+		}
+		if i == 0 {
+			continue
+		}
+		if f.Done < frames[i-1].Done {
+			t.Fatalf("Done regressed at frame %d: %d after %d", i, f.Done, frames[i-1].Done)
+		}
+		if !math.IsInf(frames[i-1].IncumbentSec, 1) && f.IncumbentSec > frames[i-1].IncumbentSec {
+			t.Fatalf("incumbent worsened at frame %d: %v after %v", i, f.IncumbentSec, frames[i-1].IncumbentSec)
+		}
+	}
+	last := frames[len(frames)-1]
+	if !last.Final {
+		t.Fatal("stream not closed by a Final frame")
+	}
+	if last.IncumbentSec != res.Makespan {
+		t.Fatalf("final incumbent %v != result makespan %v", last.IncumbentSec, res.Makespan)
+	}
+}

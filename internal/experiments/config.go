@@ -14,6 +14,7 @@ package experiments
 import (
 	"context"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -53,6 +54,11 @@ type Config struct {
 	// Results are bit-identical to the serial loop — the equivalence suite
 	// in internal/replay enforces it — so this is purely a throughput knob.
 	Batch bool
+	// Probe, when non-nil, receives live batch-progress frames from the
+	// repeated-seed replications (replay.SeedsProbed): completed jobs,
+	// dedup hits. Nil costs nothing. Only the batched path emits — the
+	// serial loop predates the probe plumbing and stays untouched.
+	Probe *obs.Probe
 }
 
 // Ctx returns the experiment's context, defaulting to context.Background().

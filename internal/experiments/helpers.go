@@ -63,7 +63,7 @@ func repeatedSim(cfg Config, d *graph.DAG, p *platform.Platform,
 	for r := range seeds {
 		seeds[r] = cfg.Seed + int64(r)
 	}
-	rs, err := replay.Seeds(cfg.Ctx(), d, p, mk, seeds, opt, 0, nil)
+	rs, err := replay.SeedsProbed(cfg.Ctx(), d, p, mk, seeds, opt, 0, nil, cfg.Probe)
 	if err != nil {
 		return 0, 0, fmt.Errorf("experiments: %w", err)
 	}

@@ -141,6 +141,31 @@ func (r *Recorder) EventCounts() map[string]int {
 	}
 }
 
+// EventCount is one (type, count) pair from EventCountsSorted.
+type EventCount struct {
+	Type  string `json:"type"`
+	Count int    `json:"count"`
+}
+
+// EventCountsSorted returns per-type event counts in ascending key order.
+// Export paths (metrics series, ledger JSON) must iterate this instead of
+// ranging over the EventCounts map, so emission order is deterministic
+// run-to-run (the contract chollint's detranged analyzer polices in the
+// core). Nil-safe.
+func (r *Recorder) EventCountsSorted() []EventCount {
+	if r == nil {
+		return nil
+	}
+	// Field order below is the sorted key order; keep it that way.
+	return []EventCount{
+		{Type: "decision", Count: len(r.Decisions)},
+		{Type: "eviction", Count: len(r.Evictions)},
+		{Type: "idle", Count: len(r.Idles)},
+		{Type: "ready", Count: len(r.Readies)},
+		{Type: "transfer", Count: len(r.Transfers)},
+	}
+}
+
 // MeanDecisionDepth returns the average number of candidates weighed per
 // decision — the "how contested was each placement" summary statistic.
 func (r *Recorder) MeanDecisionDepth() float64 {

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestProbeNilFastPath(t *testing.T) {
+	var p *Probe
+	if p.Enabled() {
+		t.Fatal("nil probe reports enabled")
+	}
+	if p.Interval() != 0 {
+		t.Fatal("nil probe has an interval")
+	}
+	if p.Frames() != 0 {
+		t.Fatal("nil probe has frames")
+	}
+}
+
+func TestProbeCadence(t *testing.T) {
+	var got []Frame
+	p := NewProbe(10, func(f Frame) { got = append(got, f) })
+	var emitted int64
+	for done := int64(1); done <= 35; done++ {
+		if p.Due(done) {
+			p.Emit(Frame{Source: SourceSimulate, Done: done, Total: 35})
+			emitted = done
+		}
+	}
+	p.Emit(Frame{Source: SourceSimulate, Done: 35, Total: 35, Final: true})
+	if len(got) != 4 {
+		t.Fatalf("expected 3 cadence frames + 1 final, got %d: %+v", len(got), got)
+	}
+	if emitted != 30 {
+		t.Fatalf("last cadence emission at %d, want 30", emitted)
+	}
+	for i, f := range got {
+		if f.Seq != uint64(i+1) {
+			t.Fatalf("frame %d has seq %d", i, f.Seq)
+		}
+		if i > 0 && f.Done < got[i-1].Done {
+			t.Fatalf("Done regressed: %d after %d", f.Done, got[i-1].Done)
+		}
+	}
+	if !got[len(got)-1].Final {
+		t.Fatal("final frame not marked Final")
+	}
+	if n := p.Frames(); n != 4 {
+		t.Fatalf("Frames() = %d, want 4", n)
+	}
+	p.Reset()
+	if p.Due(5) {
+		t.Fatal("due immediately after Reset with interval 10")
+	}
+	p.Emit(Frame{Done: 10})
+	if got[len(got)-1].Seq != 1 {
+		t.Fatalf("seq not rewound by Reset: %d", got[len(got)-1].Seq)
+	}
+}
+
+func TestProbeDefaultInterval(t *testing.T) {
+	p := NewProbe(0, nil)
+	if p.Interval() != DefaultInterval {
+		t.Fatalf("Interval() = %d, want %d", p.Interval(), DefaultInterval)
+	}
+	if p.Due(DefaultInterval - 1) {
+		t.Fatal("due before the default interval elapsed")
+	}
+	if !p.Due(DefaultInterval) {
+		t.Fatal("not due at the default interval")
+	}
+	p.Emit(Frame{Done: DefaultInterval}) // nil sink must not panic
+}
+
+func TestFrameCloneIndependence(t *testing.T) {
+	busy := []float64{1, 2, 3}
+	f := Frame{Source: SourceSimulate, BusySec: busy}
+	c := f.Clone()
+	busy[0] = 99
+	if c.BusySec[0] != 1 {
+		t.Fatal("Clone aliases the source BusySec array")
+	}
+}
+
+func TestFrameRingEvictionAndSnapshot(t *testing.T) {
+	r := NewFrameRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Publish(Frame{Seq: uint64(i), Done: int64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", r.Len())
+	}
+	snap := r.Snapshot(0)
+	if len(snap) != 3 || snap[0].Seq != 3 || snap[2].Seq != 5 {
+		t.Fatalf("Snapshot(0) = %+v, want seqs 3..5", snap)
+	}
+	snap = r.Snapshot(4)
+	if len(snap) != 1 || snap[0].Seq != 5 {
+		t.Fatalf("Snapshot(4) = %+v, want just seq 5", snap)
+	}
+	last, ok := r.Last()
+	if !ok || last.Seq != 5 {
+		t.Fatalf("Last() = %+v %v", last, ok)
+	}
+}
+
+func TestFrameRingSubscribeReplayThenLive(t *testing.T) {
+	r := NewFrameRing(8)
+	r.Publish(Frame{Seq: 1})
+	r.Publish(Frame{Seq: 2})
+	backlog, live, cancel := r.Subscribe(1)
+	defer cancel()
+	if len(backlog) != 1 || backlog[0].Seq != 2 {
+		t.Fatalf("backlog = %+v, want just seq 2", backlog)
+	}
+	r.Publish(Frame{Seq: 3})
+	if f := <-live; f.Seq != 3 {
+		t.Fatalf("live frame seq = %d, want 3", f.Seq)
+	}
+	r.Close()
+	if _, ok := <-live; ok {
+		t.Fatal("live channel not closed by ring Close")
+	}
+	// Subscribing after close: backlog still served, channel pre-closed.
+	backlog, live, cancel2 := r.Subscribe(0)
+	defer cancel2()
+	if len(backlog) != 3 {
+		t.Fatalf("post-close backlog = %d frames, want 3", len(backlog))
+	}
+	if _, ok := <-live; ok {
+		t.Fatal("post-close subscription channel not closed")
+	}
+	r.Publish(Frame{Seq: 4})
+	if r.Len() != 3 {
+		t.Fatal("Publish after Close mutated the ring")
+	}
+}
+
+// TestFrameRingConcurrentSubscribers is the shared-ring race test: one
+// publisher, many churning subscribers, all under -race. Every subscriber
+// must observe strictly increasing sequence numbers (drops allowed) and a
+// closed channel at the end.
+func TestFrameRingConcurrentSubscribers(t *testing.T) {
+	r := NewFrameRing(32)
+	const subscribers = 8
+	const frames = 500
+	var wg sync.WaitGroup
+	for s := 0; s < subscribers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			backlog, live, cancel := r.Subscribe(0)
+			defer cancel()
+			var last uint64
+			for _, f := range backlog {
+				if f.Seq <= last {
+					t.Errorf("backlog seq regressed: %d after %d", f.Seq, last)
+					return
+				}
+				last = f.Seq
+			}
+			for f := range live {
+				if f.Seq <= last {
+					t.Errorf("live seq regressed: %d after %d", f.Seq, last)
+					return
+				}
+				last = f.Seq
+			}
+		}()
+	}
+	for i := 1; i <= frames; i++ {
+		r.Publish(Frame{Seq: uint64(i), Done: int64(i), Total: frames})
+	}
+	r.Close()
+	wg.Wait()
+}
+
+// TestEventCountsSortedOrder is the satellite regression: export paths
+// iterate EventCountsSorted, which must agree with the EventCounts map and
+// stay in ascending key order forever.
+func TestEventCountsSortedOrder(t *testing.T) {
+	rec := NewRecorder()
+	rec.Readies = append(rec.Readies, Ready{}, Ready{})
+	rec.Decisions = append(rec.Decisions, Decision{})
+	rec.Transfers = append(rec.Transfers, Transfer{}, Transfer{}, Transfer{})
+	rec.Idles = append(rec.Idles, Idle{})
+	sorted := rec.EventCountsSorted()
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i].Type < sorted[j].Type }) {
+		t.Fatalf("EventCountsSorted not in ascending key order: %+v", sorted)
+	}
+	m := rec.EventCounts()
+	if len(sorted) != len(m) {
+		t.Fatalf("sorted has %d entries, map has %d", len(sorted), len(m))
+	}
+	for _, ec := range sorted {
+		if m[ec.Type] != ec.Count {
+			t.Fatalf("count mismatch for %q: sorted %d, map %d", ec.Type, ec.Count, m[ec.Type])
+		}
+	}
+	var nilRec *Recorder
+	if nilRec.EventCountsSorted() != nil {
+		t.Fatal("nil recorder EventCountsSorted not nil")
+	}
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// TickerSink returns a probe sink rendering frames as one overwriting
+// terminal status line on w — the `-progress` stderr ticker of cholsim and
+// choltune. Each frame redraws the line in place (carriage return, no
+// newline); the Final frame ends it with a newline so subsequent output
+// starts clean. The same frames feed the cholserved live stream, so the
+// ticker is purely a renderer.
+func TickerSink(w io.Writer, prefix string) func(Frame) {
+	return func(f Frame) {
+		switch f.Source {
+		case SourceSimulate:
+			fmt.Fprintf(w, "\r%s: sim %d/%d tasks  t=%.4fs  ready=%d   ",
+				prefix, f.Done, f.Total, f.SimSec, f.ReadyDepth)
+		case SourceCPSolve:
+			fmt.Fprintf(w, "\r%s: cp %d/%d nodes  best=%.6fs  cut=%d   ",
+				prefix, f.Done, f.Total, f.IncumbentSec, f.CutSubtrees)
+		case SourceReplay:
+			fmt.Fprintf(w, "\r%s: replay %d/%d jobs  dedup=%d resume=%d scratch=%d   ",
+				prefix, f.Done, f.Total, f.DedupHits, f.DeltaResume, f.DeltaScratch)
+		case SourceSweep:
+			fmt.Fprintf(w, "\r%s: sweep %d/%d candidates   ", prefix, f.Done, f.Total)
+		}
+		if f.Final {
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -3,8 +3,11 @@ package replay
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/simulator"
@@ -61,6 +64,44 @@ func TrsmKnob(k1, k2 int) Knob {
 type Base struct {
 	Prep *simulator.Prep
 	Rec  *simulator.Recording
+
+	// Probe, when non-nil, receives one frame per Delta query carrying the
+	// cumulative outcome counters below, so a live view shows how often
+	// the delta machinery pays off versus falls back to scratch.
+	Probe *obs.Probe
+
+	emitMu  sync.Mutex   // serializes counter+emit so frame Done is monotone
+	clones  atomic.Int64 // queries answered by cloning the base Result
+	resumes atomic.Int64 // queries resumed from a checkpoint
+	scratch atomic.Int64 // queries that fell back to a from-scratch run
+}
+
+// DeltaStats reports the cumulative Delta outcome counters: base-clone
+// answers, checkpoint resumes, and from-scratch fallbacks (in that order).
+func (b *Base) DeltaStats() (clones, resumes, scratch int64) {
+	return b.clones.Load(), b.resumes.Load(), b.scratch.Load()
+}
+
+// countDelta bumps one outcome counter and, with a probe attached, emits a
+// frame with the running totals. counter must be one of the Base counters.
+// The emit mutex keeps Done monotone when Delta queries run concurrently.
+func (b *Base) countDelta(counter *atomic.Int64) {
+	p := b.Probe
+	if p == nil {
+		counter.Add(1)
+		return
+	}
+	b.emitMu.Lock()
+	counter.Add(1)
+	clones, resumes, scratch := b.DeltaStats()
+	p.Emit(obs.Frame{
+		Source:       obs.SourceReplay,
+		Done:         clones + resumes + scratch,
+		DedupHits:    clones,
+		DeltaResume:  resumes,
+		DeltaScratch: scratch,
+	})
+	b.emitMu.Unlock()
 }
 
 // Record runs the base configuration once under checkpointing: the decision
@@ -99,6 +140,9 @@ func (b *Base) Delta(ctx context.Context, mk func() sched.Scheduler, opt simulat
 		a := pool.Get()
 		r, err := b.Prep.Run(ctx, s, opt, a)
 		pool.Put(a)
+		if err == nil {
+			b.countDelta(&b.scratch)
+		}
 		return r, err
 	}
 	base := b.Rec.Opt
@@ -128,6 +172,7 @@ func (b *Base) Delta(ctx context.Context, mk func() sched.Scheduler, opt simulat
 	if div == len(b.Rec.Decisions) {
 		// No decision the variant could change exists: its schedule is the
 		// base's. (Equality of every simulator-side input was checked above.)
+		b.countDelta(&b.clones)
 		return b.Rec.Result.Clone(), nil
 	}
 	sn := b.Rec.SnapshotBefore(div)
@@ -137,5 +182,8 @@ func (b *Base) Delta(ctx context.Context, mk func() sched.Scheduler, opt simulat
 	a := pool.Get()
 	r, err := b.Prep.Resume(ctx, s, opt, sn, a)
 	pool.Put(a)
+	if err == nil {
+		b.countDelta(&b.resumes)
+	}
 	return r, err
 }

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/simulator"
@@ -131,6 +132,18 @@ type laneKey struct {
 // a seed the run never consumes — run once and are answered with clones.
 // A nil pool uses a private one scoped to this call.
 func Run(ctx context.Context, jobs []Job, workers int, pool *Pool) ([]*simulator.Result, error) {
+	return RunProbed(ctx, jobs, workers, pool, nil)
+}
+
+// RunProbed is Run with a batch-level progress probe: frames report
+// completed jobs against the batch size plus the running dedup-hit count.
+// The stream's Done is monotone (emissions serialize on an internal mutex)
+// though the completion *order* of concurrent lanes is scheduling-dependent
+// — batch telemetry reports throughput, not per-run schedules, so this does
+// not weaken the digest contract. Per-job probes (Job.Opt.Probe) force the
+// job onto its own lane, exactly like Job.Opt.Recorder, so every probed job
+// genuinely simulates and emits its own simulator frames.
+func RunProbed(ctx context.Context, jobs []Job, workers int, pool *Pool, probe *obs.Probe) ([]*simulator.Result, error) {
 	if len(jobs) == 0 {
 		return nil, nil
 	}
@@ -165,7 +178,7 @@ func Run(ctx context.Context, jobs []Job, workers int, pool *Pool) ([]*simulator
 	for i := range jobs {
 		rep[i] = i
 		opt := jobs[i].Opt
-		if opt.Recorder != nil || jitterActive(jobs[i].P, opt) {
+		if opt.Recorder != nil || opt.Probe != nil || jitterActive(jobs[i].P, opt) {
 			lanes = append(lanes, i)
 			continue
 		}
@@ -182,10 +195,26 @@ func Run(ctx context.Context, jobs []Job, workers int, pool *Pool) ([]*simulator
 		seen[k] = i
 		lanes = append(lanes, i)
 	}
+	dedupHits := int64(len(jobs) - len(lanes))
+	var progressMu sync.Mutex
+	var laneDone int64
 	laneResults, err := sweep.MapContext(ctx, lanes, workers, func(i int) (*simulator.Result, error) {
 		a := pool.Get()
 		r, runErr := prepOf[i].Run(ctx, jobs[i].Sched(), jobs[i].Opt, a)
 		pool.Put(a)
+		if probe != nil && runErr == nil {
+			progressMu.Lock()
+			laneDone++
+			if probe.Due(laneDone) {
+				probe.Emit(obs.Frame{
+					Source:    obs.SourceReplay,
+					Done:      laneDone,
+					Total:     int64(len(jobs)),
+					DedupHits: dedupHits,
+				})
+			}
+			progressMu.Unlock()
+		}
 		return r, runErr
 	})
 	if err != nil {
@@ -200,6 +229,16 @@ func Run(ctx context.Context, jobs []Job, workers int, pool *Pool) ([]*simulator
 			results[i] = results[rep[i]].Clone()
 		}
 	}
+	if probe != nil {
+		// Final frame counts the dedup clones as done: the batch is whole.
+		probe.Emit(obs.Frame{
+			Source:    obs.SourceReplay,
+			Done:      int64(len(jobs)),
+			Total:     int64(len(jobs)),
+			Final:     true,
+			DedupHits: dedupHits,
+		})
+	}
 	return results, nil
 }
 
@@ -208,6 +247,11 @@ func Run(ctx context.Context, jobs []Job, workers int, pool *Pool) ([]*simulator
 // to looping simulator.RunContext over the seeds. A single seed takes the
 // serial path directly — no batching machinery, no extra allocations.
 func Seeds(ctx context.Context, d *graph.DAG, p *platform.Platform, mk func() sched.Scheduler, seeds []int64, opt simulator.Options, workers int, pool *Pool) ([]*simulator.Result, error) {
+	return SeedsProbed(ctx, d, p, mk, seeds, opt, workers, pool, nil)
+}
+
+// SeedsProbed is Seeds with a batch-level progress probe (see RunProbed).
+func SeedsProbed(ctx context.Context, d *graph.DAG, p *platform.Platform, mk func() sched.Scheduler, seeds []int64, opt simulator.Options, workers int, pool *Pool, probe *obs.Probe) ([]*simulator.Result, error) {
 	if len(seeds) == 0 {
 		return nil, nil
 	}
@@ -217,6 +261,9 @@ func Seeds(ctx context.Context, d *graph.DAG, p *platform.Platform, mk func() sc
 		if err != nil {
 			return nil, err
 		}
+		if probe != nil {
+			probe.Emit(obs.Frame{Source: obs.SourceReplay, Done: 1, Total: 1, Final: true})
+		}
 		return []*simulator.Result{r}, nil
 	}
 	jobs := make([]Job, len(seeds))
@@ -225,5 +272,5 @@ func Seeds(ctx context.Context, d *graph.DAG, p *platform.Platform, mk func() sc
 		o.Seed = s
 		jobs[i] = Job{D: d, P: p, Sched: mk, Opt: o}
 	}
-	return Run(ctx, jobs, workers, pool)
+	return RunProbed(ctx, jobs, workers, pool, probe)
 }

@@ -10,34 +10,65 @@ import (
 )
 
 // The run ledger is the service's flight recorder: a bounded in-memory
-// store of recent simulate evaluations, each under a stable ID, keeping the
-// full simulator result (and, for recorded runs, the obs event stream) so
-// the trace and gap-attribution endpoints can reconstruct *why* a schedule
+// store of recent evaluations, each under a stable ID, keeping the full
+// simulator result (and, for recorded runs, the obs event stream) so the
+// trace and gap-attribution endpoints can reconstruct *why* a schedule
 // looked the way it did after the fact. Capacity is a ring: the oldest
 // entry is dropped when a new one would exceed it.
+//
+// Entries are opened *before* their evaluation runs and completed (or
+// failed) after, so the live-stream endpoint can attach to a run in flight:
+// each entry carries a bounded obs.FrameRing that buffers its progress
+// frames and fans them out to SSE subscribers. Closing the ring (on
+// completion, failure, or eviction) ends every attached stream.
+
+// Run kinds: what evaluation an entry ledgered.
+const (
+	KindSimulate = "simulate"
+	KindSweep    = "sweep"
+	KindOptimize = "optimize"
+)
+
+// Run lifecycle states.
+const (
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
 
 // RunEntry is one ledgered evaluation.
 type RunEntry struct {
 	ID        string
+	Kind      string // KindSimulate | KindSweep | KindOptimize
+	Status    string // StatusRunning | StatusDone | StatusFailed
+	Error     string // failure reason, failed entries only
 	CreatedAt time.Time
 	Request   SimulateRequest
 	Response  *SimulateResponse
+	Optimize  *OptimizeResponse // optimize entries only
 	Result    *simulator.Result
 	Recorder  *obs.Recorder // nil unless the request asked for decision recording
+	// Frames buffers the run's live progress frames and fans them out to
+	// /v1/runs/{id}/live subscribers. Nil for entries without a live stream
+	// (batched-sweep cells, which stream through their parent sweep entry).
+	Frames *obs.FrameRing
 }
 
 // RunSummary is the list-view projection of a ledger entry.
 type RunSummary struct {
 	ID          string  `json:"id"`
+	Kind        string  `json:"kind"`
+	Status      string  `json:"status"`
 	CreatedAt   string  `json:"created_at"` // RFC 3339, UTC
 	Platform    string  `json:"platform"`
-	Scheduler   string  `json:"scheduler"`
-	Algorithm   string  `json:"algorithm"`
-	Tiles       int     `json:"tiles"`
-	MakespanSec float64 `json:"makespan_sec"`
-	Efficiency  float64 `json:"efficiency"`
+	Scheduler   string  `json:"scheduler,omitempty"`
+	Algorithm   string  `json:"algorithm,omitempty"`
+	Tiles       int     `json:"tiles,omitempty"`
+	MakespanSec float64 `json:"makespan_sec,omitempty"`
+	Efficiency  float64 `json:"efficiency,omitempty"`
 	Recorded    bool    `json:"recorded"`
 	Events      int     `json:"events,omitempty"`
+	Live        bool    `json:"live"` // entry has a live frame stream
 }
 
 // Ledger is a concurrency-safe bounded run store.
@@ -56,16 +87,44 @@ func NewLedger(capacity int) *Ledger {
 	return &Ledger{cap: capacity}
 }
 
-// Add stores a run and returns its assigned ID.
+// Open ledgers a run that is about to execute: it assigns the ID, marks the
+// entry running, and makes it (and its frame ring) visible to /v1/runs and
+// the live stream immediately. Balance with Complete or Fail.
+func (l *Ledger) Open(e *RunEntry) string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e.Kind == "" {
+		e.Kind = KindSimulate
+	}
+	e.Status = StatusRunning
+	return l.append(e)
+}
+
+// Add ledgers an already-finished run (no live phase): the batched-sweep
+// cells, whose progress streams through their parent sweep entry.
 func (l *Ledger) Add(e *RunEntry) string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if e.Kind == "" {
+		e.Kind = KindSimulate
+	}
+	e.Status = StatusDone
+	return l.append(e)
+}
+
+// append assigns the next ID, stores e and evicts the oldest entry beyond
+// capacity. Callers hold l.mu.
+func (l *Ledger) append(e *RunEntry) string {
 	l.seq++
 	e.ID = fmt.Sprintf("run-%06d", l.seq)
 	l.entries = append(l.entries, e)
 	if len(l.entries) > l.cap {
 		// Drop the oldest; shift rather than reslice so the backing array
-		// does not pin evicted results (and their recorders) alive.
+		// does not pin evicted results (and their recorders) alive. Closing
+		// the evicted ring ends any live streams still attached to it.
+		if old := l.entries[0]; old.Frames != nil {
+			old.Frames.Close()
+		}
 		copy(l.entries, l.entries[1:])
 		l.entries[len(l.entries)-1] = nil
 		l.entries = l.entries[:len(l.entries)-1]
@@ -73,13 +132,52 @@ func (l *Ledger) Add(e *RunEntry) string {
 	return e.ID
 }
 
-// Get returns the entry with the given ID, or false.
+// Complete finishes an opened run: update fills in the outcome fields under
+// the ledger lock, the status flips to done, and the frame ring closes so
+// live subscribers see end-of-stream. A run already evicted from the
+// bounded ledger is a no-op (its ring was closed at eviction).
+func (l *Ledger) Complete(id string, update func(*RunEntry)) {
+	l.finish(id, StatusDone, update)
+}
+
+// Fail marks an opened run failed with err and closes its frame ring.
+func (l *Ledger) Fail(id string, err error) {
+	l.finish(id, StatusFailed, func(e *RunEntry) {
+		if err != nil {
+			e.Error = err.Error()
+		}
+	})
+}
+
+func (l *Ledger) finish(id, status string, update func(*RunEntry)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.entries {
+		if e.ID != id {
+			continue
+		}
+		if update != nil {
+			update(e)
+		}
+		e.Status = status
+		if e.Frames != nil {
+			e.Frames.Close()
+		}
+		return
+	}
+}
+
+// Get returns a snapshot of the entry with the given ID, or false. The
+// returned struct is a copy taken under the ledger lock — safe to read
+// while the run completes concurrently; its pointer fields (Response,
+// Result, Recorder) are written once at completion and never mutated after.
 func (l *Ledger) Get(id string) (*RunEntry, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for _, e := range l.entries {
 		if e.ID == id {
-			return e, true
+			cp := *e
+			return &cp, true
 		}
 	}
 	return nil, false
@@ -103,17 +201,33 @@ func (l *Ledger) Len() int {
 	return len(l.entries)
 }
 
+// summarize projects an entry whose outcome may not exist yet (running or
+// failed entries have no Response) into the list view.
 func summarize(e *RunEntry) RunSummary {
-	return RunSummary{
-		ID:          e.ID,
-		CreatedAt:   e.CreatedAt.UTC().Format(time.RFC3339),
-		Platform:    e.Request.Platform,
-		Scheduler:   e.Response.Scheduler,
-		Algorithm:   e.Response.Algorithm,
-		Tiles:       e.Request.Tiles,
-		MakespanSec: e.Response.MakespanSec,
-		Efficiency:  e.Response.Efficiency,
-		Recorded:    e.Recorder != nil,
-		Events:      e.Recorder.Events(),
+	s := RunSummary{
+		ID:        e.ID,
+		Kind:      e.Kind,
+		Status:    e.Status,
+		CreatedAt: e.CreatedAt.UTC().Format(time.RFC3339),
+		Platform:  e.Request.Platform,
+		Scheduler: e.Request.Scheduler,
+		Algorithm: e.Request.Algorithm,
+		Tiles:     e.Request.Tiles,
+		Recorded:  e.Recorder != nil,
+		Events:    e.Recorder.Events(),
+		Live:      e.Frames != nil,
 	}
+	switch {
+	case e.Response != nil:
+		s.Scheduler = e.Response.Scheduler
+		s.Algorithm = e.Response.Algorithm
+		s.MakespanSec = e.Response.MakespanSec
+		s.Efficiency = e.Response.Efficiency
+	case e.Optimize != nil:
+		s.Scheduler = "cp"
+		s.MakespanSec = e.Optimize.MakespanSec
+	case e.Kind == KindOptimize:
+		s.Scheduler = "cp"
+	}
+	return s
 }

@@ -19,14 +19,18 @@ import (
 
 func notFound(err error) error { return &apiError{status: http.StatusNotFound, err: err} }
 
-// RunDetail is the full view of one ledgered run.
+// RunDetail is the full view of one ledgered run. Entries still running (or
+// failed, or non-simulate kinds) carry no simulator result, so the
+// attribution and recorder projections are omitted rather than fabricated.
 type RunDetail struct {
 	RunSummary
 	Request           SimulateRequest   `json:"request"`
 	Response          *SimulateResponse `json:"response"`
+	Optimize          *OptimizeResponse `json:"optimize,omitempty"`
+	Error             string            `json:"error,omitempty"`
 	EventCounts       map[string]int    `json:"event_counts,omitempty"`
 	MeanDecisionDepth float64           `json:"mean_decision_depth,omitempty"`
-	Attribution       *obs.Attribution  `json:"gap_attribution"`
+	Attribution       *obs.Attribution  `json:"gap_attribution,omitempty"`
 }
 
 func (s *Server) handleRunList(w http.ResponseWriter, r *http.Request) {
@@ -40,23 +44,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, notFound(fmt.Errorf("service: run %q not in the ledger (bounded to %d entries)", id, s.cfg.LedgerSize)))
 		return
 	}
-	d, p, err := s.rebuild(e)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	res := e.Result
-	attr, err := obs.AttributeGap(d, p, res.Worker, res.BusySec, res.Start, res.End,
-		res.MakespanSec, res.TransferSec, e.Recorder)
-	if err != nil {
-		writeErr(w, fmt.Errorf("service: gap attribution for %s: %w", id, err))
-		return
-	}
 	detail := &RunDetail{
-		RunSummary:  summarize(e),
-		Request:     e.Request,
-		Response:    e.Response,
-		Attribution: attr,
+		RunSummary: summarize(e),
+		Request:    e.Request,
+		Response:   e.Response,
+		Optimize:   e.Optimize,
+		Error:      e.Error,
+	}
+	if e.Result != nil {
+		d, p, err := s.rebuild(e)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		res := e.Result
+		attr, err := obs.AttributeGap(d, p, res.Worker, res.BusySec, res.Start, res.End,
+			res.MakespanSec, res.TransferSec, e.Recorder)
+		if err != nil {
+			writeErr(w, fmt.Errorf("service: gap attribution for %s: %w", id, err))
+			return
+		}
+		detail.Attribution = attr
 	}
 	if e.Recorder != nil {
 		detail.EventCounts = e.Recorder.EventCounts()
@@ -70,6 +78,11 @@ func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.ledger.Get(id)
 	if !ok {
 		writeErr(w, notFound(fmt.Errorf("service: run %q not in the ledger (bounded to %d entries)", id, s.cfg.LedgerSize)))
+		return
+	}
+	if e.Result == nil {
+		writeErr(w, &apiError{status: http.StatusConflict,
+			err: fmt.Errorf("service: run %q has no simulator result to trace (kind %s, status %s)", id, e.Kind, e.Status)})
 		return
 	}
 	d, p, err := s.rebuild(e)

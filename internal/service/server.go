@@ -56,6 +56,17 @@ type Config struct {
 	// LedgerSize bounds the run ledger: how many recent evaluations stay
 	// inspectable through /v1/runs (default 64).
 	LedgerSize int
+	// FrameRing bounds each ledgered run's live progress-frame buffer: the
+	// backlog a late or reconnecting /v1/runs/{id}/live subscriber can
+	// replay (default 256 frames; older frames are evicted).
+	FrameRing int
+	// Heartbeat is the SSE keep-alive comment interval on live streams
+	// (default 5s).
+	Heartbeat time.Duration
+	// StreamTimeout bounds one live-stream connection's lifetime; clients
+	// reconnect with Last-Event-ID and resume from the frame ring
+	// (default 5m).
+	StreamTimeout time.Duration
 	// Logger receives one structured record per request (with request ID,
 	// status and latency). Nil discards records; request IDs are still
 	// assigned and echoed in X-Request-ID.
@@ -77,6 +88,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LedgerSize <= 0 {
 		c.LedgerSize = 64
+	}
+	if c.FrameRing <= 0 {
+		c.FrameRing = 256
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 5 * time.Second
+	}
+	if c.StreamTimeout <= 0 {
+		c.StreamTimeout = 5 * time.Minute
 	}
 	if c.Logger == nil {
 		c.Logger = discardLogger()
@@ -129,6 +149,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/runs", s.instrument("/v1/runs", s.handleRunList))
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.instrument("/v1/runs/{id}", s.handleRun))
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.instrument("/v1/runs/{id}/trace", s.handleRunTrace))
+	s.mux.HandleFunc("GET /v1/runs/{id}/live", s.instrumentStream("/v1/runs/{id}/live", s.handleRunLive))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -178,6 +199,11 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer's Flusher
+// through the instrumentation wrappers (the SSE live stream flushes per
+// event).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // instrument wraps a handler with the per-request timeout, the latency
 // histogram, and the request counter.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
@@ -193,6 +219,26 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		s.metrics.CounterAdd("cholserved_requests_total",
 			"Requests served, by endpoint and status code.",
 			Labels{"endpoint": endpoint, "code": strconv.Itoa(sw.status)}, 1)
+	}
+}
+
+// observePhase feeds one completed obs.Span into the per-phase wall-clock
+// histogram (the obs.SpanObserver the service installs everywhere).
+func (s *Server) observePhase(phase string, seconds float64) {
+	s.metrics.Observe("cholserved_phase_seconds",
+		"Wall-clock time spent per evaluation phase.",
+		Labels{"phase": phase}, DefBuckets, seconds)
+}
+
+// frameSink returns the probe sink for one ledgered run: every frame is
+// counted by source and published into the run's ring, which fans it out to
+// live SSE subscribers.
+func (s *Server) frameSink(ring *obs.FrameRing) func(obs.Frame) {
+	return func(f obs.Frame) {
+		s.metrics.CounterAdd("cholserved_probe_frames_total",
+			"Live progress frames published, by source.",
+			Labels{"source": f.Source}, 1)
+		ring.Publish(f)
 	}
 }
 
@@ -420,6 +466,7 @@ func (r SimulateRequest) key(fp string) string {
 // simulateOnce resolves and runs one simulation request (the shared compute
 // path of /v1/simulate and /v1/sweep cells).
 func (s *Server) simulateOnce(ctx context.Context, req SimulateRequest, p *platform.Platform) (*SimulateResponse, error) {
+	prep := obs.StartSpan(obs.PhasePrep, s.observePhase)
 	sch, err := core.NewScheduler(req.Scheduler)
 	if err != nil {
 		return nil, badRequest(err)
@@ -456,18 +503,36 @@ func (s *Server) simulateOnce(ctx context.Context, req SimulateRequest, p *platf
 	if req.Record {
 		rec = obs.NewRecorder()
 	}
-	rep, err := core.SimulateDAG(ctx, d, fl, p, sch, simulator.Options{
-		Seed: req.Seed, Overhead: req.Overhead, WorkStealing: req.WorkStealing,
-		Recorder: rec,
+	prep.End()
+
+	// Open the ledger entry before running so a live stream can attach to
+	// the evaluation in flight; the probe publishes progress frames into the
+	// entry's ring at the event loop's bounded cadence.
+	ring := obs.NewFrameRing(s.cfg.FrameRing)
+	runID := s.ledger.Open(&RunEntry{
+		Kind:      KindSimulate,
+		CreatedAt: time.Now(),
+		Request:   req,
+		Recorder:  rec,
+		Frames:    ring,
 	})
+	probe := obs.NewProbe(0, s.frameSink(ring))
+	rep, err := core.SimulateDAGObserved(ctx, d, fl, p, sch, simulator.Options{
+		Seed: req.Seed, Overhead: req.Overhead, WorkStealing: req.WorkStealing,
+		Recorder: rec, Probe: probe,
+	}, s.observePhase)
 	if err != nil {
+		s.ledger.Fail(runID, err)
 		return nil, err
 	}
 	if rec != nil {
-		for typ, n := range rec.EventCounts() {
+		// Sorted iteration keeps the /metrics series order deterministic
+		// across runs (map ranging would register label sets in random
+		// first-seen order).
+		for _, ec := range rec.EventCountsSorted() {
 			s.metrics.CounterAdd("cholserved_sim_events_total",
 				"Simulator events captured by the obs recorder, by type.",
-				Labels{"type": typ}, float64(n))
+				Labels{"type": ec.Type}, float64(ec.Count))
 		}
 		for _, dec := range rec.Decisions {
 			s.metrics.Observe("cholserved_decision_depth",
@@ -491,12 +556,10 @@ func (s *Server) simulateOnce(ctx context.Context, req SimulateRequest, p *platf
 		Writebacks:    rep.Result.Writebacks,
 		StallSec:      rep.Result.StallSec,
 	}
-	resp.RunID = s.ledger.Add(&RunEntry{
-		CreatedAt: time.Now(),
-		Request:   req,
-		Response:  resp,
-		Result:    rep.Result,
-		Recorder:  rec,
+	resp.RunID = runID
+	s.ledger.Complete(runID, func(e *RunEntry) {
+		e.Response = resp
+		e.Result = rep.Result
 	})
 	return resp, nil
 }
@@ -560,6 +623,11 @@ type OptimizeResponse struct {
 	// space) rather than stopping at the budget.
 	Nodes     int  `json:"nodes"`
 	Exhausted bool `json:"exhausted"`
+	// RunID names the ledger entry of the search that produced this
+	// response; `GET /v1/runs/{id}/live` streams its progress (nodes
+	// expanded, incumbent trajectory) while the search runs. Cache hits
+	// replay the ID assigned when the search was computed.
+	RunID string `json:"run_id,omitempty"`
 }
 
 func (r OptimizeRequest) normalize() (OptimizeRequest, error) {
@@ -626,11 +694,22 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, badRequest(err)
 		}
-		res, err := core.OptimizeDAG(r.Context(), d, p, req.NodeBudget, req.Workers)
+		ring := obs.NewFrameRing(s.cfg.FrameRing)
+		runID := s.ledger.Open(&RunEntry{
+			Kind:      KindOptimize,
+			CreatedAt: time.Now(),
+			Request:   SimulateRequest{Platform: req.Platform, Algorithm: req.Algorithm, Tiles: req.Tiles},
+			Frames:    ring,
+		})
+		span := obs.StartSpan(obs.PhaseSolve, s.observePhase)
+		res, err := core.OptimizeDAGProbed(r.Context(), d, p, req.NodeBudget, req.Workers,
+			obs.NewProbe(0, s.frameSink(ring)))
+		span.End()
 		if err != nil {
+			s.ledger.Fail(runID, err)
 			return nil, err
 		}
-		return &OptimizeResponse{
+		resp := &OptimizeResponse{
 			Platform:    req.Platform,
 			Algorithm:   req.Algorithm,
 			Tiles:       req.Tiles,
@@ -639,7 +718,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			GFlops:      platform.GFlops(fl, res.Makespan),
 			Nodes:       res.Nodes,
 			Exhausted:   res.Exhausted,
-		}, nil
+			RunID:       runID,
+		}
+		s.ledger.Complete(runID, func(e *RunEntry) { e.Optimize = resp })
+		return resp, nil
 	})
 	if err != nil {
 		writeErr(w, err)
@@ -676,6 +758,10 @@ type SweepResponse struct {
 	Schedulers []string              `json:"schedulers"`
 	Tiles      []int                 `json:"tiles"`
 	Results    [][]*SimulateResponse `json:"results"`
+	// RunID names the batch's own ledger entry (batched sweeps only):
+	// `GET /v1/runs/{id}/live` streams the batch's progress — completed
+	// cells and dedup hits — while the sweep runs.
+	RunID string `json:"run_id,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -712,10 +798,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// worker budget; each cell goes through the cache and singleflight like
 	// a standalone /v1/simulate.
 	var flat []*SimulateResponse
+	var batchRunID string
 	err = s.pool.Do(ctx, func() error {
+		span := obs.StartSpan(obs.PhaseSweep, s.observePhase)
+		defer span.End()
 		if req.Batch {
 			var berr error
-			flat, berr = s.sweepBatched(ctx, req, p, fp)
+			flat, batchRunID, berr = s.sweepBatched(ctx, req, p, fp)
 			return berr
 		}
 		var ferr error
@@ -751,7 +840,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	resp := &SweepResponse{Platform: req.Platform, Schedulers: req.Schedulers, Tiles: req.Tiles}
+	resp := &SweepResponse{Platform: req.Platform, Schedulers: req.Schedulers, Tiles: req.Tiles, RunID: batchRunID}
 	resp.Results = make([][]*SimulateResponse, len(req.Tiles))
 	for i := range resp.Results {
 		resp.Results[i] = flat[i*len(req.Schedulers) : (i+1)*len(req.Schedulers)]
@@ -768,14 +857,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // skipped on this path: the batch already deduplicates within the request,
 // and a concurrent identical sweep racing past the cache at worst recomputes
 // a cell; it cannot produce a different answer.
-func (s *Server) sweepBatched(ctx context.Context, req SweepRequest, p *platform.Platform, fp string) ([]*SimulateResponse, error) {
+func (s *Server) sweepBatched(ctx context.Context, req SweepRequest, p *platform.Platform, fp string) ([]*SimulateResponse, string, error) {
 	// Resolve every scheduler name up front — replay.Job factories cannot
 	// return errors, and a bad name should fail the whole request as 400.
 	insts := make([]sched.Scheduler, len(req.Schedulers))
 	for i, name := range req.Schedulers {
 		inst, err := core.NewScheduler(name)
 		if err != nil {
-			return nil, badRequest(err)
+			return nil, "", badRequest(err)
 		}
 		insts[i] = inst
 	}
@@ -807,7 +896,7 @@ func (s *Server) sweepBatched(ctx context.Context, req SweepRequest, p *platform
 			}
 			cr, err := cr.normalize()
 			if err != nil {
-				return nil, badRequest(err)
+				return nil, "", badRequest(err)
 			}
 			key := cr.key(fp)
 			if v, ok := s.cache.Get(key); ok {
@@ -822,19 +911,19 @@ func (s *Server) sweepBatched(ctx context.Context, req SweepRequest, p *platform
 			if !ok {
 				d, err := core.DAGByAlgorithm(cr.Algorithm, tiles)
 				if err != nil {
-					return nil, badRequest(err)
+					return nil, "", badRequest(err)
 				}
 				if err := p.Validate(d.Kinds()); err != nil {
-					return nil, badRequest(fmt.Errorf("service: platform %q cannot run %s: %w", req.Platform, cr.Algorithm, err))
+					return nil, "", badRequest(fmt.Errorf("service: platform %q cannot run %s: %w", req.Platform, cr.Algorithm, err))
 				}
 				nb := p.DefaultNB()
 				fl, err := core.FlopsByAlgorithm(cr.Algorithm, tiles*nb)
 				if err != nil {
-					return nil, badRequest(err)
+					return nil, "", badRequest(err)
 				}
 				m, err := bounds.MixedInt(d, p)
 				if err != nil {
-					return nil, err
+					return nil, "", err
 				}
 				g = &group{d: d, flops: fl, bound: m.GFlops(fl), nb: nb}
 				groups[tiles] = g
@@ -851,14 +940,26 @@ func (s *Server) sweepBatched(ctx context.Context, req SweepRequest, p *platform
 			Opt:   simulator.Options{Seed: m.creq.Seed},
 		}
 	}
-	rs, err := replay.Run(ctx, jobs, s.cfg.Workers, &s.replayPool)
+	// The batch gets its own ledger entry: one live stream for the whole
+	// sweep (completed cells, dedup hits), opened before the replay engine
+	// runs so subscribers can watch it in flight.
+	ring := obs.NewFrameRing(s.cfg.FrameRing)
+	runID := s.ledger.Open(&RunEntry{
+		Kind:      KindSweep,
+		CreatedAt: time.Now(),
+		Request:   SimulateRequest{Platform: req.Platform, Algorithm: req.Algorithm, Seed: req.Seed},
+		Frames:    ring,
+	})
+	rs, err := replay.RunProbed(ctx, jobs, s.cfg.Workers, &s.replayPool, obs.NewProbe(1, s.frameSink(ring)))
 	if err != nil {
-		return nil, err
+		s.ledger.Fail(runID, err)
+		return nil, "", err
 	}
 	for i, m := range misses {
 		r := rs[i]
 		if err := simulator.Validate(m.g.d, p, r); err != nil {
-			return nil, fmt.Errorf("core: simulator produced an invalid schedule: %w", err)
+			s.ledger.Fail(runID, fmt.Errorf("core: simulator produced an invalid schedule: %w", err))
+			return nil, "", fmt.Errorf("core: simulator produced an invalid schedule: %w", err)
 		}
 		gf := r.GFlops(m.g.flops)
 		resp := &SimulateResponse{
@@ -888,7 +989,8 @@ func (s *Server) sweepBatched(ctx context.Context, req SweepRequest, p *platform
 		s.cache.Put(m.key, resp)
 		flat[m.idx] = resp
 	}
-	return flat, nil
+	s.ledger.Complete(runID, nil)
+	return flat, runID, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,165 @@
+package simulator
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// TestProbeDoesNotPerturbSchedule is the live-telemetry contract, enforced
+// over the full determinism grid (every registered platform family ×
+// scheduler × size × seed): attaching a probe must leave the FNV-64a
+// schedule digest bit-identical to the plain run.
+func TestProbeDoesNotPerturbSchedule(t *testing.T) {
+	for _, cfg := range detGrid() {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			d := graph.Cholesky(cfg.p)
+			plain, err := Run(d, cfg.pf(), cfg.sched(), cfg.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames := 0
+			opt := cfg.opt
+			opt.Probe = obs.NewProbe(16, func(obs.Frame) { frames++ })
+			probed, err := Run(d, cfg.pf(), cfg.sched(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resultHash(plain) != resultHash(probed) {
+				t.Fatalf("schedule digest changed under probing: %x vs %x",
+					resultHash(plain), resultHash(probed))
+			}
+			if frames == 0 {
+				t.Fatal("probe attached but emitted nothing")
+			}
+		})
+	}
+}
+
+// TestProbeFramesMonotonic pins the frame stream shape: sequence numbers
+// dense from 1, Done and SimSec non-decreasing, exactly one Final frame
+// carrying Done == Total, and queue depth/busy time sane throughout.
+func TestProbeFramesMonotonic(t *testing.T) {
+	d := graph.Cholesky(16)
+	p := platform.Mirage()
+	var frames []obs.Frame
+	probe := obs.NewProbe(32, func(f obs.Frame) { frames = append(frames, f.Clone()) })
+	res, err := Run(d, p, sched.NewDMDA(), Options{Seed: 42, Probe: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 2 {
+		t.Fatalf("expected several frames for %d tasks at interval 32, got %d", len(d.Tasks), len(frames))
+	}
+	for i, f := range frames {
+		if f.Source != obs.SourceSimulate {
+			t.Fatalf("frame %d has source %q", i, f.Source)
+		}
+		if f.Seq != uint64(i+1) {
+			t.Fatalf("frame %d has seq %d", i, f.Seq)
+		}
+		if f.Total != int64(len(d.Tasks)) {
+			t.Fatalf("frame %d total = %d, want %d", i, f.Total, len(d.Tasks))
+		}
+		if f.ReadyDepth < 0 {
+			t.Fatalf("frame %d negative queue depth", i)
+		}
+		if len(f.BusySec) != p.Workers() {
+			t.Fatalf("frame %d has %d busy entries, want %d workers", i, len(f.BusySec), p.Workers())
+		}
+		if i == 0 {
+			continue
+		}
+		if f.Done < frames[i-1].Done {
+			t.Fatalf("Done regressed at frame %d: %d after %d", i, f.Done, frames[i-1].Done)
+		}
+		if f.SimSec < frames[i-1].SimSec {
+			t.Fatalf("SimSec regressed at frame %d: %v after %v", i, f.SimSec, frames[i-1].SimSec)
+		}
+	}
+	last := frames[len(frames)-1]
+	if !last.Final || last.Done != last.Total {
+		t.Fatalf("last frame not a completed Final frame: %+v", last)
+	}
+	for _, f := range frames[:len(frames)-1] {
+		if f.Final {
+			t.Fatal("non-terminal frame marked Final")
+		}
+	}
+	if last.SimSec != res.MakespanSec {
+		t.Fatalf("final frame sim clock %v != makespan %v", last.SimSec, res.MakespanSec)
+	}
+}
+
+// TestProbeDisabledStaysAllocationFree pins the off-switch cost at zero:
+// steady-state arena-reuse runs allocate the same with the probe field
+// untouched and with it explicitly nil — the Result is the only allocation
+// either way. (cholbench sim/* pins the absolute numbers cross-PR.)
+func TestProbeDisabledStaysAllocationFree(t *testing.T) {
+	d := graph.Cholesky(8)
+	p := platform.Mirage()
+	pp, err := Prepare(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar Arena
+	s := sched.NewGreedy()
+	ctx := context.Background()
+	run := func() {
+		if _, err := pp.Run(ctx, s, Options{Seed: 1}, &ar); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the arena
+	base := testing.AllocsPerRun(10, run)
+	withNil := testing.AllocsPerRun(10, func() {
+		if _, err := pp.Run(ctx, s, Options{Seed: 1, Probe: nil}, &ar); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if withNil > base {
+		t.Fatalf("nil probe added allocations: %v vs %v per run", withNil, base)
+	}
+}
+
+// TestProbeOnResumedRun checks the probe works across the checkpoint/resume
+// split: a run resumed from a mid-point snapshot still reports progress up
+// to Done == Total.
+func TestProbeOnResumedRun(t *testing.T) {
+	d := graph.Cholesky(8)
+	p := platform.Mirage()
+	pp, err := Prepare(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rec, err := pp.RunRecorded(ctx, sched.NewDMDAS(), Options{Seed: 5}, 40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Snaps) == 0 {
+		t.Fatal("no snapshots recorded")
+	}
+	var frames []obs.Frame
+	probe := obs.NewProbe(16, func(f obs.Frame) { frames = append(frames, f.Clone()) })
+	res, err := pp.Resume(ctx, sched.NewDMDAS(),
+		Options{Seed: 5, Probe: probe}, rec.Snaps[len(rec.Snaps)-1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanSec != rec.Result.MakespanSec {
+		t.Fatalf("resumed makespan %v != recorded %v", res.MakespanSec, rec.Result.MakespanSec)
+	}
+	if len(frames) == 0 {
+		t.Fatal("no frames from resumed run")
+	}
+	last := frames[len(frames)-1]
+	if !last.Final || last.Done != int64(len(d.Tasks)) {
+		t.Fatalf("resumed run final frame %+v, want Final at %d tasks", last, len(d.Tasks))
+	}
+}

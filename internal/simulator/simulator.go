@@ -57,6 +57,12 @@ type Options struct {
 	// and worker-idle events as the run unfolds. Recording never changes
 	// the schedule; nil keeps the event loop allocation-free.
 	Recorder *obs.Recorder
+	// Probe, when non-nil, receives live progress frames (completed/total
+	// tasks, simulated clock, queue depth, per-worker busy time) at the
+	// probe's own bounded cadence while the run executes. Same contract as
+	// Recorder: probing never changes the schedule, and nil keeps the
+	// event loop allocation-free.
+	Probe *obs.Probe
 }
 
 // Result is the outcome of one simulated execution.
@@ -263,6 +269,7 @@ type state struct {
 	restr   sched.ClassRestricter
 	costm   sched.CostModel
 	rec     *obs.Recorder
+	probe   *obs.Probe
 	nNodes  int
 	nTiles  int
 	nTasks  int
@@ -545,6 +552,7 @@ func (st *state) reset(pp *Prep, s sched.Scheduler, opt Options) {
 	st.restr, _ = s.(sched.ClassRestricter)
 	st.costm, _ = s.(sched.CostModel)
 	st.rec = opt.Recorder
+	st.probe = opt.Probe
 	st.nNodes, st.nTiles, st.nTasks = nNodes, pp.nTiles, n
 	st.footTiles, st.footOff = pp.footTiles, pp.footOff
 	st.taskExec, st.tileHop = pp.taskExec, pp.tileHop
@@ -676,6 +684,9 @@ func (st *state) loop(ctx context.Context) (*Result, error) {
 			}
 		}
 		st.tryStartAll(&st.events)
+		if st.probe != nil && st.probe.Due(int64(st.done)) {
+			st.emitProgress(false)
+		}
 	}
 
 	if st.done != n {
@@ -691,7 +702,35 @@ func (st *state) loop(ctx context.Context) (*Result, error) {
 	for w := range st.res.IdleSec {
 		st.res.IdleSec[w] = mk - st.res.BusySec[w]
 	}
+	if st.probe != nil {
+		st.emitProgress(true)
+	}
 	return st.res, nil
+}
+
+// emitProgress builds and emits one live-progress frame. Off the hot path
+// by construction: loop reaches it at most once per probe interval, behind
+// the single-pointer-check fast path, so the disabled run stays
+// allocation-free. BusySec aliases the live result array — retaining sinks
+// must Frame.Clone (obs.FrameRing does).
+func (st *state) emitProgress(final bool) {
+	p := st.probe
+	if p == nil {
+		return
+	}
+	queued := 0
+	for i := range st.queues {
+		queued += st.queues[i].size()
+	}
+	p.Emit(obs.Frame{
+		Source:     obs.SourceSimulate,
+		Done:       int64(st.done),
+		Total:      int64(st.nTasks),
+		Final:      final,
+		SimSec:     st.now,
+		ReadyDepth: queued,
+		BusySec:    st.res.BusySec,
+	})
 }
 
 // addResident records tile ti on node with a fresh LRU stamp.
