@@ -7,11 +7,14 @@ test:
 	go test ./...
 
 # chollint: the repo's domain-specific static-analysis suite (determinism,
-# hot-path allocation, context and recorder plumbing — see internal/analysis).
-# Also runnable through the stock vet driver:
+# hot-path allocation, context and recorder plumbing, interprocedural purity
+# proofs and leak checks — see internal/analysis and DESIGN.md). -time pins
+# the load/analyze wall-clock on stderr so a slow regression in the
+# whole-program engine is visible in every lint run. Also runnable through
+# the stock vet driver:
 #   go build -o bin/chollint ./cmd/chollint && go vet -vettool=$$PWD/bin/chollint ./...
 lint:
-	go run ./cmd/chollint ./...
+	go run ./cmd/chollint -time ./...
 
 # Tier-1 gate (ROADMAP.md): build + vet + chollint + race-enabled tests +
 # cholbench smoke.

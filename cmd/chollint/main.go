@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/load"
@@ -48,6 +49,8 @@ func main() {
 
 	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line (file, line, analyzer, message, escape hint)")
+	timing := flag.Bool("time", false, "report load/analysis wall-clock to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: chollint [flags] [package patterns]\n\n")
 		flag.PrintDefaults()
@@ -68,22 +71,46 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	t0 := time.Now()
 	pkgs, err := load.Packages(patterns)
 	if err != nil {
 		fatal(err)
 	}
-	found := 0
+	tLoad := time.Since(t0)
+
+	// Standalone mode analyzes all matched packages as one whole program:
+	// the interprocedural analyzers see cross-package call chains from
+	// source instead of falling back to the optimistic external tables.
+	t1 := time.Now()
+	units := make([]*analysis.PackageUnit, 0, len(pkgs))
+	var fset *token.FileSet
 	for _, pkg := range pkgs {
-		diags, err := analysis.Run(analyzers, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+		fset = pkg.Fset // load.Packages shares one FileSet across targets
+		units = append(units, &analysis.PackageUnit{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info})
+	}
+	var diags []analysis.Diagnostic
+	if len(units) > 0 {
+		diags, err = analysis.RunProgram(analyzers, analysis.NewProgram(fset, units))
 		if err != nil {
 			fatal(err)
 		}
+	}
+	tRun := time.Since(t1)
+	if *timing {
+		fmt.Fprintf(os.Stderr, "chollint: loaded %d packages in %v, analyzed in %v (total %v)\n",
+			len(pkgs), tLoad.Round(time.Millisecond), tRun.Round(time.Millisecond), (tLoad + tRun).Round(time.Millisecond))
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
+			fatal(err)
+		}
+	} else {
 		for _, d := range diags {
 			fmt.Println(d)
-			found++
 		}
 	}
-	if found > 0 {
+	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }

@@ -43,13 +43,17 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// A Pass is one analyzer's view of one package.
+// A Pass is one analyzer's view of one package. Prog is the whole-program
+// context shared by every pass of one Run: the interprocedural analyzers
+// (puremark, hotcall, leakguard) read call-graph summaries from it, scoped
+// to the pass's own package so each diagnostic is reported exactly once.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Prog      *Program
 
 	diags []Diagnostic
 }
@@ -83,6 +87,9 @@ func All() []*Analyzer {
 		Ctxflow,
 		Floateq,
 		Recnil,
+		Puremark,
+		Hotcall,
+		Leakguard,
 	}
 }
 
@@ -108,20 +115,33 @@ func ByName(names string) ([]*Analyzer, error) {
 }
 
 // Run applies the analyzers to one type-checked package and returns the
-// surviving diagnostics (suppressed ones removed), sorted by position.
+// surviving diagnostics (suppressed ones removed), sorted by position. The
+// package is treated as a single-unit Program, so the interprocedural
+// analyzers work (with whole-program strength only for in-package call
+// chains — external callees fall back to the optimistic effect tables).
 func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	sup := collectSuppressions(fset, files)
+	unit := &PackageUnit{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	return RunProgram(analyzers, NewProgram(fset, []*PackageUnit{unit}))
+}
+
+// RunProgram applies the analyzers to every unit of a whole program — the
+// full-strength mode `chollint ./...` runs, where cross-package call chains
+// are summarized from source rather than assumed.
+func RunProgram(analyzers []*Analyzer, prog *Program) ([]Diagnostic, error) {
 	var out []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
-		}
-		for _, d := range pass.diags {
-			if a.Suppress != "" && sup.matches(d.Pos, a.Suppress) {
-				continue
+	for _, u := range prog.Units {
+		sup := collectSuppressions(u.Fset, u.Files)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: u.Fset, Files: u.Files, Pkg: u.Pkg, TypesInfo: u.Info, Prog: prog}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
 			}
-			out = append(out, d)
+			for _, d := range pass.diags {
+				if a.Suppress != "" && sup.matches(d.Pos, a.Suppress) {
+					continue
+				}
+				out = append(out, d)
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -26,22 +26,47 @@ import (
 // unexpected diagnostics through t.
 func Run(t *testing.T, a *analysis.Analyzer, pkgRel string) {
 	t.Helper()
-	pattern := "./" + filepath.ToSlash(filepath.Join("testdata", "src", pkgRel))
-	pkgs, err := load.Packages([]string{pattern})
-	if err != nil {
-		t.Fatalf("loading %s: %v", pattern, err)
-	}
-	if len(pkgs) != 1 {
-		t.Fatalf("loading %s: got %d packages, want 1", pattern, len(pkgs))
-	}
-	pkg := pkgs[0]
+	RunProgram(t, a, pkgRel)
+}
 
-	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+// RunProgram loads every listed ./testdata/src/<pkgRel> package as ONE
+// whole program — interface dispatch, marker claims and call chains resolve
+// across the package boundaries — applies the analyzer to all of it, and
+// checks the union of diagnostics against the union of `// want`
+// expectations. The interprocedural analyzers (puremark, hotcall) need this
+// to exercise cross-package fixtures; single-package callers get the same
+// behavior as Run.
+func RunProgram(t *testing.T, a *analysis.Analyzer, pkgRels ...string) {
+	t.Helper()
+	if len(pkgRels) == 0 {
+		t.Fatal("RunProgram: no fixture packages given")
+	}
+	patterns := make([]string, len(pkgRels))
+	for i, rel := range pkgRels {
+		patterns[i] = "./" + filepath.ToSlash(filepath.Join("testdata", "src", rel))
+	}
+	pkgs, err := load.Packages(patterns)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	if len(pkgs) != len(patterns) {
+		t.Fatalf("loading %v: got %d packages, want %d", patterns, len(pkgs), len(patterns))
+	}
+
+	units := make([]*analysis.PackageUnit, len(pkgs))
+	for i, pkg := range pkgs {
+		units[i] = &analysis.PackageUnit{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+	}
+	prog := analysis.NewProgram(pkgs[0].Fset, units)
+	diags, err := analysis.RunProgram([]*analysis.Analyzer{a}, prog)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
 
-	wants := collectWants(t, pkg)
+	wants := map[posKey][]*want{}
+	for _, pkg := range pkgs {
+		collectWants(t, pkg, wants)
+	}
 	for _, d := range diags {
 		key := posKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
 		if !consumeWant(wants[key], d.Message) {
@@ -77,9 +102,8 @@ func consumeWant(ws []*want, msg string) bool {
 	return false
 }
 
-func collectWants(t *testing.T, pkg *load.Package) map[posKey][]*want {
+func collectWants(t *testing.T, pkg *load.Package, out map[posKey][]*want) {
 	t.Helper()
-	out := map[posKey][]*want{}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -99,7 +123,6 @@ func collectWants(t *testing.T, pkg *load.Package) map[posKey][]*want {
 			}
 		}
 	}
-	return out
 }
 
 // parseWantPatterns extracts the quoted/backquoted regexps after "want".

@@ -37,10 +37,27 @@ func TestRecnil(t *testing.T) {
 	analysistest.Run(t, analysis.Recnil, "recnil/use")
 }
 
+// TestPuremark loads both fixture packages as one program: the marker
+// claims in ext must be judged against effects that live in base, including
+// an interface dispatch CHA widens across the boundary.
+func TestPuremark(t *testing.T) {
+	analysistest.RunProgram(t, analysis.Puremark, "puremark/base", "puremark/ext")
+}
+
+// TestHotcall propagates the //chol:hotpath root in hot into helpers, two
+// call-graph hops and one interface dispatch away.
+func TestHotcall(t *testing.T) {
+	analysistest.RunProgram(t, analysis.Hotcall, "hotcall/hot", "hotcall/helpers")
+}
+
+func TestLeakguard(t *testing.T) {
+	analysistest.Run(t, analysis.Leakguard, "leakguard/internal/service")
+}
+
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 6 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 6", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 9", len(all), err)
 	}
 	two, err := analysis.ByName("detranged, floateq")
 	if err != nil || len(two) != 2 || two[0].Name != "detranged" || two[1].Name != "floateq" {

@@ -1,0 +1,899 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file builds the interprocedural program model the v2 analyzers
+// (puremark, hotcall, leakguard) run on: one node per function body in the
+// loaded units, call edges classified by how the callee is named, and the
+// bookkeeping (bindings, contract types, hot roots, suppressions) the
+// bottom-up effect solver in summarize.go consumes.
+//
+// Cross-package references inside one Program deserve a note: each unit is
+// type-checked from source, but its *imports* resolve through compiler
+// export data, so the same function is represented by different
+// types.Func objects in different units. Every cross-unit map is therefore
+// keyed by types.Func.FullName() / package-qualified type name, which both
+// universes render identically.
+
+// A PackageUnit is one source-checked package participating in a Program.
+type PackageUnit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Program is the whole-program view: all units, their function nodes, and
+// the solved effect summaries.
+type Program struct {
+	Fset  *token.FileSet
+	Units []*PackageUnit
+
+	byName map[string]*FuncNode // FullName() → node, for declared funcs
+	lits   map[*ast.FuncLit]*FuncNode
+	all    []*FuncNode
+
+	// binds maps a func-typed local/global object to the function values
+	// observed flowing into it (closures, func refs, method values).
+	binds map[types.Object][]boundTarget
+
+	// contractTypes holds the package-qualified names of named func types
+	// whose declaration carries //chol:pure: calls through values of these
+	// types are trusted pure, and every acquisition site must prove it.
+	contractTypes map[string]bool
+	acquisitions  []acquisition
+
+	// namedTypes: all package-scope named (non-alias) types across units,
+	// the closed world for interface-dispatch widening (CHA).
+	namedTypes []namedInfo
+
+	sup    suppressions // merged across units: escape words by file:line
+	solved bool
+
+	implCache map[string][]implTarget // iface method FullName → impls
+	hotReach  map[*FuncNode]hotPath
+}
+
+type namedInfo struct {
+	named *types.Named
+	unit  *PackageUnit
+}
+
+// A FuncNode is one function body: a declared function/method or a function
+// literal. Literals inherit the enclosing declaration's receiver and
+// parameters for effect rooting (a closure writing the method receiver is a
+// receiver mutation), while ParamCalls indexes only the literal's own
+// parameters.
+type FuncNode struct {
+	Fn   *types.Func   // nil for literals
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	Unit *PackageUnit
+	Name string // display name: "(*dm).Assign", "Combine$1"
+
+	Hot       bool // carries //chol:hotpath
+	enclosing *FuncNode
+
+	recv      types.Object
+	params    []types.Object // inherited + own, for rooting
+	ownParams []types.Object // this frame's own, for ParamCalls bits
+
+	intrinsic  Effects
+	Summary    Effects
+	ParamCalls uint32
+
+	edges []*callEdge
+	wit   map[Effects]*Witness
+}
+
+// Pos returns the node's declaration position.
+func (n *FuncNode) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// A Witness explains why one effect bit is set: either an intrinsic cause
+// ("ranges over a map") or a call through which the bit arrived, in which
+// case Via points at the callee whose own witness continues the chain.
+type Witness struct {
+	Pos  token.Position
+	What string
+	Via  *FuncNode
+}
+
+type rootKind uint8
+
+const (
+	rootLocal rootKind = iota
+	rootRecv
+	rootParam
+	rootCaptured
+	rootGlobal
+	rootUnknown
+)
+
+// A root classifies what storage an lvalue or receiver expression bottoms
+// out in, in the frame of the enclosing FuncNode.
+type root struct {
+	kind rootKind
+	idx  int // parameter index when kind == rootParam
+}
+
+type boundTarget struct {
+	node     *FuncNode
+	ext      *types.Func
+	recvRoot root // for method values
+	contract bool
+	unknown  bool
+}
+
+// An acquisition is a site where a concrete function value meets a
+// //chol:pure contract type; puremark proves each one.
+type acquisition struct {
+	unit     *PackageUnit
+	pos      token.Pos
+	typeName string // contract type's qualified name
+	targets  []boundTarget
+}
+
+// A callEdge records one call site. Exactly one of the target fields is
+// meaningful, selected by kind.
+type callEdge struct {
+	pos token.Pos
+
+	callee   *FuncNode   // static call to a loaded function
+	ext      *types.Func // static call to a function without a body
+	ifaceKey string      // interface method FullName → CHA widening
+	bindObj  types.Object
+	paramIdx int  // call through own parameter (index), else -1
+	contract bool // call through a //chol:pure contract-typed value
+	unknown  bool // unresolvable function value
+
+	recvRoot root
+	args     []argVal
+	noHot    bool // //chollint:hotcall at the call site: cut for hotcall
+}
+
+// An argVal describes one argument, as needed to substitute callee
+// ParamCalls bits and to translate callee argument mutations.
+type argVal struct {
+	root     root
+	isFunc   bool
+	targets  []boundTarget // function values flowing in, when resolvable
+	param    int           // caller's own param forwarded, else -1
+	contract bool
+	unknown  bool
+}
+
+type hotPath struct {
+	rootNode *FuncNode // the //chol:hotpath declaration
+	via      *FuncNode // immediate hot caller
+	pos      token.Position
+}
+
+// NewProgram assembles and solves a Program over the given units.
+func NewProgram(fset *token.FileSet, units []*PackageUnit) *Program {
+	p := &Program{
+		Fset:          fset,
+		Units:         units,
+		byName:        map[string]*FuncNode{},
+		lits:          map[*ast.FuncLit]*FuncNode{},
+		binds:         map[types.Object][]boundTarget{},
+		contractTypes: map[string]bool{},
+		sup:           suppressions{},
+		implCache:     map[string][]implTarget{},
+	}
+	for _, u := range units {
+		for f, lines := range collectSuppressions(u.Fset, u.Files) {
+			p.sup[f] = lines
+		}
+		p.collectDecls(u)
+	}
+	for _, u := range units {
+		p.scanUnit(u)
+	}
+	p.solve()
+	p.computeHotReach()
+	return p
+}
+
+func unitTestFile(u *PackageUnit, f *ast.File) bool {
+	return strings.HasSuffix(u.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// collectDecls creates nodes for declared functions, records contract type
+// declarations, and gathers the named types forming the CHA world.
+func (p *Program) collectDecls(u *PackageUnit) {
+	scope := u.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+			if named, ok := tn.Type().(*types.Named); ok {
+				p.namedTypes = append(p.namedTypes, namedInfo{named, u})
+			}
+		}
+	}
+	for _, f := range u.Files {
+		if unitTestFile(u, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				fn, _ := u.Info.Defs[d.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := &FuncNode{
+					Fn:   fn,
+					Decl: d,
+					Unit: u,
+					Name: displayName(fn),
+					Hot:  funcDirective(d.Doc, HotpathDirective),
+					wit:  map[Effects]*Witness{},
+				}
+				if d.Recv != nil && len(d.Recv.List) == 1 && len(d.Recv.List[0].Names) == 1 {
+					n.recv = u.Info.Defs[d.Recv.List[0].Names[0]]
+				}
+				n.params = paramObjs(u.Info, d.Type.Params)
+				n.ownParams = n.params
+				p.byName[fn.FullName()] = n
+				p.all = append(p.all, n)
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(d.Specs) == 1 {
+						doc = d.Doc
+					}
+					if !funcDirective(doc, PureContractDirective) {
+						continue
+					}
+					if tn, ok := u.Info.Defs[ts.Name].(*types.TypeName); ok {
+						if _, isSig := tn.Type().Underlying().(*types.Signature); isSig {
+							p.contractTypes[qualifiedTypeName(tn)] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// PureContractDirective marks a named func type whose values are, by
+// contract, effect-free to call: the engine trusts calls through the type
+// and puremark proves every site where a concrete function acquires it.
+const PureContractDirective = "chol:pure"
+
+func displayName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "(" + types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())) + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func qualifiedTypeName(tn *types.TypeName) string {
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Path() + "." + tn.Name()
+}
+
+func paramObjs(info *types.Info, fl *ast.FieldList) []types.Object {
+	if fl == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, f := range fl.List {
+		for _, name := range f.Names {
+			if o := info.Defs[name]; o != nil {
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}
+
+// scanUnit walks every declared body in the unit, creating literal nodes and
+// intrinsic effects/edges as it goes.
+func (p *Program) scanUnit(u *PackageUnit) {
+	for _, f := range u.Files {
+		if unitTestFile(u, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			fn, _ := u.Info.Defs[d.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			n := p.byName[fn.FullName()]
+			if n != nil {
+				p.scanBody(n, d.Body)
+			}
+		}
+	}
+}
+
+// litNode creates (or returns) the node for a function literal nested in
+// encl. Rooting state (receiver, parameters) is inherited so a closure's
+// writes classify in the frame its effects will be folded into.
+func (p *Program) litNode(encl *FuncNode, lit *ast.FuncLit) *FuncNode {
+	if n, ok := p.lits[lit]; ok {
+		return n
+	}
+	n := &FuncNode{
+		Lit:       lit,
+		Unit:      encl.Unit,
+		Name:      encl.Name + "$lit",
+		enclosing: encl,
+		recv:      encl.recv,
+		wit:       map[Effects]*Witness{},
+	}
+	own := paramObjs(encl.Unit.Info, lit.Type.Params)
+	n.params = append(append([]types.Object{}, encl.params...), own...)
+	n.ownParams = own
+	p.lits[lit] = n
+	p.all = append(p.all, n)
+	return n
+}
+
+// scanBody computes n's intrinsic effects and call edges, recursing into
+// nested literals as their own nodes. The traversal deliberately does not
+// descend into a literal from its encloser: a closure's effects belong to
+// whoever calls it, which the edge/binding machinery tracks.
+func (p *Program) scanBody(n *FuncNode, body ast.Node) {
+	u := n.Unit
+	info := u.Info
+	var walk func(ast.Node) bool
+	walk = func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			child := p.litNode(n, x)
+			p.scanBody(child, x.Body)
+			n.intrinsic |= EffAllocates
+			return false
+		case *ast.AssignStmt:
+			p.scanAssign(n, x)
+		case *ast.ValueSpec:
+			p.scanValueSpec(n, x)
+		case *ast.IncDecStmt:
+			p.addMutation(n, p.classify(n, x.X), x.Pos(), "writes "+render(u.Fset, x.X))
+		case *ast.SendStmt:
+			p.addIntrinsic(n, EffBlocks, x.Pos(), "sends on a channel")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				p.addIntrinsic(n, EffBlocks, x.Pos(), "receives from a channel")
+			}
+		case *ast.GoStmt:
+			p.addIntrinsic(n, EffSpawnsGoroutine, x.Pos(), "spawns a goroutine")
+			p.scanCall(n, x.Call)
+			return false // the call itself became an edge; args were scanned there
+		case *ast.DeferStmt:
+			p.scanCall(n, x.Call)
+			return false
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pos := u.Fset.Position(x.Pos())
+					if !p.sup.matches(pos, "ordered") {
+						p.addIntrinsic(n, EffRangesMap, x.Pos(), "ranges over a map")
+					}
+				case *types.Chan:
+					p.addIntrinsic(n, EffBlocks, x.Pos(), "ranges over a channel")
+				}
+			}
+			if x.Tok == token.ASSIGN {
+				for _, lhs := range []ast.Expr{x.Key, x.Value} {
+					if lhs != nil {
+						p.addMutation(n, p.classify(n, lhs), x.Pos(), "writes "+render(u.Fset, lhs))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			p.scanCall(n, x)
+			for _, a := range x.Args {
+				ast.Inspect(a, walk)
+			}
+			// Fun operands (e.g. x in x.m()) may contain nested calls.
+			ast.Inspect(x.Fun, walk)
+			return false
+		case *ast.ReturnStmt:
+			p.scanReturn(n, x)
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok && isPkgLevelVar(v) {
+				p.addIntrinsic(n, EffReadsGlobal, x.Pos(), "reads package variable "+v.Name())
+			}
+		case *ast.CompositeLit:
+			n.intrinsic |= EffAllocates
+			p.scanCompositeAcquisitions(n, x)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func isPkgLevelVar(v *types.Var) bool {
+	return !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func (p *Program) addIntrinsic(n *FuncNode, bit Effects, pos token.Pos, what string) {
+	n.intrinsic |= bit
+	if _, ok := n.wit[bit]; !ok {
+		n.wit[bit] = &Witness{Pos: n.Unit.Fset.Position(pos), What: what}
+	}
+}
+
+// addMutation records a write through the given root in n's frame.
+func (p *Program) addMutation(n *FuncNode, r root, pos token.Pos, what string) {
+	switch r.kind {
+	case rootRecv:
+		p.addIntrinsic(n, EffMutatesReceiver, pos, what)
+	case rootParam, rootCaptured, rootUnknown:
+		p.addIntrinsic(n, EffMutatesArg, pos, what)
+	case rootGlobal:
+		p.addIntrinsic(n, EffMutatesGlobal, pos, what)
+	}
+}
+
+func (p *Program) scanAssign(n *FuncNode, asg *ast.AssignStmt) {
+	info := n.Unit.Info
+	for _, lhs := range asg.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if id.Name == "_" || info.Defs[id] != nil {
+				continue // definition or blank: no external write
+			}
+		}
+		p.addMutation(n, p.classify(n, lhs), lhs.Pos(), "writes "+render(n.Unit.Fset, lhs))
+	}
+	if len(asg.Lhs) != len(asg.Rhs) {
+		return
+	}
+	for i, lhs := range asg.Lhs {
+		// Any contract-typed destination (variable, field, element) is an
+		// acquisition site for the value flowing in.
+		if lt := info.TypeOf(lhs); lt != nil {
+			p.recordAcquisition(n, lt, asg.Rhs[i])
+		}
+		// Track function values flowing into simple variables.
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if _, isSig := obj.Type().Underlying().(*types.Signature); !isSig {
+			continue
+		}
+		p.binds[obj] = append(p.binds[obj], p.funcValueTargets(n, asg.Rhs[i])...)
+	}
+}
+
+func (p *Program) scanValueSpec(n *FuncNode, vs *ast.ValueSpec) {
+	info := n.Unit.Info
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, name := range vs.Names {
+		obj := info.Defs[name]
+		if obj == nil {
+			continue
+		}
+		if _, isSig := obj.Type().Underlying().(*types.Signature); !isSig {
+			continue
+		}
+		p.binds[obj] = append(p.binds[obj], p.funcValueTargets(n, vs.Values[i])...)
+		p.recordAcquisition(n, obj.Type(), vs.Values[i])
+	}
+}
+
+// scanReturn records contract acquisitions at return sites: a plain function
+// value returned as a contract-typed result is stored into the contract.
+func (p *Program) scanReturn(n *FuncNode, ret *ast.ReturnStmt) {
+	if len(p.contractTypes) == 0 {
+		return
+	}
+	var sig *types.Signature
+	switch {
+	case n.Fn != nil:
+		sig, _ = n.Fn.Type().(*types.Signature)
+	case n.Lit != nil:
+		if t := n.Unit.Info.TypeOf(n.Lit); t != nil {
+			sig, _ = t.(*types.Signature)
+		}
+	}
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return // bare return, or one multi-value call: nothing addressable
+	}
+	for i, res := range ret.Results {
+		p.recordAcquisition(n, sig.Results().At(i).Type(), res)
+	}
+}
+
+// scanCompositeAcquisitions records contract acquisitions for function values
+// stored into composite-literal fields or elements.
+func (p *Program) scanCompositeAcquisitions(n *FuncNode, cl *ast.CompositeLit) {
+	if len(p.contractTypes) == 0 {
+		return
+	}
+	t := n.Unit.Info.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				for f := 0; f < u.NumFields(); f++ {
+					if u.Field(f).Name() == key.Name {
+						p.recordAcquisition(n, u.Field(f).Type(), kv.Value)
+						break
+					}
+				}
+			} else if i < u.NumFields() {
+				p.recordAcquisition(n, u.Field(i).Type(), elt)
+			}
+		}
+	case *types.Slice:
+		for _, elt := range cl.Elts {
+			p.recordAcquisition(n, u.Elem(), eltValue(elt))
+		}
+	case *types.Array:
+		for _, elt := range cl.Elts {
+			p.recordAcquisition(n, u.Elem(), eltValue(elt))
+		}
+	case *types.Map:
+		for _, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				p.recordAcquisition(n, u.Elem(), kv.Value)
+			}
+		}
+	}
+}
+
+func eltValue(e ast.Expr) ast.Expr {
+	if kv, ok := e.(*ast.KeyValueExpr); ok {
+		return kv.Value
+	}
+	return e
+}
+
+// funcValueTargets resolves a func-typed expression to the function values
+// it may denote.
+func (p *Program) funcValueTargets(n *FuncNode, e ast.Expr) []boundTarget {
+	info := n.Unit.Info
+	e = ast.Unparen(e)
+	if p.isContractExpr(info, e) {
+		return []boundTarget{{contract: true}}
+	}
+	switch x := e.(type) {
+	case *ast.FuncLit:
+		return []boundTarget{{node: p.litNode(n, x)}}
+	case *ast.Ident:
+		switch obj := info.Uses[x].(type) {
+		case *types.Func:
+			if tn := p.byName[obj.FullName()]; tn != nil {
+				return []boundTarget{{node: tn}}
+			}
+			return []boundTarget{{ext: obj}}
+		case *types.Var:
+			if bs := p.binds[obj]; len(bs) > 0 {
+				return bs
+			}
+		case nil:
+			if x.Name == "nil" {
+				return nil
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+			bt := boundTarget{recvRoot: p.classify(n, x.X)}
+			if tn := p.byName[fn.FullName()]; tn != nil {
+				bt.node = tn
+			} else {
+				bt.ext = fn
+			}
+			return []boundTarget{bt}
+		}
+	case *ast.CallExpr:
+		// A conversion to a contract type wraps its operand; a conversion to
+		// any other func type is transparent.
+		if tv, ok := info.Types[ast.Unparen(x.Fun)]; ok && tv.IsType() && len(x.Args) == 1 {
+			if p.isContractType(tv.Type) {
+				return []boundTarget{{contract: true}}
+			}
+			return p.funcValueTargets(n, x.Args[0])
+		}
+	}
+	if t := info.TypeOf(e); t != nil {
+		if _, isSig := t.Underlying().(*types.Signature); isSig {
+			return []boundTarget{{unknown: true}}
+		}
+	}
+	return nil
+}
+
+func (p *Program) isContractType(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		return p.contractTypes[qualifiedTypeName(named.Obj())]
+	}
+	return false
+}
+
+func (p *Program) isContractExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(ast.Unparen(e))
+	return t != nil && p.isContractType(t)
+}
+
+// recordAcquisition notes a site where a non-contract function value is
+// stored into a contract-typed location; puremark proves each one.
+func (p *Program) recordAcquisition(n *FuncNode, want types.Type, val ast.Expr) {
+	if !p.isContractType(want) || p.isContractExpr(n.Unit.Info, val) {
+		return
+	}
+	targets := p.funcValueTargets(n, val)
+	if len(targets) == 0 {
+		return // nil or non-func: nothing to prove
+	}
+	p.acquisitions = append(p.acquisitions, acquisition{
+		unit:     n.Unit,
+		pos:      val.Pos(),
+		typeName: qualifiedTypeName(want.(*types.Named).Obj()),
+		targets:  targets,
+	})
+}
+
+// scanCall classifies one call site into an edge and scans its arguments
+// for acquisitions.
+func (p *Program) scanCall(n *FuncNode, call *ast.CallExpr) {
+	info := n.Unit.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Type conversions: not calls. A conversion to a contract type is an
+	// acquisition of its operand.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			p.recordAcquisition(n, tv.Type, call.Args[0])
+			if dst := tv.Type; isStringByteConv(dst, info.TypeOf(call.Args[0])) {
+				n.intrinsic |= EffAllocates
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				n.intrinsic |= EffAllocates
+			case "delete", "close":
+				if len(call.Args) > 0 {
+					p.addMutation(n, p.classify(n, call.Args[0]), call.Pos(), b.Name()+" of "+render(n.Unit.Fset, call.Args[0]))
+				}
+			case "print", "println":
+				p.addIntrinsic(n, EffMutatesGlobal, call.Pos(), "calls "+b.Name())
+			}
+			return
+		}
+	}
+
+	e := &callEdge{pos: call.Pos(), paramIdx: -1}
+	pos := n.Unit.Fset.Position(call.Pos())
+	// Either escape cuts hot propagation: //chollint:hotcall is the explicit
+	// edge cut, and a line already excused from hot-path allocation
+	// discipline (//chollint:alloc, e.g. a panic-formatting abort path)
+	// excuses its callees by the same argument.
+	e.noHot = p.sup.matches(pos, "hotcall") || p.sup.matches(pos, "alloc")
+
+	// Argument values (for ParamCalls substitution / mutation translation)
+	// and contract acquisitions at parameter positions.
+	var sig *types.Signature
+	if t := info.TypeOf(call.Fun); t != nil {
+		sig, _ = t.Underlying().(*types.Signature)
+	}
+	for i, arg := range call.Args {
+		av := argVal{root: p.classify(n, arg), param: -1}
+		at := info.TypeOf(ast.Unparen(arg))
+		if at != nil {
+			_, av.isFunc = at.Underlying().(*types.Signature)
+		}
+		if av.isFunc {
+			switch {
+			case p.isContractExpr(info, arg):
+				av.contract = true
+			default:
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						if k := indexOf(n.ownParams, obj); k >= 0 {
+							av.param = k
+						}
+					}
+				}
+				if av.param < 0 {
+					av.targets = p.funcValueTargets(n, arg)
+					if len(av.targets) == 0 {
+						av.unknown = true
+					}
+				}
+			}
+		}
+		e.args = append(e.args, av)
+		if sig != nil {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= sig.Params().Len()-1:
+				if !call.Ellipsis.IsValid() {
+					pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+				}
+			case i < sig.Params().Len():
+				pt = sig.Params().At(i).Type()
+			}
+			if pt != nil {
+				p.recordAcquisition(n, pt, arg)
+			}
+		}
+	}
+
+	// Classify the callee.
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[f].(type) {
+		case *types.Func:
+			p.finishStatic(n, e, obj)
+			return
+		case *types.Var:
+			if p.isContractType(obj.Type()) {
+				e.contract = true
+				n.edges = append(n.edges, e)
+				return
+			}
+			if k := indexOf(n.ownParams, obj); k >= 0 {
+				e.paramIdx = k
+				n.edges = append(n.edges, e)
+				return
+			}
+			e.bindObj = obj
+			n.edges = append(n.edges, e)
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			if sel, ok := info.Selections[f]; ok && sel.Kind() == types.MethodVal {
+				e.recvRoot = p.classify(n, f.X)
+				if types.IsInterface(sel.Recv().Underlying()) {
+					e.ifaceKey = fn.FullName()
+					n.edges = append(n.edges, e)
+					return
+				}
+			}
+			p.finishStatic(n, e, fn)
+			return
+		}
+		// Field of func type.
+		if p.isContractExpr(info, f) {
+			e.contract = true
+			n.edges = append(n.edges, e)
+			return
+		}
+	}
+	if p.isContractExpr(info, fun) {
+		e.contract = true
+		n.edges = append(n.edges, e)
+		return
+	}
+	if fl, ok := fun.(*ast.FuncLit); ok {
+		e.callee = p.litNode(n, fl)
+		n.edges = append(n.edges, e)
+		return
+	}
+	e.unknown = true
+	n.edges = append(n.edges, e)
+}
+
+func (p *Program) finishStatic(n *FuncNode, e *callEdge, fn *types.Func) {
+	if target := p.byName[fn.FullName()]; target != nil {
+		e.callee = target
+	} else {
+		e.ext = fn
+	}
+	n.edges = append(n.edges, e)
+}
+
+func indexOf(objs []types.Object, obj types.Object) int {
+	for i, o := range objs {
+		if o == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// classify resolves an expression to the storage root it bottoms out in,
+// in n's frame.
+func (p *Program) classify(n *FuncNode, e ast.Expr) root {
+	info := n.Unit.Info
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			return p.classifyObj(n, obj)
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					return root{kind: rootGlobal}
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return root{kind: rootUnknown}
+		}
+	}
+}
+
+func (p *Program) classifyObj(n *FuncNode, obj types.Object) root {
+	if obj == nil {
+		return root{kind: rootUnknown}
+	}
+	if n.recv != nil && obj == n.recv {
+		return root{kind: rootRecv}
+	}
+	if i := indexOf(n.params, obj); i >= 0 {
+		return root{kind: rootParam, idx: i}
+	}
+	if v, ok := obj.(*types.Var); ok {
+		if isPkgLevelVar(v) {
+			return root{kind: rootGlobal}
+		}
+		// A variable declared outside this literal's own body is captured
+		// enclosing state: externally visible when the closure escapes.
+		if n.Lit != nil && obj.Pos().IsValid() &&
+			(obj.Pos() < n.Lit.Pos() || obj.Pos() > n.Lit.End()) {
+			return root{kind: rootCaptured}
+		}
+		return root{kind: rootLocal}
+	}
+	return root{kind: rootUnknown}
+}

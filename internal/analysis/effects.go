@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// Effects is the per-function effect summary the interprocedural engine
+// computes bottom-up over the call graph (callgraph.go). Each bit is an
+// over-approximation: a set bit means the function *may* have the behavior on
+// some path, a clear bit is a proof that it cannot. The three interprocedural
+// analyzers (puremark, hotcall, leakguard) are phrased as "this bit must be
+// clear on every function reachable from here".
+type Effects uint32
+
+const (
+	// EffAllocates: the function may allocate per call (make, new, closure
+	// and composite literals, string conversions, fmt).
+	EffAllocates Effects = 1 << iota
+	// EffReadsClock: reads wall-clock time (time.Now and friends).
+	EffReadsClock
+	// EffReadsRand: draws from a random source (math/rand, math/rand/v2 —
+	// package-level or *rand.Rand methods). In this codebase every RNG is
+	// seeded from Options.Seed, so EffReadsRand is exactly "seed-dependent".
+	EffReadsRand
+	// EffRangesMap: iterates a map in (nondeterministic) range order. Lines
+	// excused with //chollint:ordered — the detranged escape asserting an
+	// order-insensitive body — do not set the bit.
+	EffRangesMap
+	// EffMutatesReceiver: writes the receiver's reachable state.
+	EffMutatesReceiver
+	// EffMutatesArg: writes state reachable from a parameter.
+	EffMutatesArg
+	// EffMutatesGlobal: writes a package-level variable (or performs I/O).
+	EffMutatesGlobal
+	// EffReadsGlobal: reads a package-level variable.
+	EffReadsGlobal
+	// EffSpawnsGoroutine: starts a goroutine.
+	EffSpawnsGoroutine
+	// EffBlocks: may block on a channel operation or a sync primitive.
+	EffBlocks
+	// EffUnknown: calls something the engine cannot resolve (a func value of
+	// non-contract type, a denylisted external). Analyzers that *prove*
+	// properties treat EffUnknown as failure.
+	EffUnknown
+)
+
+var effNames = [...]struct {
+	bit  Effects
+	name string
+}{
+	{EffAllocates, "allocates"},
+	{EffReadsClock, "reads-clock"},
+	{EffReadsRand, "reads-rand"},
+	{EffRangesMap, "ranges-map-nondet"},
+	{EffMutatesReceiver, "mutates-receiver"},
+	{EffMutatesArg, "mutates-arg"},
+	{EffMutatesGlobal, "mutates-global"},
+	{EffReadsGlobal, "reads-global"},
+	{EffSpawnsGoroutine, "spawns-goroutine"},
+	{EffBlocks, "blocks-on-channel"},
+	{EffUnknown, "unknown-callee"},
+}
+
+func (e Effects) String() string {
+	if e == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, n := range effNames {
+		if e&n.bit != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Has reports whether every bit of mask is set.
+func (e Effects) Has(mask Effects) bool { return e&mask == mask }
+
+// extSummary is the effect summary of a function whose body the program has
+// not loaded (standard library, or a module package outside the analyzed
+// pattern set).
+type extSummary struct {
+	effects Effects
+	// paramCalls is a bitmask of 0-based parameter indices the callee may
+	// invoke (sort.Search calls its predicate, sync.Once.Do its thunk).
+	// Substituted with the caller's actual arguments at the call site.
+	paramCalls uint32
+}
+
+// extPkgDefaults assigns a whole external package one summary. The table is
+// a denylist: packages not listed (and functions without an override below)
+// are assumed effect-free. That optimism is deliberate — the impurity
+// sources that matter to this codebase's invariants (clocks, RNGs, I/O,
+// blocking primitives) are enumerable, while a conservative default would
+// drown the analyzers in unprovable stdlib calls. The same rule makes
+// partial loads degrade gracefully: a module package outside the loaded
+// pattern set contributes no effects, and the whole-program run
+// (`chollint ./...`, wired into make lint and CI) supplies the full proof.
+var extPkgDefaults = map[string]Effects{
+	"time":          EffReadsClock | EffAllocates,
+	"math/rand":     EffReadsRand | EffMutatesGlobal | EffMutatesArg | EffAllocates,
+	"math/rand/v2":  EffReadsRand | EffMutatesGlobal | EffMutatesArg | EffAllocates,
+	"crypto/rand":   EffReadsRand | EffMutatesArg | EffUnknown,
+	"os":            EffUnknown,
+	"os/exec":       EffUnknown,
+	"os/signal":     EffUnknown,
+	"io":            EffUnknown,
+	"io/fs":         EffUnknown,
+	"bufio":         EffUnknown,
+	"net":           EffUnknown,
+	"net/http":      EffUnknown,
+	"syscall":       EffUnknown,
+	"runtime":       EffMutatesGlobal,
+	"runtime/pprof": EffUnknown,
+	"sync":          EffBlocks | EffMutatesArg,
+	"sync/atomic":   EffMutatesArg,
+	"fmt":           EffAllocates | EffMutatesGlobal | EffUnknown,
+	"log":           EffAllocates | EffMutatesGlobal,
+	"log/slog":      EffAllocates | EffMutatesGlobal,
+}
+
+// extFuncOverrides refines extPkgDefaults for specific functions and
+// methods. Keys are "pkgpath.Name" for package-level functions and
+// "pkgpath.Type.Name" for methods (pointer receivers included).
+var extFuncOverrides = map[string]extSummary{
+	// The formatting family allocates but writes nothing.
+	"fmt.Sprintf":  {effects: EffAllocates},
+	"fmt.Sprint":   {effects: EffAllocates},
+	"fmt.Sprintln": {effects: EffAllocates},
+	"fmt.Errorf":   {effects: EffAllocates},
+	"fmt.Appendf":  {effects: EffAllocates | EffMutatesArg},
+
+	// sort: the comparator/predicate runs on the caller's values; Slice and
+	// friends reorder their argument.
+	"sort.Search":           {paramCalls: 1 << 1},
+	"sort.Find":             {paramCalls: 1 << 1},
+	"sort.Slice":            {effects: EffMutatesArg | EffAllocates, paramCalls: 1 << 1},
+	"sort.SliceStable":      {effects: EffMutatesArg | EffAllocates, paramCalls: 1 << 1},
+	"sort.SliceIsSorted":    {effects: EffAllocates, paramCalls: 1 << 1},
+	"sort.Sort":             {effects: EffMutatesArg},
+	"sort.Stable":           {effects: EffMutatesArg},
+	"sort.Ints":             {effects: EffMutatesArg},
+	"sort.Float64s":         {effects: EffMutatesArg},
+	"sort.Strings":          {effects: EffMutatesArg},
+	"slices.Sort":           {effects: EffMutatesArg},
+	"slices.SortFunc":       {effects: EffMutatesArg, paramCalls: 1 << 1},
+	"slices.SortStableFunc": {effects: EffMutatesArg, paramCalls: 1 << 1},
+
+	// sync: the blocking/mutating default is right for Lock/Wait/Do; Unlock
+	// and the Locker releases never block.
+	"sync.Mutex.Unlock":    {effects: EffMutatesArg},
+	"sync.RWMutex.Unlock":  {effects: EffMutatesArg},
+	"sync.RWMutex.RUnlock": {effects: EffMutatesArg},
+	"sync.WaitGroup.Add":   {effects: EffMutatesArg},
+	"sync.WaitGroup.Done":  {effects: EffMutatesArg},
+	"sync.Once.Do":         {effects: EffBlocks | EffMutatesArg, paramCalls: 1 << 0},
+	"sync.Pool.Get":        {effects: EffMutatesArg | EffAllocates},
+	"sync.Pool.Put":        {effects: EffMutatesArg},
+
+	// time: reading a timer/ticker channel is a block, constructing reads
+	// the clock; the pure arithmetic on Duration carries no effects.
+	"time.Duration.Seconds":      {},
+	"time.Duration.String":       {effects: EffAllocates},
+	"time.Duration.Nanoseconds":  {},
+	"time.Duration.Milliseconds": {},
+
+	// context accessors are pure reads (receiving from Done() is the block,
+	// and that is scanned at the receive site).
+	"context.Background":   {},
+	"context.TODO":         {},
+	"context.WithCancel":   {effects: EffAllocates},
+	"context.WithTimeout":  {effects: EffAllocates | EffReadsClock},
+	"context.WithDeadline": {effects: EffAllocates | EffReadsClock},
+	"context.Cause":        {},
+
+	// errors: allocation only.
+	"errors.New": {effects: EffAllocates},
+	"errors.Is":  {},
+	"errors.As":  {effects: EffMutatesArg},
+
+	// runtime introspection used by worker-pool sizing is effect-free.
+	"runtime.GOMAXPROCS": {},
+	"runtime.NumCPU":     {},
+}
+
+// extEffectsOf resolves the summary of an external function. fn is non-nil
+// and has no body in the loaded program.
+func extEffectsOf(fn *types.Func) extSummary {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return extSummary{} // builtins resolved elsewhere; universe funcs are pure
+	}
+	path := pkg.Path()
+	key := path + "." + fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if tn := namedTypeNameOf(sig.Recv().Type()); tn != "" {
+			key = path + "." + tn + "." + fn.Name()
+		}
+	}
+	if s, ok := extFuncOverrides[key]; ok {
+		return s
+	}
+	if eff, ok := extPkgDefaults[path]; ok {
+		return extSummary{effects: eff}
+	}
+	return extSummary{}
+}
+
+// namedTypeNameOf returns the bare name of a (possibly pointered) named
+// receiver type, or "".
+func namedTypeNameOf(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"fmt"
+)
+
+// Hotcall propagates hotpathalloc's per-construct allocation checks through
+// the call graph: a function *reachable* from a //chol:hotpath root runs on
+// the hot path just as surely as the annotated function itself, so its
+// allocations regress the same pinned allocs/op. hotpathalloc deliberately
+// stops at the annotation boundary (it predates the call graph); hotcall
+// closes the gap using the interprocedural engine's reachability:
+//
+//   - static calls and calls through tracked function-value bindings follow
+//     directly;
+//   - interface dispatch widens to every loaded type satisfying the
+//     interface (class-hierarchy analysis over the program's closed world)
+//     — the simulator's sched.View has exactly one production
+//     implementation, so the widening is exact where it matters;
+//   - calls through //chol:pure contract types are *not* followed: the
+//     contract guarantees effect-freeness and puremark proves each
+//     acquisition, so the reachable set stays finite and honest.
+//
+// Reported functions get the same construct diagnostics as hotpathalloc,
+// labelled with the provenance chain so the reader sees *why* the function
+// is hot. Escapes: //chollint:hotcall on a call site cuts propagation
+// through that edge (amortized or cold callees, e.g. a sync.Once-cached
+// census); //chollint:hotcall or hotpathalloc's //chollint:alloc on a
+// flagged construct line silences that construct — the same line must not
+// need two escape words for one allocation.
+var Hotcall = &Analyzer{
+	Name:     "hotcall",
+	Doc:      "extends //chol:hotpath allocation checks to functions reachable through the call graph",
+	Suppress: "hotcall",
+	Run:      runHotcall,
+}
+
+func runHotcall(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil {
+		return nil
+	}
+	// The "alloc" escape must silence hotcall findings too; the framework
+	// only filters the analyzer's own word, so filter alloc here.
+	sup := collectSuppressions(pass.Fset, pass.Files)
+	report := len(pass.diags)
+	for _, n := range prog.all {
+		if n.Unit.Pkg != pass.Pkg || n.Decl == nil || n.Hot {
+			continue // annotated roots are hotpathalloc's jurisdiction
+		}
+		hp, ok := prog.hotReach[n]
+		if !ok {
+			continue
+		}
+		scanHotBody(pass, n.Decl, hotLabel(n, hp))
+	}
+	kept := pass.diags[:report]
+	for _, d := range pass.diags[report:] {
+		if !sup.matches(d.Pos, "alloc") {
+			kept = append(kept, d)
+		}
+	}
+	pass.diags = kept
+	return nil
+}
+
+// hotLabel renders the provenance of a hot-reachable function: its own name
+// plus the immediate hot caller and the root annotation it descends from.
+func hotLabel(n *FuncNode, hp hotPath) string {
+	via := ""
+	if hp.via != nil && hp.via != hp.rootNode {
+		via = fmt.Sprintf(" via %s", hp.via.Name)
+	}
+	root := "?"
+	if hp.rootNode != nil {
+		root = hp.rootNode.Name
+	}
+	return fmt.Sprintf("%s (reachable from //chol:hotpath %s%s)", n.Name, root, via)
+}

@@ -49,7 +49,7 @@ func runHotpathalloc(pass *Pass) error {
 			if !ok || fd.Body == nil || !funcDirective(fd.Doc, HotpathDirective) {
 				continue
 			}
-			checkHotFunc(pass, fd)
+			scanHotBody(pass, fd, fd.Name.Name)
 		}
 	}
 	return nil
@@ -62,7 +62,11 @@ var nonEscapingClosureCallees = map[string]map[string]bool{
 	"sort": {"Search": true},
 }
 
-func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+// scanHotBody runs the per-construct allocation checks over fd's body,
+// labelling diagnostics with `where` — the bare function name when the
+// function itself carries //chol:hotpath (hotpathalloc), or a
+// name-plus-provenance label when it is merely reachable from one (hotcall).
+func scanHotBody(pass *Pass, fd *ast.FuncDecl, where string) {
 	prealloc := preallocatedSlices(pass, fd)
 	stackClosures := nonEscapingClosureArgs(pass, fd)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -71,26 +75,26 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 			if stackClosures[n] {
 				return true // stack-allocated; still check its body
 			}
-			pass.Reportf(n.Pos(), "function literal in hot path %s: closures capture and typically allocate per call", fd.Name.Name)
+			pass.Reportf(n.Pos(), "function literal in hot path %s: closures capture and typically allocate per call", where)
 			return false // inner allocations are subsumed by the closure report
 		case *ast.UnaryExpr:
 			if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
-				pass.Reportf(n.Pos(), "&%s{...} in hot path %s allocates per call", typeLabel(pass, cl), fd.Name.Name)
+				pass.Reportf(n.Pos(), "&%s{...} in hot path %s allocates per call", typeLabel(pass, cl), where)
 				return false
 			}
 		case *ast.CompositeLit:
 			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
 			case *types.Slice:
-				pass.Reportf(n.Pos(), "slice literal in hot path %s allocates per call; hoist to a reused buffer", fd.Name.Name)
+				pass.Reportf(n.Pos(), "slice literal in hot path %s allocates per call; hoist to a reused buffer", where)
 			case *types.Map:
-				pass.Reportf(n.Pos(), "map literal in hot path %s allocates per call; hoist to a reused map", fd.Name.Name)
+				pass.Reportf(n.Pos(), "map literal in hot path %s allocates per call; hoist to a reused map", where)
 			}
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD && isStringType(pass.TypesInfo.TypeOf(n)) {
-				pass.Reportf(n.Pos(), "string concatenation in hot path %s allocates per call", fd.Name.Name)
+				pass.Reportf(n.Pos(), "string concatenation in hot path %s allocates per call", where)
 			}
 		case *ast.CallExpr:
-			checkHotCall(pass, fd, n, prealloc)
+			checkHotCall(pass, fd, n, prealloc, where)
 		}
 		return true
 	})
@@ -119,7 +123,7 @@ func nonEscapingClosureArgs(pass *Pass, fd *ast.FuncDecl) map[*ast.FuncLit]bool 
 	return out
 }
 
-func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool) {
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool, where string) {
 	info := pass.TypesInfo
 
 	// Conversions.
@@ -127,9 +131,9 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map
 		dst := tv.Type
 		src := info.TypeOf(call.Args[0])
 		if types.IsInterface(dst.Underlying()) && src != nil && !types.IsInterface(src.Underlying()) {
-			pass.Reportf(call.Pos(), "conversion to interface %s in hot path %s boxes its operand (allocates)", dst, fd.Name.Name)
+			pass.Reportf(call.Pos(), "conversion to interface %s in hot path %s boxes its operand (allocates)", dst, where)
 		} else if isStringByteConv(dst, src) {
-			pass.Reportf(call.Pos(), "%s conversion in hot path %s copies and allocates per call", dst, fd.Name.Name)
+			pass.Reportf(call.Pos(), "%s conversion in hot path %s copies and allocates per call", dst, where)
 		}
 		return
 	}
@@ -139,18 +143,18 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map
 		if b, ok := info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make":
-				pass.Reportf(call.Pos(), "make in hot path %s allocates per call; hoist to setup or reuse a buffer", fd.Name.Name)
+				pass.Reportf(call.Pos(), "make in hot path %s allocates per call; hoist to setup or reuse a buffer", where)
 			case "new":
-				pass.Reportf(call.Pos(), "new in hot path %s allocates per call", fd.Name.Name)
+				pass.Reportf(call.Pos(), "new in hot path %s allocates per call", where)
 			case "append":
-				checkHotAppend(pass, fd, call, prealloc)
+				checkHotAppend(pass, fd, call, prealloc, where)
 			}
 			return
 		}
 	}
 
 	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-		pass.Reportf(call.Pos(), "fmt.%s in hot path %s allocates (interface boxing + formatting) per call", fn.Name(), fd.Name.Name)
+		pass.Reportf(call.Pos(), "fmt.%s in hot path %s allocates (interface boxing + formatting) per call", fn.Name(), where)
 		return
 	}
 
@@ -184,7 +188,7 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map
 			continue // stored directly in the interface word: no allocation
 		}
 		pass.Reportf(arg.Pos(), "argument %s boxed into interface parameter in hot path %s (may allocate per call)",
-			render(pass.Fset, arg), fd.Name.Name)
+			render(pass.Fset, arg), where)
 	}
 }
 
@@ -192,7 +196,7 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map
 // capacity. Destinations rooted at a selector (struct field, e.g.
 // st.rec.Transfers) or an index of one follow the amortized-reuse idiom and
 // pass; bare locals pass only when declared with explicit capacity.
-func checkHotAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool) {
+func checkHotAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool, where string) {
 	if len(call.Args) == 0 {
 		return
 	}
@@ -214,7 +218,7 @@ func checkHotAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc m
 		}
 		pass.Reportf(call.Pos(),
 			"append to %s in hot path %s may reallocate per call: preallocate with make(_, _, cap) or reslice a reused buffer to [:0]",
-			dst.Name, fd.Name.Name)
+			dst.Name, where)
 	}
 }
 

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONDiagnostic is the machine-readable form of one finding, emitted by
+// `chollint -json` as exactly one JSON object per line so CI can annotate
+// PRs with a line-oriented reader (jq, grep, GitHub workflow commands).
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Escape is the //chollint:<word> directive that would suppress this
+	// finding on its line, empty when the analyzer has no escape hatch.
+	Escape string `json:"escape,omitempty"`
+}
+
+// EscapeHint returns the full suppression directive for an analyzer name,
+// or "" when the analyzer is unknown or has no escape hatch.
+func EscapeHint(analyzer string) string {
+	for _, a := range All() {
+		if a.Name == analyzer && a.Suppress != "" {
+			return "//chollint:" + a.Suppress
+		}
+	}
+	return ""
+}
+
+// WriteJSON renders diagnostics one JSON object per line in input order.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w) // Encode appends exactly one '\n' per value
+	for _, d := range diags {
+		jd := JSONDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Escape:   EscapeHint(d.Analyzer),
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestWriteJSONGolden pins the exact `chollint -json` wire format: one JSON
+// object per line, fixed key order, escape hint present only for analyzers
+// with a suppression word.
+func TestWriteJSONGolden(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/sched/sched.go", Line: 42, Column: 7},
+			Analyzer: "puremark",
+			Message:  "dm claims SeedInvariant but the claim is unprovable: (*dm).Assign ranges-map-nondet: ranges over a map at sched.go:50",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/service/live.go", Line: 9, Column: 2},
+			Analyzer: "leakguard",
+			Message:  "goroutine may never exit: unconditional loop with no ctx.Done/ctx.Err check, close-gated range, or comma-ok receive on its exit path (annotate //chollint:leakok if joined externally)",
+		},
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteJSON(&buf, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	want := `{"file":"internal/sched/sched.go","line":42,"col":7,"analyzer":"puremark","message":"dm claims SeedInvariant but the claim is unprovable: (*dm).Assign ranges-map-nondet: ranges over a map at sched.go:50","escape":"//chollint:pure"}
+{"file":"internal/service/live.go","line":9,"col":2,"analyzer":"leakguard","message":"goroutine may never exit: unconditional loop with no ctx.Done/ctx.Err check, close-gated range, or comma-ok receive on its exit path (annotate //chollint:leakok if joined externally)","escape":"//chollint:leakok"}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("WriteJSON output:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Every line must round-trip as standalone JSON (the jq contract).
+	for i, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		var jd analysis.JSONDiagnostic
+		if err := json.Unmarshal([]byte(line), &jd); err != nil {
+			t.Errorf("line %d is not standalone JSON: %v", i+1, err)
+		}
+	}
+}
+
+// TestEscapeHint checks the analyzer→directive table stays in sync with the
+// registered suite.
+func TestEscapeHint(t *testing.T) {
+	cases := map[string]string{
+		"detranged":    "//chollint:ordered",
+		"noclock":      "//chollint:realtime",
+		"hotpathalloc": "//chollint:alloc",
+		"ctxflow":      "//chollint:ctx",
+		"floateq":      "//chollint:floateq",
+		"recnil":       "//chollint:unguarded",
+		"puremark":     "//chollint:pure",
+		"hotcall":      "//chollint:hotcall",
+		"leakguard":    "//chollint:leakok",
+		"nosuch":       "",
+	}
+	for name, want := range cases {
+		if got := analysis.EscapeHint(name); got != want {
+			t.Errorf("EscapeHint(%q) = %q, want %q", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Leakguard flags goroutines whose exit is not tied to a cancellation or
+// close path, in the packages where a leaked goroutine outlives a request
+// or a batch: internal/service (one SSE subscriber per connection),
+// internal/cpsolve (speculating worker pools) and internal/replay (batched
+// lanes). A goroutine is reported when its body loops unconditionally
+// (`for {}`) and nothing in the body forms an exit gate:
+//
+//   - a ctx.Done()/ctx.Err() check (context.Context methods, type-checked);
+//   - ranging over a channel (exits when the producer closes it);
+//   - a comma-ok channel receive (observes closure);
+//   - receiving from a channel whose name declares its purpose
+//     (done/quit/stop/close).
+//
+// Bounded loops and straight-line goroutines pass: the analyzer targets the
+// spawn shapes that PR5/PR8 introduced — worker pools and stream pumps —
+// where "runs forever by accident" is the actual failure mode. A goroutine
+// that is joined externally (WaitGroup + closed queue, as in
+// internal/runtime's executor, which is deliberately out of scope) is
+// excused with //chollint:leakok on the go statement.
+var Leakguard = &Analyzer{
+	Name:     "leakguard",
+	Doc:      "flags goroutines in service/cpsolve/replay whose exit is not tied to a ctx.Done/close path",
+	Suppress: "leakok",
+	Run:      runLeakguard,
+}
+
+// leakguardScope lists the package-path suffixes leakguard applies to.
+var leakguardScope = []string{
+	"internal/service",
+	"internal/cpsolve",
+	"internal/replay",
+}
+
+func inLeakguardScope(path string) bool {
+	for _, s := range leakguardScope {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runLeakguard(pass *Pass) error {
+	if !inLeakguardScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := pass.spawnedBody(g.Call)
+			if body == nil {
+				return true
+			}
+			if loop := unguardedLoop(pass.TypesInfo, body); loop != nil {
+				pass.Reportf(g.Pos(),
+					"goroutine may never exit: unconditional loop with no ctx.Done/ctx.Err check, close-gated range, or comma-ok receive on its exit path (annotate //chollint:leakok if joined externally)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnedBody resolves the body the go statement will run: a literal's own
+// body, or the loaded declaration of a statically named function/method.
+func (p *Pass) spawnedBody(call *ast.CallExpr) *ast.BlockStmt {
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return fl.Body
+	}
+	fn := calleeFunc(p.TypesInfo, call)
+	if fn == nil || p.Prog == nil {
+		return nil
+	}
+	if n := p.Prog.FuncNodeOf(fn); n != nil && n.Decl != nil {
+		return n.Decl.Body
+	}
+	return nil
+}
+
+// unguardedLoop returns an unconditional for loop in body when the body has
+// no exit gate, else nil.
+func unguardedLoop(info *types.Info, body *ast.BlockStmt) *ast.ForStmt {
+	var loop *ast.ForStmt
+	gated := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested closure runs on its own schedule
+		case *ast.ForStmt:
+			if x.Cond == nil && loop == nil {
+				loop = x
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					gated = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" || sel.Sel.Name == "Err" {
+					if t := info.TypeOf(sel.X); t != nil && types.TypeString(t, nil) == "context.Context" {
+						gated = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// v, ok := <-ch observes channel closure.
+			if len(x.Lhs) == 2 && len(x.Rhs) == 1 {
+				if u, ok := ast.Unparen(x.Rhs[0]).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+					gated = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" && doneChanName(x.X) {
+				gated = true
+			}
+		}
+		return true
+	})
+	if gated {
+		return nil
+	}
+	return loop
+}
+
+// doneChanName reports whether the received-from expression's terminal name
+// announces a shutdown signal.
+func doneChanName(e ast.Expr) bool {
+	var name string
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	name = strings.ToLower(name)
+	for _, w := range []string{"done", "quit", "stop", "close"} {
+		if strings.Contains(name, w) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// Puremark turns the sched.SeedInvariant / sched.PureAssign marker
+// interfaces from trusted claims into proven facts. PR7's replay engine
+// keys real optimizations on these markers — multi-seed batches collapse to
+// one simulation when a scheduler claims SeedInvariant, and delta
+// resumption re-Inits a fresh instance mid-run when it claims PureAssign —
+// so a false claim silently corrupts results the digest suites only catch
+// for configurations they happen to sample. Puremark checks every claim
+// against the interprocedural effect summaries:
+//
+//   - PureAssign: Assign and Priority must not write the receiver or any
+//     global, transitively through callees (argument writes are allowed —
+//     the contract is about the scheduler object, and schedulers
+//     legitimately cause state changes through the View they are handed);
+//   - SeedInvariant: Assign, Priority and Init must not consume any
+//     seed-dependent source — RNG draws (every RNG here is seeded from
+//     Options.Seed), wall clocks, nondeterministic map iteration — and
+//     Init must not so much as read its seed parameter.
+//
+// A claim is any niladic SeedInvariant()/PureAssign() bool method whose
+// body is `return true`, including methods promoted from an embedded type.
+// Methods the engine cannot summarize (calls through unresolvable function
+// values) refute the claim: unprovable is failing, by design.
+//
+// Puremark also proves //chol:pure contract acquisitions: wherever a
+// concrete function value is stored into a named func type declared
+// //chol:pure (sched.AllowFunc), the value must be effect-free, because
+// calls through the contract type are trusted everywhere else.
+//
+// A claim that is intentionally broader than the engine can see (e.g. a
+// policy whose impurity is provably decision-invariant) is excused with
+// //chollint:pure on the type declaration, with the runtime digest suite as
+// the justification.
+var Puremark = &Analyzer{
+	Name:     "puremark",
+	Doc:      "proves sched.SeedInvariant/PureAssign marker claims and //chol:pure contract acquisitions",
+	Suppress: "pure",
+	Run:      runPuremark,
+}
+
+func runPuremark(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil {
+		return nil
+	}
+	// Judge marker claims for types declared in this package.
+	for _, ni := range prog.namedTypes {
+		if ni.unit.Pkg != pass.Pkg || types.IsInterface(ni.named.Underlying()) {
+			continue
+		}
+		pos := ni.named.Obj().Pos()
+		if si, ok := prog.constBoolMethod(ni.named, "SeedInvariant"); ok && si {
+			if proven, why := prog.proveMarker(ni.named, seedInvariantFail, []string{"Assign", "Priority", "Init"}, true); !proven {
+				pass.Reportf(pos, "%s claims SeedInvariant but the claim is unprovable: %s", ni.named.Obj().Name(), why)
+			}
+		}
+		if pa, ok := prog.constBoolMethod(ni.named, "PureAssign"); ok && pa {
+			if proven, why := prog.proveMarker(ni.named, pureAssignFail, []string{"Assign", "Priority"}, false); !proven {
+				pass.Reportf(pos, "%s claims PureAssign but the claim is unprovable: %s", ni.named.Obj().Name(), why)
+			}
+		}
+	}
+	// Prove contract acquisitions recorded in this package.
+	for _, acq := range prog.acquisitions {
+		if acq.unit.Pkg != pass.Pkg {
+			continue
+		}
+		for _, bt := range acq.targets {
+			if why := prog.refuteContract(bt); why != "" {
+				pass.Reportf(acq.pos, "function value stored into //chol:pure type %s is not provably pure: %s",
+					shortTypeName(acq.typeName), why)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// refuteContract returns a non-empty reason when the bound target cannot be
+// proven effect-free under the //chol:pure contract.
+func (p *Program) refuteContract(bt boundTarget) string {
+	switch {
+	case bt.contract:
+		return ""
+	case bt.unknown:
+		return "the value is unresolvable"
+	case bt.node != nil:
+		if bad := bt.node.Summary & contractFail; bad != 0 {
+			bit := lowestBit(bad)
+			return bt.node.Name + " " + bit.String() + ": " + p.WitnessChain(bt.node, bit)
+		}
+		return ""
+	case bt.ext != nil:
+		if bad := extEffectsOf(bt.ext).effects & contractFail; bad != 0 {
+			return extLabel(bt.ext) + " " + lowestBit(bad).String()
+		}
+		return ""
+	}
+	return ""
+}
+
+func shortTypeName(qualified string) string {
+	if i := lastSlash(qualified); i >= 0 {
+		return qualified[i+1:]
+	}
+	return qualified
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

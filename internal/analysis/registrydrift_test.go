@@ -1,0 +1,106 @@
+package analysis_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+// TestRegistryMarkerDrift pins the three-way agreement the replay engine
+// depends on, for every registered scheduler family:
+//
+//	runtime claim (IsSeedInvariant/IsPureAssign)
+//	  == static claim (puremark's constant-body reading of the marker)
+//	  ⇒ statically proven
+//	  ⇒ (for SeedInvariant) digest-equal across seeds on a real simulation.
+//
+// A scheduler added with a marker claim puremark cannot prove — or whose
+// runtime behavior drifts from the claim — fails here before replay's
+// seed-collapse or delta-resume optimizations can silently corrupt results.
+func TestRegistryMarkerDrift(t *testing.T) {
+	pkgs, err := load.Packages([]string{"repro/internal/..."})
+	if err != nil {
+		t.Fatalf("loading repro/internal/...: %v", err)
+	}
+	units := make([]*analysis.PackageUnit, len(pkgs))
+	for i, pkg := range pkgs {
+		units[i] = &analysis.PackageUnit{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+	}
+	prog := analysis.NewProgram(pkgs[0].Fset, units)
+	verdicts := map[string]analysis.MarkerVerdict{}
+	for _, v := range prog.MarkerVerdicts() {
+		verdicts[v.Type] = v
+	}
+
+	// One constructor per registered family, parameterized members at their
+	// canonical settings.
+	mks := []func() sched.Scheduler{
+		sched.NewRandom,
+		sched.NewGreedy,
+		sched.NewDMDA,
+		sched.NewDMDAS,
+		sched.NewDMDAR,
+		sched.NewDMDANoComm,
+		sched.NewDMDASAvgPrio,
+		func() sched.Scheduler { return sched.NewPartition(0.5) },
+		func() sched.Scheduler { return sched.NewTriangleTRSM(6) },
+		func() sched.Scheduler { return sched.NewDMDAWithHints("gemm-syrk-gpu", sched.GemmSyrkOnGPU()) },
+	}
+
+	d := graph.Cholesky(6)
+	p := platform.Mirage()
+	for _, mk := range mks {
+		s := mk()
+		typeName := strings.TrimPrefix(fmt.Sprintf("%T", s), "*")
+		claimSI, claimPA := sched.IsSeedInvariant(s), sched.IsPureAssign(s)
+
+		v, ok := verdicts[typeName]
+		if !ok {
+			if claimSI || claimPA {
+				t.Errorf("%s (%s): claims markers at runtime but puremark sees no claim", s.Name(), typeName)
+			}
+			continue
+		}
+		if v.ClaimsSeedInvariant != claimSI {
+			t.Errorf("%s (%s): runtime SeedInvariant=%v but static claim=%v (marker body not a constant?)",
+				s.Name(), typeName, claimSI, v.ClaimsSeedInvariant)
+		}
+		if v.ClaimsPureAssign != claimPA {
+			t.Errorf("%s (%s): runtime PureAssign=%v but static claim=%v (marker body not a constant?)",
+				s.Name(), typeName, claimPA, v.ClaimsPureAssign)
+		}
+		if claimSI && !v.ProvenSeedInvariant {
+			t.Errorf("%s (%s): claims SeedInvariant but puremark cannot prove it: %s", s.Name(), typeName, v.SeedWhy)
+		}
+		if claimPA && !v.ProvenPureAssign {
+			t.Errorf("%s (%s): claims PureAssign but puremark cannot prove it: %s", s.Name(), typeName, v.PureWhy)
+		}
+
+		// Runtime half of the SeedInvariant contract: the full decision
+		// digest must not move across seeds. Fresh instance per run —
+		// schedulers are stateful.
+		digest := func(seed int64) uint64 {
+			r, err := simulator.Run(d, p, mk(), simulator.Options{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", s.Name(), seed, err)
+			}
+			return replay.Digest(r)
+		}
+		d1, d2 := digest(1), digest(2)
+		if claimSI && d1 != d2 {
+			t.Errorf("%s (%s): claims SeedInvariant but digests differ across seeds: %#x != %#x",
+				s.Name(), typeName, d1, d2)
+		}
+		if s.Name() == "random" && d1 == d2 {
+			t.Errorf("random: digests coincide across seeds 1,2; the runtime check has lost its teeth")
+		}
+	}
+}

@@ -1,0 +1,690 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the bottom-up half of the interprocedural engine: the
+// fixpoint solver over the call graph built in callgraph.go, the
+// class-hierarchy widening for interface dispatch, witness chains, hot-path
+// reachability, and the marker-verdict API the registry drift test consumes.
+
+type implTarget struct {
+	node *FuncNode
+	ext  *types.Func
+}
+
+// solve iterates the monotone effect transfer until nothing grows. The
+// lattice is a fixed-width bitset per node plus a ParamCalls mask, so
+// termination is immediate; the loop is a plain round-robin worklist —
+// program sizes here (a few hundred nodes) don't justify SCC ordering.
+func (p *Program) solve() {
+	for _, n := range p.all {
+		n.Summary = n.intrinsic
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range p.all {
+			if p.update(n) {
+				changed = true
+			}
+		}
+	}
+	p.solved = true
+}
+
+func (p *Program) update(n *FuncNode) bool {
+	sum := n.Summary | n.intrinsic
+	pc := n.ParamCalls
+	for _, e := range n.edges {
+		s, m := p.foldEdge(n, e)
+		sum |= s
+		pc |= m
+	}
+	if sum != n.Summary || pc != n.ParamCalls {
+		n.Summary = sum
+		n.ParamCalls = pc
+		return true
+	}
+	return false
+}
+
+// foldEdge translates one call site's contribution into the caller's frame:
+// callee mutation bits are re-rooted through the receiver/argument roots,
+// and callee ParamCalls bits are substituted with the actual arguments.
+func (p *Program) foldEdge(n *FuncNode, e *callEdge) (Effects, uint32) {
+	switch {
+	case e.contract:
+		return 0, 0
+	case e.paramIdx >= 0:
+		return 0, 1 << uint(e.paramIdx)
+	case e.callee != nil:
+		return p.foldTarget(n, e, e.callee, nil)
+	case e.ext != nil:
+		return p.foldTarget(n, e, nil, e.ext)
+	case e.ifaceKey != "":
+		var sum Effects
+		var pc uint32
+		for _, t := range p.implementers(e.ifaceKey) {
+			s, m := p.foldTarget(n, e, t.node, t.ext)
+			sum |= s
+			pc |= m
+		}
+		return sum, pc
+	case e.bindObj != nil:
+		targets := p.binds[e.bindObj]
+		if len(targets) == 0 {
+			p.witnessEdge(n, EffUnknown, e, nil, "calls opaque function value "+e.bindObj.Name())
+			return EffUnknown, 0
+		}
+		var sum Effects
+		var pc uint32
+		for _, bt := range targets {
+			s, m := p.foldBound(n, e, bt)
+			sum |= s
+			pc |= m
+		}
+		return sum, pc
+	default:
+		p.witnessEdge(n, EffUnknown, e, nil, "calls an unresolvable function value")
+		return EffUnknown, 0
+	}
+}
+
+func (p *Program) foldBound(n *FuncNode, e *callEdge, bt boundTarget) (Effects, uint32) {
+	switch {
+	case bt.contract:
+		return 0, 0
+	case bt.unknown:
+		p.witnessEdge(n, EffUnknown, e, nil, "calls an unresolvable function value")
+		return EffUnknown, 0
+	default:
+		saved := e.recvRoot
+		e.recvRoot = bt.recvRoot
+		s, m := p.foldTarget(n, e, bt.node, bt.ext)
+		e.recvRoot = saved
+		return s, m
+	}
+}
+
+// foldTarget folds one concrete callee (loaded node or external function).
+func (p *Program) foldTarget(n *FuncNode, e *callEdge, callee *FuncNode, ext *types.Func) (Effects, uint32) {
+	var calleeSum Effects
+	var calleePC uint32
+	var label string
+	if callee != nil {
+		calleeSum = callee.Summary
+		calleePC = callee.ParamCalls
+		label = callee.Name
+	} else {
+		s := extEffectsOf(ext)
+		calleeSum = s.effects
+		calleePC = s.paramCalls
+		label = extLabel(ext)
+	}
+
+	out := calleeSum &^ (EffMutatesReceiver | EffMutatesArg)
+	if calleeSum&EffMutatesReceiver != 0 {
+		out |= translateMutation(e.recvRoot)
+	}
+	if calleeSum&EffMutatesArg != 0 {
+		for _, a := range e.args {
+			out |= translateMutation(a.root)
+		}
+		if len(e.args) == 0 {
+			out |= translateMutation(e.recvRoot)
+		}
+	}
+
+	var pc uint32
+	if calleePC != 0 {
+		for k := 0; k < 32 && calleePC>>uint(k) != 0; k++ {
+			if calleePC&(1<<uint(k)) == 0 || k >= len(e.args) {
+				continue
+			}
+			a := e.args[k]
+			switch {
+			case !a.isFunc || a.contract:
+			case a.param >= 0:
+				pc |= 1 << uint(a.param)
+			case len(a.targets) > 0:
+				for _, bt := range a.targets {
+					s, m := p.foldBound(n, e, bt)
+					out |= s
+					pc |= m
+				}
+			default:
+				p.witnessEdge(n, EffUnknown, e, nil, "passes an unresolvable function value to "+label)
+				out |= EffUnknown
+			}
+		}
+	}
+
+	// Record witnesses for bits this call introduces.
+	for _, ew := range effNames {
+		if out&ew.bit != 0 {
+			p.witnessEdge(n, ew.bit, e, callee, "calls "+label)
+		}
+	}
+	return out, pc
+}
+
+func translateMutation(r root) Effects {
+	switch r.kind {
+	case rootRecv:
+		return EffMutatesReceiver
+	case rootParam, rootCaptured, rootUnknown:
+		return EffMutatesArg
+	case rootGlobal:
+		return EffMutatesGlobal
+	default:
+		return 0
+	}
+}
+
+func extLabel(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if tn := namedTypeNameOf(sig.Recv().Type()); tn != "" {
+			return fn.Pkg().Name() + "." + tn + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+func (p *Program) witnessEdge(n *FuncNode, bit Effects, e *callEdge, via *FuncNode, what string) {
+	if _, ok := n.wit[bit]; ok {
+		return
+	}
+	n.wit[bit] = &Witness{Pos: n.Unit.Fset.Position(e.pos), What: what, Via: via}
+}
+
+// WitnessChain renders why n carries the given effect bit, following call
+// witnesses into callees: "calls (*dm).score at sched.go:120: ranges over a
+// map at sched.go:88".
+func (p *Program) WitnessChain(n *FuncNode, bit Effects) string {
+	var parts []string
+	seen := map[*FuncNode]bool{}
+	for n != nil && !seen[n] {
+		seen[n] = true
+		w := n.wit[bit]
+		if w == nil {
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%s at %s:%d", w.What, shortFile(w.Pos.Filename), w.Pos.Line))
+		if w.Via == nil {
+			break
+		}
+		n = w.Via
+		// A callee witness may explain the bit pre-translation (receiver
+		// mutation became arg mutation); fall back across mutation bits.
+		if n.wit[bit] == nil {
+			for _, alt := range []Effects{EffMutatesReceiver, EffMutatesArg, EffMutatesGlobal} {
+				if bit&(EffMutatesReceiver|EffMutatesArg|EffMutatesGlobal) != 0 && n.wit[alt] != nil {
+					bit = alt
+					break
+				}
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return bit.String()
+	}
+	return strings.Join(parts, ": ")
+}
+
+func shortFile(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// implementers resolves an interface method to its concrete implementations
+// over the program's named types — class-hierarchy analysis under a
+// closed-world reading of the loaded units. Because the same type appears
+// in different type universes across units, satisfaction is checked by
+// method-name + signature-string matching rather than types.Implements.
+func (p *Program) implementers(ifaceKey string) []implTarget {
+	if ts, ok := p.implCache[ifaceKey]; ok {
+		return ts
+	}
+	var out []implTarget
+	methodName, ifaceSig := p.ifaceMethod(ifaceKey)
+	if methodName != "" {
+		for _, ni := range p.namedTypes {
+			if types.IsInterface(ni.named.Underlying()) {
+				continue
+			}
+			ms := types.NewMethodSet(types.NewPointer(ni.named))
+			sel := ms.Lookup(nil, methodName)
+			if sel == nil {
+				continue
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok || sigString(fn) != ifaceSig {
+				continue
+			}
+			// The type must satisfy the whole interface, not just this
+			// method, or unrelated same-named methods widen the dispatch.
+			if !p.satisfiesIface(ni.named, ifaceKey) {
+				continue
+			}
+			if node := p.byName[fn.FullName()]; node != nil {
+				out = append(out, implTarget{node: node})
+			} else {
+				out = append(out, implTarget{ext: fn})
+			}
+		}
+	}
+	p.implCache[ifaceKey] = out
+	return out
+}
+
+// ifaceMethod recovers the method name and signature string from an
+// interface-method FullName key by locating any types.Func with that name
+// among the units' scopes. The key format is "(pkg/path.Iface).Method".
+func (p *Program) ifaceMethod(key string) (name, sig string) {
+	if fn := p.lookupIfaceFunc(key); fn != nil {
+		return fn.Name(), sigString(fn)
+	}
+	return "", ""
+}
+
+func (p *Program) lookupIfaceFunc(key string) *types.Func {
+	inner := strings.TrimPrefix(key, "(")
+	tpath, method, ok := strings.Cut(inner, ").")
+	if !ok {
+		return nil
+	}
+	dot := strings.LastIndexByte(tpath, '.')
+	if dot < 0 {
+		return nil
+	}
+	pkgPath, tname := tpath[:dot], tpath[dot+1:]
+	for _, ni := range p.namedTypes {
+		if ni.named.Obj().Pkg() == nil || ni.named.Obj().Pkg().Path() != pkgPath || ni.named.Obj().Name() != tname {
+			continue
+		}
+		iface, ok := ni.named.Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for i := 0; i < iface.NumMethods(); i++ {
+			if iface.Method(i).Name() == method {
+				return iface.Method(i)
+			}
+		}
+	}
+	// The interface type may live outside the loaded units (export data
+	// only); resolve through any unit's import graph.
+	for _, u := range p.Units {
+		if fn := findImportedIfaceFunc(u.Pkg, pkgPath, tname, method, map[*types.Package]bool{}); fn != nil {
+			return fn
+		}
+	}
+	return nil
+}
+
+func findImportedIfaceFunc(pkg *types.Package, path, tname, method string, seen map[*types.Package]bool) *types.Func {
+	if pkg == nil || seen[pkg] {
+		return nil
+	}
+	seen[pkg] = true
+	if pkg.Path() == path {
+		if tn, ok := pkg.Scope().Lookup(tname).(*types.TypeName); ok {
+			if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+				for i := 0; i < iface.NumMethods(); i++ {
+					if iface.Method(i).Name() == method {
+						return iface.Method(i)
+					}
+				}
+			}
+		}
+		return nil
+	}
+	for _, imp := range pkg.Imports() {
+		if fn := findImportedIfaceFunc(imp, path, tname, method, seen); fn != nil {
+			return fn
+		}
+	}
+	return nil
+}
+
+// satisfiesIface checks interface satisfaction across type universes: every
+// interface method must exist on *T with an identical signature string.
+func (p *Program) satisfiesIface(named *types.Named, ifaceKey string) bool {
+	ifn := p.lookupIfaceFunc(ifaceKey)
+	if ifn == nil {
+		return false
+	}
+	sig, ok := ifn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		sel := ms.Lookup(nil, m.Name())
+		if sel == nil {
+			return false
+		}
+		fn, ok := sel.Obj().(*types.Func)
+		if !ok || sigString(fn) != sigString(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// sigString renders a function's parameter/result signature with full
+// package paths, the comparable-across-universes form.
+func sigString(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	clean := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	return types.TypeString(clean, nil)
+}
+
+// computeHotReach walks call edges from //chol:hotpath roots, marking every
+// loaded declared function reachable without crossing a //chollint:hotcall
+// call site. Literal nodes are skipped: a literal's body nests inside some
+// declaration and is scanned with it.
+func (p *Program) computeHotReach() {
+	p.hotReach = map[*FuncNode]hotPath{}
+	var queue []*FuncNode
+	for _, n := range p.all {
+		if n.Hot && n.Decl != nil {
+			p.hotReach[n] = hotPath{rootNode: n}
+			queue = append(queue, n)
+		}
+	}
+	enqueue := func(from, to *FuncNode, pos token.Pos) {
+		if to == nil {
+			return
+		}
+		if to.Lit != nil {
+			to = declOf(to)
+			if to == nil {
+				return
+			}
+		}
+		if _, ok := p.hotReach[to]; ok {
+			return
+		}
+		hp := p.hotReach[from]
+		p.hotReach[to] = hotPath{rootNode: hp.rootNode, via: from, pos: from.Unit.Fset.Position(pos)}
+		queue = append(queue, to)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		// A declaration's literals call with its hotness.
+		for _, m := range p.all {
+			if m.Lit != nil && declOf(m) == n {
+				for _, e := range m.edges {
+					p.enqueueEdge(enqueue, n, e)
+				}
+			}
+		}
+		for _, e := range n.edges {
+			p.enqueueEdge(enqueue, n, e)
+		}
+	}
+}
+
+func (p *Program) enqueueEdge(enqueue func(from, to *FuncNode, pos token.Pos), from *FuncNode, e *callEdge) {
+	if e.noHot {
+		return
+	}
+	switch {
+	case e.callee != nil:
+		enqueue(from, e.callee, e.pos)
+	case e.ifaceKey != "":
+		for _, t := range p.implementers(e.ifaceKey) {
+			enqueue(from, t.node, e.pos)
+		}
+	case e.bindObj != nil:
+		for _, bt := range p.binds[e.bindObj] {
+			enqueue(from, bt.node, e.pos)
+		}
+	}
+	for _, a := range e.args {
+		for _, bt := range a.targets {
+			enqueue(from, bt.node, e.pos)
+		}
+	}
+}
+
+func declOf(n *FuncNode) *FuncNode {
+	for n != nil && n.Lit != nil {
+		n = n.enclosing
+	}
+	return n
+}
+
+// FuncNodeOf returns the node for a declared function, resolving across
+// type universes, or nil.
+func (p *Program) FuncNodeOf(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return p.byName[fn.FullName()]
+}
+
+// MethodNode resolves the named method in T's method set to its node.
+func (p *Program) MethodNode(named *types.Named, name string) *FuncNode {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	sel := ms.Lookup(nil, name)
+	if sel == nil {
+		return nil
+	}
+	fn, _ := sel.Obj().(*types.Func)
+	return p.FuncNodeOf(fn)
+}
+
+// constBoolMethod reports whether T's method set has the named niladic bool
+// method and, if its body is loaded and is a single constant return, that
+// constant. ok is false when the method is absent or unprovable.
+func (p *Program) constBoolMethod(named *types.Named, name string) (val, ok bool) {
+	n := p.MethodNode(named, name)
+	if n == nil || n.Decl == nil || n.Decl.Body == nil || len(n.Decl.Body.List) != 1 {
+		return false, false
+	}
+	ret, okRet := n.Decl.Body.List[0].(*ast.ReturnStmt)
+	if !okRet || len(ret.Results) != 1 {
+		return false, false
+	}
+	id, okID := ast.Unparen(ret.Results[0]).(*ast.Ident)
+	if !okID {
+		return false, false
+	}
+	switch id.Name {
+	case "true":
+		return true, true
+	case "false":
+		return false, true
+	}
+	return false, false
+}
+
+// MarkerVerdict is the static judgment for one scheduler type claiming the
+// sched.SeedInvariant / sched.PureAssign marker interfaces.
+type MarkerVerdict struct {
+	Type string // package-qualified, e.g. "sched.dmdar"
+
+	ClaimsSeedInvariant bool
+	ClaimsPureAssign    bool
+
+	ProvenSeedInvariant bool
+	ProvenPureAssign    bool
+
+	SeedWhy string // witness chain when unproven
+	PureWhy string
+}
+
+// Effect sets that refute each marker. PureAssign ("Assign and Priority
+// read but never write the scheduler") fails on receiver/global writes;
+// argument mutation is excluded because the simulator's View state is
+// legitimately written through it elsewhere and the contract is about the
+// scheduler object. SeedInvariant fails on any seed-dependent source:
+// RNGs (all RNG state here descends from Options.Seed), clocks, and
+// nondeterministic map iteration.
+const (
+	pureAssignFail    = EffMutatesReceiver | EffMutatesGlobal | EffUnknown
+	seedInvariantFail = EffReadsRand | EffReadsClock | EffRangesMap | EffUnknown
+	// contractFail refutes a //chol:pure acquisition: the value may be
+	// called from hot, replayed decision paths, so it must neither write
+	// any externally visible state nor consume a seed-dependent source.
+	contractFail = pureAssignFail | seedInvariantFail | EffMutatesArg | EffBlocks
+)
+
+// MarkerVerdicts judges every named type in the program that claims either
+// marker, in deterministic order.
+func (p *Program) MarkerVerdicts() []MarkerVerdict {
+	var out []MarkerVerdict
+	seen := map[string]bool{}
+	for _, ni := range p.namedTypes {
+		if types.IsInterface(ni.named.Underlying()) {
+			continue
+		}
+		key := qualifiedTypeName(ni.named.Obj())
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		si, siOK := p.constBoolMethod(ni.named, "SeedInvariant")
+		pa, paOK := p.constBoolMethod(ni.named, "PureAssign")
+		if !siOK && !paOK {
+			continue
+		}
+		v := MarkerVerdict{
+			Type:                displayTypeName(ni.named),
+			ClaimsSeedInvariant: siOK && si,
+			ClaimsPureAssign:    paOK && pa,
+		}
+		v.ProvenPureAssign, v.PureWhy = p.proveMarker(ni.named, pureAssignFail, []string{"Assign", "Priority"}, false)
+		v.ProvenSeedInvariant, v.SeedWhy = p.proveMarker(ni.named, seedInvariantFail, []string{"Assign", "Priority", "Init"}, true)
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Type < out[j].Type })
+	return out
+}
+
+func displayTypeName(named *types.Named) string {
+	if pkg := named.Obj().Pkg(); pkg != nil {
+		return pkg.Name() + "." + named.Obj().Name()
+	}
+	return named.Obj().Name()
+}
+
+// proveMarker checks the fail mask over the named methods; checkSeedParam
+// additionally requires Init to ignore its seed parameter.
+func (p *Program) proveMarker(named *types.Named, fail Effects, methods []string, checkSeedParam bool) (bool, string) {
+	for _, m := range methods {
+		n := p.MethodNode(named, m)
+		if n == nil {
+			ms := types.NewMethodSet(types.NewPointer(named))
+			if ms.Lookup(nil, m) != nil {
+				return false, m + " has no loaded body"
+			}
+			continue // type doesn't have the method: nothing to refute
+		}
+		if bad := n.Summary & fail; bad != 0 {
+			bit := lowestBit(bad)
+			return false, fmt.Sprintf("%s %s: %s", n.Name, bit, p.WitnessChain(n, bit))
+		}
+		if checkSeedParam && m == "Init" {
+			if why := p.seedParamUse(n); why != "" {
+				return false, why
+			}
+		}
+	}
+	return true, ""
+}
+
+// seedParamUse reports a non-empty reason when Init consumes a parameter
+// named "seed" (by convention the sched.Scheduler Init seed). Forwarding
+// the seed verbatim to a loaded callee that itself provably ignores it is
+// benign — the embedding pattern (partition.Init → dm.Init) does exactly
+// that; any other reference refutes the claim.
+func (p *Program) seedParamUse(n *FuncNode) string {
+	var seedObj types.Object
+	for _, o := range n.ownParams {
+		if o.Name() == "seed" {
+			seedObj = o
+		}
+	}
+	return p.seedConsumed(n, seedObj, map[*FuncNode]bool{})
+}
+
+func (p *Program) seedConsumed(n *FuncNode, seedObj types.Object, seen map[*FuncNode]bool) string {
+	if seedObj == nil || n.Decl == nil || seen[n] {
+		return ""
+	}
+	seen[n] = true
+	info := n.Unit.Info
+	// First pass: identifier occurrences that are verbatim forwards to a
+	// loaded static callee, judged by recursing into the callee's use of
+	// the corresponding parameter.
+	benign := map[*ast.Ident]bool{}
+	var why string
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok || why != "" {
+			return why == ""
+		}
+		for i, a := range call.Args {
+			id, isIdent := ast.Unparen(a).(*ast.Ident)
+			if !isIdent || info.Uses[id] != seedObj {
+				continue
+			}
+			fn := calleeFunc(info, call)
+			var target *FuncNode
+			if fn != nil {
+				target = p.byName[fn.FullName()]
+			}
+			if target == nil || i >= len(target.ownParams) {
+				return true // not a benign forward; second pass reports it
+			}
+			if sub := p.seedConsumed(target, target.ownParams[i], seen); sub != "" {
+				why = sub
+				return false
+			}
+			benign[id] = true
+		}
+		return true
+	})
+	if why != "" {
+		return why
+	}
+	var use token.Pos
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok && info.Uses[id] == seedObj && !benign[id] && !use.IsValid() {
+			use = id.Pos()
+		}
+		return true
+	})
+	if use.IsValid() {
+		pos := n.Unit.Fset.Position(use)
+		return fmt.Sprintf("%s reads its seed parameter at %s:%d", n.Name, shortFile(pos.Filename), pos.Line)
+	}
+	return ""
+}
+
+func lowestBit(e Effects) Effects {
+	return e & -e
+}

@@ -1,0 +1,33 @@
+// Package helpers holds callees reached from the hot package's
+// //chol:hotpath root: hotcall must carry the hot-path allocation discipline
+// across the package boundary and into interface implementations.
+package helpers
+
+// Sum is hot-safe: no allocation.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Grow allocates; it is two edges from the hot root ((*Engine).Step →
+// localHelper → Grow), so the finding must name the propagation chain.
+func Grow(xs []int) []int {
+	out := make([]int, len(xs))  // want `make in hot path helpers\.Grow \(reachable from //chol:hotpath \(\*Engine\)\.Step via hot\.localHelper\) allocates`
+	scratch := make([]int, 0, 4) //chollint:alloc measured scratch, reused by caller
+	_ = scratch
+	copy(out, xs)
+	return out
+}
+
+// BoxySizer implements hot.Sizer; CHA widens the root's interface dispatch
+// here, so the boxing conversion is a hot-path finding.
+type BoxySizer struct{}
+
+func (BoxySizer) Size(xs []int) int {
+	box := any(len(xs)) // want `conversion to interface any in hot path \(BoxySizer\)\.Size \(reachable from //chol:hotpath \(\*Engine\)\.Step\) boxes its operand`
+	_ = box
+	return len(xs)
+}

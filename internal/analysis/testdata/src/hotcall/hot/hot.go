@@ -1,0 +1,39 @@
+// Package hot holds the //chol:hotpath root of the hotcall fixture. The
+// root itself is hotpathalloc's jurisdiction; hotcall must follow its call
+// graph into unannotated local helpers, across the package boundary, and
+// through interface dispatch — but not through //chollint:hotcall edges.
+package hot
+
+import "repro/internal/analysis/testdata/src/hotcall/helpers"
+
+// Sizer is implemented (only) by helpers.BoxySizer.
+type Sizer interface {
+	Size(xs []int) int
+}
+
+// Engine is the event-loop stand-in.
+type Engine struct {
+	s Sizer
+}
+
+// Step is the pinned hot function.
+//
+//chol:hotpath
+func (e *Engine) Step(xs []int) int {
+	n := localHelper(xs)
+	n += e.s.Size(xs)
+	n += helpers.Sum(coldPath(xs)) //chollint:hotcall cold setup, amortized over the run
+	return n
+}
+
+// localHelper is clean itself but drags helpers.Grow onto the hot path.
+func localHelper(xs []int) int {
+	ys := helpers.Grow(xs)
+	return helpers.Sum(ys)
+}
+
+// coldPath allocates, but its only call site cuts the hot edge with
+// //chollint:hotcall, so it must not be flagged.
+func coldPath(xs []int) []int {
+	return append([]int{}, xs...)
+}

@@ -1,0 +1,106 @@
+// Package service is the leakguard fixture; the directory suffix
+// internal/service puts it inside the analyzer's scope. Each start* method
+// spawns one goroutine shape: the unguarded infinite loops are flagged, the
+// ctx-, close-, and comma-ok-gated ones pass, and the //chollint:leakok
+// escape excuses an externally joined pump.
+package service
+
+import "context"
+
+type hub struct {
+	frames chan int
+	done   chan struct{}
+}
+
+// startLeaky spawns a literal with an unconditional loop and no exit gate.
+func (h *hub) startLeaky() {
+	go func() { // want `goroutine may never exit`
+		for {
+			v := <-h.frames
+			_ = v
+		}
+	}()
+}
+
+// startMethod spawns a named method whose loaded body has the same leak.
+func (h *hub) startMethod() {
+	go h.run() // want `goroutine may never exit`
+}
+
+func (h *hub) run() {
+	for {
+		_ = <-h.frames
+	}
+}
+
+// startGated selects on ctx.Done — passes.
+func (h *hub) startGated(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case v := <-h.frames:
+				_ = v
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// startRange ranges the channel; close(h.frames) ends it — passes.
+func (h *hub) startRange() {
+	go func() {
+		for v := range h.frames {
+			_ = v
+		}
+	}()
+}
+
+// startCommaOk exits on channel close via the comma-ok receive — passes.
+func (h *hub) startCommaOk() {
+	go func() {
+		for {
+			v, ok := <-h.frames
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// startDone receives from a done-named channel — passes.
+func (h *hub) startDone() {
+	go func() {
+		for {
+			select {
+			case v := <-h.frames:
+				_ = v
+			case <-h.done:
+				return
+			}
+		}
+	}()
+}
+
+// startBounded's loop has a condition; termination is the loop's own
+// business, not leakguard's — passes.
+func (h *hub) startBounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			h.frames <- i
+		}
+	}()
+}
+
+// startJoined leaks by the analyzer's lights but is joined by its owner's
+// Close path; the escape documents that.
+func (h *hub) startJoined() {
+	go h.pump() //chollint:leakok joined by (*hub).Close in the owning test harness
+}
+
+func (h *hub) pump() {
+	for {
+		_ = <-h.frames
+	}
+}

@@ -1,0 +1,46 @@
+// Package base is the shared half of the puremark fixture: task types, a
+// pure helper, an impure helper, and an interface whose implementations the
+// ext package dispatches through across the package boundary.
+package base
+
+type Task struct {
+	ID   int
+	prio map[int]int
+}
+
+// Score is pure: reads only.
+func Score(t *Task) int { return t.ID * 2 }
+
+// WorstScore iterates a map — seed-dependent order, so any marker claim
+// reaching it transitively is unprovable.
+func WorstScore(t *Task) int {
+	worst := 0
+	for _, v := range t.prio {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Estimator is dispatched through an interface from the ext package; CHA
+// must widen the call to both implementations below.
+type Estimator interface {
+	Estimate(t *Task) int
+}
+
+// CleanEstimator's method is pure.
+type CleanEstimator struct{}
+
+func (CleanEstimator) Estimate(t *Task) int { return t.ID }
+
+// DirtyEstimator's method ranges a map.
+type DirtyEstimator struct{ hits map[int]int }
+
+func (d DirtyEstimator) Estimate(t *Task) int {
+	total := 0
+	for _, v := range d.hits {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,112 @@
+// Package ext declares marker-claiming scheduler stand-ins whose proof
+// obligations cross the package boundary into base: transitive calls,
+// interface dispatch widened by CHA, promoted claims from embedded types,
+// and //chol:pure contract acquisitions.
+package ext
+
+import "repro/internal/analysis/testdata/src/puremark/base"
+
+// good claims both markers and is provable: Assign/Priority only read, and
+// Init mutates the receiver (allowed — only Assign/Priority are constrained)
+// without touching its seed.
+type good struct {
+	prio []int
+}
+
+func (s *good) SeedInvariant() bool { return true }
+func (s *good) PureAssign() bool    { return true }
+
+func (s *good) Init(p int, seed int64) { s.prio = append(s.prio, p) }
+
+func (s *good) Assign(t *base.Task) int { return base.Score(t) }
+
+func (s *good) Priority(t *base.Task) int { return s.prio[0] }
+
+// selfmut claims PureAssign but Assign writes the receiver.
+type selfmut struct{ hits int } // want `selfmut claims PureAssign but the claim is unprovable: \(\*selfmut\)\.Assign mutates-receiver: writes s\.hits`
+
+func (s *selfmut) PureAssign() bool { return true }
+
+func (s *selfmut) Assign(t *base.Task) int {
+	s.hits++
+	return s.hits
+}
+
+// mapranger claims SeedInvariant but Assign reaches a map range two hops
+// away, in the other package.
+type mapranger struct{} // want `mapranger claims SeedInvariant but the claim is unprovable: \(\*mapranger\)\.Assign ranges-map-nondet: calls base\.WorstScore .*: ranges over a map`
+
+func (mapranger) SeedInvariant() bool { return true }
+
+func (*mapranger) Assign(t *base.Task) int { return base.WorstScore(t) }
+
+// widened claims SeedInvariant; its Assign dispatches through
+// base.Estimator, which CHA widens to DirtyEstimator's map range.
+type widened struct{ est base.Estimator } // want `widened claims SeedInvariant but the claim is unprovable: \(\*widened\)\.Assign ranges-map-nondet: calls \(DirtyEstimator\)\.Estimate .*: ranges over a map`
+
+func (w *widened) SeedInvariant() bool { return true }
+
+func (w *widened) Assign(t *base.Task) int { return w.est.Estimate(t) }
+
+// seeduser claims SeedInvariant but Init consumes its seed.
+type seeduser struct{ r int64 } // want `seeduser claims SeedInvariant but the claim is unprovable: \(\*seeduser\)\.Init reads its seed parameter`
+
+func (s *seeduser) SeedInvariant() bool { return true }
+
+func (s *seeduser) Init(p int, seed int64) { s.r = seed }
+
+func (s *seeduser) Assign(t *base.Task) int { return int(s.r) }
+
+// forwarder embeds good (the claim is promoted) and forwards its seed
+// verbatim to a callee that ignores it — benign, so no diagnostic.
+type forwarder struct{ good }
+
+func (f *forwarder) Init(p int, seed int64) { f.good.Init(p, seed) }
+
+// escaped's Assign impurity is decision-invariant (a counter that never
+// feeds a decision); the claim is excused, with the digest suite as the
+// justification.
+//
+//chollint:pure counter never feeds a decision; pinned by digest tests
+type escaped struct{ n int }
+
+func (e *escaped) PureAssign() bool { return true }
+
+func (e *escaped) Assign(t *base.Task) int {
+	e.n++
+	return t.ID
+}
+
+// Allow is the //chol:pure contract fixture: values stored into it must be
+// proven effect-free because calls through it are trusted.
+//
+//chol:pure
+type Allow func(t *base.Task) []int
+
+var counter int
+
+// BadHint stores an impure closure into the contract at a return site.
+func BadHint() Allow {
+	return func(t *base.Task) []int { // want `function value stored into //chol:pure type ext\.Allow is not provably pure: .*mutates-global: writes counter`
+		counter++
+		return nil
+	}
+}
+
+// GoodHint's closure allocates, which the contract allows.
+func GoodHint() Allow {
+	return func(t *base.Task) []int { return []int{t.ID} }
+}
+
+// Use is a sink so assignments and call arguments are acquisition sites too.
+func Use(a Allow) {}
+
+func CallSites() {
+	Use(func(t *base.Task) []int { return nil })
+	var a Allow
+	a = func(t *base.Task) []int { // want `function value stored into //chol:pure type ext\.Allow is not provably pure: .*mutates-global: writes counter`
+		counter += 2
+		return nil
+	}
+	Use(a)
+}

@@ -104,9 +104,9 @@ type prob struct {
 	taskGroup []int32
 	groupKind []graph.Kind
 	groupNB   []int
-	workerOf   [][]int     // per internal class, its workers
-	workerCi   []int       // per worker, its internal class index
-	nTasks     int
+	workerOf  [][]int // per internal class, its workers
+	workerCi  []int   // per worker, its internal class index
+	nTasks    int
 
 	baseIndeg []int
 	roots     []int

@@ -437,6 +437,10 @@ func runRoundParallel(ctx context.Context, base *solver, pool []*solver, subtree
 	var wg sync.WaitGroup
 	for w := range pool {
 		wg.Add(1)
+		// The worker loop's ctx.Err() check is load-bearing twice over: it is
+		// the cancellation path the cancel tests pin, and it is the exit gate
+		// chollint's leakguard analyzer requires of every goroutine spawned in
+		// this package.
 		go func(sv *solver) {
 			defer wg.Done()
 			for {

@@ -200,7 +200,7 @@ func (p *Platform) WorkerClass(w int) int {
 		}
 		w -= p.Classes[i].Count
 	}
-	panic(fmt.Sprintf("platform: worker %d out of range", w))
+	panic(fmt.Sprintf("platform: worker %d out of range", w)) //chollint:hotcall abort path
 }
 
 // ClassWorkers returns the global worker IDs of class r.

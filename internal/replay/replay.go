@@ -18,6 +18,13 @@
 //
 // Correctness contract: replay is valid only if it is digest-identical to
 // serial (see Digest); approximate equality is a bug, not a tolerance.
+//
+// The marker claims this package keys on (sched.SeedInvariant for the
+// seed-collapse, sched.PureAssign for delta resumption) are not trusted:
+// chollint's puremark analyzer proves each one against interprocedural
+// effect summaries of Assign/Priority/Init, and the registry drift test in
+// internal/analysis cross-checks the static verdicts against runtime digest
+// behavior for every registered scheduler family.
 package replay
 
 import (

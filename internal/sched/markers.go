@@ -1,5 +1,10 @@
 package sched
 
+// The marker interfaces below are claims with teeth: chollint's puremark
+// analyzer (internal/analysis) proves every `return true` body against
+// interprocedural effect summaries — a claim it cannot prove is a lint
+// failure, not a comment. See DESIGN.md, "Static analysis".
+
 // SeedInvariant is an optional Scheduler extension declaring that the policy
 // ignores the Init seed entirely: for a fixed (DAG, platform), runs under any
 // two seeds produce identical decisions. internal/replay uses it to collapse

@@ -104,6 +104,16 @@ type Gater interface {
 // AllowFunc (or a nil return) means all classes are allowed. This is the
 // hook through which the paper's static hints are injected into the dynamic
 // policies.
+//
+// AllowFuncs are called from //chol:hotpath Assign under the SeedInvariant/
+// PureAssign marker contracts, so they must be pure: no writes to any
+// reachable state, no clocks, RNGs, blocking, or nondeterministic map
+// iteration. The //chol:pure directive below makes chollint's puremark
+// analyzer enforce exactly that at every site where a function value
+// becomes an AllowFunc, and lets the interprocedural engine trust calls
+// through the type in return.
+//
+//chol:pure
 type AllowFunc func(t *graph.Task) []int
 
 // ---------------------------------------------------------------------------
