@@ -27,7 +27,7 @@ bench:
 # Full pinned benchmark suite (see "Benchmarking & perf trajectory" in
 # README.md). Compare against a previous PR's file with -baseline-from.
 bench-pinned:
-	go run ./cmd/cholbench -out BENCH_PR8.json -baseline-from BENCH_PR7.json
+	go run ./cmd/cholbench -out BENCH_PR10.json -baseline-from BENCH_PR8.json
 
 # Live-observability smoke: cholserved up, one recorded run, SSE frames and
 # phase histograms asserted end to end (also a verify.yml step).

@@ -161,3 +161,39 @@ func deliberateSlowPath(err error) {
 		panic(fmt.Sprintf("hot: %v", err)) //chollint:alloc abort path
 	}
 }
+
+// Lane-style structure-of-arrays state: one flat lane-major slab carved into
+// per-lane windows with three-index slices, advanced in lockstep. The
+// simulator's lane batch (simulator.LaneBatch) follows this shape; the hot
+// advance must work entirely through the pre-carved windows.
+type laneSoA struct {
+	slab  []float64   // lane-major backing: lane i owns slab[i*w : (i+1)*w]
+	lanes [][]float64 // carved windows aliasing slab
+	heads []int       // per-lane queue head cursors
+}
+
+//chol:hotpath
+func laneAdvanceFine(s *laneSoA, dt float64) int {
+	// The lockstep sweep: every live lane steps once per call, reading and
+	// writing only through the carved windows — no per-call allocation.
+	live := 0
+	for li, lane := range s.lanes {
+		h := s.heads[li]
+		if h >= len(lane) {
+			continue
+		}
+		lane[h] += dt
+		s.heads[li] = h + 1
+		live++
+	}
+	return live
+}
+
+//chol:hotpath
+func laneCarveFlagged(s *laneSoA, nLanes, w int) {
+	s.lanes = s.lanes[:0]
+	for i := 0; i < nLanes; i++ {
+		s.lanes = append(s.lanes, s.slab[i*w:(i+1)*w:(i+1)*w]) // reslice append into retained field: amortized, exempt
+	}
+	s.heads = make([]int, nLanes) // want `make in hot path laneCarveFlagged allocates per call`
+}

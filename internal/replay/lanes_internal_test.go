@@ -1,0 +1,219 @@
+package replay
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+// TestLanesLazySplitResumes drives the snapshot-resume path directly: two
+// lanes whose jitter rows agree on every draw except the batch's
+// latest-starting task must lazily split — the follower resumes from a late
+// snapshot of the representative instead of simulating from scratch — and
+// its Result must still be bit-identical to a scratch run of the same row.
+func TestLanesLazySplitResumes(t *testing.T) {
+	d, p := graph.Cholesky(6), platform.Mirage()
+	pp, err := simulator.Prepare(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() sched.Scheduler { return sched.NewDMDAS() }
+	opt := simulator.Options{Overhead: true}
+
+	// Find the task that starts last under the base row's schedule: the
+	// follower diverges only there, so its reusable prefix is maximal.
+	baseSerial, err := simulator.Run(d, p, mk(), simulator.Options{Seed: 1, Overhead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastID := 0
+	for id := range baseSerial.Start {
+		if baseSerial.Start[id] > baseSerial.Start[lastID] {
+			lastID = id
+		}
+	}
+
+	n := len(d.Tasks)
+	baseRow := make([]float64, n)
+	simulator.JitterRow(1, baseRow)
+	followRow := append([]float64(nil), baseRow...)
+	followRow[lastID] = -followRow[lastID]
+	if followRow[lastID] == 0 { //chollint:floateq guard a zero draw, which negation would not change
+		followRow[lastID] = 0.5
+	}
+
+	specs := []laneSpec{
+		{seed: 1, mk: mk, row: baseRow},
+		{seed: 2, mk: mk, row: followRow},
+	}
+	run := func(lo LaneOptions) ([]*simulator.Result, *LaneStats) {
+		t.Helper()
+		sc := make([]laneSpec, len(specs))
+		copy(sc, specs)
+		stats := &LaneStats{}
+		res, err := runLanes(context.Background(), pp, opt, sc, 1, &Pool{}, lo, nil, stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, stats
+	}
+
+	gotResume, statsResume := run(LaneOptions{})
+	gotScratch, statsScratch := run(LaneOptions{NoResume: true, MergeStride: -1})
+	if statsResume.Resumed == 0 {
+		t.Fatalf("near-identical rows never resumed: %+v", statsResume)
+	}
+	if statsScratch.Resumed != 0 {
+		t.Fatalf("NoResume run resumed anyway: %+v", statsScratch)
+	}
+	for i := range specs {
+		if Digest(gotResume[i]) != Digest(gotScratch[i]) {
+			t.Errorf("lane %d: resumed digest %016x, scratch %016x", i, Digest(gotResume[i]), Digest(gotScratch[i]))
+		}
+	}
+	// The follower's schedule genuinely differs from the base's (the
+	// perturbed draw is consumed), so resume did not just clone the base.
+	if Digest(gotResume[0]) == Digest(gotResume[1]) {
+		t.Fatal("perturbed follower produced the base schedule — the divergent draw was never consumed")
+	}
+}
+
+// TestLanesRootDisagreementSkipsSnapshots: when no follower agrees with the
+// representative on the root draws (the genuine-jitter regime), the
+// lazy-split pre-pass must not run at all — no snapshot overhead, no
+// resumes.
+func TestLanesRootDisagreementSkipsSnapshots(t *testing.T) {
+	d, p := graph.Cholesky(5), platform.Mirage()
+	pp, err := simulator.Prepare(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() sched.Scheduler { return sched.NewDMDAS() }
+	specs := make([]laneSpec, 4)
+	n := len(d.Tasks)
+	for i := range specs {
+		row := make([]float64, n)
+		simulator.JitterRow(int64(i+1), row)
+		specs[i] = laneSpec{seed: int64(i + 1), mk: mk, row: row}
+	}
+	stats := &LaneStats{}
+	if _, err := runLanes(context.Background(), pp, simulator.Options{Overhead: true}, specs, 1, &Pool{}, LaneOptions{}, nil, stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 0 {
+		t.Fatalf("independent jitter rows resumed from snapshots: %+v", stats)
+	}
+	if stats.Simulated != len(specs) {
+		t.Fatalf("independent jitter rows did not all simulate: %+v", stats)
+	}
+}
+
+// TestPoolTrimsOversizeArena is the arena-retention regression: an arena
+// returned past the high-water cap is released to zero footprint, one under
+// the cap keeps its backing for reuse.
+func TestPoolTrimsOversizeArena(t *testing.T) {
+	d, p := graph.Cholesky(6), platform.Mirage()
+	pp, err := simulator.Prepare(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow := func(pool *Pool) *simulator.Arena {
+		t.Helper()
+		a := pool.Get()
+		if _, err := pp.Run(context.Background(), sched.NewDMDAS(), simulator.Options{}, a); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	tiny := &Pool{ArenaCapBytes: 1}
+	a := grow(tiny)
+	if a.Footprint() == 0 {
+		t.Fatal("run left the arena with zero footprint — trim test is vacuous")
+	}
+	tiny.Put(a)
+	if got := tiny.free[0].Footprint(); got != 0 {
+		t.Errorf("oversize arena pooled with footprint %d, want 0 (released)", got)
+	}
+
+	def := &Pool{}
+	a = grow(def)
+	def.Put(a)
+	if got := def.free[0].Footprint(); got == 0 {
+		t.Error("within-cap arena was trimmed — steady-state reuse lost")
+	}
+}
+
+// TestPoolTrimsOversizeBatch mirrors the arena trim for lane batches.
+func TestPoolTrimsOversizeBatch(t *testing.T) {
+	d, p := graph.Cholesky(5), platform.Mirage()
+	pp, err := simulator.Prepare(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow := func(pool *Pool) *simulator.LaneBatch {
+		lb := pool.GetBatch()
+		lb.Bind(pp, 4)
+		return lb
+	}
+
+	tiny := &Pool{BatchCapBytes: 1}
+	lb := grow(tiny)
+	if lb.Footprint() == 0 {
+		t.Fatal("bound batch has zero footprint — trim test is vacuous")
+	}
+	tiny.PutBatch(lb)
+	if got := tiny.batches[0].Footprint(); got != 0 {
+		t.Errorf("oversize batch pooled with footprint %d, want 0 (released)", got)
+	}
+
+	def := &Pool{}
+	lb = grow(def)
+	def.PutBatch(lb)
+	if got := def.batches[0].Footprint(); got == 0 {
+		t.Error("within-cap batch was trimmed — steady-state reuse lost")
+	}
+}
+
+// TestPoolSteadyStateAllocs pins the point of pooling: with a warmed pool,
+// a run over a recycled arena allocates strictly less than a run over a
+// fresh arena, and the default caps never trim the steady-state workload
+// (which would silently reintroduce the fresh-arena cost).
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	d, p := graph.Cholesky(6), platform.Mirage()
+	pp, err := simulator.Prepare(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	opt := simulator.Options{Overhead: true}
+	pool := &Pool{}
+	a := pool.Get()
+	if _, err := pp.Run(ctx, sched.NewDMDAS(), opt, a); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(a)
+
+	pooled := testing.AllocsPerRun(10, func() {
+		a := pool.Get()
+		if _, err := pp.Run(ctx, sched.NewDMDAS(), opt, a); err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(a)
+	})
+	fresh := testing.AllocsPerRun(10, func() {
+		if _, err := pp.Run(ctx, sched.NewDMDAS(), opt, &simulator.Arena{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if pooled >= fresh {
+		t.Errorf("pooled path allocates %.0f/op, fresh %.0f/op — arena reuse lost", pooled, fresh)
+	}
+	if len(pool.free) != 1 || pool.free[0].Footprint() == 0 {
+		t.Error("steady-state arena was trimmed under the default cap")
+	}
+}

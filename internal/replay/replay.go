@@ -75,12 +75,30 @@ func Digest(r *simulator.Result) uint64 {
 	return h.Sum64()
 }
 
-// Pool recycles simulator arenas across sweep jobs. Safe for concurrent use;
-// the zero value is ready. Arenas returned after failed or cancelled runs
-// are fine to reuse — every run fully resets the arena before touching it.
+// Default high-water caps for pooled per-run state: an arena or lane batch
+// returned with more retained backing memory than its cap is released to
+// zero before pooling, so one oversized sweep cannot pin its peak
+// allocation for the rest of the process. The caps are far above any
+// steady-state workload (a P=64 arena retains well under 1 MiB).
+const (
+	DefaultArenaCapBytes = 4 << 20  // per pooled Arena
+	DefaultBatchCapBytes = 64 << 20 // per pooled LaneBatch
+)
+
+// Pool recycles simulator arenas and lane batches across sweep jobs. Safe
+// for concurrent use; the zero value is ready. Arenas returned after failed
+// or cancelled runs are fine to reuse — every run fully resets the arena
+// before touching it.
 type Pool struct {
-	mu   sync.Mutex
-	free []*simulator.Arena
+	mu      sync.Mutex
+	free    []*simulator.Arena
+	batches []*simulator.LaneBatch
+
+	// ArenaCapBytes and BatchCapBytes bound the backing memory one pooled
+	// arena/batch may retain (the high-water trim on Put): 0 picks the
+	// defaults above, negative disables trimming.
+	ArenaCapBytes int
+	BatchCapBytes int
 }
 
 // Get returns a pooled arena, or a fresh one when the pool is empty.
@@ -96,13 +114,52 @@ func (p *Pool) Get() *simulator.Arena {
 	return &simulator.Arena{}
 }
 
-// Put returns an arena to the pool.
+// Put returns an arena to the pool, trimming it first when its retained
+// footprint exceeds the high-water cap.
 func (p *Pool) Put(a *simulator.Arena) {
 	if a == nil {
 		return
 	}
 	p.mu.Lock()
+	capB := p.ArenaCapBytes
+	if capB == 0 {
+		capB = DefaultArenaCapBytes
+	}
+	if capB > 0 && a.Footprint() > capB {
+		a.Release()
+	}
 	p.free = append(p.free, a)
+	p.mu.Unlock()
+}
+
+// GetBatch returns a pooled lane batch, or a fresh one when none is free.
+func (p *Pool) GetBatch() *simulator.LaneBatch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.batches); n > 0 {
+		lb := p.batches[n-1]
+		p.batches[n-1] = nil
+		p.batches = p.batches[:n-1]
+		return lb
+	}
+	return &simulator.LaneBatch{}
+}
+
+// PutBatch returns a lane batch to the pool, trimming it first when its
+// retained footprint exceeds the high-water cap.
+func (p *Pool) PutBatch(lb *simulator.LaneBatch) {
+	if lb == nil {
+		return
+	}
+	p.mu.Lock()
+	capB := p.BatchCapBytes
+	if capB == 0 {
+		capB = DefaultBatchCapBytes
+	}
+	if capB > 0 && lb.Footprint() > capB {
+		lb.Release()
+	}
+	p.batches = append(p.batches, lb)
 	p.mu.Unlock()
 }
 
@@ -150,6 +207,10 @@ func Run(ctx context.Context, jobs []Job, workers int, pool *Pool) ([]*simulator
 // not weaken the digest contract. Per-job probes (Job.Opt.Probe) force the
 // job onto its own lane, exactly like Job.Opt.Recorder, so every probed job
 // genuinely simulates and emits its own simulator frames.
+//
+// Jitter-active jobs of one configuration (same prep, scheduler name and
+// options modulo seed) are grouped into event-level lane-engine units when
+// two or more are present — see the lane executor in lanes.go.
 func RunProbed(ctx context.Context, jobs []Job, workers int, pool *Pool, probe *obs.Probe) ([]*simulator.Result, error) {
 	if len(jobs) == 0 {
 		return nil, nil
@@ -203,33 +264,107 @@ func RunProbed(ctx context.Context, jobs []Job, workers int, pool *Pool, probe *
 		lanes = append(lanes, i)
 	}
 	dedupHits := int64(len(jobs) - len(lanes))
+
+	// Lane-engine grouping: jitter-active jobs of one configuration — same
+	// prep, same scheduler name (under the SeedInvariant identity contract),
+	// same options modulo the seed — differ only in their jitter draws.
+	// Groups of two or more route through the event-level lane executor
+	// (lanes.go) as one engine unit instead of one full event loop per job;
+	// singles and everything else keep the per-job path.
+	laneEligible := func(i int) (laneKey, bool) {
+		opt := jobs[i].Opt
+		if opt.Recorder != nil || opt.Probe != nil || !jitterActive(jobs[i].P, opt) {
+			return laneKey{}, false
+		}
+		s := jobs[i].Sched()
+		if !sched.IsSeedInvariant(s) {
+			return laneKey{}, false
+		}
+		return laneKey{pp: prepOf[i], sched: s.Name(), overhead: opt.Overhead, stealing: opt.WorkStealing}, true
+	}
+	type laneUnit struct {
+		single int   // job index, when group is nil
+		group  []int // job indices of one lane-engine unit, len ≥ 2
+	}
+	byKey := make(map[laneKey][]int)
+	var keyOrder []laneKey
+	for _, i := range lanes {
+		if k, ok := laneEligible(i); ok {
+			if len(byKey[k]) == 0 {
+				keyOrder = append(keyOrder, k)
+			}
+			byKey[k] = append(byKey[k], i)
+		}
+	}
+	var units []laneUnit
+	grouped := make(map[int]bool)
+	for _, k := range keyOrder {
+		if g := byKey[k]; len(g) >= 2 {
+			units = append(units, laneUnit{group: g})
+			for _, i := range g {
+				grouped[i] = true
+			}
+		}
+	}
+	for _, i := range lanes {
+		if !grouped[i] {
+			units = append(units, laneUnit{single: i})
+		}
+	}
+
 	var progressMu sync.Mutex
 	var laneDone int64
-	laneResults, err := sweep.MapContext(ctx, lanes, workers, func(i int) (*simulator.Result, error) {
-		a := pool.Get()
-		r, runErr := prepOf[i].Run(ctx, jobs[i].Sched(), jobs[i].Opt, a)
-		pool.Put(a)
-		if probe != nil && runErr == nil {
-			progressMu.Lock()
-			laneDone++
-			if probe.Due(laneDone) {
-				probe.Emit(obs.Frame{
-					Source:    obs.SourceReplay,
-					Done:      laneDone,
-					Total:     int64(len(jobs)),
-					DedupHits: dedupHits,
-				})
-			}
-			progressMu.Unlock()
+	jobsDone := func(n int) {
+		if probe == nil {
+			return
 		}
-		return r, runErr
+		progressMu.Lock()
+		laneDone += int64(n)
+		if probe.Due(laneDone) {
+			probe.Emit(obs.Frame{
+				Source:    obs.SourceReplay,
+				Done:      laneDone,
+				Total:     int64(len(jobs)),
+				DedupHits: dedupHits,
+			})
+		}
+		progressMu.Unlock()
+	}
+	results := make([]*simulator.Result, len(jobs))
+	// Units write disjoint results slots; MapContext supplies ordering and
+	// first-error semantics.
+	_, err := sweep.MapContext(ctx, units, workers, func(u laneUnit) (struct{}, error) {
+		if u.group == nil {
+			i := u.single
+			a := pool.Get()
+			r, runErr := prepOf[i].Run(ctx, jobs[i].Sched(), jobs[i].Opt, a)
+			pool.Put(a)
+			if runErr != nil {
+				return struct{}{}, runErr
+			}
+			results[i] = r
+			jobsDone(1)
+			return struct{}{}, nil
+		}
+		pp := prepOf[u.group[0]]
+		specs := make([]laneSpec, len(u.group))
+		for gi, i := range u.group {
+			specs[gi] = laneSpec{seed: jobs[i].Opt.Seed, mk: jobs[i].Sched}
+		}
+		fillJitterRows(pp, jobs[u.group[0]].P, jobs[u.group[0]].Opt, specs)
+		stats := &LaneStats{}
+		rs, runErr := runLanes(ctx, pp, jobs[u.group[0]].Opt, specs, workers, pool, LaneOptions{}, nil, stats)
+		if runErr != nil {
+			return struct{}{}, runErr
+		}
+		for gi, i := range u.group {
+			results[i] = rs[gi]
+		}
+		jobsDone(len(u.group))
+		return struct{}{}, nil
 	})
 	if err != nil {
 		return nil, err
-	}
-	results := make([]*simulator.Result, len(jobs))
-	for li, i := range lanes {
-		results[i] = laneResults[li]
 	}
 	for i := range jobs {
 		if rep[i] != i {
@@ -272,6 +407,14 @@ func SeedsProbed(ctx context.Context, d *graph.DAG, p *platform.Platform, mk fun
 			probe.Emit(obs.Frame{Source: obs.SourceReplay, Done: 1, Total: 1, Final: true})
 		}
 		return []*simulator.Result{r}, nil
+	}
+	if jitterActive(p, opt) && opt.Recorder == nil && opt.Probe == nil {
+		// The jitter-lane regime: every seed genuinely simulates, so the
+		// event-level lane executor (one loop advancing the whole batch,
+		// algebraic jitter rows, shared scheduler Init) beats one full run
+		// per seed. Identical to it bit for bit — see lanes.go.
+		res, _, err := LanesProbed(ctx, d, p, mk, seeds, opt, workers, pool, probe, LaneOptions{})
+		return res, err
 	}
 	jobs := make([]Job, len(seeds))
 	for i, s := range seeds {

@@ -42,6 +42,20 @@ func IsPureAssign(s Scheduler) bool {
 	return ok && pa.PureAssign()
 }
 
+// Shareable reports whether one instance of s may serve interleaved Assign/
+// Priority calls from many concurrently-advancing simulation lanes of the
+// same (DAG, platform), Init'ed once for the whole batch. Both proven marker
+// claims are required: SeedInvariant makes the single Init seed immaterial
+// to every lane, and PureAssign guarantees the interleaving leaves no trace
+// — Assign and Priority never write the instance, so each lane observes
+// exactly the scheduler a private instance would have been. replay.Lanes
+// keys batch-wide scheduler sharing (and hence its ECT evaluation over a
+// lane batch through the per-lane sched.View) on this predicate; policies
+// failing it get a fresh instance per lane instead.
+func Shareable(s Scheduler) bool {
+	return IsSeedInvariant(s) && IsPureAssign(s)
+}
+
 // The dm family never reads the seed and keeps all state in the Init-computed
 // priority table. Embedders with per-Assign state or out-of-name
 // configuration must override (dmdar, orderSched below).

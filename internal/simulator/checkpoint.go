@@ -44,6 +44,7 @@ type EventSnapshot struct {
 type Snapshot struct {
 	Done      int // completion events processed
 	Decisions int // scheduler Assign calls made
+	Started   int // task starts (jitter draws consumed)
 	Seq       int
 	Now       float64
 
@@ -70,9 +71,15 @@ type Snapshot struct {
 
 // snapshot appends a Snapshot of the current state to st.snaps.
 func (st *state) snapshot() {
+	st.snaps = append(st.snaps, st.captureSnapshot())
+}
+
+// captureSnapshot builds a Snapshot of the current state.
+func (st *state) captureSnapshot() *Snapshot {
 	sn := &Snapshot{
 		Done:      st.done,
 		Decisions: st.decisions,
+		Started:   st.started,
 		Seq:       st.seq,
 		Now:       st.now,
 
@@ -117,7 +124,7 @@ func (st *state) snapshot() {
 	for i, e := range st.events {
 		sn.Events[i] = EventSnapshot{Time: e.time, Seq: e.seq, Worker: e.worker, Task: int32(e.task.ID)}
 	}
-	st.snaps = append(st.snaps, sn)
+	return sn
 }
 
 // restore loads a snapshot into an already-reset state. The heap array is
@@ -127,6 +134,7 @@ func (st *state) snapshot() {
 func (st *state) restore(sn *Snapshot) {
 	st.done = sn.Done
 	st.decisions = sn.Decisions
+	st.started = sn.Started
 	st.seq = sn.Seq
 	st.now = sn.Now
 

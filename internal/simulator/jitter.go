@@ -1,0 +1,147 @@
+package simulator
+
+import "math/rand"
+
+// Fast bit-identical jitter draws.
+//
+// The jitter model consumes exactly one Float64 from a freshly seeded
+// math/rand generator per (seed, task) pair. Materializing that generator is
+// absurdly expensive for one draw: rngSource.Seed runs the Lehmer seeding
+// LCG x' = 48271·x mod (2³¹−1) for 20+3·607 steps to fill a 607-word
+// feedback vector, of which the first Float64 reads exactly two words —
+// vec[333] (the feed) and vec[606] (the tap).
+//
+// This file computes those two words directly. The seeding LCG is a pure
+// modular multiplication, so the chain value after n steps is
+// (48271ⁿ mod M)·x₀ mod M — the powers for the handful of chain positions
+// the two words consume are precomputed once, turning ~1841 LCG steps plus a
+// ~5 KB allocation into six modular multiplications. The additive rngCooked
+// constants folded into those vector words are copied verbatim from
+// math/rand (a frozen value stream: Go 1 compatibility pins it, and
+// TestFastSeedFloat64MatchesMathRand re-derives every constant against the
+// real generator).
+//
+// Float64's documented quirk is preserved: a draw so close to 1<<63 that the
+// division rounds to 1.0 is retried, which reads vec[333−j]/vec[606−j] for
+// retry j. Retries up to jitMaxRetry are computed algebraically (no written
+// word is re-read that early: the feed cursor only returns to index 333
+// after 273 draws); deeper retry chains — probability ≈ 2⁻⁵⁴ per draw —
+// fall back to the real generator.
+
+const (
+	lehmerM = 2147483647 // 2³¹ − 1, modulus of math/rand's seeding LCG
+	lehmerA = 48271      // its multiplier
+
+	rngFloatMask = 1<<63 - 1 // rngMask: Int63 truncation of the vector word
+
+	jitFeed     = 333 // vector index the first draw's feed cursor reads
+	jitTap      = 606 // vector index the first draw's tap cursor reads
+	jitMaxRetry = 7
+)
+
+// rngCookedFeed[j] and rngCookedTap[j] are math/rand's rngCooked constants
+// at the indices retry j reads: rngCooked[jitFeed−j] and rngCooked[jitTap−j]
+// as uint64 bit patterns.
+var rngCookedFeed = [jitMaxRetry + 1]uint64{
+	0xbfb2f4d968b759c3, // rngCooked[333]
+	0x3b7fc3ad0d1cd36b, // rngCooked[332]
+	0xf11bfbb3ba3e0841, // rngCooked[331]
+	0x031089e87fbab9a7, // rngCooked[330]
+	0x967e3cd0f12b1c5f, // rngCooked[329]
+	0xbd640b6140802b1e, // rngCooked[328]
+	0x32a31118a95e425f, // rngCooked[327]
+	0x08137c3380f32523, // rngCooked[326]
+}
+
+var rngCookedTap = [jitMaxRetry + 1]uint64{
+	0x39a00a3a31c025c6, // rngCooked[606]
+	0x7e57a19b735ef03b, // rngCooked[605]
+	0x74535a96cc7adfd7, // rngCooked[604]
+	0xe1de048dc78b382e, // rngCooked[603]
+	0xa8de655829aab207, // rngCooked[602]
+	0xfbba1e4a59b0c60c, // rngCooked[601]
+	0xe5b5e9385b202824, // rngCooked[600]
+	0xf579e080162896e9, // rngCooked[599]
+}
+
+// powFeed[j] / powTap[j] hold 48271ⁿ mod M for the three chain positions the
+// vector word of retry j consumes (the <<40, <<20 and plain terms).
+var powFeed, powTap [jitMaxRetry + 1][3]uint64
+
+func init() {
+	for j := 0; j <= jitMaxRetry; j++ {
+		for k := 0; k < 3; k++ {
+			// vec[i] consumes chain values 20+3i+1 … 20+3i+3: the seeding
+			// loop burns 20 steps before index 0, then three per index.
+			powFeed[j][k] = lehmerPow(uint64(20 + 3*(jitFeed-j) + 1 + k))
+			powTap[j][k] = lehmerPow(uint64(20 + 3*(jitTap-j) + 1 + k))
+		}
+	}
+}
+
+// lehmerPow returns 48271ⁿ mod M by square-and-multiply. Operands stay below
+// 2³¹, so products fit uint64 with room to spare.
+func lehmerPow(n uint64) uint64 {
+	r, b := uint64(1), uint64(lehmerA)
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			r = r * b % lehmerM
+		}
+		b = b * b % lehmerM
+	}
+	return r
+}
+
+// lehmerVec reconstructs one seeded vector word from the normalized seed x0
+// using the precomputed chain powers and the matching rngCooked constant.
+func lehmerVec(pw *[3]uint64, cooked, x0 uint64) uint64 {
+	u := (pw[0] * x0 % lehmerM) << 40
+	u ^= (pw[1] * x0 % lehmerM) << 20
+	u ^= pw[2] * x0 % lehmerM
+	return u ^ cooked
+}
+
+// fastSeedFloat64 returns rand.New(rand.NewSource(seed)).Float64() without
+// building the generator. ok is false only when more than jitMaxRetry+1
+// consecutive draws round to 1.0 — astronomically unlikely, handled by the
+// caller with the real generator.
+func fastSeedFloat64(seed int64) (f float64, ok bool) {
+	// rngSource.Seed's normalization, verbatim.
+	s := seed % lehmerM
+	if s < 0 {
+		s += lehmerM
+	}
+	if s == 0 {
+		s = 89482311
+	}
+	x0 := uint64(s)
+	for j := 0; j <= jitMaxRetry; j++ {
+		v := lehmerVec(&powFeed[j], rngCookedFeed[j], x0) + lehmerVec(&powTap[j], rngCookedTap[j], x0)
+		f := float64(int64(v&rngFloatMask)) / (1 << 63)
+		if f != 1 { //chollint:floateq mirrors math/rand.Float64's exact resample test
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// seedFloat64 is the first Float64 of a generator seeded with seed,
+// bit-identical to math/rand by the fast path or, failing that, by
+// math/rand itself.
+func seedFloat64(seed int64) float64 {
+	if f, ok := fastSeedFloat64(seed); ok {
+		return f
+	}
+	return rand.New(rand.NewSource(seed)).Float64()
+}
+
+// JitterRow fills dst[t] for every task ID t with the jitter draw
+// u ∈ (−1, 1) the serial event loop's jittered() would consume for that task
+// under the given run seed. A lane primed with this row via
+// LaneRun.SetJitterRow reproduces the serial run's execution times bit for
+// bit without ever touching math/rand.
+func JitterRow(seed int64, dst []float64) {
+	for t := range dst {
+		dst[t] = 2*seedFloat64(seed*1000003+int64(t)) - 1
+	}
+}

@@ -314,6 +314,15 @@ type state struct {
 	snapEvery int
 	snaps     []*Snapshot
 
+	// Start accounting for lane replay: started counts task starts (jitter
+	// draws consumed); startTrace, when non-nil, stores task IDs in start
+	// order; jitU, when non-nil, is a precomputed per-task jitter-draw table
+	// consulted instead of seeding a generator per task (see jitter.go —
+	// values are bit-identical by construction).
+	started    int
+	startTrace []int32
+	jitU       []float64
+
 	res *Result
 }
 
@@ -547,6 +556,9 @@ func (st *state) reset(pp *Prep, s sched.Scheduler, opt Options) {
 	st.decTrace = nil
 	st.snapEvery = 0
 	st.snaps = nil
+	st.started = 0
+	st.startTrace = nil
+	st.jitU = nil
 	st.ordered = s.Ordered()
 	st.gater, _ = s.(sched.Gater)
 	st.restr, _ = s.(sched.ClassRestricter)
@@ -632,7 +644,8 @@ func (st *state) start() {
 
 // loop drains the event heap to completion and finalizes the Result. It is
 // the single event loop behind the serial, batched, recorded and resumed
-// paths.
+// paths; the lane executor drives the same processEvent/finalize pair one
+// event at a time (LaneRun.Step), so every path shares one advance function.
 func (st *state) loop(ctx context.Context) (*Result, error) {
 	n := st.nTasks
 	for len(st.events) > 0 {
@@ -644,53 +657,67 @@ func (st *state) loop(ctx context.Context) (*Result, error) {
 				return nil, fmt.Errorf("simulator: run cancelled after %d of %d tasks: %w", st.done, n, err)
 			}
 		}
-		ev := st.events.pop()
-		st.now = ev.time
-		w := ev.worker
-		st.executing[w] = false
-		st.workerFree[w] = st.now
-		st.workerDirty[w] = true
-		st.doneTask[ev.task.ID] = true
-		st.done++
-		// Invalidate: the written tile's only valid copy is on this node.
-		node := st.p.MemoryNode(w)
-		foot := st.footprint(ev.task)
-		for k, ref := range ev.task.Footprint {
-			if ref.Mode != graph.ReadWrite {
+		st.processEvent()
+	}
+	return st.finalize()
+}
+
+// processEvent pops and applies one completion event: retire the task,
+// invalidate written tiles, release pins, assign unlocked successors and
+// start everything now startable. The caller guarantees the heap is
+// non-empty.
+//
+//chol:hotpath per-event kernel shared by loop and the lane advance; allocs/op pinned by cmd/cholbench sim/*
+func (st *state) processEvent() {
+	ev := st.events.pop()
+	st.now = ev.time
+	w := ev.worker
+	st.executing[w] = false
+	st.workerFree[w] = st.now
+	st.workerDirty[w] = true
+	st.doneTask[ev.task.ID] = true
+	st.done++
+	// Invalidate: the written tile's only valid copy is on this node.
+	node := st.p.MemoryNode(w)
+	foot := st.footprint(ev.task)
+	for k, ref := range ev.task.Footprint {
+		if ref.Mode != graph.ReadWrite {
+			continue
+		}
+		ti := int(foot[k])
+		base := ti * st.nNodes
+		for other := 0; other < st.nNodes; other++ {
+			if other == node || !st.loc[base+other] {
 				continue
 			}
-			ti := int(foot[k])
-			base := ti * st.nNodes
-			for other := 0; other < st.nNodes; other++ {
-				if other == node || !st.loc[base+other] {
-					continue
-				}
-				st.loc[base+other] = false
-				if other != 0 {
-					st.removeResident(other, ti)
-				}
-			}
-			st.loc[base+node] = true
-			st.locCount[ti] = 1
-			if node != 0 && st.lastUse[node*st.nTiles+ti] < 0 {
-				st.addResident(node, ti)
+			st.loc[base+other] = false
+			if other != 0 {
+				st.removeResident(other, ti)
 			}
 		}
-		st.pinFootprint(ev.task, node, -1)
-		for _, sid := range ev.task.Succ {
-			st.indeg[sid]--
-			if st.indeg[sid] == 0 {
-				st.assign(st.d.Tasks[sid])
-			}
-		}
-		st.tryStartAll(&st.events)
-		if st.probe != nil && st.probe.Due(int64(st.done)) {
-			st.emitProgress(false)
+		st.loc[base+node] = true
+		st.locCount[ti] = 1
+		if node != 0 && st.lastUse[node*st.nTiles+ti] < 0 {
+			st.addResident(node, ti)
 		}
 	}
+	st.pinFootprint(ev.task, node, -1)
+	for _, sid := range ev.task.Succ {
+		st.indeg[sid]--
+		if st.indeg[sid] == 0 {
+			st.assign(st.d.Tasks[sid])
+		}
+	}
+	st.tryStartAll(&st.events)
+	if st.probe != nil && st.probe.Due(int64(st.done)) {
+		st.emitProgress(false)
+	}
+}
 
-	if st.done != n {
-		return nil, fmt.Errorf("simulator: deadlock — %d of %d tasks completed", st.done, n)
+// finalize checks completion and fills the derived Result fields.
+func (st *state) finalize() (*Result, error) {
+	if st.done != st.nTasks {
+		return nil, fmt.Errorf("simulator: deadlock — %d of %d tasks completed", st.done, st.nTasks)
 	}
 	mk := 0.0
 	for _, e := range st.res.End {
@@ -1108,6 +1135,10 @@ func (st *state) tryStartAll(events *eventHeap) {
 				break // hold the worker for the planned-order predecessor
 			}
 			t := st.queues[w].popFront().task
+			if st.startTrace != nil {
+				st.startTrace[st.started] = int32(t.ID)
+			}
+			st.started++
 			avail := math.Max(st.now, st.workerFree[w])
 			start := math.Max(avail, st.dataReady[t.ID])
 			st.res.StallSec += start - avail
@@ -1141,13 +1172,22 @@ func (st *state) tryStartAll(events *eventHeap) {
 }
 
 // jittered perturbs an execution time deterministically per (seed, task).
+// Lanes prime jitU with the identical draws up front (see jitter.go), so the
+// batched advance never seeds a generator; the serial path keeps the
+// original per-task generator and the two are bit-identical by the fast-path
+// equality tests.
 func (st *state) jittered(exec float64, taskID int) float64 {
 	f := st.p.Overhead.JitterFrac
 	if f == 0 {
 		return exec
 	}
-	rng := rand.New(rand.NewSource(st.opt.Seed*1000003 + int64(taskID)))
-	u := 2*rng.Float64() - 1
+	var u float64
+	if st.jitU != nil {
+		u = st.jitU[taskID]
+	} else {
+		rng := rand.New(rand.NewSource(st.opt.Seed*1000003 + int64(taskID)))
+		u = 2*rng.Float64() - 1
+	}
 	return exec * (1 + f*u)
 }
 
